@@ -1,0 +1,43 @@
+//! End-to-end experiment kernels at reduced scale — one Criterion target
+//! per reproduced artifact family, so regressions in any stage of a
+//! figure's pipeline are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dnsnoise_bench::experiments;
+
+fn bench_experiment_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("fig2_traffic", |b| {
+        b.iter(|| black_box(experiments::fig2::run(0.05).below_above_ratio()))
+    });
+    group.bench_function("fig3_tail", |b| {
+        b.iter(|| black_box(experiments::fig3::run_3a(0.05).tail_fraction))
+    });
+    group.bench_function("fig5_dedup", |b| {
+        b.iter(|| black_box(experiments::fig5::run(0.05).google_share()))
+    });
+    group.bench_function("fig12_train", |b| {
+        b.iter(|| black_box(experiments::fig12::run(0.03).auc()))
+    });
+    group.bench_function("fig13_growth", |b| {
+        b.iter(|| black_box(experiments::fig13::run(0.05).all_series_grow()))
+    });
+    group.bench_function("cache_pressure", |b| {
+        b.iter(|| black_box(experiments::cache_pressure::run(0.05).points.len()))
+    });
+    group.bench_function("dnssec_cost", |b| {
+        b.iter(|| black_box(experiments::dnssec_cost::run(0.05).points.len()))
+    });
+    group.bench_function("pdns_store", |b| {
+        b.iter(|| black_box(experiments::pdnsdb::run(0.05).total_records))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_kernels);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the miner: tree construction, feature extraction,
+//! LAD-tree training (the Fig. 12 kernel) and Algorithm 1 (the Fig. 11
+//! kernel).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dnsnoise_core::{DomainTree, GroupFeatures, Miner, MinerConfig, TrainingSetBuilder};
+use dnsnoise_dns::SuffixList;
+use dnsnoise_ml::{cross_validate, LadTree, Learner};
+use dnsnoise_resolver::{ResolverSim, SimConfig};
+use dnsnoise_workload::{Scenario, ScenarioConfig};
+
+fn day_stats() -> dnsnoise_resolver::RrDayStats {
+    let scenario = Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.05), 7);
+    let mut sim = ResolverSim::new(SimConfig::default());
+    sim.run_day(&scenario.generate_day(0), Some(scenario.ground_truth()), &mut ())
+        .rr_stats
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let stats = day_stats();
+    c.bench_function("miner/tree_build", |b| {
+        b.iter(|| black_box(DomainTree::from_day_stats(&stats).node_count()))
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let stats = day_stats();
+    let tree = DomainTree::from_day_stats(&stats);
+    let scenario = Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.05), 7);
+    let apex = scenario
+        .ground_truth()
+        .disposable_zones()
+        .next()
+        .expect("scenario has disposable zones")
+        .apex
+        .clone();
+    c.bench_function("miner/group_features", |b| {
+        b.iter(|| {
+            let groups = tree.groups_under(&apex).expect("zone observed");
+            let group = groups.groups.values().max_by_key(|g| g.members.len()).expect("non-empty");
+            black_box(GroupFeatures::compute(&tree, group))
+        })
+    });
+}
+
+fn bench_training_and_cv(c: &mut Criterion) {
+    // The Fig. 12 kernel: build the labeled set, train and cross-validate.
+    let stats = day_stats();
+    let tree = DomainTree::from_day_stats(&stats);
+    let scenario = Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.05), 7);
+    let labeled = TrainingSetBuilder { min_disposable_names: 5, ..Default::default() }
+        .build(&tree, scenario.ground_truth());
+    let data = labeled.dataset().expect("non-empty labeled set");
+
+    c.bench_function("miner/ladtree_fit", |b| {
+        b.iter(|| black_box(LadTree::default().fit(&data).score(data.row(0))))
+    });
+    let mut group = c.benchmark_group("miner");
+    group.sample_size(10);
+    group.bench_function("ladtree_10fold_cv", |b| {
+        b.iter(|| black_box(cross_validate(&LadTree::default(), &data, 10, 1).roc().auc()))
+    });
+    group.finish();
+}
+
+fn bench_algorithm_one(c: &mut Criterion) {
+    // The Fig. 11 kernel: mine one day's tree.
+    let stats = day_stats();
+    let scenario = Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.05), 7);
+    let tree = DomainTree::from_day_stats(&stats);
+    let labeled = TrainingSetBuilder { min_disposable_names: 5, ..Default::default() }
+        .build(&tree, scenario.ground_truth());
+    let miner = Miner::train(&labeled, MinerConfig::default());
+    let psl = SuffixList::builtin();
+
+    let mut group = c.benchmark_group("miner");
+    group.sample_size(20);
+    group.bench_function("algorithm1_mine", |b| {
+        b.iter_batched(
+            || DomainTree::from_day_stats(&stats),
+            |mut tree| black_box(miner.mine(&mut tree, &psl).len()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tree_build,
+    bench_feature_extraction,
+    bench_training_and_cv,
+    bench_algorithm_one
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Micro-benchmarks of passive-DNS collection: wire codec, rpDNS dedup
+//! (the Fig. 5 kernel) and wildcard aggregation (the §VI-C kernel).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dnsnoise_dns::{wire, Message, QType, Question, RData, Rcode, Record, RrKey, Ttl};
+use dnsnoise_pdns::{RpDns, WildcardAggregator};
+use std::net::Ipv4Addr;
+
+fn sample_records(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            Record::new(
+                format!("{}.avqs.vendor{}.com", dnsnoise_workload::label_base32(i as u64, 24), i % 40)
+                    .parse()
+                    .unwrap(),
+                QType::A,
+                Ttl::from_secs(300),
+                RData::A(Ipv4Addr::new(127, 0, (i >> 8) as u8, i as u8)),
+            )
+        })
+        .collect()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let name: dnsnoise_dns::Name = "www.example.com".parse().unwrap();
+    let msg = Message::response(
+        7,
+        Question::new(name.clone(), QType::A),
+        Rcode::NoError,
+        vec![
+            Record::new(name.clone(), QType::Cname, Ttl::from_secs(60), RData::Cname("edge.cdn.example.net".parse().unwrap())),
+            Record::new("edge.cdn.example.net".parse().unwrap(), QType::A, Ttl::from_secs(20), RData::A(Ipv4Addr::new(192, 0, 2, 9))),
+        ],
+    );
+    c.bench_function("wire/encode", |b| b.iter(|| black_box(wire::encode(&msg).unwrap().len())));
+    let bytes = wire::encode(&msg).unwrap();
+    c.bench_function("wire/decode", |b| b.iter(|| black_box(wire::decode(&bytes).unwrap().answers.len())));
+}
+
+fn bench_rpdns_dedup(c: &mut Criterion) {
+    // The Fig. 5 kernel: deduplicate a day's records.
+    let records = sample_records(10_000);
+    c.bench_function("pdns/rpdns_observe_10k", |b| {
+        b.iter_batched(
+            RpDns::new,
+            |mut store| {
+                for (i, r) in records.iter().enumerate() {
+                    store.observe(r, (i % 13) as u64);
+                }
+                black_box(store.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_wildcard_aggregation(c: &mut Criterion) {
+    // The §VI-C kernel: collapse disposable records under wildcards.
+    let records = sample_records(10_000);
+    let keys: Vec<RrKey> = records.iter().map(Record::key).collect();
+    let mut agg = WildcardAggregator::new();
+    for i in 0..40 {
+        agg.add_rule(format!("avqs.vendor{i}.com").parse().unwrap(), 4);
+    }
+    c.bench_function("pdns/wildcard_aggregate_10k", |b| {
+        b.iter(|| black_box(agg.aggregate(keys.iter()).stored_entries()))
+    });
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    use dnsnoise_workload::{trace_io, Scenario, ScenarioConfig};
+    let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.005), 3);
+    let trace = scenario.generate_day(0);
+    let mut buf = Vec::new();
+    trace_io::write_trace(&trace, &mut buf).expect("in-memory write succeeds");
+    let text = String::from_utf8(buf).expect("trace text is utf-8");
+
+    c.bench_function("trace_io/render_day", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            trace_io::write_trace(&trace, &mut out).unwrap();
+            black_box(out.len())
+        })
+    });
+    c.bench_function("trace_io/parse_day", |b| {
+        b.iter(|| black_box(trace_io::read_trace(text.as_bytes()).unwrap().events.len()))
+    });
+}
+
+criterion_group!(benches, bench_wire, bench_rpdns_dedup, bench_wildcard_aggregation, bench_trace_io);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks of the simulation substrate: cache operations,
+//! workload generation and the resolver day loop (the Fig. 2 kernel).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dnsnoise_cache::{CacheKey, InsertPriority, TtlLru};
+use dnsnoise_dns::{QType, RData, Record, Timestamp, Ttl};
+use dnsnoise_resolver::{ResolverSim, SimConfig};
+use dnsnoise_workload::{Scenario, ScenarioConfig};
+use std::net::Ipv4Addr;
+
+fn bench_cache_ops(c: &mut Criterion) {
+    let keys: Vec<CacheKey> = (0..4_096)
+        .map(|i| CacheKey::new(format!("h{i}.bench.example.com").parse().unwrap(), QType::A))
+        .collect();
+    let records: Vec<Record> = keys
+        .iter()
+        .map(|k| Record::new(k.name.clone(), QType::A, Ttl::from_secs(300), RData::A(Ipv4Addr::new(192, 0, 2, 1))))
+        .collect();
+
+    c.bench_function("cache/insert_evict_4k_over_1k_capacity", |b| {
+        b.iter_batched(
+            || TtlLru::new(1_024),
+            |mut cache| {
+                for (i, (k, r)) in keys.iter().zip(&records).enumerate() {
+                    cache.insert(k.clone(), vec![r.clone()], Timestamp::from_secs(i as u64), InsertPriority::Normal);
+                }
+                black_box(cache.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("cache/hit_path", |b| {
+        let mut cache = TtlLru::new(8_192);
+        for (k, r) in keys.iter().zip(&records) {
+            cache.insert(k.clone(), vec![r.clone()], Timestamp::ZERO, InsertPriority::Normal);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(cache.get(&keys[i], Timestamp::from_secs(1)))
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.02), 7);
+    c.bench_function("workload/generate_day_scale_0.02", |b| {
+        b.iter(|| black_box(scenario.generate_day(0).events.len()))
+    });
+}
+
+fn bench_resolver_day(c: &mut Criterion) {
+    // The Fig. 2 kernel: replay one small day through the cluster.
+    let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.02), 7);
+    let trace = scenario.generate_day(0);
+    let mut group = c.benchmark_group("resolver");
+    group.sample_size(20);
+    group.bench_function("run_day_scale_0.02", |b| {
+        b.iter_batched(
+            || ResolverSim::new(SimConfig::default()),
+            |mut sim| black_box(sim.run_day(&trace, Some(scenario.ground_truth()), &mut ()).below_total),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_ops, bench_workload_generation, bench_resolver_day);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--scale <f64>] [<id> ...]
+//! ```
+//!
+//! With no ids, every experiment runs in paper order. `--scale` multiplies
+//! the workload size (1.0 = report scale used for EXPERIMENTS.md; smaller
+//! values run faster with noisier numbers).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dnsnoise_bench::{run_experiment, ExperimentId};
+
+fn main() -> ExitCode {
+    let mut scale = 1.0f64;
+    let mut ids: Vec<ExperimentId> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--scale needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<f64>() {
+                    Ok(v) if v > 0.0 => scale = v,
+                    _ => {
+                        eprintln!("invalid scale: {value}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--scale <f64>] [<id> ...]");
+                println!("ids: {}", ExperimentId::all().iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other => match other.parse::<ExperimentId>() {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    eprintln!("{e}");
+                    eprintln!("known ids: {}", ExperimentId::all().iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    if ids.is_empty() {
+        ids = ExperimentId::all().to_vec();
+    }
+
+    for id in ids {
+        let start = Instant::now();
+        let report = run_experiment(id, scale);
+        println!("{report}");
+        println!("[{id} completed in {:.1?} at scale {scale}]\n", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

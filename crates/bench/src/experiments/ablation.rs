@@ -1,0 +1,188 @@
+//! Ablations of the miner's design choices.
+//!
+//! Three knobs the paper motivates but does not sweep:
+//!
+//! 1. **Feature families** (§V-A2 argues both are necessary): train the
+//!    classifier with only the six tree-structure features, only the two
+//!    cache-hit-rate features, or all eight.
+//! 2. **Confidence threshold θ** (Algorithm 1 fixes 0.9; Fig. 12 quotes
+//!    0.5): sweep θ and report mining TPR/FPR/precision.
+//! 3. **Cluster load balancing** (§II-B3 motivates the black-box CHR
+//!    approach): per-client, round-robin and per-name routing change the
+//!    observable cache-hit structure; the CHR class separation must
+//!    survive all three.
+
+use dnsnoise_core::{DomainTree, Miner, MinerConfig, TrainingSetBuilder};
+use dnsnoise_ml::{cross_validate, Dataset, LadTree};
+use dnsnoise_resolver::{ChrDistribution, ResolverSim, SimConfig};
+use dnsnoise_cache::LoadBalance;
+use dnsnoise_dns::SuffixList;
+
+use crate::experiments::common;
+use crate::util::{pct, scenario, Table};
+
+/// The ablation suite's result.
+#[derive(Debug, Clone, Default)]
+pub struct AblationResult {
+    /// `(feature set, cv auc)`.
+    pub feature_ablation: Vec<(String, f64)>,
+    /// `(theta, tpr, fpr, findings)`.
+    pub theta_sweep: Vec<(f64, f64, f64, usize)>,
+    /// `(strategy, disposable zero-CHR, popular median CHR)`.
+    pub load_balance: Vec<(String, f64, f64)>,
+}
+
+impl AblationResult {
+    /// Renders all three ablations.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Ablations: miner design choices ==\n\nfeature families (10-fold CV AUC):\n");
+        let mut t = Table::new(["feature set", "auc"]);
+        for (name, auc) in &self.feature_ablation {
+            t.row([name.clone(), format!("{auc:.4}")]);
+        }
+        out.push_str(&t.render());
+
+        out.push_str("\nconfidence threshold θ (Algorithm 1 line 5):\n");
+        let mut t = Table::new(["theta", "tpr", "fpr", "findings"]);
+        for (theta, tpr, fpr, n) in &self.theta_sweep {
+            t.row([format!("{theta:.2}"), pct(*tpr), pct(*fpr), n.to_string()]);
+        }
+        out.push_str(&t.render());
+
+        out.push_str("\ncluster load balancing vs CHR separation:\n");
+        let mut t = Table::new(["strategy", "disposable zero-CHR", "popular median CHR"]);
+        for (name, zero, median) in &self.load_balance {
+            t.row([name.clone(), pct(*zero), format!("{median:.2}")]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}
+
+/// Projects a dataset onto a column subset.
+fn project(data: &Dataset, cols: &[usize]) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..data.len())
+        .map(|i| cols.iter().map(|&c| data.row(i)[c]).collect())
+        .collect();
+    Dataset::new(rows, data.labels().to_vec()).expect("projection preserves shape")
+}
+
+fn feature_ablation(scale: f64) -> Vec<(String, f64)> {
+    let s = scenario(1.0, (2.0 * scale).max(0.1), 40.0, 161);
+    let mut sim = common::default_sim();
+    let m = common::measure_day(&s, &mut sim, 0);
+    let tree = DomainTree::from_day_stats(&m.report.rr_stats);
+    let labeled = TrainingSetBuilder { min_disposable_names: 8, ..Default::default() }
+        .build(&tree, s.ground_truth());
+    let data = labeled.dataset().expect("labeled set non-empty");
+
+    let sets: [(&str, &[usize]); 3] = [
+        ("structure only (6)", &[0, 1, 2, 3, 4, 5]),
+        ("cache-hit-rate only (2)", &[6, 7]),
+        ("all features (8)", &[0, 1, 2, 3, 4, 5, 6, 7]),
+    ];
+    sets.iter()
+        .map(|(name, cols)| {
+            let projected = project(&data, cols);
+            let auc = cross_validate(&LadTree::default(), &projected, 10, 5).roc().auc();
+            ((*name).to_owned(), auc)
+        })
+        .collect()
+}
+
+fn theta_sweep(scale: f64) -> Vec<(f64, f64, f64, usize)> {
+    let s = scenario(1.0, (0.4 * scale).max(0.05), 40.0, 162);
+    let mut sim = common::default_sim();
+    let m = common::measure_day(&s, &mut sim, 0);
+    let gt = s.ground_truth();
+    let base_tree = DomainTree::from_day_stats(&m.report.rr_stats);
+    let labeled = TrainingSetBuilder { min_disposable_names: 8, ..Default::default() }.build(&base_tree, gt);
+    let psl = SuffixList::builtin();
+
+    [0.5, 0.7, 0.9, 0.97]
+        .into_iter()
+        .map(|theta| {
+            let config = MinerConfig { theta, ..MinerConfig::default() };
+            let miner = Miner::train(&labeled, config);
+            let mut tree = DomainTree::from_day_stats(&m.report.rr_stats);
+            let found = miner.mine(&mut tree, &psl);
+            let report = dnsnoise_core::MiningReport::evaluate(0, found, &base_tree, gt, &psl, config.min_group_size);
+            (theta, report.tpr(), report.fpr(), report.found.len())
+        })
+        .collect()
+}
+
+fn load_balance_ablation(scale: f64) -> Vec<(String, f64, f64)> {
+    let s = scenario(1.0, (0.05 * scale).max(0.01), 300.0, 163);
+    let gt = s.ground_truth();
+    let trace = s.generate_day(0);
+
+    [
+        ("hash-client", LoadBalance::HashClient),
+        ("round-robin", LoadBalance::RoundRobin),
+        ("hash-name", LoadBalance::HashName),
+    ]
+    .into_iter()
+    .map(|(name, strategy)| {
+        let mut sim = ResolverSim::new(SimConfig { load_balance: strategy, ..SimConfig::default() });
+        let report = sim.run_day(&trace, Some(gt), &mut ());
+        let mut disposable = Vec::new();
+        let mut popular = Vec::new();
+        for (key, stat) in report.rr_stats.iter() {
+            let sample = (stat.dhr(), u64::from(stat.misses));
+            match gt.zone_of(&key.name) {
+                Some(z) if z.disposable => disposable.push(sample),
+                Some(z) if z.category == dnsnoise_workload::Category::Popular => popular.push(sample),
+                _ => {}
+            }
+        }
+        let d = ChrDistribution::from_samples(disposable);
+        let p = ChrDistribution::from_samples(popular);
+        (name.to_owned(), d.zero_fraction(), p.median())
+    })
+    .collect()
+}
+
+/// Runs all three ablations.
+pub fn run(scale_factor: f64) -> AblationResult {
+    AblationResult {
+        feature_ablation: feature_ablation(scale_factor),
+        theta_sweep: theta_sweep(scale_factor),
+        load_balance: load_balance_ablation(scale_factor),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_features_beat_single_families() {
+        let r = run(0.3);
+        let get = |name: &str| r.feature_ablation.iter().find(|(n, _)| n.starts_with(name)).unwrap().1;
+        let all = get("all");
+        assert!(all >= get("structure") - 0.02, "all {all} vs structure {}", get("structure"));
+        assert!(all >= get("cache") - 0.02, "all {all} vs chr {}", get("cache"));
+        assert!(all > 0.95, "all-features auc {all}");
+    }
+
+    #[test]
+    fn higher_theta_trades_recall_for_precision() {
+        let r = run(0.3);
+        let first = r.theta_sweep.first().unwrap();
+        let last = r.theta_sweep.last().unwrap();
+        // Raising θ can only shrink the finding set.
+        assert!(last.3 <= first.3, "findings {} vs {}", last.3, first.3);
+        assert!(last.2 <= first.2 + 1e-9, "fpr should not grow with theta");
+    }
+
+    #[test]
+    fn chr_separation_survives_every_load_balance() {
+        let r = run(0.3);
+        assert_eq!(r.load_balance.len(), 3);
+        for (name, zero, median) in &r.load_balance {
+            assert!(*zero > 0.75, "{name}: disposable zero-CHR {zero}");
+            assert!(*median > 0.2, "{name}: popular median CHR {median}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 3: the DNS long tail — lookup volumes (3a) and the domain hit
+//! rate CDF (3b) for one day of traffic.
+//!
+//! Shape targets (§III-C1/C2): >90% of resource records receive fewer
+//! than 10 lookups per day; ~89% of records have a domain hit rate of 0.
+
+use crate::experiments::common;
+use crate::util::{pct, scenario, Table};
+
+/// Figure 3a result: the sorted lookup-volume distribution.
+#[derive(Debug, Clone)]
+pub struct Fig3aResult {
+    /// Total distinct records.
+    pub total_rrs: usize,
+    /// Fraction of records with < 10 lookups.
+    pub tail_fraction: f64,
+    /// Lookup-count quantiles `(q, lookups)`.
+    pub quantiles: Vec<(f64, u32)>,
+    /// The maximum observed per-record volume.
+    pub max_volume: u32,
+}
+
+impl Fig3aResult {
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Figure 3a: lookup volume distribution (02/01 scenario) ==\n");
+        let mut t = Table::new(["quantile", "lookups/day"]);
+        for (q, v) in &self.quantiles {
+            t.row([format!("p{:02.0}", q * 100.0), v.to_string()]);
+        }
+        t.row(["max".to_string(), self.max_volume.to_string()]);
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "\ndistinct RRs: {}\ntail (<10 lookups/day): {} (paper: >90%)\n",
+            self.total_rrs,
+            pct(self.tail_fraction)
+        ));
+        out
+    }
+}
+
+/// Figure 3b result: the DHR CDF.
+#[derive(Debug, Clone)]
+pub struct Fig3bResult {
+    /// CDF points `(dhr, fraction of RRs ≤ dhr)`.
+    pub cdf: Vec<(f64, f64)>,
+    /// Fraction of records at DHR exactly 0.
+    pub zero_fraction: f64,
+}
+
+impl Fig3bResult {
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Figure 3b: domain hit rate CDF (02/01 scenario) ==\n");
+        let mut t = Table::new(["dhr<=", "cdf"]);
+        for (x, y) in &self.cdf {
+            t.row([format!("{x:.1}"), format!("{y:.4}")]);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!("\nzero-DHR fraction: {} (paper: ~89%)\n", pct(self.zero_fraction)));
+        out
+    }
+}
+
+fn measure(scale_factor: f64) -> dnsnoise_resolver::RrDayStats {
+    let s = scenario(0.0, 0.25 * scale_factor, 40.0, 31);
+    let mut sim = common::default_sim();
+    common::measure_day(&s, &mut sim, 0).report.rr_stats
+}
+
+/// Runs Fig. 3a.
+pub fn run_3a(scale_factor: f64) -> Fig3aResult {
+    let stats = measure(scale_factor);
+    let volumes = stats.lookup_volumes_desc();
+    let n = volumes.len();
+    let quantiles = [0.5, 0.75, 0.9, 0.95, 0.99]
+        .iter()
+        .map(|&q| {
+            // volumes is descending; quantile q of the ascending view.
+            let idx = ((1.0 - q) * n as f64) as usize;
+            (q, volumes[idx.min(n - 1)])
+        })
+        .collect();
+    Fig3aResult {
+        total_rrs: n,
+        tail_fraction: stats.tail_fraction(10),
+        quantiles,
+        max_volume: volumes.first().copied().unwrap_or(0),
+    }
+}
+
+/// Runs Fig. 3b.
+pub fn run_3b(scale_factor: f64) -> Fig3bResult {
+    let stats = measure(scale_factor);
+    let points: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
+    let cdf_vals = stats.dhr_cdf(&points);
+    Fig3bResult {
+        cdf: points.into_iter().zip(cdf_vals).collect(),
+        zero_fraction: stats.zero_dhr_fraction(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_tail_is_heavy() {
+        let r = run_3a(0.2);
+        assert!(r.tail_fraction > 0.8, "tail {}", r.tail_fraction);
+        assert!(r.max_volume >= 10);
+        assert!(!r.render().is_empty());
+    }
+
+    #[test]
+    fn dhr_mass_sits_at_zero() {
+        let r = run_3b(0.2);
+        assert!(r.zero_fraction > 0.7, "zero dhr {}", r.zero_fraction);
+        // CDF is monotone and ends at 1.
+        assert!(r.cdf.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!((r.cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        assert!(!r.render().is_empty());
+    }
+}

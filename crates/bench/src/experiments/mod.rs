@@ -1,0 +1,160 @@
+//! One module per reproduced table/figure.
+
+pub mod ablation;
+pub mod cache_pressure;
+pub mod common;
+pub mod dnssec_cost;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod pdnsdb;
+pub mod tables;
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of a reproducible experiment (see DESIGN.md §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Fig. 2 — traffic above/below the recursives.
+    Fig2,
+    /// Fig. 3a — lookup-volume long tail.
+    Fig3a,
+    /// Fig. 3b — domain-hit-rate CDF.
+    Fig3b,
+    /// Fig. 4 — cache-hit-rate CDF (1 day + multi-day).
+    Fig4,
+    /// Fig. 5 — rpDNS new records per day.
+    Fig5,
+    /// Fig. 7 — CHR, disposable vs non-disposable.
+    Fig7,
+    /// Fig. 11 — measurement summary table.
+    Fig11,
+    /// Fig. 12 — classifier ROC (10-fold CV).
+    Fig12,
+    /// Fig. 13 — growth of disposable shares.
+    Fig13,
+    /// Fig. 14 — disposable TTL histograms.
+    Fig14,
+    /// Fig. 15 — new RRs, disposable vs non-disposable.
+    Fig15,
+    /// Table I — low-lookup-volume tail.
+    Tab1,
+    /// Table II — zero-DHR tail.
+    Tab2,
+    /// §VI-A — cache-pressure what-if.
+    Cache,
+    /// §VI-B — DNSSEC validation cost.
+    Dnssec,
+    /// §VI-C — pDNS storage and wildcard aggregation.
+    PdnsDb,
+    /// Design-choice ablations (feature families, θ, load balancing).
+    Ablation,
+}
+
+impl ExperimentId {
+    /// Every experiment, in paper order.
+    pub fn all() -> &'static [ExperimentId] {
+        &[
+            ExperimentId::Fig2,
+            ExperimentId::Fig3a,
+            ExperimentId::Fig3b,
+            ExperimentId::Fig4,
+            ExperimentId::Fig5,
+            ExperimentId::Fig7,
+            ExperimentId::Fig11,
+            ExperimentId::Fig12,
+            ExperimentId::Fig13,
+            ExperimentId::Fig14,
+            ExperimentId::Fig15,
+            ExperimentId::Tab1,
+            ExperimentId::Tab2,
+            ExperimentId::Cache,
+            ExperimentId::Dnssec,
+            ExperimentId::PdnsDb,
+            ExperimentId::Ablation,
+        ]
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExperimentId::Fig2 => "fig2",
+            ExperimentId::Fig3a => "fig3a",
+            ExperimentId::Fig3b => "fig3b",
+            ExperimentId::Fig4 => "fig4",
+            ExperimentId::Fig5 => "fig5",
+            ExperimentId::Fig7 => "fig7",
+            ExperimentId::Fig11 => "fig11",
+            ExperimentId::Fig12 => "fig12",
+            ExperimentId::Fig13 => "fig13",
+            ExperimentId::Fig14 => "fig14",
+            ExperimentId::Fig15 => "fig15",
+            ExperimentId::Tab1 => "tab1",
+            ExperimentId::Tab2 => "tab2",
+            ExperimentId::Cache => "cache",
+            ExperimentId::Dnssec => "dnssec",
+            ExperimentId::PdnsDb => "pdnsdb",
+            ExperimentId::Ablation => "ablation",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for ExperimentId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ExperimentId::all()
+            .iter()
+            .copied()
+            .find(|id| id.to_string() == s.to_ascii_lowercase())
+            .ok_or_else(|| format!("unknown experiment id: {s}"))
+    }
+}
+
+/// Runs one experiment at `scale_factor` (1.0 = report scale; tests use
+/// much smaller) and returns its rendered report.
+pub fn run_experiment(id: ExperimentId, scale_factor: f64) -> String {
+    match id {
+        ExperimentId::Fig2 => fig2::run(scale_factor).render(),
+        ExperimentId::Fig3a => fig3::run_3a(scale_factor).render(),
+        ExperimentId::Fig3b => fig3::run_3b(scale_factor).render(),
+        ExperimentId::Fig4 => fig4::run(scale_factor).render(),
+        ExperimentId::Fig5 => fig5::run(scale_factor).render(),
+        ExperimentId::Fig7 => fig7::run(scale_factor).render(),
+        ExperimentId::Fig11 => fig11::run(scale_factor).render(),
+        ExperimentId::Fig12 => fig12::run(scale_factor).render(),
+        ExperimentId::Fig13 => fig13::run(scale_factor).render(),
+        ExperimentId::Fig14 => fig14::run(scale_factor).render(),
+        ExperimentId::Fig15 => fig15::run(scale_factor).render(),
+        ExperimentId::Tab1 => tables::run_tab1(scale_factor).render(),
+        ExperimentId::Tab2 => tables::run_tab2(scale_factor).render(),
+        ExperimentId::Cache => cache_pressure::run(scale_factor).render(),
+        ExperimentId::Dnssec => dnssec_cost::run(scale_factor).render(),
+        ExperimentId::PdnsDb => pdnsdb::run(scale_factor).render(),
+        ExperimentId::Ablation => ablation::run(scale_factor).render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        for &id in ExperimentId::all() {
+            let parsed: ExperimentId = id.to_string().parse().unwrap();
+            assert_eq!(parsed, id);
+        }
+        assert!("nope".parse::<ExperimentId>().is_err());
+    }
+}

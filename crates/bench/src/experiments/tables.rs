@@ -1,0 +1,136 @@
+//! Tables I and II: the long tail and the disposable domains inside it.
+//!
+//! Table I (lookup volume < 10/day): tail grows 90.1→93.5% of all RRs
+//! across 2011, the disposable share of the tail grows 28→57%, and 96–98%
+//! of all disposable RRs live in the tail. Table II repeats the analysis
+//! for the zero-DHR tail with nearly identical numbers.
+
+use dnsnoise_workload::ScenarioConfig;
+
+use crate::experiments::common;
+use crate::util::{pct, scenario, Table};
+
+/// One row of Table I / Table II.
+#[derive(Debug, Clone)]
+pub struct TailRow {
+    /// Calendar label.
+    pub label: String,
+    /// Tail size as a fraction of all RRs.
+    pub tail_fraction: f64,
+    /// Disposable share *of the tail*.
+    pub disposable_share_of_tail: f64,
+    /// Fraction of all disposable RRs that are in the tail.
+    pub disposable_in_tail: f64,
+}
+
+/// A rendered tail table.
+#[derive(Debug, Clone)]
+pub struct TailTable {
+    /// Which tail definition this is ("volume < 10" or "zero DHR").
+    pub title: String,
+    /// Per-day rows.
+    pub rows: Vec<TailRow>,
+}
+
+impl TailTable {
+    /// Renders the table in the paper's column layout.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        let mut t = Table::new(["date", "tail size", "disposable share of tail", "% of disposable in tail"]);
+        for r in &self.rows {
+            t.row([
+                r.label.clone(),
+                pct(r.tail_fraction),
+                pct(r.disposable_share_of_tail),
+                pct(r.disposable_in_tail),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+
+    /// Whether the disposable share of the tail grows over the window.
+    pub fn disposable_share_grows(&self) -> bool {
+        self.rows.last().expect("rows non-empty").disposable_share_of_tail
+            > self.rows.first().expect("rows non-empty").disposable_share_of_tail
+    }
+}
+
+enum TailKind {
+    Volume(u32),
+    ZeroDhr,
+}
+
+fn run_tail(scale_factor: f64, kind: TailKind, title: &str) -> TailTable {
+    let mut rows = Vec::new();
+    for (label, epoch) in ScenarioConfig::paper_days() {
+        let s = scenario(epoch, 0.2 * scale_factor, 40.0, 111);
+        let gt = s.ground_truth();
+        let mut sim = common::default_sim();
+        let m = common::measure_day(&s, &mut sim, 0);
+
+        let mut tail = 0u64;
+        let mut tail_disposable = 0u64;
+        let mut disposable_total = 0u64;
+        let mut total = 0u64;
+        for (key, stat) in m.report.rr_stats.iter() {
+            total += 1;
+            let in_tail = match kind {
+                TailKind::Volume(threshold) => stat.queries < threshold,
+                TailKind::ZeroDhr => stat.dhr() == 0.0,
+            };
+            let disposable = gt.is_disposable_name(&key.name);
+            if disposable {
+                disposable_total += 1;
+            }
+            if in_tail {
+                tail += 1;
+                if disposable {
+                    tail_disposable += 1;
+                }
+            }
+        }
+        rows.push(TailRow {
+            label: label.to_owned(),
+            tail_fraction: tail as f64 / total.max(1) as f64,
+            disposable_share_of_tail: tail_disposable as f64 / tail.max(1) as f64,
+            disposable_in_tail: tail_disposable as f64 / disposable_total.max(1) as f64,
+        });
+    }
+    TailTable { title: title.to_owned(), rows }
+}
+
+/// Table I: the lookup-volume tail.
+pub fn run_tab1(scale_factor: f64) -> TailTable {
+    run_tail(scale_factor, TailKind::Volume(10), "Table I: disposable RRs in the low-lookup-volume tail")
+}
+
+/// Table II: the zero-DHR tail.
+pub fn run_tab2(scale_factor: f64) -> TailTable {
+    run_tail(scale_factor, TailKind::ZeroDhr, "Table II: disposable RRs in the zero domain-hit-rate tail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(t: &TailTable) {
+        assert_eq!(t.rows.len(), 6);
+        assert!(t.disposable_share_grows(), "{t:?}");
+        for r in &t.rows {
+            assert!(r.tail_fraction > 0.78, "{}: tail {}", r.label, r.tail_fraction);
+            assert!(r.disposable_in_tail > 0.9, "{}: in-tail {}", r.label, r.disposable_in_tail);
+        }
+        assert!(!t.render().is_empty());
+    }
+
+    #[test]
+    fn table_one_shape() {
+        check(&run_tab1(0.3));
+    }
+
+    #[test]
+    fn table_two_shape() {
+        check(&run_tab2(0.3));
+    }
+}

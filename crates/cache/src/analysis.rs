@@ -1,0 +1,161 @@
+//! Analytical TTL-cache models (Jung, Berger & Balakrishnan, "Modeling
+//! TTL-based Internet caches", INFOCOM 2003 — the paper's §II-B3).
+//!
+//! The DSN paper measures cache hit rates as a black box because the
+//! renewal model's assumptions (uniform TTLs, one shared cache, inferable
+//! client queries) do not hold at its monitoring point. This module
+//! provides the renewal model anyway, both as a baseline to compare the
+//! simulation against and as the analytical tool an operator would use to
+//! size caches.
+//!
+//! Under Poisson query arrivals at rate `λ` and a fixed TTL `T`, a cache
+//! entry's lifecycle is a renewal process: a miss loads the entry, every
+//! arrival within `T` hits, and the first arrival after expiry misses
+//! again. The expected number of hits per cycle is `λT`, giving
+//!
+//! ```text
+//! hit_rate(λ, T) = λT / (1 + λT)
+//! ```
+
+use dnsnoise_dns::Ttl;
+
+/// The expected hit rate of a TTL cache entry with Poisson(λ) arrivals —
+/// `λT / (1 + λT)`.
+///
+/// `lambda` is in queries per second. Returns 0 for a zero TTL or a
+/// non-positive rate.
+///
+/// # Examples
+///
+/// ```
+/// use dnsnoise_cache::analysis::renewal_hit_rate;
+/// use dnsnoise_dns::Ttl;
+///
+/// // One query per second against a 300 s TTL: almost every query hits.
+/// let h = renewal_hit_rate(1.0, Ttl::from_secs(300));
+/// assert!(h > 0.99);
+///
+/// // One query per hour against a 60 s TTL: almost every query misses.
+/// let h = renewal_hit_rate(1.0 / 3600.0, Ttl::from_secs(60));
+/// assert!(h < 0.02);
+/// ```
+pub fn renewal_hit_rate(lambda: f64, ttl: Ttl) -> f64 {
+    if lambda <= 0.0 || ttl.is_zero() {
+        return 0.0;
+    }
+    let lt = lambda * f64::from(ttl.as_secs());
+    lt / (1.0 + lt)
+}
+
+/// Expected misses per day for one entry under Poisson(λ) arrivals:
+/// `86400·λ / (1 + λT)`.
+pub fn expected_daily_misses(lambda: f64, ttl: Ttl) -> f64 {
+    if lambda <= 0.0 {
+        return 0.0;
+    }
+    let queries = 86_400.0 * lambda;
+    queries * (1.0 - renewal_hit_rate(lambda, ttl))
+}
+
+/// The arrival rate needed to reach hit rate `h` with TTL `T`:
+/// the inverse of [`renewal_hit_rate`], `λ = h / (T(1−h))`.
+///
+/// Returns `None` if `h` is outside `[0, 1)` or the TTL is zero.
+pub fn lambda_for_hit_rate(h: f64, ttl: Ttl) -> Option<f64> {
+    if !(0.0..1.0).contains(&h) || ttl.is_zero() {
+        return None;
+    }
+    Some(h / (f64::from(ttl.as_secs()) * (1.0 - h)))
+}
+
+/// Why the DSN paper could not apply the renewal model directly, encoded
+/// as a checkable predicate: the model assumes (1) a uniform TTL per item
+/// and (2) a single shared cache. Returns `true` when a deployment
+/// satisfies both, i.e. when [`renewal_hit_rate`] is trustworthy for it.
+pub fn renewal_model_applies(uniform_ttl: bool, cluster_members: usize) -> bool {
+    uniform_ttl && cluster_members == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::{CacheKey, InsertPriority, TtlLru};
+    use dnsnoise_dns::{QType, RData, Record, Timestamp};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn formula_edge_cases() {
+        assert_eq!(renewal_hit_rate(0.0, Ttl::from_secs(60)), 0.0);
+        assert_eq!(renewal_hit_rate(1.0, Ttl::ZERO), 0.0);
+        assert_eq!(expected_daily_misses(0.0, Ttl::from_secs(60)), 0.0);
+        // λT = 1 → hit rate exactly 1/2.
+        assert!((renewal_hit_rate(1.0 / 60.0, Ttl::from_secs(60)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let ttl = Ttl::from_secs(300);
+        for &h in &[0.1, 0.5, 0.9, 0.99] {
+            let lambda = lambda_for_hit_rate(h, ttl).unwrap();
+            assert!((renewal_hit_rate(lambda, ttl) - h).abs() < 1e-9);
+        }
+        assert_eq!(lambda_for_hit_rate(1.0, ttl), None);
+        assert_eq!(lambda_for_hit_rate(-0.1, ttl), None);
+        assert_eq!(lambda_for_hit_rate(0.5, Ttl::ZERO), None);
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_rate_and_ttl() {
+        let h1 = renewal_hit_rate(0.01, Ttl::from_secs(60));
+        let h2 = renewal_hit_rate(0.1, Ttl::from_secs(60));
+        let h3 = renewal_hit_rate(0.1, Ttl::from_secs(600));
+        assert!(h1 < h2 && h2 < h3);
+    }
+
+    /// The simulation validates the theory: Poisson arrivals against the
+    /// actual [`TtlLru`] reproduce `λT/(1+λT)` within a few percent.
+    #[test]
+    fn simulation_matches_renewal_formula() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (lambda, ttl_secs) in [(0.05f64, 60u32), (0.01, 300), (0.002, 300), (0.1, 20)] {
+            let ttl = Ttl::from_secs(ttl_secs);
+            let mut cache = TtlLru::new(4);
+            let key = CacheKey::new("probe.example.com".parse().unwrap(), QType::A);
+            let rr = Record::new(key.name.clone(), QType::A, ttl, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+
+            // Poisson arrivals over ten simulated days.
+            let mut t = 0.0f64;
+            let horizon = 10.0 * 86_400.0;
+            let (mut hits, mut queries) = (0u64, 0u64);
+            loop {
+                t += -rng.gen::<f64>().ln() / lambda;
+                if t > horizon {
+                    break;
+                }
+                let now = Timestamp::from_secs(t as u64);
+                queries += 1;
+                if cache.get(&key, now).is_some() {
+                    hits += 1;
+                } else {
+                    cache.insert(key.clone(), vec![rr.clone()], now, InsertPriority::Normal);
+                }
+            }
+            let measured = hits as f64 / queries as f64;
+            let predicted = renewal_hit_rate(lambda, ttl);
+            assert!(
+                (measured - predicted).abs() < 0.05,
+                "λ={lambda} T={ttl_secs}: measured {measured:.3} vs predicted {predicted:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn applicability_predicate() {
+        assert!(renewal_model_applies(true, 1));
+        // The DSN monitoring point: mixed TTLs, a cluster of caches.
+        assert!(!renewal_model_applies(false, 1));
+        assert!(!renewal_model_applies(true, 4));
+    }
+}

@@ -1,0 +1,248 @@
+//! The RDNS server cluster: several independent caches behind a
+//! load-balancing strategy.
+
+use serde::{Deserialize, Serialize};
+
+use dnsnoise_dns::Timestamp;
+
+use crate::lru::{CacheKey, CacheStats, TtlLru};
+use crate::negative::NegativeCache;
+
+/// How client queries are spread over the cluster's member caches.
+///
+/// §III-A: "for quality of service reasons (e.g., load balancing and fault
+/// tolerance), the DNS queries from the ISP customers are served by a
+/// cluster of RDNS servers". The paper's DHR/CHR measurements treat the
+/// cluster as a black box with *multiple independent caches*; the strategy
+/// determines how much each client's working set is split across them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadBalance {
+    /// Each client sticks to one cache (hash of the client id). Typical of
+    /// anycast/DNS-VIP-per-subnet deployments.
+    HashClient,
+    /// Queries rotate over caches regardless of client — the worst case for
+    /// cache locality.
+    RoundRobin,
+    /// The query name picks the cache, giving each cache a disjoint
+    /// keyspace (best locality).
+    HashName,
+}
+
+/// A cluster of [`TtlLru`] caches plus a shared [`NegativeCache`] per
+/// member, routed by a [`LoadBalance`] strategy.
+///
+/// # Examples
+///
+/// ```
+/// use dnsnoise_cache::{CacheCluster, CacheKey, InsertPriority, LoadBalance};
+/// use dnsnoise_dns::{QType, RData, Record, Timestamp, Ttl};
+/// use std::net::Ipv4Addr;
+///
+/// let mut cluster = CacheCluster::new(4, 1000, LoadBalance::HashClient);
+/// let name: dnsnoise_dns::Name = "www.example.com".parse()?;
+/// let key = CacheKey::new(name.clone(), QType::A);
+/// let rr = Record::new(name, QType::A, Ttl::from_secs(60), RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+///
+/// let idx = cluster.route(7, &key);
+/// assert!(cluster.cache_mut(idx).get(&key, Timestamp::ZERO).is_none());
+/// cluster.cache_mut(idx).insert(key.clone(), vec![rr], Timestamp::ZERO, InsertPriority::Normal);
+/// assert!(cluster.cache_mut(idx).get(&key, Timestamp::from_secs(1)).is_some());
+/// # Ok::<(), dnsnoise_dns::NameParseError>(())
+/// ```
+#[derive(Debug)]
+pub struct CacheCluster {
+    caches: Vec<TtlLru>,
+    negatives: Vec<NegativeCache>,
+    strategy: LoadBalance,
+    round_robin: usize,
+}
+
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl CacheCluster {
+    /// Builds a cluster of `members` caches with `capacity_each` entries
+    /// per member and disabled negative caching (the monitored ISP's
+    /// observed configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is zero or `capacity_each` is zero.
+    pub fn new(members: usize, capacity_each: usize, strategy: LoadBalance) -> Self {
+        assert!(members > 0, "cluster needs at least one member");
+        CacheCluster {
+            caches: (0..members).map(|_| TtlLru::new(capacity_each)).collect(),
+            negatives: (0..members).map(|_| NegativeCache::disabled()).collect(),
+            strategy,
+            round_robin: 0,
+        }
+    }
+
+    /// Replaces every member's negative cache (e.g. to model an RFC
+    /// 2308-honouring deployment).
+    pub fn set_negative_caches<F>(&mut self, mut make: F)
+    where
+        F: FnMut() -> NegativeCache,
+    {
+        for slot in &mut self.negatives {
+            *slot = make();
+        }
+    }
+
+    /// Number of member caches.
+    pub fn members(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> LoadBalance {
+        self.strategy
+    }
+
+    /// Picks the member cache that will serve this `(client, key)` pair.
+    /// Round-robin advances internal state, so successive calls differ.
+    pub fn route(&mut self, client: u64, key: &CacheKey) -> usize {
+        let n = self.caches.len();
+        match self.strategy {
+            LoadBalance::HashClient => (fnv1a(client.to_le_bytes()) % n as u64) as usize,
+            LoadBalance::RoundRobin => {
+                let i = self.round_robin;
+                self.round_robin = (self.round_robin + 1) % n;
+                i
+            }
+            LoadBalance::HashName => {
+                (fnv1a(key.name.to_string().bytes()) % n as u64) as usize
+            }
+        }
+    }
+
+    /// Mutable access to member `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn cache_mut(&mut self, idx: usize) -> &mut TtlLru {
+        &mut self.caches[idx]
+    }
+
+    /// Mutable access to the negative cache of member `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn negative_mut(&mut self, idx: usize) -> &mut NegativeCache {
+        &mut self.negatives[idx]
+    }
+
+    /// Sum of all member stats.
+    pub fn total_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for c in &self.caches {
+            total.merge(c.stats());
+        }
+        total
+    }
+
+    /// Per-member stats snapshots.
+    pub fn member_stats(&self) -> Vec<CacheStats> {
+        self.caches.iter().map(|c| *c.stats()).collect()
+    }
+
+    /// Total entries across all members.
+    pub fn len(&self) -> usize {
+        self.caches.iter().map(TtlLru::len).sum()
+    }
+
+    /// Returns `true` if every member cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.caches.iter().all(TtlLru::is_empty)
+    }
+
+    /// Purges expired entries in every member; returns total removed.
+    pub fn purge_expired(&mut self, now: Timestamp) -> usize {
+        self.caches.iter_mut().map(|c| c.purge_expired(now)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::InsertPriority;
+    use dnsnoise_dns::{QType, RData, Record, Ttl};
+    use std::net::Ipv4Addr;
+
+    fn key(s: &str) -> CacheKey {
+        CacheKey::new(s.parse().unwrap(), QType::A)
+    }
+
+    fn rr(s: &str, ttl: u32) -> Record {
+        Record::new(s.parse().unwrap(), QType::A, Ttl::from_secs(ttl), RData::A(Ipv4Addr::new(192, 0, 2, 1)))
+    }
+
+    #[test]
+    fn hash_client_is_sticky() {
+        let mut cl = CacheCluster::new(4, 10, LoadBalance::HashClient);
+        let k = key("a.com");
+        let first = cl.route(42, &k);
+        for _ in 0..10 {
+            assert_eq!(cl.route(42, &k), first);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut cl = CacheCluster::new(3, 10, LoadBalance::RoundRobin);
+        let k = key("a.com");
+        let seq: Vec<usize> = (0..6).map(|_| cl.route(1, &k)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn hash_name_is_client_independent() {
+        let mut cl = CacheCluster::new(4, 10, LoadBalance::HashName);
+        let k = key("a.com");
+        let a = cl.route(1, &k);
+        let b = cl.route(999, &k);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn independent_caches_do_not_share_entries() {
+        let mut cl = CacheCluster::new(2, 10, LoadBalance::RoundRobin);
+        let k = key("a.com");
+        cl.cache_mut(0).insert(k.clone(), vec![rr("a.com", 100)], Timestamp::ZERO, InsertPriority::Normal);
+        assert!(cl.cache_mut(0).get(&k, Timestamp::from_secs(1)).is_some());
+        assert!(cl.cache_mut(1).get(&k, Timestamp::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn total_stats_aggregates_members() {
+        let mut cl = CacheCluster::new(2, 10, LoadBalance::RoundRobin);
+        let k = key("a.com");
+        let _ = cl.cache_mut(0).get(&k, Timestamp::ZERO); // miss
+        let _ = cl.cache_mut(1).get(&k, Timestamp::ZERO); // miss
+        assert_eq!(cl.total_stats().misses, 2);
+        assert_eq!(cl.member_stats().len(), 2);
+    }
+
+    #[test]
+    fn negative_cache_swap() {
+        let mut cl = CacheCluster::new(2, 10, LoadBalance::HashClient);
+        assert!(!cl.negative_mut(0).is_enabled());
+        cl.set_negative_caches(|| NegativeCache::new(Ttl::from_secs(900)));
+        assert!(cl.negative_mut(0).is_enabled());
+        assert!(cl.negative_mut(1).is_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_panics() {
+        let _ = CacheCluster::new(0, 10, LoadBalance::HashClient);
+    }
+}

@@ -1,0 +1,428 @@
+//! TTL-aware LRU record cache with priority classes and eviction accounting.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use dnsnoise_dns::{Name, QType, Record, Timestamp, Ttl};
+
+/// The cache lookup key: `(name, qtype)` — one cached answer set per
+/// question, as a recursive resolver stores it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CacheKey {
+    /// The queried name.
+    pub name: Name,
+    /// The queried type.
+    pub qtype: QType,
+}
+
+impl CacheKey {
+    /// Convenience constructor.
+    pub fn new(name: Name, qtype: QType) -> Self {
+        CacheKey { name, qtype }
+    }
+}
+
+/// Eviction priority class for an inserted answer.
+///
+/// [`InsertPriority::Low`] models the §VI-A mitigation: "disposable domains
+/// could be treated with low priority". Low-priority entries are always
+/// evicted before any normal-priority entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InsertPriority {
+    /// Regular caching behaviour.
+    Normal,
+    /// Evict before all normal-priority entries.
+    Low,
+}
+
+/// How an entry left the cache — used by the §VI-A pressure experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionKind {
+    /// Removed by capacity pressure while its TTL was still live: the
+    /// paper's *premature eviction*.
+    Premature,
+    /// Removed by capacity pressure after its TTL had already lapsed
+    /// (harmless — it could not have served another hit).
+    Expired,
+}
+
+/// Counters maintained by [`TtlLru`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from a live entry.
+    pub hits: u64,
+    /// Lookups that found no entry at all.
+    pub misses: u64,
+    /// Lookups that found an entry whose TTL had lapsed (counted as a miss
+    /// as well).
+    pub expired: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Capacity evictions of still-live normal-priority entries.
+    pub premature_evictions_normal: u64,
+    /// Capacity evictions of still-live low-priority entries.
+    pub premature_evictions_low: u64,
+    /// Capacity evictions of already-expired entries.
+    pub expired_evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.expired
+    }
+
+    /// Overall hit rate in `[0, 1]`; `0` if no lookups were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total premature (still-live) evictions across both priorities.
+    pub fn premature_evictions(&self) -> u64 {
+        self.premature_evictions_normal + self.premature_evictions_low
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.expired += other.expired;
+        self.inserts += other.inserts;
+        self.premature_evictions_normal += other.premature_evictions_normal;
+        self.premature_evictions_low += other.premature_evictions_low;
+        self.expired_evictions += other.expired_evictions;
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    answers: Arc<[Record]>,
+    expires: Timestamp,
+    priority: InsertPriority,
+    /// Recency stamp; larger is more recently used.
+    stamp: u64,
+}
+
+/// A TTL-aware LRU cache of DNS answer sets with a fixed entry capacity.
+///
+/// Two recency indexes are kept — one per [`InsertPriority`] — so that
+/// low-priority entries are always the first victims under capacity
+/// pressure. Lookups on expired entries remove them and count as misses
+/// ([`CacheStats::expired`]), matching resolver behaviour.
+#[derive(Debug)]
+pub struct TtlLru {
+    capacity: usize,
+    map: HashMap<CacheKey, Entry>,
+    /// Recency index per priority: ordered set of `(stamp, key)`.
+    recency: [BTreeSet<(u64, CacheKey)>; 2],
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+fn prio_idx(p: InsertPriority) -> usize {
+    match p {
+        InsertPriority::Low => 0,
+        InsertPriority::Normal => 1,
+    }
+}
+
+impl TtlLru {
+    /// Creates a cache holding at most `capacity` answer sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        TtlLru {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            recency: [BTreeSet::new(), BTreeSet::new()],
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached entries (live or not-yet-collected expired).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the counters (the cache contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Looks up `key` at time `now`.
+    ///
+    /// A live entry refreshes its recency and returns its answers. An
+    /// expired entry is removed and `None` is returned (counted in
+    /// [`CacheStats::expired`]).
+    pub fn get(&mut self, key: &CacheKey, now: Timestamp) -> Option<Arc<[Record]>> {
+        let Some(entry) = self.map.get(key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        if entry.expires <= now {
+            let entry = self.map.remove(key).expect("entry just observed");
+            self.recency[prio_idx(entry.priority)].remove(&(entry.stamp, key.clone()));
+            self.stats.expired += 1;
+            return None;
+        }
+        self.stats.hits += 1;
+        let stamp = self.bump_stamp();
+        let entry = self.map.get_mut(key).expect("entry just observed");
+        self.recency[prio_idx(entry.priority)].remove(&(entry.stamp, key.clone()));
+        entry.stamp = stamp;
+        self.recency[prio_idx(entry.priority)].insert((stamp, key.clone()));
+        Some(Arc::clone(&entry.answers))
+    }
+
+    /// Inserts an answer set. The TTL of the entry is the minimum TTL of
+    /// the supplied records (resolver semantics). Zero-TTL answers are not
+    /// cached at all.
+    ///
+    /// Returns the evictions this insert caused, if any.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        answers: Vec<Record>,
+        now: Timestamp,
+        priority: InsertPriority,
+    ) -> Vec<(CacheKey, EvictionKind)> {
+        let ttl = answers.iter().map(|r| r.ttl).min().unwrap_or(Ttl::ZERO);
+        if ttl.is_zero() {
+            return Vec::new();
+        }
+        self.stats.inserts += 1;
+        // Replace an existing entry in place.
+        if let Some(old) = self.map.remove(&key) {
+            self.recency[prio_idx(old.priority)].remove(&(old.stamp, key.clone()));
+        }
+        let mut evicted = Vec::new();
+        while self.map.len() >= self.capacity {
+            match self.evict_one(now) {
+                Some(e) => evicted.push(e),
+                None => break,
+            }
+        }
+        let stamp = self.bump_stamp();
+        self.recency[prio_idx(priority)].insert((stamp, key.clone()));
+        self.map.insert(key, Entry { answers: answers.into(), expires: now + ttl, priority, stamp });
+        evicted
+    }
+
+    /// Evicts the least recently used entry, preferring the low-priority
+    /// class, and classifies the eviction.
+    fn evict_one(&mut self, now: Timestamp) -> Option<(CacheKey, EvictionKind)> {
+        for idx in 0..2 {
+            let Some((stamp, key)) = self.recency[idx].iter().next().cloned() else {
+                continue;
+            };
+            self.recency[idx].remove(&(stamp, key.clone()));
+            let entry = self.map.remove(&key).expect("recency and map in sync");
+            let kind = if entry.expires > now {
+                match entry.priority {
+                    InsertPriority::Normal => self.stats.premature_evictions_normal += 1,
+                    InsertPriority::Low => self.stats.premature_evictions_low += 1,
+                }
+                EvictionKind::Premature
+            } else {
+                self.stats.expired_evictions += 1;
+                EvictionKind::Expired
+            };
+            return Some((key, kind));
+        }
+        None
+    }
+
+    /// Drops every entry whose TTL has lapsed at `now`; returns how many
+    /// were removed. Production resolvers do this lazily; the simulation
+    /// exposes it so long runs don't count stale entries in [`len`].
+    ///
+    /// [`len`]: TtlLru::len
+    pub fn purge_expired(&mut self, now: Timestamp) -> usize {
+        let dead: Vec<CacheKey> = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.expires <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in &dead {
+            let entry = self.map.remove(key).expect("key collected above");
+            self.recency[prio_idx(entry.priority)].remove(&(entry.stamp, key.clone()));
+        }
+        dead.len()
+    }
+
+    fn bump_stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(s: &str) -> CacheKey {
+        CacheKey::new(s.parse().unwrap(), QType::A)
+    }
+
+    fn rr(s: &str, ttl: u32) -> Record {
+        Record::new(s.parse().unwrap(), QType::A, Ttl::from_secs(ttl), RData::A(Ipv4Addr::new(192, 0, 2, 1)))
+    }
+
+    use dnsnoise_dns::RData;
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let mut c = TtlLru::new(4);
+        c.insert(key("a.com"), vec![rr("a.com", 10)], t(0), InsertPriority::Normal);
+        assert!(c.get(&key("a.com"), t(9)).is_some());
+        assert!(c.get(&key("a.com"), t(10)).is_none()); // expires <= now
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().expired, 1);
+    }
+
+    #[test]
+    fn zero_ttl_is_not_cached() {
+        let mut c = TtlLru::new(4);
+        let evicted = c.insert(key("a.com"), vec![rr("a.com", 0)], t(0), InsertPriority::Normal);
+        assert!(evicted.is_empty());
+        assert_eq!(c.len(), 0);
+        assert!(c.get(&key("a.com"), t(0)).is_none());
+    }
+
+    #[test]
+    fn min_ttl_of_answer_set_governs() {
+        let mut c = TtlLru::new(4);
+        c.insert(key("a.com"), vec![rr("a.com", 100), rr("b.com", 5)], t(0), InsertPriority::Normal);
+        assert!(c.get(&key("a.com"), t(4)).is_some());
+        assert!(c.get(&key("a.com"), t(5)).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = TtlLru::new(2);
+        c.insert(key("a.com"), vec![rr("a.com", 100)], t(0), InsertPriority::Normal);
+        c.insert(key("b.com"), vec![rr("b.com", 100)], t(1), InsertPriority::Normal);
+        // Touch a so that b is LRU.
+        assert!(c.get(&key("a.com"), t(2)).is_some());
+        let evicted = c.insert(key("c.com"), vec![rr("c.com", 100)], t(3), InsertPriority::Normal);
+        assert_eq!(evicted, vec![(key("b.com"), EvictionKind::Premature)]);
+        assert!(c.get(&key("a.com"), t(4)).is_some());
+        assert!(c.get(&key("b.com"), t(4)).is_none());
+    }
+
+    #[test]
+    fn eviction_of_expired_entry_is_not_premature() {
+        let mut c = TtlLru::new(2);
+        c.insert(key("a.com"), vec![rr("a.com", 1)], t(0), InsertPriority::Normal);
+        c.insert(key("b.com"), vec![rr("b.com", 100)], t(0), InsertPriority::Normal);
+        // a.com has expired by t(50); inserting c.com evicts it harmlessly.
+        let evicted = c.insert(key("c.com"), vec![rr("c.com", 100)], t(50), InsertPriority::Normal);
+        assert_eq!(evicted, vec![(key("a.com"), EvictionKind::Expired)]);
+        assert_eq!(c.stats().expired_evictions, 1);
+        assert_eq!(c.stats().premature_evictions(), 0);
+    }
+
+    #[test]
+    fn low_priority_evicted_before_normal() {
+        let mut c = TtlLru::new(2);
+        c.insert(key("disposable.x.com"), vec![rr("disposable.x.com", 300)], t(0), InsertPriority::Low);
+        c.insert(key("stable.com"), vec![rr("stable.com", 300)], t(1), InsertPriority::Normal);
+        // Even though the low-priority entry is *more* recently touched,
+        // it is still the first victim.
+        assert!(c.get(&key("disposable.x.com"), t(2)).is_some());
+        let evicted = c.insert(key("new.com"), vec![rr("new.com", 300)], t(3), InsertPriority::Normal);
+        assert_eq!(evicted, vec![(key("disposable.x.com"), EvictionKind::Premature)]);
+        assert_eq!(c.stats().premature_evictions_low, 1);
+        assert_eq!(c.stats().premature_evictions_normal, 0);
+        assert!(c.get(&key("stable.com"), t(4)).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c = TtlLru::new(1);
+        c.insert(key("a.com"), vec![rr("a.com", 10)], t(0), InsertPriority::Normal);
+        let evicted = c.insert(key("a.com"), vec![rr("a.com", 50)], t(5), InsertPriority::Normal);
+        assert!(evicted.is_empty());
+        assert_eq!(c.len(), 1);
+        // New TTL applies: live at t(30) (5 + 50 > 30).
+        assert!(c.get(&key("a.com"), t(30)).is_some());
+    }
+
+    #[test]
+    fn purge_expired_shrinks_len() {
+        let mut c = TtlLru::new(8);
+        for (i, ttl) in [1u32, 2, 100, 200].iter().enumerate() {
+            c.insert(key(&format!("d{i}.com")), vec![rr("x.com", *ttl)], t(0), InsertPriority::Normal);
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.purge_expired(t(50)), 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = TtlLru::new(3);
+        for i in 0..100 {
+            c.insert(key(&format!("d{i}.com")), vec![rr("x.com", 1000)], t(i), InsertPriority::Normal);
+            assert!(c.len() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = TtlLru::new(0);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = CacheStats { hits: 1, misses: 2, ..Default::default() };
+        let b = CacheStats { hits: 10, expired: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.hits, 11);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.expired, 5);
+        assert_eq!(a.lookups(), 18);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+}

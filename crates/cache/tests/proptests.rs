@@ -1,0 +1,148 @@
+//! Property-based tests for the TTL-LRU cache invariants.
+
+use dnsnoise_cache::{CacheKey, InsertPriority, TtlLru};
+use dnsnoise_dns::{QType, RData, Record, Timestamp, Ttl};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get { key: u8, at: u64 },
+    Insert { key: u8, ttl: u32, at: u64, low: bool },
+    Purge { at: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0u64..1_000).prop_map(|(key, at)| Op::Get { key, at }),
+        (any::<u8>(), 0u32..200, 0u64..1_000, any::<bool>())
+            .prop_map(|(key, ttl, at, low)| Op::Insert { key, ttl, at, low }),
+        (0u64..1_000).prop_map(|at| Op::Purge { at }),
+    ]
+}
+
+fn key(i: u8) -> CacheKey {
+    CacheKey::new(format!("d{i}.example.com").parse().unwrap(), QType::A)
+}
+
+fn rr(i: u8, ttl: u32) -> Record {
+    Record::new(
+        format!("d{i}.example.com").parse().unwrap(),
+        QType::A,
+        Ttl::from_secs(ttl),
+        RData::A(Ipv4Addr::new(10, 0, 0, i)),
+    )
+}
+
+proptest! {
+    /// Capacity is never exceeded, regardless of operation sequence.
+    #[test]
+    fn capacity_invariant(cap in 1usize..16, ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let mut cache = TtlLru::new(cap);
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Get { key: k, at } => {
+                    now = now.max(at);
+                    let _ = cache.get(&key(k), Timestamp::from_secs(now));
+                }
+                Op::Insert { key: k, ttl, at, low } => {
+                    now = now.max(at);
+                    let prio = if low { InsertPriority::Low } else { InsertPriority::Normal };
+                    cache.insert(key(k), vec![rr(k, ttl)], Timestamp::from_secs(now), prio);
+                }
+                Op::Purge { at } => {
+                    now = now.max(at);
+                    cache.purge_expired(Timestamp::from_secs(now));
+                }
+            }
+            prop_assert!(cache.len() <= cap);
+        }
+    }
+
+    /// A get never returns answers whose entry TTL has lapsed: an oracle
+    /// tracking (insert time + ttl) agrees on every "hit after expiry is
+    /// impossible" claim.
+    #[test]
+    fn never_serves_expired(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let mut cache = TtlLru::new(64);
+        let mut expiry_oracle: HashMap<u8, u64> = HashMap::new();
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Get { key: k, at } => {
+                    now = now.max(at);
+                    let got = cache.get(&key(k), Timestamp::from_secs(now));
+                    if got.is_some() {
+                        let exp = expiry_oracle.get(&k).copied().unwrap_or(0);
+                        prop_assert!(exp > now, "served entry past its expiry");
+                    }
+                }
+                Op::Insert { key: k, ttl, at, low } => {
+                    now = now.max(at);
+                    let prio = if low { InsertPriority::Low } else { InsertPriority::Normal };
+                    cache.insert(key(k), vec![rr(k, ttl)], Timestamp::from_secs(now), prio);
+                    if ttl > 0 {
+                        expiry_oracle.insert(k, now + u64::from(ttl));
+                    }
+                }
+                Op::Purge { at } => {
+                    now = now.max(at);
+                    cache.purge_expired(Timestamp::from_secs(now));
+                }
+            }
+        }
+    }
+
+    /// Hit + miss + expired accounting always equals the number of gets.
+    #[test]
+    fn lookup_accounting_conserved(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let mut cache = TtlLru::new(8);
+        let mut gets = 0u64;
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Get { key: k, at } => {
+                    now = now.max(at);
+                    let _ = cache.get(&key(k), Timestamp::from_secs(now));
+                    gets += 1;
+                }
+                Op::Insert { key: k, ttl, at, low } => {
+                    now = now.max(at);
+                    let prio = if low { InsertPriority::Low } else { InsertPriority::Normal };
+                    cache.insert(key(k), vec![rr(k, ttl)], Timestamp::from_secs(now), prio);
+                }
+                Op::Purge { at } => {
+                    now = now.max(at);
+                    cache.purge_expired(Timestamp::from_secs(now));
+                }
+            }
+        }
+        prop_assert_eq!(cache.stats().lookups(), gets);
+    }
+
+    /// With mixed priorities under pressure, no normal-priority entry is
+    /// prematurely evicted while a live low-priority entry remains cached.
+    #[test]
+    fn low_priority_shields_normal(n_low in 1usize..10, n_normal in 1usize..10) {
+        let cap = n_low + n_normal; // exactly full
+        let mut cache = TtlLru::new(cap);
+        let t0 = Timestamp::ZERO;
+        for i in 0..n_low {
+            cache.insert(key(i as u8), vec![rr(i as u8, 10_000)], t0, InsertPriority::Low);
+        }
+        for i in 0..n_normal {
+            let k = 100 + i as u8;
+            cache.insert(key(k), vec![rr(k, 10_000)], t0, InsertPriority::Normal);
+        }
+        // Push `n_low` more normal entries: every eviction must hit the
+        // low-priority class first.
+        for i in 0..n_low {
+            let k = 200 + i as u8;
+            cache.insert(key(k), vec![rr(k, 10_000)], t0, InsertPriority::Normal);
+        }
+        prop_assert_eq!(cache.stats().premature_evictions_low, n_low as u64);
+        prop_assert_eq!(cache.stats().premature_evictions_normal, 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Resource records, query types and record data.
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use serde::{Deserialize, Serialize};
+
+use crate::name::Name;
+use crate::time::Ttl;
+
+/// DNS query/record type.
+///
+/// The paper's fpDNS dataset carries `A`, `CNAME` and `AAAA` records; the
+/// remaining variants are needed by the wire codec, the DNSSEC cost model
+/// and negative caching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QType {
+    /// IPv4 address record.
+    A,
+    /// Name server record.
+    Ns,
+    /// Canonical name (alias) record.
+    Cname,
+    /// Start of authority record.
+    Soa,
+    /// Pointer (reverse lookup) record.
+    Ptr,
+    /// Mail exchanger record.
+    Mx,
+    /// Text record.
+    Txt,
+    /// IPv6 address record.
+    Aaaa,
+    /// DNSSEC signature record.
+    Rrsig,
+    /// DNSSEC public key record.
+    Dnskey,
+    /// DNSSEC delegation signer record.
+    Ds,
+}
+
+impl QType {
+    /// The RFC 1035/4034 wire value.
+    pub fn code(self) -> u16 {
+        match self {
+            QType::A => 1,
+            QType::Ns => 2,
+            QType::Cname => 5,
+            QType::Soa => 6,
+            QType::Ptr => 12,
+            QType::Mx => 15,
+            QType::Txt => 16,
+            QType::Aaaa => 28,
+            QType::Ds => 43,
+            QType::Rrsig => 46,
+            QType::Dnskey => 48,
+        }
+    }
+
+    /// Parses a wire value back into a [`QType`].
+    pub fn from_code(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => QType::A,
+            2 => QType::Ns,
+            5 => QType::Cname,
+            6 => QType::Soa,
+            12 => QType::Ptr,
+            15 => QType::Mx,
+            16 => QType::Txt,
+            28 => QType::Aaaa,
+            43 => QType::Ds,
+            46 => QType::Rrsig,
+            48 => QType::Dnskey,
+            _ => return None,
+        })
+    }
+
+    /// All types this crate understands, in wire-code order.
+    pub fn all() -> &'static [QType] {
+        &[
+            QType::A,
+            QType::Ns,
+            QType::Cname,
+            QType::Soa,
+            QType::Ptr,
+            QType::Mx,
+            QType::Txt,
+            QType::Aaaa,
+            QType::Ds,
+            QType::Rrsig,
+            QType::Dnskey,
+        ]
+    }
+}
+
+impl fmt::Display for QType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QType::A => "A",
+            QType::Ns => "NS",
+            QType::Cname => "CNAME",
+            QType::Soa => "SOA",
+            QType::Ptr => "PTR",
+            QType::Mx => "MX",
+            QType::Txt => "TXT",
+            QType::Aaaa => "AAAA",
+            QType::Ds => "DS",
+            QType::Rrsig => "RRSIG",
+            QType::Dnskey => "DNSKEY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Record data (the paper's `RDATA`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RData {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// An IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// An alias target.
+    Cname(Name),
+    /// A delegation target.
+    Ns(Name),
+    /// A reverse-mapping target.
+    Ptr(Name),
+    /// Free-form text (bounded at 255 bytes by the wire codec).
+    Txt(String),
+    /// A mail exchanger: preference and target.
+    Mx {
+        /// Lower values are preferred.
+        preference: u16,
+        /// The mail server name.
+        exchange: Name,
+    },
+    /// A start-of-authority record. Negative (NXDOMAIN) responses carry
+    /// one in the authority section; its `minimum` bounds the negative
+    /// TTL (RFC 2308).
+    Soa {
+        /// Primary name server.
+        mname: Name,
+        /// Responsible mailbox, encoded as a name.
+        rname: Name,
+        /// Zone serial.
+        serial: u32,
+        /// Refresh interval in seconds.
+        refresh: u32,
+        /// Retry interval in seconds.
+        retry: u32,
+        /// Expiry in seconds.
+        expire: u32,
+        /// Minimum / negative-caching TTL in seconds.
+        minimum: u32,
+    },
+    /// Opaque data carried for types without structured decoding
+    /// (DNSSEC payloads in this model).
+    Opaque(Vec<u8>),
+}
+
+impl RData {
+    /// The natural [`QType`] for this data, or `None` for [`RData::Opaque`]
+    /// (whose type lives on the enclosing [`Record`]).
+    pub fn qtype(&self) -> Option<QType> {
+        Some(match self {
+            RData::A(_) => QType::A,
+            RData::Aaaa(_) => QType::Aaaa,
+            RData::Cname(_) => QType::Cname,
+            RData::Ns(_) => QType::Ns,
+            RData::Ptr(_) => QType::Ptr,
+            RData::Txt(_) => QType::Txt,
+            RData::Mx { .. } => QType::Mx,
+            RData::Soa { .. } => QType::Soa,
+            RData::Opaque(_) => return None,
+        })
+    }
+
+    /// Approximate storage footprint in bytes, used by the passive-DNS
+    /// storage model.
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            RData::A(_) => 4,
+            RData::Aaaa(_) => 16,
+            RData::Cname(n) | RData::Ns(n) | RData::Ptr(n) => n.presentation_len(),
+            RData::Txt(s) => s.len(),
+            RData::Mx { exchange, .. } => 2 + exchange.presentation_len(),
+            RData::Soa { mname, rname, .. } => mname.presentation_len() + rname.presentation_len() + 20,
+            RData::Opaque(b) => b.len(),
+        }
+    }
+}
+
+impl fmt::Display for RData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RData::A(a) => write!(f, "{a}"),
+            RData::Aaaa(a) => write!(f, "{a}"),
+            RData::Cname(n) => write!(f, "{n}"),
+            RData::Ns(n) => write!(f, "{n}"),
+            RData::Ptr(n) => write!(f, "{n}"),
+            RData::Txt(s) => write!(f, "{s:?}"),
+            RData::Mx { preference, exchange } => write!(f, "{preference} {exchange}"),
+            RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
+                write!(f, "{mname} {rname} {serial} {refresh} {retry} {expire} {minimum}")
+            }
+            RData::Opaque(b) => write!(f, "opaque({} bytes)", b.len()),
+        }
+    }
+}
+
+/// A full resource record: the fpDNS tuple's `(name, type, TTL, RDATA)`
+/// portion.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Record {
+    /// The owner name.
+    pub name: Name,
+    /// The record type.
+    pub qtype: QType,
+    /// Time to live.
+    pub ttl: Ttl,
+    /// The record data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(name: Name, qtype: QType, ttl: Ttl, rdata: RData) -> Self {
+        Record { name, qtype, ttl, rdata }
+    }
+
+    /// The deduplication identity of this record — the rpDNS key
+    /// `(queried domain name, query type, RDATA)` of §III-A. TTL is
+    /// deliberately excluded, matching the paper.
+    pub fn key(&self) -> RrKey {
+        RrKey { name: self.name.clone(), qtype: self.qtype, rdata: self.rdata.clone() }
+    }
+
+    /// Approximate storage footprint in bytes for the pDNS storage model:
+    /// presentation name + fixed type/TTL overhead + RDATA.
+    pub fn storage_bytes(&self) -> usize {
+        self.name.presentation_len() + 8 + self.rdata.storage_bytes()
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} IN {} {}", self.name, self.ttl.as_secs(), self.qtype, self.rdata)
+    }
+}
+
+/// The rpDNS deduplication key: `(name, qtype, rdata)` without TTL or
+/// timestamp (§III-A).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RrKey {
+    /// The owner name.
+    pub name: Name,
+    /// The record type.
+    pub qtype: QType,
+    /// The record data.
+    pub rdata: RData,
+}
+
+impl fmt::Display for RrKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} IN {} {}", self.name, self.qtype, self.rdata)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn qtype_codes_roundtrip() {
+        for &qt in QType::all() {
+            assert_eq!(QType::from_code(qt.code()), Some(qt));
+        }
+        assert_eq!(QType::from_code(0), None);
+        assert_eq!(QType::from_code(9999), None);
+    }
+
+    #[test]
+    fn rdata_qtype_matches_variant() {
+        assert_eq!(RData::A(Ipv4Addr::LOCALHOST).qtype(), Some(QType::A));
+        assert_eq!(RData::Cname(name("a.b")).qtype(), Some(QType::Cname));
+        assert_eq!(RData::Opaque(vec![1, 2]).qtype(), None);
+    }
+
+    #[test]
+    fn record_key_ignores_ttl() {
+        let r1 = Record::new(name("x.com"), QType::A, Ttl::from_secs(30), RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        let r2 = Record::new(name("x.com"), QType::A, Ttl::from_secs(300), RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        assert_eq!(r1.key(), r2.key());
+        let r3 = Record::new(name("x.com"), QType::A, Ttl::from_secs(30), RData::A(Ipv4Addr::new(192, 0, 2, 2)));
+        assert_ne!(r1.key(), r3.key());
+    }
+
+    #[test]
+    fn storage_bytes_reflects_name_and_rdata() {
+        let short = Record::new(name("a.com"), QType::A, Ttl::from_secs(1), RData::A(Ipv4Addr::LOCALHOST));
+        let long = Record::new(
+            name("load-0-p-01.up-1852280.device.trans.manage.esoft.com"),
+            QType::A,
+            Ttl::from_secs(1),
+            RData::A(Ipv4Addr::LOCALHOST),
+        );
+        assert!(long.storage_bytes() > short.storage_bytes());
+    }
+
+    #[test]
+    fn display_is_zone_file_like() {
+        let r = Record::new(name("x.com"), QType::A, Ttl::from_secs(60), RData::A(Ipv4Addr::new(127, 0, 0, 1)));
+        assert_eq!(r.to_string(), "x.com 60 IN A 127.0.0.1");
+    }
+
+    #[test]
+    fn mcafee_reply_is_nonroutable_loopback_range() {
+        // §IV-A: McAfee answers come from 127.0.0.0/16 with per-address
+        // semantics. The model must represent these.
+        let r = RData::A(Ipv4Addr::new(127, 0, 0, 37));
+        assert_eq!(r.storage_bytes(), 4);
+    }
+}

@@ -1,0 +1,592 @@
+//! RFC 1035 wire-format codec with name compression.
+//!
+//! Passive-DNS collectors parse response packets off the wire; this module
+//! lets the `dnsnoise` pipeline exercise that same path. The codec
+//! supports the subset of DNS needed by the simulation: one question,
+//! answer-section records of every [`QType`] this crate models, and
+//! standard 0xC0 compression pointers (emitted on encode and followed, with
+//! loop protection, on decode).
+//!
+//! # Examples
+//!
+//! ```
+//! use dnsnoise_dns::{wire, Message, Question, QType, Rcode, Record, RData, Ttl};
+//! use std::net::Ipv4Addr;
+//!
+//! let name: dnsnoise_dns::Name = "www.example.com".parse()?;
+//! let msg = Message::response(
+//!     42,
+//!     Question::new(name.clone(), QType::A),
+//!     Rcode::NoError,
+//!     vec![Record::new(name, QType::A, Ttl::from_secs(300), RData::A(Ipv4Addr::new(192, 0, 2, 7)))],
+//! );
+//! let bytes = wire::encode(&msg)?;
+//! let back = wire::decode(&bytes)?;
+//! assert_eq!(back, msg);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::label::Label;
+use crate::message::{Message, Opcode, Question, Rcode};
+use crate::name::Name;
+use crate::record::{QType, RData, Record};
+use crate::time::Ttl;
+
+/// Errors raised while encoding or decoding wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A compression pointer chain looped or pointed forward.
+    BadPointer,
+    /// A label length byte used the reserved `0x40`/`0x80` prefixes.
+    BadLabelType(u8),
+    /// A decoded label failed validation.
+    BadLabel,
+    /// A name exceeded length limits during decode.
+    NameTooLong,
+    /// The record type code is not supported by this codec.
+    UnsupportedType(u16),
+    /// The record class is not IN.
+    UnsupportedClass(u16),
+    /// RDATA length disagreed with the record type's layout.
+    BadRdata,
+    /// The message had a section count this codec does not support
+    /// (exactly one question is required).
+    UnsupportedCounts,
+    /// TXT RDATA exceeded 255 bytes.
+    TxtTooLong(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadPointer => write!(f, "invalid compression pointer"),
+            WireError::BadLabelType(b) => write!(f, "unsupported label type byte {b:#04x}"),
+            WireError::BadLabel => write!(f, "label failed validation"),
+            WireError::NameTooLong => write!(f, "decoded name exceeds length limit"),
+            WireError::UnsupportedType(t) => write!(f, "unsupported record type {t}"),
+            WireError::UnsupportedClass(c) => write!(f, "unsupported record class {c}"),
+            WireError::BadRdata => write!(f, "rdata length mismatch"),
+            WireError::UnsupportedCounts => write!(f, "unsupported section counts"),
+            WireError::TxtTooLong(n) => write!(f, "txt rdata of {n} bytes exceeds 255"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const CLASS_IN: u16 = 1;
+const POINTER_MASK: u8 = 0xc0;
+
+/// Encodes a message to wire format, compressing repeated names.
+///
+/// # Errors
+///
+/// Returns an error only if a TXT record's payload exceeds the 255-byte
+/// single-string limit.
+pub fn encode(msg: &Message) -> Result<Bytes, WireError> {
+    let mut buf = BytesMut::with_capacity(128);
+    let mut compressor = Compressor::new();
+
+    buf.put_u16(msg.id);
+    let mut flags: u16 = 0;
+    if msg.is_response {
+        flags |= 0x8000;
+    }
+    flags |= u16::from(msg.opcode.code()) << 11;
+    if msg.authoritative {
+        flags |= 0x0400;
+    }
+    if msg.recursion_desired {
+        flags |= 0x0100;
+    }
+    if msg.recursion_available {
+        flags |= 0x0080;
+    }
+    flags |= u16::from(msg.rcode.code());
+    buf.put_u16(flags);
+    buf.put_u16(1); // QDCOUNT
+    buf.put_u16(u16::try_from(msg.answers.len()).map_err(|_| WireError::UnsupportedCounts)?);
+    buf.put_u16(u16::try_from(msg.authority.len()).map_err(|_| WireError::UnsupportedCounts)?);
+    buf.put_u16(0); // ARCOUNT
+
+    compressor.encode_name(&mut buf, &msg.question.name);
+    buf.put_u16(msg.question.qtype.code());
+    buf.put_u16(CLASS_IN);
+
+    for rr in msg.answers.iter().chain(&msg.authority) {
+        encode_record(&mut buf, &mut compressor, rr)?;
+    }
+    Ok(buf.freeze())
+}
+
+fn encode_record(buf: &mut BytesMut, compressor: &mut Compressor, rr: &Record) -> Result<(), WireError> {
+    compressor.encode_name(buf, &rr.name);
+    buf.put_u16(rr.qtype.code());
+    buf.put_u16(CLASS_IN);
+    buf.put_u32(rr.ttl.as_secs());
+    // Reserve the RDLENGTH slot and backfill it once the RDATA is written.
+    let len_pos = buf.len();
+    buf.put_u16(0);
+    let start = buf.len();
+    match &rr.rdata {
+        RData::A(a) => buf.put_slice(&a.octets()),
+        RData::Aaaa(a) => buf.put_slice(&a.octets()),
+        RData::Cname(n) | RData::Ns(n) | RData::Ptr(n) => compressor.encode_name(buf, n),
+        RData::Txt(s) => {
+            if s.len() > 255 {
+                return Err(WireError::TxtTooLong(s.len()));
+            }
+            buf.put_u8(s.len() as u8);
+            buf.put_slice(s.as_bytes());
+        }
+        RData::Mx { preference, exchange } => {
+            buf.put_u16(*preference);
+            compressor.encode_name(buf, exchange);
+        }
+        RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
+            compressor.encode_name(buf, mname);
+            compressor.encode_name(buf, rname);
+            buf.put_u32(*serial);
+            buf.put_u32(*refresh);
+            buf.put_u32(*retry);
+            buf.put_u32(*expire);
+            buf.put_u32(*minimum);
+        }
+        RData::Opaque(b) => buf.put_slice(b),
+    }
+    let rdlen = u16::try_from(buf.len() - start).map_err(|_| WireError::BadRdata)?;
+    buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+    Ok(())
+}
+
+/// Tracks previously written name suffixes so later occurrences can be
+/// replaced by 14-bit compression pointers.
+struct Compressor {
+    offsets: HashMap<Name, u16>,
+}
+
+impl Compressor {
+    fn new() -> Self {
+        Compressor { offsets: HashMap::new() }
+    }
+
+    fn encode_name(&mut self, buf: &mut BytesMut, name: &Name) {
+        let depth = name.depth();
+        for i in 0..depth {
+            let suffix = name.nld(depth - i).expect("suffix within depth");
+            if let Some(&off) = self.offsets.get(&suffix) {
+                buf.put_u16(0xc000 | off);
+                return;
+            }
+            // Pointers can only address the first 16 KiB minus the 2 tag bits.
+            if buf.len() <= 0x3fff {
+                self.offsets.insert(suffix.clone(), buf.len() as u16);
+            }
+            let label = &name.labels()[i];
+            buf.put_u8(label.len() as u8);
+            buf.put_slice(label.as_str().as_bytes());
+        }
+        buf.put_u8(0);
+    }
+}
+
+/// Decodes a wire-format message.
+///
+/// # Errors
+///
+/// Returns an error for truncated input, malformed names or pointers,
+/// unsupported types/classes, or section counts other than exactly one
+/// question.
+pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let id = cur.u16()?;
+    let flags = cur.u16()?;
+    let qdcount = cur.u16()?;
+    let ancount = cur.u16()?;
+    let nscount = cur.u16()?;
+    let _arcount = cur.u16()?;
+    if qdcount != 1 {
+        return Err(WireError::UnsupportedCounts);
+    }
+
+    let qname = cur.name()?;
+    let qtype_code = cur.u16()?;
+    let qtype = QType::from_code(qtype_code).ok_or(WireError::UnsupportedType(qtype_code))?;
+    let class = cur.u16()?;
+    if class != CLASS_IN {
+        return Err(WireError::UnsupportedClass(class));
+    }
+
+    let mut answers = Vec::with_capacity(usize::from(ancount));
+    for _ in 0..ancount {
+        answers.push(cur.record()?);
+    }
+    let mut authority = Vec::with_capacity(usize::from(nscount));
+    for _ in 0..nscount {
+        authority.push(cur.record()?);
+    }
+
+    Ok(Message {
+        id,
+        is_response: flags & 0x8000 != 0,
+        opcode: Opcode::from_code(((flags >> 11) & 0x0f) as u8),
+        authoritative: flags & 0x0400 != 0,
+        recursion_desired: flags & 0x0100 != 0,
+        recursion_available: flags & 0x0080 != 0,
+        rcode: Rcode::from_code((flags & 0x0f) as u8),
+        question: Question::new(qname, qtype),
+        answers,
+        authority,
+    })
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.bytes.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let mut s = self.slice(2)?;
+        Ok(s.get_u16())
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let mut s = self.slice(4)?;
+        Ok(s.get_u32())
+    }
+
+    fn slice(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.bytes.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Decodes a possibly compressed name starting at the current position.
+    fn name(&mut self) -> Result<Name, WireError> {
+        let mut labels = Vec::new();
+        let mut pos = self.pos;
+        // After the first pointer the cursor no longer advances; remember
+        // where the inline portion ended.
+        let mut end_after: Option<usize> = None;
+        let mut hops = 0usize;
+        let mut total_len = 0usize;
+        loop {
+            let len_byte = *self.bytes.get(pos).ok_or(WireError::Truncated)?;
+            if len_byte & POINTER_MASK == POINTER_MASK {
+                let second = *self.bytes.get(pos + 1).ok_or(WireError::Truncated)?;
+                let target = usize::from(u16::from_be_bytes([len_byte & !POINTER_MASK, second]));
+                // Pointers must point strictly backwards; this also bounds
+                // the number of hops to the message length.
+                if target >= pos {
+                    return Err(WireError::BadPointer);
+                }
+                hops += 1;
+                if hops > self.bytes.len() {
+                    return Err(WireError::BadPointer);
+                }
+                if end_after.is_none() {
+                    end_after = Some(pos + 2);
+                }
+                pos = target;
+                continue;
+            }
+            if len_byte & POINTER_MASK != 0 {
+                return Err(WireError::BadLabelType(len_byte));
+            }
+            if len_byte == 0 {
+                pos += 1;
+                break;
+            }
+            let len = usize::from(len_byte);
+            let start = pos + 1;
+            let bytes = self.bytes.get(start..start + len).ok_or(WireError::Truncated)?;
+            let text = std::str::from_utf8(bytes).map_err(|_| WireError::BadLabel)?;
+            labels.push(Label::new(text).map_err(|_| WireError::BadLabel)?);
+            total_len += len + 1;
+            if total_len > 255 {
+                return Err(WireError::NameTooLong);
+            }
+            pos = start + len;
+        }
+        self.pos = end_after.unwrap_or(pos);
+        Ok(Name::from_labels(labels))
+    }
+
+    fn record(&mut self) -> Result<Record, WireError> {
+        let name = self.name()?;
+        let type_code = self.u16()?;
+        let qtype = QType::from_code(type_code).ok_or(WireError::UnsupportedType(type_code))?;
+        let class = self.u16()?;
+        if class != CLASS_IN {
+            return Err(WireError::UnsupportedClass(class));
+        }
+        let ttl = Ttl::from_secs(self.u32()?);
+        let rdlen = usize::from(self.u16()?);
+        let rd_end = self.pos.checked_add(rdlen).ok_or(WireError::Truncated)?;
+        if rd_end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let rdata = match qtype {
+            QType::A => {
+                if rdlen != 4 {
+                    return Err(WireError::BadRdata);
+                }
+                let s = self.slice(4)?;
+                RData::A(Ipv4Addr::new(s[0], s[1], s[2], s[3]))
+            }
+            QType::Aaaa => {
+                if rdlen != 16 {
+                    return Err(WireError::BadRdata);
+                }
+                let s = self.slice(16)?;
+                let mut o = [0u8; 16];
+                o.copy_from_slice(s);
+                RData::Aaaa(Ipv6Addr::from(o))
+            }
+            QType::Cname | QType::Ns | QType::Ptr => {
+                let n = self.name()?;
+                if self.pos != rd_end {
+                    return Err(WireError::BadRdata);
+                }
+                match qtype {
+                    QType::Cname => RData::Cname(n),
+                    QType::Ns => RData::Ns(n),
+                    _ => RData::Ptr(n),
+                }
+            }
+            QType::Txt => {
+                if rdlen == 0 {
+                    return Err(WireError::BadRdata);
+                }
+                let slen = usize::from(self.u8()?);
+                if slen + 1 != rdlen {
+                    return Err(WireError::BadRdata);
+                }
+                let s = self.slice(slen)?;
+                let text = std::str::from_utf8(s).map_err(|_| WireError::BadRdata)?;
+                RData::Txt(text.to_owned())
+            }
+            QType::Mx => {
+                if rdlen < 3 {
+                    return Err(WireError::BadRdata);
+                }
+                let preference = self.u16()?;
+                let exchange = self.name()?;
+                if self.pos != rd_end {
+                    return Err(WireError::BadRdata);
+                }
+                RData::Mx { preference, exchange }
+            }
+            QType::Soa => {
+                let mname = self.name()?;
+                let rname = self.name()?;
+                if rd_end.saturating_sub(self.pos) != 20 {
+                    return Err(WireError::BadRdata);
+                }
+                RData::Soa {
+                    mname,
+                    rname,
+                    serial: self.u32()?,
+                    refresh: self.u32()?,
+                    retry: self.u32()?,
+                    expire: self.u32()?,
+                    minimum: self.u32()?,
+                }
+            }
+            QType::Rrsig | QType::Dnskey | QType::Ds => {
+                RData::Opaque(self.slice(rdlen)?.to_vec())
+            }
+        };
+        Ok(Record { name, qtype, ttl, rdata })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn sample_response() -> Message {
+        Message::response(
+            0xbeef,
+            Question::new(name("www.example.com"), QType::A),
+            Rcode::NoError,
+            vec![
+                Record::new(name("www.example.com"), QType::Cname, Ttl::from_secs(60), RData::Cname(name("edge.cdn.example.net"))),
+                Record::new(name("edge.cdn.example.net"), QType::A, Ttl::from_secs(20), RData::A(Ipv4Addr::new(192, 0, 2, 9))),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_response() {
+        let msg = sample_response();
+        let bytes = encode(&msg).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let msg = sample_response();
+        let compressed = encode(&msg).unwrap();
+        // The answer name equals the question name, so it must be a 2-byte
+        // pointer rather than 17 bytes of labels.
+        let uncompressed_estimate = 12
+            + (msg.question.name.presentation_len() + 2) // qname + root byte
+            + 4;
+        assert!(compressed.len() < uncompressed_estimate + 2 * (msg.question.name.presentation_len() + 30));
+        // Look for at least one pointer byte.
+        assert!(compressed.iter().any(|&b| b & POINTER_MASK == POINTER_MASK));
+    }
+
+    #[test]
+    fn roundtrip_every_rdata_variant() {
+        let records = vec![
+            Record::new(name("a.test"), QType::A, Ttl::from_secs(1), RData::A(Ipv4Addr::new(127, 0, 0, 1))),
+            Record::new(name("aaaa.test"), QType::Aaaa, Ttl::from_secs(2), RData::Aaaa(Ipv6Addr::LOCALHOST)),
+            Record::new(name("c.test"), QType::Cname, Ttl::from_secs(3), RData::Cname(name("target.test"))),
+            Record::new(name("ns.test"), QType::Ns, Ttl::from_secs(4), RData::Ns(name("ns1.test"))),
+            Record::new(name("p.test"), QType::Ptr, Ttl::from_secs(5), RData::Ptr(name("host.test"))),
+            Record::new(name("t.test"), QType::Txt, Ttl::from_secs(6), RData::Txt("hello world".into())),
+            Record::new(name("m.test"), QType::Mx, Ttl::from_secs(7), RData::Mx { preference: 10, exchange: name("mail.test") }),
+            Record::new(name("s.test"), QType::Rrsig, Ttl::from_secs(8), RData::Opaque(vec![1, 2, 3, 4])),
+        ];
+        let msg = Message::response(1, Question::new(name("q.test"), QType::A), Rcode::NoError, records);
+        let bytes = encode(&msg).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn soa_and_authority_roundtrip() {
+        let soa = Record::new(
+            name("example.com"),
+            QType::Soa,
+            Ttl::from_secs(3_600),
+            RData::Soa {
+                mname: name("ns1.example.com"),
+                rname: name("hostmaster.example.com"),
+                serial: 2011113001,
+                refresh: 7_200,
+                retry: 900,
+                expire: 1_209_600,
+                minimum: 900,
+            },
+        );
+        let msg = Message::negative_response(3, Question::new(name("gone.example.com"), QType::A), soa);
+        let bytes = encode(&msg).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(back.negative_ttl(), Some(Ttl::from_secs(900)));
+        // SOA names share suffixes with the qname: compression kicks in.
+        assert!(bytes.iter().any(|&b| b & POINTER_MASK == POINTER_MASK));
+    }
+
+    #[test]
+    fn truncated_soa_rdata_is_rejected() {
+        let soa = Record::new(
+            name("example.com"),
+            QType::Soa,
+            Ttl::from_secs(60),
+            RData::Soa {
+                mname: name("ns1.example.com"),
+                rname: name("h.example.com"),
+                serial: 1,
+                refresh: 2,
+                retry: 3,
+                expire: 4,
+                minimum: 5,
+            },
+        );
+        let msg = Message::negative_response(3, Question::new(name("x.example.com"), QType::A), soa);
+        let bytes = encode(&msg).unwrap();
+        // Chop the last counter field: the RDLENGTH no longer matches.
+        assert!(decode(&bytes[..bytes.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn nxdomain_roundtrip() {
+        let msg = Message::response(9, Question::new(name("no.such.name"), QType::A), Rcode::NxDomain, vec![]);
+        let bytes = encode(&msg).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert!(back.rcode.is_nxdomain());
+        assert!(back.answers.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = encode(&sample_response()).unwrap();
+        for cut in [0, 5, 11, 13, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn forward_pointer_is_rejected() {
+        // Header + a name that points at itself.
+        let mut b = vec![0u8; 12];
+        b[4..6].copy_from_slice(&1u16.to_be_bytes()); // qdcount = 1
+        b.extend_from_slice(&[0xc0, 12]); // pointer to its own position
+        b.extend_from_slice(&[0, 1, 0, 1]);
+        assert_eq!(decode(&b), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn reserved_label_type_is_rejected() {
+        let mut b = vec![0u8; 12];
+        b[4..6].copy_from_slice(&1u16.to_be_bytes());
+        b.push(0x40); // reserved extended label type
+        assert_eq!(decode(&b), Err(WireError::BadLabelType(0x40)));
+    }
+
+    #[test]
+    fn txt_over_255_bytes_fails_encode() {
+        let msg = Message::response(
+            1,
+            Question::new(name("q.test"), QType::Txt),
+            Rcode::NoError,
+            vec![Record::new(name("q.test"), QType::Txt, Ttl::ZERO, RData::Txt("x".repeat(300)))],
+        );
+        assert_eq!(encode(&msg), Err(WireError::TxtTooLong(300)));
+    }
+
+    #[test]
+    fn multiple_questions_rejected() {
+        let mut b = vec![0u8; 12];
+        b[4..6].copy_from_slice(&2u16.to_be_bytes());
+        assert_eq!(decode(&b), Err(WireError::UnsupportedCounts));
+    }
+
+    #[test]
+    fn non_in_class_rejected() {
+        let msg = sample_response();
+        let mut bytes = encode(&msg).unwrap().to_vec();
+        // Patch the question class (last 2 bytes of the question section).
+        let qlen = {
+            // name takes presentation_len + 2 bytes (length bytes replace dots, plus root)
+            msg.question.name.presentation_len() + 2
+        };
+        let class_pos = 12 + qlen + 2;
+        bytes[class_pos..class_pos + 2].copy_from_slice(&3u16.to_be_bytes()); // CH class
+        assert_eq!(decode(&bytes), Err(WireError::UnsupportedClass(3)));
+    }
+}

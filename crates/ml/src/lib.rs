@@ -1,0 +1,79 @@
+//! A small, dependency-light ML library for the disposable-domain
+//! classifier.
+//!
+//! The paper (§V-C) selects a **LAD tree** — an alternating decision tree
+//! learned with LogitBoost — as the disposable-zone classifier `C`, after
+//! model selection against Naive Bayes, nearest neighbours, neural
+//! networks and logistic regression, evaluated with standard 10-fold cross
+//! validation and an ROC curve (Fig. 12). This crate implements that
+//! toolchain:
+//!
+//! * [`LadTree`] — LogitBoost over weighted regression stumps (the LAD
+//!   learning rule).
+//! * [`Cart`], [`GaussianNb`], [`KnnClassifier`], [`LogisticRegression`] —
+//!   the model-selection baselines.
+//! * [`Dataset`], [`stratified_kfold`], [`cross_validate`], [`RocCurve`],
+//!   [`ConfusionMatrix`] — the evaluation protocol.
+//!
+//! # Examples
+//!
+//! ```
+//! use dnsnoise_ml::{Dataset, LadTree, Learner};
+//!
+//! // A toy 1-D problem: positive iff x > 0.
+//! let rows: Vec<Vec<f64>> = (-50..50).map(|i| vec![f64::from(i)]).collect();
+//! let labels: Vec<bool> = (-50..50).map(|i| i > 0).collect();
+//! let data = Dataset::new(rows, labels)?;
+//! let model = LadTree::default().fit(&data);
+//! assert!(model.score(&[10.0]) > 0.9);
+//! assert!(model.score(&[-10.0]) < 0.1);
+//! # Ok::<(), dnsnoise_ml::DatasetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cart;
+mod data;
+mod eval;
+mod knn;
+mod ladtree;
+mod logistic;
+mod naive_bayes;
+pub mod persist;
+mod stump;
+
+pub use cart::Cart;
+pub use data::{Dataset, DatasetError};
+pub use eval::{cross_validate, stratified_kfold, ConfusionMatrix, CvOutcome, RocCurve};
+pub use knn::KnnClassifier;
+pub use ladtree::{LadTree, LadTreeModel};
+pub use logistic::LogisticRegression;
+pub use persist::{model_from_text, model_to_text, PersistError};
+pub use naive_bayes::GaussianNb;
+pub use stump::RegressionStump;
+
+/// A trained binary classifier: scores are calibrated-ish probabilities of
+/// the positive ("disposable") class in `[0, 1]`.
+pub trait Model: Send + Sync {
+    /// The positive-class probability for a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x` has the wrong dimensionality.
+    fn score(&self, x: &[f64]) -> f64;
+
+    /// Hard decision at a threshold.
+    fn classify(&self, x: &[f64], threshold: f64) -> bool {
+        self.score(x) >= threshold
+    }
+}
+
+/// A learning algorithm that produces a [`Model`] from a [`Dataset`].
+pub trait Learner {
+    /// Trains on the dataset.
+    fn fit(&self, data: &Dataset) -> Box<dyn Model>;
+
+    /// A short display name ("LADTree", "NaiveBayes", …).
+    fn name(&self) -> &'static str;
+}

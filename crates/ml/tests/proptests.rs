@@ -1,0 +1,127 @@
+//! Property-based tests for the ML toolbox.
+
+use dnsnoise_ml::{
+    cross_validate, stratified_kfold, Cart, ConfusionMatrix, Dataset, GaussianNb, KnnClassifier,
+    LadTree, Learner, LogisticRegression, RegressionStump, RocCurve,
+};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    // 2-D rows where the label correlates (noisily) with x0 so learners
+    // have something learnable, plus guaranteed class balance.
+    proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0, any::<bool>()), 12..80).prop_map(|rows| {
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for (i, (a, b, noise)) in rows.into_iter().enumerate() {
+            let label = if i % 5 == 0 { noise } else { a > 0.0 };
+            feats.push(vec![a, b]);
+            labels.push(label);
+        }
+        // Force at least one row of each class.
+        feats.push(vec![100.0, 0.0]);
+        labels.push(true);
+        feats.push(vec![-100.0, 0.0]);
+        labels.push(false);
+        Dataset::new(feats, labels).unwrap()
+    })
+}
+
+proptest! {
+    /// Every learner emits scores in [0, 1] everywhere.
+    #[test]
+    fn scores_are_probabilities(data in arb_dataset(), x in -1e3f64..1e3, y in -1e3f64..1e3) {
+        let learners: Vec<Box<dyn Learner>> = vec![
+            Box::new(LadTree::with_iterations(15)),
+            Box::new(Cart::default()),
+            Box::new(GaussianNb::default()),
+            Box::new(KnnClassifier::default()),
+            Box::new(LogisticRegression { epochs: 50, ..Default::default() }),
+        ];
+        for learner in learners {
+            let model = learner.fit(&data);
+            let s = model.score(&[x, y]);
+            prop_assert!((0.0..=1.0).contains(&s), "{} scored {s}", learner.name());
+        }
+    }
+
+    /// Stump fitting never increases weighted SSE versus the constant fit.
+    #[test]
+    fn stump_at_least_matches_constant(
+        rows in proptest::collection::vec((-10.0f64..10.0, -5.0f64..5.0, 0.1f64..2.0), 2..50)
+    ) {
+        let x: Vec<Vec<f64>> = rows.iter().map(|(a, _, _)| vec![*a]).collect();
+        let xs: Vec<&[f64]> = x.iter().map(Vec::as_slice).collect();
+        let z: Vec<f64> = rows.iter().map(|(_, z, _)| *z).collect();
+        let w: Vec<f64> = rows.iter().map(|(_, _, w)| *w).collect();
+        let stump = RegressionStump::fit(&xs, &z, &w);
+
+        let w_total: f64 = w.iter().sum();
+        let mean = z.iter().zip(&w).map(|(zi, wi)| zi * wi).sum::<f64>() / w_total;
+        let sse_const: f64 = z.iter().zip(&w).map(|(zi, wi)| wi * (zi - mean).powi(2)).sum();
+        let sse_stump: f64 = x
+            .iter()
+            .zip(&z)
+            .zip(&w)
+            .map(|((xi, zi), wi)| wi * (zi - stump.predict(xi)).powi(2))
+            .sum();
+        prop_assert!(sse_stump <= sse_const + 1e-6, "stump {sse_stump} vs const {sse_const}");
+    }
+
+    /// Stratified folds partition the index set and balance classes to
+    /// within one element.
+    #[test]
+    fn kfold_partitions(labels in proptest::collection::vec(any::<bool>(), 10..120), k in 2usize..10, seed in any::<u64>()) {
+        prop_assume!(k <= labels.len());
+        let folds = stratified_kfold(&labels, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+        let pos_counts: Vec<usize> = folds
+            .iter()
+            .map(|f| f.iter().filter(|&&i| labels[i]).count())
+            .collect();
+        let max = pos_counts.iter().max().unwrap();
+        let min = pos_counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "positive imbalance: {pos_counts:?}");
+    }
+
+    /// ROC curves are monotone staircases from (0,0) to (1,1) with AUC in
+    /// [0, 1]; tpr_at_fpr is monotone in its argument.
+    #[test]
+    fn roc_is_monotone(scored in proptest::collection::vec((0.0f64..1.0, any::<bool>()), 2..120)) {
+        prop_assume!(scored.iter().any(|(_, l)| *l) && scored.iter().any(|(_, l)| !*l));
+        let roc = RocCurve::from_scores(&scored);
+        let pts = roc.points();
+        prop_assert_eq!((pts[0].0, pts[0].1), (0.0, 0.0));
+        let last = pts.last().unwrap();
+        prop_assert!((last.0 - 1.0).abs() < 1e-9 && (last.1 - 1.0).abs() < 1e-9);
+        for w in pts.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+        let auc = roc.auc();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&auc));
+        prop_assert!(roc.tpr_at_fpr(0.1) <= roc.tpr_at_fpr(0.5) + 1e-12);
+    }
+
+    /// Confusion-matrix counts always sum to the sample count, and TPR at
+    /// threshold 0 is 1 (everything classified positive).
+    #[test]
+    fn confusion_conservation(scored in proptest::collection::vec((0.0f64..1.0, any::<bool>()), 1..100)) {
+        let m = ConfusionMatrix::at_threshold(&scored, 0.5);
+        prop_assert_eq!((m.tp + m.fp + m.tn + m.fn_) as usize, scored.len());
+        let all_pos = ConfusionMatrix::at_threshold(&scored, 0.0);
+        prop_assert_eq!(all_pos.tn + all_pos.fn_, 0);
+    }
+
+    /// Cross validation scores every row exactly once and the AUC on the
+    /// linearly-separable component is strong.
+    #[test]
+    fn cv_covers_every_row(data in arb_dataset(), seed in any::<u64>()) {
+        let outcome = cross_validate(&LadTree::with_iterations(10), &data, 5, seed);
+        prop_assert_eq!(outcome.scored.len(), data.len());
+        for (i, (_, label)) in outcome.scored.iter().enumerate() {
+            prop_assert_eq!(*label, data.label(i));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Passive DNS databases (pDNS-DBs).
+//!
+//! The paper's §III-A defines two datasets collected at the monitoring
+//! point and §VI-C analyses their storage economics:
+//!
+//! * [`FpDnsLog`] — the **full passive DNS** dataset: every answer-section
+//!   tuple `(timestamp, client, name, qtype, TTL, RDATA)` observed below
+//!   the recursives, optionally exercised through the RFC 1035 wire codec
+//!   the way a real collector parses packets off the wire.
+//! * [`RpDns`] — the **reduced passive DNS** dataset: distinct resource
+//!   records from successful resolutions with their first-seen day, the
+//!   substrate of Fig. 5 / Fig. 15 and of the §VI-C storage discussion.
+//! * [`WildcardAggregator`] — the §VI-C mitigation: collapse disposable
+//!   records under their mined `(zone, depth)` into a single wildcard
+//!   record (`1022vr5.dns.xx.fbcdn.net` → `*.dns.xx.fbcdn.net`), which in
+//!   the paper shrinks 129,674,213 disposable records to 945,065 (0.7%).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fpdns;
+mod rpdns;
+mod wildcard;
+
+pub use fpdns::{FpDnsLog, FpDnsRecord};
+pub use rpdns::{DailyNewRrs, RpDns};
+pub use wildcard::{AggregationOutcome, WildcardAggregator};

@@ -1,0 +1,92 @@
+//! Property-based tests for passive-DNS invariants.
+
+use dnsnoise_dns::{Name, QType, RData, Record, RrKey, Timestamp, Ttl};
+use dnsnoise_pdns::{FpDnsLog, RpDns, WildcardAggregator};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        proptest::string::string_regex("[a-z0-9]{1,8}(\\.[a-z0-9]{1,8}){1,4}").unwrap(),
+        any::<[u8; 4]>(),
+        0u32..10_000,
+    )
+        .prop_map(|(name, ip, ttl)| {
+            Record::new(
+                name.parse::<Name>().unwrap(),
+                QType::A,
+                Ttl::from_secs(ttl),
+                RData::A(Ipv4Addr::from(ip)),
+            )
+        })
+}
+
+proptest! {
+    /// rpDNS dedup is idempotent: replaying the same records never grows
+    /// the store, and per-day counters conserve total observations.
+    #[test]
+    fn rpdns_dedup_idempotent(records in proptest::collection::vec(arb_record(), 1..60), days in 1u64..5) {
+        let mut store = RpDns::new();
+        for day in 0..days {
+            for r in &records {
+                store.observe(r, day);
+            }
+        }
+        let distinct: std::collections::HashSet<RrKey> = records.iter().map(Record::key).collect();
+        prop_assert_eq!(store.len(), distinct.len());
+        let total: u64 = store.per_day().iter().map(|d| d.new_records + d.repeated_records).sum();
+        prop_assert_eq!(total, days * records.len() as u64);
+        let new_total: u64 = store.per_day().iter().map(|d| d.new_records).sum();
+        prop_assert_eq!(new_total as usize, distinct.len());
+        // First-seen is day 0 for everything (all appeared on day 0).
+        for (key, first) in store.iter() {
+            prop_assert_eq!(first, 0, "{} first seen {}", key, first);
+        }
+    }
+
+    /// Wildcard aggregation never increases the stored-entry count and
+    /// conserves the record partition.
+    #[test]
+    fn aggregation_never_grows(records in proptest::collection::vec(arb_record(), 1..60)) {
+        let mut agg = WildcardAggregator::new();
+        // Rule over a zone built from the first record (if deep enough).
+        if let Some(zone) = records[0].name.parent() {
+            if zone.depth() >= 1 {
+                agg.add_rule(zone, records[0].name.depth());
+            }
+        }
+        let keys: Vec<RrKey> = records.iter().map(Record::key).collect();
+        let distinct: std::collections::HashSet<&RrKey> = keys.iter().collect();
+        let outcome = agg.aggregate(distinct.iter().copied());
+        prop_assert_eq!(
+            outcome.aggregated_records + outcome.passthrough_records,
+            distinct.len() as u64
+        );
+        prop_assert!(outcome.stored_entries() <= distinct.len() as u64);
+        prop_assert!(outcome.wildcard_entries <= outcome.aggregated_records);
+        prop_assert!((0.0..=1.0).contains(&outcome.reduction_ratio()));
+    }
+
+    /// The fpDNS log's counters always reconcile: records ≤ responses ×
+    /// max answer size, storage grows monotonically, wire round-trips are
+    /// lossless for generated traffic.
+    #[test]
+    fn fpdns_counters_reconcile(batches in proptest::collection::vec(proptest::collection::vec(arb_record(), 0..4), 1..30)) {
+        let mut log = FpDnsLog::new(10, true);
+        let qname: Name = "probe.example.com".parse().unwrap();
+        let mut expected_records = 0u64;
+        let mut expected_nx = 0u64;
+        for (i, answers) in batches.iter().enumerate() {
+            log.collect(Timestamp::from_secs(i as u64), i as u64, &qname, QType::A, answers);
+            expected_records += answers.len() as u64;
+            if answers.is_empty() {
+                expected_nx += 1;
+            }
+        }
+        prop_assert_eq!(log.total_records(), expected_records);
+        prop_assert_eq!(log.total_responses(), batches.len() as u64);
+        prop_assert_eq!(log.nx_responses(), expected_nx);
+        prop_assert_eq!(log.wire_parse_failures(), 0);
+        prop_assert!(log.retained().len() <= 10);
+    }
+}

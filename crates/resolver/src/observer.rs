@@ -1,0 +1,67 @@
+//! Hooks for passive collectors attached to the monitoring point.
+
+use dnsnoise_dns::Record;
+use dnsnoise_workload::QueryEvent;
+
+/// How a query was served by the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Served {
+    /// Answered from a member cache: traffic appears *below* only.
+    CacheHit,
+    /// Fetched from the authoritative tier: traffic appears both *above*
+    /// and *below*.
+    CacheMiss,
+    /// NXDOMAIN served from the negative cache: *below* only.
+    NegativeHit,
+    /// NXDOMAIN fetched upstream: *above* and *below*.
+    NxMiss,
+}
+
+impl Served {
+    /// Whether the query generated traffic above the recursives.
+    pub fn went_above(self) -> bool {
+        matches!(self, Served::CacheMiss | Served::NxMiss)
+    }
+
+    /// Whether the response was NXDOMAIN.
+    pub fn is_nxdomain(self) -> bool {
+        matches!(self, Served::NegativeHit | Served::NxMiss)
+    }
+}
+
+/// A passive observer of the monitoring point, invoked once per query with
+/// the response's answer section. Passive-DNS collectors and the DNSSEC
+/// cost model implement this.
+pub trait Observer {
+    /// Called after the cluster serves `event` with `answers` (empty for
+    /// NXDOMAIN).
+    fn observe(&mut self, event: &QueryEvent, served: Served, answers: &[Record]);
+}
+
+/// The no-op observer.
+impl Observer for () {
+    fn observe(&mut self, _event: &QueryEvent, _served: Served, _answers: &[Record]) {}
+}
+
+impl<A: Observer, B: Observer> Observer for (&mut A, &mut B) {
+    fn observe(&mut self, event: &QueryEvent, served: Served, answers: &[Record]) {
+        self.0.observe(event, served, answers);
+        self.1.observe(event, served, answers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn served_flags() {
+        assert!(Served::CacheMiss.went_above());
+        assert!(Served::NxMiss.went_above());
+        assert!(!Served::CacheHit.went_above());
+        assert!(!Served::NegativeHit.went_above());
+        assert!(Served::NxMiss.is_nxdomain());
+        assert!(Served::NegativeHit.is_nxdomain());
+        assert!(!Served::CacheHit.is_nxdomain());
+    }
+}

@@ -1,0 +1,358 @@
+//! The cluster simulation loop.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use dnsnoise_cache::{CacheCluster, CacheKey, CacheStats, InsertPriority, LoadBalance, NegativeCache};
+use dnsnoise_dns::{Name, Record, Ttl};
+use dnsnoise_workload::{DayTrace, GroundTruth, Outcome};
+
+use crate::observer::{Observer, Served};
+
+/// A shared predicate deciding whether a name is cached with low priority.
+pub type PriorityPredicate = Arc<dyn Fn(&Name) -> bool + Send + Sync>;
+use crate::stats::RrDayStats;
+use crate::traffic::TrafficProfile;
+
+/// Cluster configuration for a simulation run.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of member caches in the cluster.
+    pub members: usize,
+    /// Entry capacity of each member cache.
+    pub capacity_each: usize,
+    /// Load-balancing strategy.
+    pub load_balance: LoadBalance,
+    /// RFC 2308 negative-cache TTL; `None` reproduces the monitored ISP's
+    /// observed behaviour of not honouring negative caching (§III-C1).
+    pub negative_ttl: Option<Ttl>,
+    /// Optional mitigation hook (§VI-A): names for which this returns
+    /// `true` are cached with low eviction priority.
+    #[serde(skip)]
+    pub low_priority: Option<PriorityPredicate>,
+}
+
+impl std::fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("members", &self.members)
+            .field("capacity_each", &self.capacity_each)
+            .field("load_balance", &self.load_balance)
+            .field("negative_ttl", &self.negative_ttl)
+            .field("low_priority", &self.low_priority.is_some())
+            .finish()
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            members: 4,
+            capacity_each: 50_000,
+            load_balance: LoadBalance::HashClient,
+            negative_ttl: None,
+            low_priority: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns the config with a different per-member capacity.
+    pub fn with_capacity(mut self, capacity_each: usize) -> Self {
+        self.capacity_each = capacity_each;
+        self
+    }
+
+    /// Returns the config with negative caching enabled at `ttl`.
+    pub fn with_negative_ttl(mut self, ttl: Ttl) -> Self {
+        self.negative_ttl = Some(ttl);
+        self
+    }
+
+    /// Returns the config with the low-priority mitigation predicate set.
+    pub fn with_low_priority<F>(mut self, predicate: F) -> Self
+    where
+        F: Fn(&Name) -> bool + Send + Sync + 'static,
+    {
+        self.low_priority = Some(Arc::new(predicate));
+        self
+    }
+}
+
+/// Everything the monitoring point learned from one simulated day.
+#[derive(Debug, Clone, Default)]
+pub struct DayReport {
+    /// Zero-based day index.
+    pub day: u64,
+    /// Per-record query/miss statistics.
+    pub rr_stats: RrDayStats,
+    /// Hourly above/below volumes by series.
+    pub traffic: TrafficProfile,
+    /// Member-cache counter deltas for the day.
+    pub cache: CacheStats,
+    /// Total responses delivered to clients (below).
+    pub below_total: u64,
+    /// Total upstream fetches (above).
+    pub above_total: u64,
+    /// NXDOMAIN responses below.
+    pub nx_below: u64,
+    /// NXDOMAIN fetches above.
+    pub nx_above: u64,
+}
+
+/// The recursive-resolver cluster simulator.
+///
+/// Cache contents persist across [`ResolverSim::run_day`] calls, so
+/// multi-day traces behave like a long-lived production cluster.
+#[derive(Debug)]
+pub struct ResolverSim {
+    config: SimConfig,
+    cluster: CacheCluster,
+}
+
+impl ResolverSim {
+    /// Builds a cluster from the config.
+    pub fn new(config: SimConfig) -> Self {
+        let mut cluster = CacheCluster::new(config.members, config.capacity_each, config.load_balance);
+        if let Some(ttl) = config.negative_ttl {
+            cluster.set_negative_caches(|| NegativeCache::new(ttl));
+        }
+        ResolverSim { config, cluster }
+    }
+
+    /// The configuration this simulator runs with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Read access to the underlying cluster (for inspecting occupancy).
+    pub fn cluster(&self) -> &CacheCluster {
+        &self.cluster
+    }
+
+    /// Replays one day of traffic.
+    ///
+    /// `ground_truth` (when provided) attributes traffic to the Google /
+    /// Akamai series of Fig. 2; `observer` sees every served response.
+    pub fn run_day(
+        &mut self,
+        trace: &DayTrace,
+        ground_truth: Option<&GroundTruth>,
+        observer: &mut dyn Observer,
+    ) -> DayReport {
+        let mut report = DayReport { day: trace.day, ..DayReport::default() };
+        let stats_before = self.cluster.total_stats();
+
+        for event in &trace.events {
+            let hour = event.time.hour_of_day() as usize;
+            let member = self.cluster.route(event.client, &CacheKey::new(event.name.clone(), event.qtype));
+            let operator = ground_truth.and_then(|gt| gt.operator_of(&event.name));
+
+            match &event.outcome {
+                Outcome::NxDomain => {
+                    let served = if self.cluster.negative_mut(member).contains(&event.name, event.time) {
+                        Served::NegativeHit
+                    } else {
+                        self.cluster.negative_mut(member).insert(event.name.clone(), event.time);
+                        Served::NxMiss
+                    };
+                    report.below_total += 1;
+                    report.nx_below += 1;
+                    if served.went_above() {
+                        report.above_total += 1;
+                        report.nx_above += 1;
+                    }
+                    report.traffic.record(hour, operator, true, 1, served.went_above());
+                    observer.observe(event, served, &[]);
+                }
+                Outcome::Answer(auth_answers) => {
+                    let key = CacheKey::new(event.name.clone(), event.qtype);
+                    let cached = self.cluster.cache_mut(member).get(&key, event.time);
+                    let (served, answers): (Served, Vec<Record>) = match cached {
+                        Some(records) => (Served::CacheHit, records.to_vec()),
+                        None => {
+                            let priority = match &self.config.low_priority {
+                                Some(pred) if pred(&event.name) => InsertPriority::Low,
+                                _ => InsertPriority::Normal,
+                            };
+                            self.cluster.cache_mut(member).insert(
+                                key,
+                                auth_answers.clone(),
+                                event.time,
+                                priority,
+                            );
+                            (Served::CacheMiss, auth_answers.clone())
+                        }
+                    };
+
+                    let n = answers.len() as u64;
+                    report.below_total += n;
+                    if served.went_above() {
+                        report.above_total += n;
+                    }
+                    report.traffic.record(hour, operator, false, n, served.went_above());
+                    for rr in &answers {
+                        let rr_key = rr.key();
+                        report.rr_stats.record_below_by(&rr_key, event.client);
+                        if served.went_above() {
+                            report.rr_stats.record_above(&rr_key);
+                        }
+                    }
+                    observer.observe(event, served, &answers);
+                }
+            }
+        }
+
+        let stats_after = self.cluster.total_stats();
+        report.cache = diff_stats(&stats_before, &stats_after);
+        report
+    }
+}
+
+fn diff_stats(before: &CacheStats, after: &CacheStats) -> CacheStats {
+    CacheStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        expired: after.expired - before.expired,
+        inserts: after.inserts - before.inserts,
+        premature_evictions_normal: after.premature_evictions_normal - before.premature_evictions_normal,
+        premature_evictions_low: after.premature_evictions_low - before.premature_evictions_low,
+        expired_evictions: after.expired_evictions - before.expired_evictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::Series;
+    use dnsnoise_workload::{Scenario, ScenarioConfig};
+
+    fn tiny_scenario() -> Scenario {
+        Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.05), 3)
+    }
+
+    #[test]
+    fn below_exceeds_above() {
+        let s = tiny_scenario();
+        let mut sim = ResolverSim::new(SimConfig::default());
+        let report = sim.run_day(&s.generate_day(0), Some(s.ground_truth()), &mut ());
+        assert!(report.below_total > report.above_total);
+        assert!(report.above_total > 0);
+    }
+
+    #[test]
+    fn nxdomain_without_negative_cache_always_goes_above() {
+        let s = tiny_scenario();
+        let mut sim = ResolverSim::new(SimConfig::default());
+        let report = sim.run_day(&s.generate_day(0), None, &mut ());
+        // Negative caching disabled: every NXDOMAIN below also appears above.
+        assert_eq!(report.nx_below, report.nx_above);
+        assert!(report.nx_below > 0);
+    }
+
+    #[test]
+    fn negative_cache_absorbs_repeat_probes() {
+        let s = tiny_scenario();
+        let trace = s.generate_day(0);
+        let mut sim = ResolverSim::new(SimConfig::default().with_negative_ttl(Ttl::from_secs(900)));
+        let report = sim.run_day(&trace, None, &mut ());
+        // Browser probes repeat the same name 3× within seconds; with
+        // RFC 2308 honoured the repeats are served below only.
+        assert!(report.nx_above < report.nx_below, "above {} below {}", report.nx_above, report.nx_below);
+    }
+
+    #[test]
+    fn nx_share_above_far_exceeds_share_below() {
+        // The Fig. 2 asymmetry: NXDOMAIN ≈ 40% of traffic above but only
+        // ≈ 6% below. Needs paper-like query density; two members keep the
+        // per-cache density high at test scale.
+        let s = Scenario::new(
+            ScenarioConfig::paper_epoch(0.5).with_scale(0.02).with_events_per_unique(700.0),
+            3,
+        );
+        let mut sim = ResolverSim::new(SimConfig { members: 2, ..SimConfig::default() });
+        let report = sim.run_day(&s.generate_day(0), Some(s.ground_truth()), &mut ());
+        let share_below = report.nx_below as f64 / report.below_total as f64;
+        let share_above = report.nx_above as f64 / report.above_total as f64;
+        assert!(share_above > 2.0 * share_below, "above {share_above:.3} below {share_below:.3}");
+        assert!(share_below < 0.15);
+    }
+
+    #[test]
+    fn warm_cache_reduces_above_traffic_on_day_two() {
+        let s = tiny_scenario();
+        let mut sim = ResolverSim::new(SimConfig::default());
+        let r0 = sim.run_day(&s.generate_day(0), None, &mut ());
+        let r1 = sim.run_day(&s.generate_day(1), None, &mut ());
+        // Day-scale TTLs carry over: day 1 misses fewer long-tail records.
+        let miss_rate0 = r0.above_total as f64 / r0.below_total as f64;
+        let miss_rate1 = r1.above_total as f64 / r1.below_total as f64;
+        assert!(miss_rate1 <= miss_rate0 * 1.05, "day0 {miss_rate0:.3} day1 {miss_rate1:.3}");
+    }
+
+    #[test]
+    fn google_and_akamai_series_are_populated() {
+        let s = tiny_scenario();
+        let mut sim = ResolverSim::new(SimConfig::default());
+        let report = sim.run_day(&s.generate_day(0), Some(s.ground_truth()), &mut ());
+        assert!(report.traffic.below_total(Series::Google) > 0);
+        assert!(report.traffic.below_total(Series::Akamai) > 0);
+        // Together they are less than half of all traffic (§III-C1:
+        // "collectively account for less than half of the total").
+        let g = report.traffic.below_total(Series::Google);
+        let a = report.traffic.below_total(Series::Akamai);
+        assert!(g + a < report.traffic.below_total(Series::All));
+    }
+
+    #[test]
+    fn tiny_cache_causes_premature_evictions() {
+        let s = tiny_scenario();
+        let mut sim = ResolverSim::new(SimConfig::default().with_capacity(50));
+        let report = sim.run_day(&s.generate_day(0), None, &mut ());
+        assert!(report.cache.premature_evictions() > 0);
+    }
+
+    #[test]
+    fn low_priority_mitigation_shifts_evictions() {
+        let s = tiny_scenario();
+        let gt = s.ground_truth().clone();
+        let trace = s.generate_day(0);
+
+        let mut baseline = ResolverSim::new(SimConfig::default().with_capacity(200));
+        let rb = baseline.run_day(&trace, None, &mut ());
+
+        let gt2 = gt.clone();
+        let mut mitigated = ResolverSim::new(
+            SimConfig::default()
+                .with_capacity(200)
+                .with_low_priority(move |name| gt2.is_disposable_name(name)),
+        );
+        let rm = mitigated.run_day(&trace, None, &mut ());
+
+        // With the mitigation, fewer normal-priority (non-disposable)
+        // records are prematurely evicted.
+        assert!(
+            rm.cache.premature_evictions_normal < rb.cache.premature_evictions_normal,
+            "mitigated {} vs baseline {}",
+            rm.cache.premature_evictions_normal,
+            rb.cache.premature_evictions_normal
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_event() {
+        struct Counter(u64);
+        impl Observer for Counter {
+            fn observe(&mut self, _: &dnsnoise_workload::QueryEvent, _: Served, _: &[Record]) {
+                self.0 += 1;
+            }
+        }
+        let s = tiny_scenario();
+        let trace = s.generate_day(0);
+        let mut sim = ResolverSim::new(SimConfig::default());
+        let mut counter = Counter(0);
+        sim.run_day(&trace, None, &mut counter);
+        assert_eq!(counter.0, trace.events.len() as u64);
+    }
+}

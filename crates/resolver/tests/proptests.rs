@@ -1,0 +1,88 @@
+//! Property-based invariants of the cluster simulation.
+
+use dnsnoise_cache::LoadBalance;
+use dnsnoise_resolver::{ResolverSim, SimConfig};
+use dnsnoise_workload::{Scenario, ScenarioConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        1usize..5,
+        50usize..5_000,
+        prop_oneof![
+            Just(LoadBalance::HashClient),
+            Just(LoadBalance::RoundRobin),
+            Just(LoadBalance::HashName)
+        ],
+    )
+        .prop_map(|(members, capacity_each, load_balance)| SimConfig {
+            members,
+            capacity_each,
+            load_balance,
+            ..SimConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Accounting conservation for any cluster configuration:
+    /// * every below record is either a hit or a miss (above);
+    /// * the per-RR statistics sum exactly to the traffic totals;
+    /// * DHR stays in [0, 1] for every record.
+    #[test]
+    fn accounting_is_conserved(config in arb_config(), seed in 0u64..500, epoch in 0.0f64..=1.0) {
+        let scenario = Scenario::new(ScenarioConfig::paper_epoch(epoch).with_scale(0.01), seed);
+        let trace = scenario.generate_day(0);
+        let mut sim = ResolverSim::new(config);
+        let report = sim.run_day(&trace, Some(scenario.ground_truth()), &mut ());
+
+        prop_assert!(report.above_total <= report.below_total);
+        prop_assert!(report.nx_above <= report.nx_below);
+
+        let sum_queries: u64 = report.rr_stats.iter().map(|(_, s)| u64::from(s.queries)).sum();
+        let sum_misses: u64 = report.rr_stats.iter().map(|(_, s)| u64::from(s.misses)).sum();
+        prop_assert_eq!(sum_queries, report.below_total - report.nx_below);
+        prop_assert_eq!(sum_misses, report.above_total - report.nx_above);
+
+        for (key, stat) in report.rr_stats.iter() {
+            prop_assert!(stat.misses <= stat.queries, "{}: {stat:?}", key);
+            let dhr = stat.dhr();
+            prop_assert!((0.0..=1.0).contains(&dhr));
+        }
+
+        // Traffic-profile totals agree with the scalar counters.
+        use dnsnoise_resolver::Series;
+        prop_assert_eq!(report.traffic.below_total(Series::All), report.below_total);
+        prop_assert_eq!(report.traffic.above_total(Series::All), report.above_total);
+        prop_assert_eq!(report.traffic.below_total(Series::NxDomain), report.nx_below);
+    }
+
+    /// A cache with more capacity never produces more upstream traffic on
+    /// the identical trace (LRU is not anomalous under capacity growth for
+    /// a fixed request order per member).
+    #[test]
+    fn bigger_cache_never_fetches_more(seed in 0u64..200) {
+        let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.01), seed);
+        let trace = scenario.generate_day(0);
+        let mut small_sim = ResolverSim::new(SimConfig { members: 2, capacity_each: 60, ..SimConfig::default() });
+        let small = small_sim.run_day(&trace, None, &mut ());
+        let mut large_sim = ResolverSim::new(SimConfig { members: 2, capacity_each: 50_000, ..SimConfig::default() });
+        let large = large_sim.run_day(&trace, None, &mut ());
+        prop_assert!(large.above_total <= small.above_total,
+            "large {} vs small {}", large.above_total, small.above_total);
+    }
+
+    /// Replaying the identical trace twice through one warm simulator
+    /// strictly increases hits (the cache was seeded by the first pass).
+    #[test]
+    fn warm_cache_improves_second_pass(seed in 0u64..200) {
+        let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.01), seed);
+        let trace = scenario.generate_day(0);
+        let mut sim = ResolverSim::new(SimConfig::default());
+        let first = sim.run_day(&trace, None, &mut ());
+        let second = sim.run_day(&trace, None, &mut ());
+        prop_assert!(second.above_total <= first.above_total,
+            "second {} vs first {}", second.above_total, first.above_total);
+    }
+}

@@ -1,0 +1,297 @@
+//! Plain-text trace serialization.
+//!
+//! A `DayTrace` round-trips through a line-oriented, tab-separated format
+//! (in the spirit of `dnstap`/`dnstop` text output, §II-B1) so traces can
+//! be generated once and replayed by external tooling or the CLI:
+//!
+//! ```text
+//! <secs>\t<client>\t<qname>\t<qtype>\tNXDOMAIN
+//! <secs>\t<client>\t<qname>\t<qtype>\t<name>,<type>,<ttl>,<rdata>[;<record>...]
+//! ```
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use dnsnoise_dns::{Name, QType, RData, Record, Timestamp, Ttl};
+
+use crate::event::{Outcome, QueryEvent};
+use crate::scenario::DayTrace;
+
+/// Errors while reading a serialized trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and a description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn render_rdata(rdata: &RData) -> String {
+    match rdata {
+        RData::A(a) => format!("A:{a}"),
+        RData::Aaaa(a) => format!("AAAA:{a}"),
+        RData::Cname(n) => format!("CNAME:{n}"),
+        RData::Ns(n) => format!("NS:{n}"),
+        RData::Ptr(n) => format!("PTR:{n}"),
+        RData::Txt(s) => format!("TXT:{}", s.replace(['\t', '\n', ';', ','], "_")),
+        RData::Mx { preference, exchange } => format!("MX:{preference}:{exchange}"),
+        RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
+            format!("SOA:{mname}:{rname}:{serial}:{refresh}:{retry}:{expire}:{minimum}")
+        }
+        RData::Opaque(b) => {
+            let mut hex = String::with_capacity(b.len() * 2);
+            for byte in b {
+                let _ = write!(hex, "{byte:02x}");
+            }
+            format!("OPAQUE:{hex}")
+        }
+    }
+}
+
+fn parse_rdata(s: &str) -> Result<RData, String> {
+    let (kind, rest) = s.split_once(':').ok_or_else(|| format!("rdata missing kind: {s}"))?;
+    match kind {
+        "A" => rest.parse::<Ipv4Addr>().map(RData::A).map_err(|e| e.to_string()),
+        "AAAA" => rest.parse::<Ipv6Addr>().map(RData::Aaaa).map_err(|e| e.to_string()),
+        "CNAME" => rest.parse::<Name>().map(RData::Cname).map_err(|e| e.to_string()),
+        "NS" => rest.parse::<Name>().map(RData::Ns).map_err(|e| e.to_string()),
+        "PTR" => rest.parse::<Name>().map(RData::Ptr).map_err(|e| e.to_string()),
+        "TXT" => Ok(RData::Txt(rest.to_owned())),
+        "MX" => {
+            let (pref, exch) = rest.split_once(':').ok_or("MX needs preference:exchange")?;
+            Ok(RData::Mx {
+                preference: pref.parse().map_err(|_| "bad MX preference")?,
+                exchange: exch.parse().map_err(|_| "bad MX exchange")?,
+            })
+        }
+        "SOA" => {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 7 {
+                return Err("SOA needs 7 fields".into());
+            }
+            Ok(RData::Soa {
+                mname: parts[0].parse().map_err(|_| "bad SOA mname")?,
+                rname: parts[1].parse().map_err(|_| "bad SOA rname")?,
+                serial: parts[2].parse().map_err(|_| "bad SOA serial")?,
+                refresh: parts[3].parse().map_err(|_| "bad SOA refresh")?,
+                retry: parts[4].parse().map_err(|_| "bad SOA retry")?,
+                expire: parts[5].parse().map_err(|_| "bad SOA expire")?,
+                minimum: parts[6].parse().map_err(|_| "bad SOA minimum")?,
+            })
+        }
+        "OPAQUE" => {
+            if rest.len() % 2 != 0 {
+                return Err("odd-length hex".into());
+            }
+            let bytes = (0..rest.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&rest[i..i + 2], 16))
+                .collect::<Result<Vec<u8>, _>>()
+                .map_err(|e| e.to_string())?;
+            Ok(RData::Opaque(bytes))
+        }
+        other => Err(format!("unknown rdata kind {other}")),
+    }
+}
+
+fn parse_qtype(s: &str) -> Result<QType, String> {
+    QType::all()
+        .iter()
+        .copied()
+        .find(|q| q.to_string() == s)
+        .ok_or_else(|| format!("unknown qtype {s}"))
+}
+
+/// Serializes one event as a trace line (without the newline).
+pub fn render_event(event: &QueryEvent) -> String {
+    let mut line = format!(
+        "{}\t{}\t{}\t{}\t",
+        event.time.as_secs(),
+        event.client,
+        event.name,
+        event.qtype
+    );
+    match &event.outcome {
+        Outcome::NxDomain => line.push_str("NXDOMAIN"),
+        Outcome::Answer(records) => {
+            let rendered: Vec<String> = records
+                .iter()
+                .map(|r| format!("{},{},{},{}", r.name, r.qtype, r.ttl.as_secs(), render_rdata(&r.rdata)))
+                .collect();
+            line.push_str(&rendered.join(";"));
+        }
+    }
+    line
+}
+
+/// Parses one trace line.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn parse_event(line: &str) -> Result<QueryEvent, String> {
+    let mut fields = line.splitn(5, '\t');
+    let secs: u64 = fields.next().ok_or("missing time")?.parse().map_err(|_| "bad time")?;
+    let client: u64 = fields.next().ok_or("missing client")?.parse().map_err(|_| "bad client")?;
+    let name: Name = fields.next().ok_or("missing qname")?.parse().map_err(|e| format!("bad qname: {e}"))?;
+    let qtype = parse_qtype(fields.next().ok_or("missing qtype")?)?;
+    let outcome_field = fields.next().ok_or("missing outcome")?;
+    let outcome = if outcome_field == "NXDOMAIN" {
+        Outcome::NxDomain
+    } else {
+        let mut records = Vec::new();
+        for part in outcome_field.split(';') {
+            let mut cols = part.splitn(4, ',');
+            let rname: Name = cols
+                .next()
+                .ok_or("missing record name")?
+                .parse()
+                .map_err(|e| format!("bad record name: {e}"))?;
+            let rtype = parse_qtype(cols.next().ok_or("missing record type")?)?;
+            let ttl: u32 = cols.next().ok_or("missing ttl")?.parse().map_err(|_| "bad ttl")?;
+            let rdata = parse_rdata(cols.next().ok_or("missing rdata")?)?;
+            records.push(Record::new(rname, rtype, Ttl::from_secs(ttl), rdata));
+        }
+        if records.is_empty() {
+            return Err("empty answer".into());
+        }
+        Outcome::Answer(records)
+    };
+    Ok(QueryEvent {
+        time: Timestamp::from_secs(secs),
+        client,
+        name,
+        qtype,
+        outcome,
+        // Tags are scenario bookkeeping; replayed traces have none.
+        zone_tag: u32::MAX,
+    })
+}
+
+/// Writes a trace to `out`, one event per line.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_trace<W: Write>(trace: &DayTrace, mut out: W) -> Result<(), TraceIoError> {
+    for event in &trace.events {
+        writeln!(out, "{}", render_event(event))?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from `input`, inferring the day from the first event.
+/// Blank lines and `#` comments are skipped.
+///
+/// # Errors
+///
+/// Fails on I/O errors or the first malformed line.
+pub fn read_trace<R: BufRead>(input: R) -> Result<DayTrace, TraceIoError> {
+    let mut events = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        events.push(
+            parse_event(trimmed).map_err(|message| TraceIoError::Parse { line: i + 1, message })?,
+        );
+    }
+    let day = events.first().map_or(0, |e| e.time.day());
+    Ok(DayTrace { day, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioConfig};
+
+    #[test]
+    fn generated_trace_roundtrips() {
+        let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.8).with_scale(0.01), 5);
+        let trace = scenario.generate_day(2);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.day, 2);
+        assert_eq!(back.events.len(), trace.events.len());
+        for (a, b) in trace.events.iter().zip(&back.events) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.client, b.client);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.qtype, b.qtype);
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n10\t7\twww.example.com\tA\tNXDOMAIN\n";
+        let trace = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(trace.events.len(), 1);
+        assert!(trace.events[0].outcome.is_nxdomain());
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let text = "10\t7\twww.example.com\tA\tNXDOMAIN\nnot a line\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn every_rdata_kind_roundtrips() {
+        let kinds = [
+            "A:192.0.2.1",
+            "AAAA:2001:db8::1",
+            "CNAME:target.example.com",
+            "NS:ns1.example.com",
+            "PTR:host.example.com",
+            "TXT:hello_world",
+            "MX:10:mail.example.com",
+            "SOA:ns1.example.com:hostmaster.example.com:2011113001:7200:900:1209600:900",
+            "OPAQUE:deadbeef",
+        ];
+        for k in kinds {
+            let rdata = parse_rdata(k).unwrap();
+            assert_eq!(render_rdata(&rdata), k, "roundtrip of {k}");
+        }
+        assert!(parse_rdata("BOGUS:x").is_err());
+        assert!(parse_rdata("A:not-an-ip").is_err());
+        assert!(parse_rdata("OPAQUE:abc").is_err(), "odd hex length");
+    }
+}

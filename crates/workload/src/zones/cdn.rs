@@ -1,0 +1,248 @@
+//! Akamai-style CDN zones: edge shard names with Zipf content popularity.
+//!
+//! CDNs answer with short TTLs for request routing (§II-B2). Popular
+//! shards are queried constantly (high cache hit rates); a deep tail of
+//! unpopular shards is touched once a day or less, which is why §V-C1
+//! found 0.6% of discovered disposable zones to be CDN sub-zones — a
+//! deliberate hard negative for the classifier.
+//!
+//! A fraction of lookups arrive via customer names
+//! (`www.<customer 2LD>` → `CNAME e<i>.<cdn zone>` → `A`), producing
+//! multi-owner answer sections like real CDN traffic.
+
+use dnsnoise_dns::{Label, Name, QType, RData, Record};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::event::Outcome;
+use crate::namegen::{label_alnum, mix64, NameForge};
+use crate::scenario::ZoneInfo;
+use crate::ttl::TtlModel;
+use crate::zipf::ZipfSampler;
+use crate::zone::{Category, DayCtx, Operator, ZoneModel};
+use crate::zones::event_at;
+
+/// The Akamai-like CDN: several edge zones plus customer 2LDs CNAMEd onto
+/// them.
+#[derive(Debug, Clone)]
+pub struct CdnFleet {
+    edge_zones: Vec<Name>,
+    customers: Vec<Name>,
+    shards_per_zone: usize,
+    daily_events: usize,
+    /// Fraction of lookups that arrive via a customer CNAME.
+    cname_fraction: f64,
+    shard_pop: ZipfSampler,
+    ttl: TtlModel,
+    seed: u64,
+}
+
+/// The canonical Akamai edge-zone suffixes the paper aggregates under the
+/// "Akamai" series (§III-C1 footnote).
+const EDGE_SUFFIXES: &[&str] = &[
+    "akamai.net",
+    "akamaiedge.net",
+    "akamaihd.net",
+    "edgesuite.net",
+    "akadns.net",
+    "akamaitech.net",
+];
+
+impl CdnFleet {
+    /// Builds the fleet with `shards_per_zone` edge names per zone,
+    /// `n_customers` CNAMEd customer sites and about `daily_events`
+    /// lookups per day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards_per_zone` is zero.
+    pub fn new(shards_per_zone: usize, n_customers: usize, daily_events: usize, ttl: TtlModel, seed: u64) -> Self {
+        assert!(shards_per_zone > 0, "cdn needs at least one shard per zone");
+        let edge_zones = EDGE_SUFFIXES
+            .iter()
+            .map(|s| s.parse().expect("static edge zone is valid"))
+            .collect();
+        let customers = (0..n_customers)
+            .map(|i| {
+                let brand = label_alnum(mix64(seed ^ 0xcd ^ ((i as u64) << 11)), 8);
+                format!("www.{brand}.com").parse().expect("customer name is valid")
+            })
+            .collect();
+        CdnFleet {
+            edge_zones,
+            customers,
+            shards_per_zone,
+            daily_events,
+            cname_fraction: 0.35,
+            shard_pop: ZipfSampler::new(shards_per_zone, 1.5),
+            ttl,
+            seed,
+        }
+    }
+
+    fn shard_name(&self, zone_idx: usize, shard: usize) -> Name {
+        let zone = &self.edge_zones[zone_idx];
+        zone.child(Label::new(&format!("e{shard}")).expect("shard label is valid"))
+    }
+
+    fn shard_answer(&self, zone_idx: usize, shard: usize, day: u64) -> Record {
+        let zone = &self.edge_zones[zone_idx];
+        let forge = NameForge::new(mix64(self.seed ^ zone_idx as u64), zone.clone());
+        let name = self.shard_name(zone_idx, shard);
+        let ttl = self.ttl.sample(mix64((zone_idx as u64) << 24 ^ shard as u64));
+        // ~30% of shards remap to fresh edge addresses daily (content and
+        // load churn) — the reason Akamai keeps contributing *some* new
+        // RRs late in a window instead of flatlining (Fig. 5 observes a
+        // −69% decline, not −100%).
+        let rotation = if shard % 10 < 3 { day } else { 0 };
+        Record::new(name, QType::A, ttl, forge.ipv4(mix64(shard as u64 ^ (rotation << 40))))
+    }
+}
+
+impl ZoneModel for CdnFleet {
+    fn zones(&self) -> Vec<ZoneInfo> {
+        let mut infos: Vec<ZoneInfo> = self
+            .edge_zones
+            .iter()
+            .map(|apex| ZoneInfo {
+                apex: apex.clone(),
+                category: Category::Cdn,
+                operator: Operator::Akamai,
+                disposable: false,
+                child_depth: None,
+            })
+            .collect();
+        infos.extend(self.customers.iter().map(|www| ZoneInfo {
+            apex: www.parent().expect("www names have a parent"),
+            category: Category::Cdn,
+            operator: Operator::Other(6_000),
+            disposable: false,
+            child_depth: None,
+        }));
+        infos
+    }
+
+    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+        for _ in 0..self.daily_events {
+            let zone_idx = rng.gen_range(0..self.edge_zones.len());
+            let shard = self.shard_pop.sample(rng);
+            let client = rng.gen_range(0..ctx.n_clients);
+            let second = ctx.diurnal.sample_second(rng);
+            let edge_rr = self.shard_answer(zone_idx, shard, ctx.day);
+
+            if !self.customers.is_empty() && rng.gen::<f64>() < self.cname_fraction {
+                // Customer lookup: www.brand.com CNAME e<i>.<zone> + A. A
+                // customer's CNAME target set is small and stable (its
+                // assigned edge shards), so the distinct-RR volume from
+                // customers stays bounded like real CDN mappings.
+                let ci = rng.gen_range(0..self.customers.len());
+                let customer = self.customers[ci].clone();
+                let assigned = mix64(self.seed ^ 0xa551 ^ ci as u64);
+                // Customers are CNAMEd onto head (popular) shards.
+                let head = self.shards_per_zone.min(32);
+                let shard_choice = ((assigned >> 8).wrapping_add(rng.gen_range(0..4)) as usize) % head;
+                let zone_choice = (assigned % self.edge_zones.len() as u64) as usize;
+                let edge_rr = self.shard_answer(zone_choice, shard_choice, ctx.day);
+                let cname_rr = Record::new(
+                    customer.clone(),
+                    QType::Cname,
+                    edge_rr.ttl,
+                    RData::Cname(edge_rr.name.clone()),
+                );
+                sink.push(event_at(
+                    ctx,
+                    second,
+                    client,
+                    customer,
+                    QType::A,
+                    Outcome::Answer(vec![cname_rr, edge_rr]),
+                    tag,
+                ));
+            } else {
+                let name = edge_rr.name.clone();
+                sink.push(event_at(ctx, second, client, name, QType::A, Outcome::Answer(vec![edge_rr]), tag));
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "cdn fleet ({} zones × {} shards, {} customers, {} events)",
+            self.edge_zones.len(),
+            self.shards_per_zone,
+            self.customers.len(),
+            self.daily_events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diurnal::DiurnalCurve;
+    use rand::SeedableRng;
+
+    fn generate(fleet: &CdnFleet, day: u64) -> Vec<crate::event::QueryEvent> {
+        let ctx = DayCtx { day, epoch: 0.0, n_clients: 2_000, diurnal: DiurnalCurve::residential() };
+        let mut rng = StdRng::seed_from_u64(31 ^ day);
+        let mut sink = Vec::new();
+        fleet.generate_day(&ctx, 5, &mut rng, &mut sink);
+        sink
+    }
+
+    #[test]
+    fn popular_shards_repeat_heavily() {
+        let fleet = CdnFleet::new(5_000, 50, 20_000, TtlModel::cdn(), 3);
+        let events = generate(&fleet, 0);
+        let unique: std::collections::HashSet<_> = events.iter().map(|e| e.name.clone()).collect();
+        // Zipf head: far fewer unique names than events.
+        assert!(unique.len() * 3 < events.len(), "{} unique / {} events", unique.len(), events.len());
+    }
+
+    #[test]
+    fn new_names_decline_across_days() {
+        let fleet = CdnFleet::new(20_000, 50, 8_000, TtlModel::cdn(), 3);
+        let mut seen = std::collections::HashSet::new();
+        let mut new_per_day = Vec::new();
+        for day in 0..5 {
+            let mut new = 0;
+            for ev in generate(&fleet, day) {
+                if seen.insert(ev.name.clone()) {
+                    new += 1;
+                }
+            }
+            new_per_day.push(new);
+        }
+        assert!(
+            new_per_day[4] < new_per_day[0],
+            "new names should decline: {new_per_day:?}"
+        );
+    }
+
+    #[test]
+    fn customer_lookups_carry_cname_chains() {
+        let fleet = CdnFleet::new(1_000, 30, 5_000, TtlModel::cdn(), 3);
+        let events = generate(&fleet, 0);
+        let chained = events
+            .iter()
+            .filter(|e| e.outcome.records().len() == 2)
+            .collect::<Vec<_>>();
+        assert!(!chained.is_empty(), "expected CNAME chains");
+        for ev in chained {
+            let recs = ev.outcome.records();
+            assert_eq!(recs[0].qtype, QType::Cname);
+            assert_eq!(recs[1].qtype, QType::A);
+            // The A record is owned by an Akamai zone, not the customer.
+            assert!(EDGE_SUFFIXES.iter().any(|s| recs[1].name.to_string().ends_with(s)));
+        }
+    }
+
+    #[test]
+    fn zone_infos_cover_edges_and_customers() {
+        let fleet = CdnFleet::new(100, 7, 100, TtlModel::cdn(), 3);
+        let infos = fleet.zones();
+        assert_eq!(infos.len(), EDGE_SUFFIXES.len() + 7);
+        assert!(infos.iter().all(|z| !z.disposable));
+        assert_eq!(infos.iter().filter(|z| z.operator == Operator::Akamai).count(), EDGE_SUFFIXES.len());
+    }
+}

@@ -1,0 +1,54 @@
+//! Concrete zone models, one per behavioural class.
+//!
+//! Each model reproduces the naming scheme and query pattern of one of the
+//! industries the paper observed (Fig. 6, Fig. 11): three of them are the
+//! paper's own worked examples (eSoft telemetry, McAfee file reputation,
+//! Google's IPv6 experiment), and the rest cover DNSBLs, trackers, CDNs,
+//! popular sites, the long tail and NXDOMAIN noise.
+
+mod av;
+mod cdn;
+mod dnsbl;
+mod ipv6exp;
+mod longtail;
+mod nxnoise;
+mod popular;
+mod portal;
+mod telemetry;
+mod tracker;
+
+pub use av::AvReputation;
+pub use cdn::CdnFleet;
+pub use dnsbl::DnsblFleet;
+pub use ipv6exp::Ipv6Experiment;
+pub use longtail::LongTail;
+pub use nxnoise::NxNoise;
+pub use popular::PopularSites;
+pub use portal::PortalFleet;
+pub use telemetry::TelemetryFleet;
+pub use tracker::TrackerFleet;
+
+use dnsnoise_dns::{Name, QType, Timestamp};
+
+use crate::event::{Outcome, QueryEvent};
+use crate::zone::DayCtx;
+
+/// Builds a [`QueryEvent`] at `second_of_day` on the context's day.
+pub(crate) fn event_at(
+    ctx: &DayCtx,
+    second_of_day: u64,
+    client: u64,
+    name: Name,
+    qtype: QType,
+    outcome: Outcome,
+    tag: u32,
+) -> QueryEvent {
+    QueryEvent {
+        time: Timestamp::from_days(ctx.day) + dnsnoise_dns::Ttl::from_secs(second_of_day.min(86_399) as u32),
+        client,
+        name,
+        qtype,
+        outcome,
+        zone_tag: tag,
+    }
+}

@@ -1,0 +1,187 @@
+//! NXDOMAIN noise: typos and connectivity probes.
+//!
+//! Fig. 2 shows NXDOMAIN at ~40% of the traffic *above* the recursives but
+//! only ~6% below — unsuccessful resolutions are numerous but (with
+//! negative caching unhonoured) every one goes upstream. Two generators
+//! reproduce the mix: typos of plausible 2LDs drawn from a Zipf pool
+//! (popular typos like `googel.com` recur across users), and browser
+//! startup probes (a random hostname queried three times in a row by the
+//! same client, the Chromium NXDOMAIN-hijack detection behaviour of the
+//! era). Unique-name volume and event volume are controlled separately so
+//! the scenario can hit both the queried-domain share (Fig. 13) and the
+//! traffic share (Fig. 2).
+
+use dnsnoise_dns::{Name, QType};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::event::Outcome;
+use crate::namegen::{label_alnum, mix64};
+use crate::scenario::ZoneInfo;
+use crate::zipf::ZipfSampler;
+use crate::zone::{DayCtx, ZoneModel};
+use crate::zones::event_at;
+
+/// NXDOMAIN noise generator.
+#[derive(Debug, Clone)]
+pub struct NxNoise {
+    /// Distinct NXDOMAIN names per day (hit exactly, modulo probe-name
+    /// collisions which are astronomically unlikely).
+    unique_budget: usize,
+    /// Approximate NXDOMAIN responses per day.
+    daily_events: usize,
+    /// Recurring "popular typo" head pool absorbing the excess volume.
+    head_pool: ZipfSampler,
+    /// Share of the unique budget spent on 3× browser probes.
+    probe_share: f64,
+    seed: u64,
+}
+
+impl NxNoise {
+    /// Builds a generator emitting about `daily_events` NXDOMAIN responses
+    /// over about `unique_budget` distinct names per day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unique_budget` is zero.
+    pub fn new(unique_budget: usize, daily_events: usize, seed: u64) -> Self {
+        assert!(unique_budget > 0, "nx noise needs a unique budget");
+        let head = (unique_budget / 20).max(8);
+        NxNoise {
+            unique_budget,
+            daily_events: daily_events.max(unique_budget),
+            head_pool: ZipfSampler::new(head, 0.9),
+            probe_share: 0.10,
+            seed,
+        }
+    }
+
+    /// A fresh one-shot typo, unique per `(day, i)`.
+    fn fresh_typo(&self, day: u64, i: usize) -> Name {
+        self.typo_from_hash(mix64(self.seed ^ 0x909e ^ (day << 32) ^ i as u64))
+    }
+
+    /// A recurring head typo (`googel.com`-style, shared across days).
+    fn head_typo(&self, idx: usize) -> Name {
+        self.typo_from_hash(mix64(self.seed ^ 0x4ead ^ idx as u64))
+    }
+
+    fn typo_from_hash(&self, h: u64) -> Name {
+        let brand = label_alnum(h, 5 + (h % 8) as usize);
+        let tld = ["com", "net", "org", "cm", "co"][(h >> 32) as usize % 5];
+        let s = if h & 1 == 0 { format!("www.{brand}.{tld}") } else { format!("{brand}.{tld}") };
+        s.parse().expect("typo name is valid")
+    }
+
+    fn probe_name(&self, rng: &mut StdRng) -> Name {
+        // Chromium-style: a single random label.
+        Name::from_labels([label_alnum(rng.gen::<u64>() ^ mix64(self.seed), 10)])
+    }
+}
+
+impl ZoneModel for NxNoise {
+    fn zones(&self) -> Vec<ZoneInfo> {
+        Vec::new()
+    }
+
+    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+        // Probes: a capped count of fresh names, three lookups each.
+        let n_probes = ((self.unique_budget as f64) * self.probe_share) as usize;
+        for _ in 0..n_probes {
+            let client = rng.gen_range(0..ctx.n_clients);
+            let second = ctx.diurnal.sample_second(rng);
+            let name = self.probe_name(rng);
+            for k in 0..3 {
+                sink.push(event_at(ctx, second + k, client, name.clone(), QType::A, Outcome::NxDomain, tag));
+            }
+        }
+        // Fresh one-shot typos: the rest of the unique budget.
+        let fresh = self.unique_budget.saturating_sub(n_probes);
+        for i in 0..fresh {
+            let client = rng.gen_range(0..ctx.n_clients);
+            let second = ctx.diurnal.sample_second(rng);
+            let name = self.fresh_typo(ctx.day, i);
+            sink.push(event_at(ctx, second, client, name, QType::A, Outcome::NxDomain, tag));
+        }
+        // Recurring head typos absorb the remaining event volume.
+        let head_events = self.daily_events.saturating_sub(n_probes * 3 + fresh);
+        for _ in 0..head_events {
+            let client = rng.gen_range(0..ctx.n_clients);
+            let second = ctx.diurnal.sample_second(rng);
+            let name = self.head_typo(self.head_pool.sample(rng));
+            sink.push(event_at(ctx, second, client, name, QType::A, Outcome::NxDomain, tag));
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("nxdomain noise ({} uniques, {} events)", self.unique_budget, self.daily_events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diurnal::DiurnalCurve;
+    use rand::SeedableRng;
+
+    fn generate(model: &NxNoise) -> Vec<crate::event::QueryEvent> {
+        let ctx = DayCtx { day: 0, epoch: 0.0, n_clients: 500, diurnal: DiurnalCurve::residential() };
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut sink = Vec::new();
+        model.generate_day(&ctx, 4, &mut rng, &mut sink);
+        sink
+    }
+
+    #[test]
+    fn all_events_are_nxdomain() {
+        let model = NxNoise::new(300, 1_000, 9);
+        let events = generate(&model);
+        assert!(events.len() >= 1_000);
+        assert!(events.iter().all(|e| e.outcome.is_nxdomain()));
+    }
+
+    #[test]
+    fn unique_count_tracks_budget_not_events() {
+        // 20× more events than uniques: the pool absorbs the volume.
+        let model = NxNoise::new(500, 10_000, 9);
+        let events = generate(&model);
+        let unique: std::collections::HashSet<_> = events.iter().map(|e| e.name.clone()).collect();
+        assert!(
+            unique.len() < 500 * 3,
+            "uniques {} should stay near the budget, not events {}",
+            unique.len(),
+            events.len()
+        );
+        assert!(unique.len() > 200, "uniques {} too few", unique.len());
+    }
+
+    #[test]
+    fn browser_probes_repeat_exactly_three_times() {
+        let model = NxNoise::new(1_000, 4_000, 9);
+        let events = generate(&model);
+        let mut counts = std::collections::HashMap::new();
+        for ev in &events {
+            *counts.entry(ev.name.clone()).or_insert(0u32) += 1;
+        }
+        // Probe names are single labels; typo names have 2-3.
+        let probe_counts: Vec<u32> = counts
+            .iter()
+            .filter(|(n, _)| n.depth() == 1)
+            .map(|(_, &c)| c)
+            .collect();
+        assert!(!probe_counts.is_empty());
+        assert!(probe_counts.iter().all(|&c| c == 3), "every probe fires 3x");
+    }
+
+    #[test]
+    fn popular_typos_recur() {
+        let model = NxNoise::new(200, 5_000, 9);
+        let events = generate(&model);
+        let mut counts = std::collections::HashMap::new();
+        for ev in &events {
+            *counts.entry(ev.name.clone()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 10, "head typo should recur heavily, max={max}");
+    }
+}

@@ -1,0 +1,310 @@
+//! The `dnsnoise` command-line tool: generate traces, replay them through
+//! the resolver cluster, and mine them for disposable zones.
+//!
+//! ```text
+//! dnsnoise generate --epoch 1.0 --scale 0.1 --seed 7 --day 0 --out day0.trace
+//! dnsnoise simulate --trace day0.trace
+//! dnsnoise mine     --trace day0.trace --theta 0.9
+//! dnsnoise mine     --epoch 1.0 --scale 0.2        # synthetic, self-grading
+//! dnsnoise train    --scale 0.3 --out model.txt    # persist the classifier
+//! dnsnoise mine     --trace day0.trace --model model.txt
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use dnsnoise::core::{DailyPipeline, DomainTree, Miner, MinerConfig, TrainingSetBuilder};
+use dnsnoise::dns::SuffixList;
+use dnsnoise::resolver::{ResolverSim, SimConfig};
+use dnsnoise::workload::{trace_io, DayTrace, Scenario, ScenarioConfig};
+
+/// Parsed command-line options shared by the subcommands.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    epoch: f64,
+    scale: f64,
+    seed: u64,
+    day: u64,
+    theta: f64,
+    min_group: usize,
+    members: usize,
+    capacity: usize,
+    trace: Option<String>,
+    out: Option<String>,
+    model: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            epoch: 1.0,
+            scale: 0.1,
+            seed: 7,
+            day: 0,
+            theta: 0.9,
+            min_group: 10,
+            members: 4,
+            capacity: 50_000,
+            trace: None,
+            out: None,
+            model: None,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--epoch" => opts.epoch = value("--epoch")?.parse().map_err(|_| "bad --epoch")?,
+            "--scale" => opts.scale = value("--scale")?.parse().map_err(|_| "bad --scale")?,
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--day" => opts.day = value("--day")?.parse().map_err(|_| "bad --day")?,
+            "--theta" => opts.theta = value("--theta")?.parse().map_err(|_| "bad --theta")?,
+            "--min-group" => opts.min_group = value("--min-group")?.parse().map_err(|_| "bad --min-group")?,
+            "--members" => opts.members = value("--members")?.parse().map_err(|_| "bad --members")?,
+            "--capacity" => opts.capacity = value("--capacity")?.parse().map_err(|_| "bad --capacity")?,
+            "--trace" => opts.trace = Some(value("--trace")?.clone()),
+            "--out" => opts.out = Some(value("--out")?.clone()),
+            "--model" => opts.model = Some(value("--model")?.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(0.0..=1.0).contains(&opts.epoch) {
+        return Err("--epoch must be in [0, 1]".into());
+    }
+    if opts.scale <= 0.0 {
+        return Err("--scale must be positive".into());
+    }
+    Ok(opts)
+}
+
+fn scenario_of(opts: &Options) -> Scenario {
+    Scenario::new(
+        ScenarioConfig::paper_epoch(opts.epoch).with_scale(opts.scale),
+        opts.seed,
+    )
+}
+
+fn load_trace(path: &str) -> Result<DayTrace, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    trace_io::read_trace(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn cmd_generate(opts: &Options) -> Result<(), String> {
+    let scenario = scenario_of(opts);
+    let trace = scenario.generate_day(opts.day);
+    match &opts.out {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            trace_io::write_trace(&trace, BufWriter::new(file)).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} events to {path}", trace.events.len());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            trace_io::write_trace(&trace, BufWriter::new(stdout.lock())).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Options) -> Result<(), String> {
+    let config = SimConfig { members: opts.members, capacity_each: opts.capacity, ..SimConfig::default() };
+    let mut sim = ResolverSim::new(config);
+    let (trace, gt);
+    let report = match &opts.trace {
+        Some(path) => {
+            trace = load_trace(path)?;
+            sim.run_day(&trace, None, &mut ())
+        }
+        None => {
+            let scenario = scenario_of(opts);
+            trace = scenario.generate_day(opts.day);
+            gt = scenario.ground_truth().clone();
+            sim.run_day(&trace, Some(&gt), &mut ())
+        }
+    };
+    println!("events:            {}", trace.events.len());
+    println!("below records:     {}", report.below_total);
+    println!("above records:     {}", report.above_total);
+    println!("nxdomain (below):  {}", report.nx_below);
+    println!("distinct RRs:      {}", report.rr_stats.len());
+    println!("cache hit rate:    {:.1}%", report.cache.hit_rate() * 100.0);
+    println!("zero-DHR fraction: {:.1}%", report.rr_stats.zero_dhr_fraction() * 100.0);
+    println!("premature evicts:  {}", report.cache.premature_evictions());
+    Ok(())
+}
+
+/// Builds a labeled training set from a synthetic day.
+fn synthetic_labeled(opts: &Options) -> dnsnoise::core::LabeledZones {
+    let train_scenario =
+        Scenario::new(ScenarioConfig::paper_epoch(opts.epoch).with_scale(opts.scale.max(0.1)), opts.seed);
+    let mut train_sim = ResolverSim::new(SimConfig::default());
+    let train_report =
+        train_sim.run_day(&train_scenario.generate_day(0), Some(train_scenario.ground_truth()), &mut ());
+    let train_tree = DomainTree::from_day_stats(&train_report.rr_stats);
+    TrainingSetBuilder { min_disposable_names: 8, ..Default::default() }
+        .build(&train_tree, train_scenario.ground_truth())
+}
+
+fn cmd_train(opts: &Options) -> Result<(), String> {
+    let miner_config = MinerConfig { theta: opts.theta, min_group_size: opts.min_group, ..Default::default() };
+    let labeled = synthetic_labeled(opts);
+    let model = Miner::train_model(&labeled, miner_config);
+    let text = dnsnoise::ml::model_to_text(&model);
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "trained on {} disposable / {} non-disposable zones → {path}",
+                labeled.positives(),
+                labeled.len() - labeled.positives()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn load_or_train_miner(opts: &Options, miner_config: MinerConfig) -> Result<Miner, String> {
+    match &opts.model {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let model = dnsnoise::ml::model_from_text(&text).map_err(|e| e.to_string())?;
+            Ok(Miner::new(Box::new(model), miner_config))
+        }
+        None => {
+            // No persisted model: train the classifier on a synthetic
+            // labeled day.
+            let labeled = synthetic_labeled(opts);
+            Ok(Miner::train(&labeled, miner_config))
+        }
+    }
+}
+
+fn cmd_mine(opts: &Options) -> Result<(), String> {
+    let miner_config = MinerConfig { theta: opts.theta, min_group_size: opts.min_group, ..Default::default() };
+    match &opts.trace {
+        Some(path) => {
+            let trace = load_trace(path)?;
+            let miner = load_or_train_miner(opts, miner_config)?;
+
+            let mut sim = ResolverSim::new(SimConfig::default());
+            let report = sim.run_day(&trace, None, &mut ());
+            let mut tree = DomainTree::from_day_stats(&report.rr_stats);
+            let mut findings = miner.mine(&mut tree, &SuffixList::builtin());
+            findings.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).expect("finite"));
+            let mut out = std::io::stdout().lock();
+            writeln!(out, "# zone\tdepth\tconfidence\tnames").map_err(|e| e.to_string())?;
+            for f in findings {
+                writeln!(out, "{}\t{}\t{:.3}\t{}", f.zone, f.depth, f.confidence, f.members)
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        None => {
+            let scenario = scenario_of(opts);
+            let mut pipeline = DailyPipeline::new(miner_config);
+            let report = pipeline.run_day(&scenario, opts.day);
+            println!("# zone\tdepth\tconfidence\tnames");
+            for f in &report.ranking {
+                println!("{}\t{}\t{:.3}\t{}", f.zone, f.depth, f.confidence, f.members);
+            }
+            eprintln!(
+                "\n{} zones under {} 2LDs | TPR {:.1}% FPR {:.1}% precision {:.1}%",
+                report.found.len(),
+                report.unique_2lds,
+                report.tpr() * 100.0,
+                report.fpr() * 100.0,
+                report.precision() * 100.0
+            );
+            Ok(())
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: dnsnoise <generate|simulate|mine|train> [flags]\n\
+     \n\
+     common flags: --epoch <0..1> --scale <f64> --seed <u64> --day <u64>\n\
+     generate:     --out <file>           (default: stdout)\n\
+     simulate:     --trace <file> --members <n> --capacity <n>\n\
+     mine:         --trace <file> --model <file> --theta <f64> --min-group <n>\n\
+     train:        --out <file>           (default: stdout)\n"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "mine" => cmd_mine(&opts),
+        "train" => cmd_train(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let opts = parse_options(&[]).unwrap();
+        assert_eq!(opts, Options::default());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let opts = parse_options(&args("--epoch 0.5 --scale 2 --seed 9 --day 3 --theta 0.7 --min-group 5 --members 2 --capacity 100 --trace t.txt --out o.txt")).unwrap();
+        assert_eq!(opts.epoch, 0.5);
+        assert_eq!(opts.scale, 2.0);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.day, 3);
+        assert_eq!(opts.theta, 0.7);
+        assert_eq!(opts.min_group, 5);
+        assert_eq!(opts.members, 2);
+        assert_eq!(opts.capacity, 100);
+        assert_eq!(opts.trace.as_deref(), Some("t.txt"));
+        assert_eq!(opts.out.as_deref(), Some("o.txt"));
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse_options(&args("--bogus 1")).is_err());
+        assert!(parse_options(&args("--epoch")).is_err());
+        assert!(parse_options(&args("--epoch 2.0")).is_err());
+        assert!(parse_options(&args("--scale -1")).is_err());
+    }
+}

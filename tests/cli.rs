@@ -1,0 +1,78 @@
+//! End-to-end tests of the `dnsnoise` CLI binary: generate → simulate →
+//! train → mine, through real process invocations and real files.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dnsnoise"))
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dnsnoise-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn generate_simulate_train_mine_roundtrip() {
+    let dir = tempdir();
+    let trace = dir.join("day0.trace");
+    let model = dir.join("model.txt");
+
+    // generate
+    let out = bin()
+        .args(["generate", "--scale", "0.02", "--seed", "11", "--out"])
+        .arg(&trace)
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(text.lines().count() > 1_000, "trace has events");
+
+    // simulate
+    let out = bin().args(["simulate", "--trace"]).arg(&trace).output().expect("run simulate");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("below records:"), "{stdout}");
+    assert!(stdout.contains("cache hit rate:"), "{stdout}");
+
+    // train
+    let out = bin()
+        .args(["train", "--scale", "0.1", "--seed", "11", "--out"])
+        .arg(&model)
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    let model_text = std::fs::read_to_string(&model).expect("model written");
+    assert!(model_text.starts_with("ladtree v1"), "{model_text}");
+
+    // mine with the persisted model
+    let out = bin()
+        .args(["mine", "--trace"])
+        .arg(&trace)
+        .args(["--model"])
+        .arg(&model)
+        .output()
+        .expect("run mine");
+    assert!(out.status.success(), "mine failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.lines().next().unwrap_or("").starts_with("# zone"), "{stdout}");
+    // The Google IPv6 experiment dominates at this scale and must be found.
+    assert!(stdout.contains("google.com"), "expected google findings:\n{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let out = bin().args(["mine", "--bogus"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    let out = bin().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+
+    let out = bin().args(["help"]).output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}

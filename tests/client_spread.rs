@@ -1,0 +1,44 @@
+//! §IV's client-spread claim: "disposable domain names are only queried a
+//! few times by a handful of clients", while popular records are queried
+//! by many.
+
+use dnsnoise::resolver::{ResolverSim, SimConfig};
+use dnsnoise::workload::{Category, Scenario, ScenarioConfig};
+
+#[test]
+fn disposable_records_are_seen_by_a_handful_of_clients() {
+    let scenario = Scenario::new(
+        ScenarioConfig::paper_epoch(1.0).with_scale(0.05).with_events_per_unique(120.0),
+        808,
+    );
+    let gt = scenario.ground_truth();
+    let mut sim = ResolverSim::new(SimConfig::default());
+    let report = sim.run_day(&scenario.generate_day(0), Some(gt), &mut ());
+
+    let mut disposable = Vec::new();
+    let mut popular = Vec::new();
+    for (key, stat) in report.rr_stats.iter() {
+        match gt.zone_of(&key.name) {
+            Some(z) if z.disposable => disposable.push(stat.distinct_clients()),
+            Some(z) if z.category == Category::Popular => popular.push(stat.distinct_clients()),
+            _ => {}
+        }
+    }
+    assert!(disposable.len() > 200, "disposable RRs: {}", disposable.len());
+    assert!(popular.len() > 20, "popular RRs: {}", popular.len());
+
+    // The "handful": the overwhelming majority of disposable records are
+    // seen from at most 3 clients.
+    let handful = disposable.iter().filter(|&&c| c <= 3).count();
+    let frac = handful as f64 / disposable.len() as f64;
+    assert!(frac > 0.95, "disposable handful fraction {frac}");
+
+    // Popular records are spread over far more clients on average.
+    let mean = |v: &[u32]| v.iter().map(|&c| f64::from(c)).sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&popular) > 10.0 * mean(&disposable),
+        "popular mean {} vs disposable mean {}",
+        mean(&popular),
+        mean(&disposable)
+    );
+}

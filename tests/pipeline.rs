@@ -1,0 +1,62 @@
+//! End-to-end integration: workload → resolver → tree → classifier →
+//! Algorithm 1 → evaluation, across crate boundaries.
+
+use dnsnoise::core::{DailyPipeline, MinerConfig};
+use dnsnoise::workload::{Scenario, ScenarioConfig};
+
+#[test]
+fn full_pipeline_discovers_disposable_zones_accurately() {
+    let scenario = Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.2), 404);
+    let mut pipeline = DailyPipeline::new(MinerConfig::default());
+    let report = pipeline.run_day(&scenario, 0);
+
+    assert!(report.eligible_disposable >= 20, "eligible {}", report.eligible_disposable);
+    assert!(report.tpr() >= 0.8, "tpr {}", report.tpr());
+    assert!(report.fpr() <= 0.05, "fpr {}", report.fpr());
+    assert!(report.precision() >= 0.8, "precision {}", report.precision());
+    assert!(report.unique_2lds >= 10);
+    // The ranking is sorted by confidence.
+    assert!(report
+        .ranking
+        .windows(2)
+        .all(|w| w[0].confidence >= w[1].confidence));
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.8).with_scale(0.08), 777);
+        let mut pipeline = DailyPipeline::new(MinerConfig::default());
+        let report = pipeline.run_day(&scenario, 0);
+        let mut zones: Vec<String> = report.found.iter().map(|f| format!("{}#{}", f.zone, f.depth)).collect();
+        zones.sort();
+        (zones, report.eligible_disposable, report.detected_disposable)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn model_trained_on_day_zero_transfers_to_later_days() {
+    let scenario = Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.15), 55);
+    let mut pipeline = DailyPipeline::new(MinerConfig::default());
+    let day0 = pipeline.run_day(&scenario, 0);
+    let day3 = pipeline.run_day(&scenario, 3);
+    assert!(day0.tpr() >= 0.7);
+    assert!(day3.tpr() >= 0.7, "day-3 tpr {}", day3.tpr());
+    assert!(day3.fpr() <= 0.1, "day-3 fpr {}", day3.fpr());
+}
+
+#[test]
+fn classifier_trained_late_in_year_works_on_early_traffic() {
+    // Train at December volumes, mine a February-like day: the feature
+    // families should transfer across the growth epoch.
+    let dec = Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.2), 31);
+    let mut pipeline = DailyPipeline::new(MinerConfig::default());
+    let _ = pipeline.run_day(&dec, 0);
+    assert!(pipeline.is_trained());
+
+    let feb = Scenario::new(ScenarioConfig::paper_epoch(0.0).with_scale(0.2), 32);
+    let report = pipeline.run_day(&feb, 0);
+    assert!(report.tpr() >= 0.6, "cross-epoch tpr {}", report.tpr());
+    assert!(report.fpr() <= 0.1, "cross-epoch fpr {}", report.fpr());
+}
