@@ -12,9 +12,13 @@ fn sample_records(n: usize) -> Vec<Record> {
     (0..n)
         .map(|i| {
             Record::new(
-                format!("{}.avqs.vendor{}.com", dnsnoise_workload::label_base32(i as u64, 24), i % 40)
-                    .parse()
-                    .unwrap(),
+                format!(
+                    "{}.avqs.vendor{}.com",
+                    dnsnoise_workload::label_base32(i as u64, 24),
+                    i % 40
+                )
+                .parse()
+                .unwrap(),
                 QType::A,
                 Ttl::from_secs(300),
                 RData::A(Ipv4Addr::new(127, 0, (i >> 8) as u8, i as u8)),
@@ -30,13 +34,25 @@ fn bench_wire(c: &mut Criterion) {
         Question::new(name.clone(), QType::A),
         Rcode::NoError,
         vec![
-            Record::new(name.clone(), QType::Cname, Ttl::from_secs(60), RData::Cname("edge.cdn.example.net".parse().unwrap())),
-            Record::new("edge.cdn.example.net".parse().unwrap(), QType::A, Ttl::from_secs(20), RData::A(Ipv4Addr::new(192, 0, 2, 9))),
+            Record::new(
+                name.clone(),
+                QType::Cname,
+                Ttl::from_secs(60),
+                RData::Cname("edge.cdn.example.net".parse().unwrap()),
+            ),
+            Record::new(
+                "edge.cdn.example.net".parse().unwrap(),
+                QType::A,
+                Ttl::from_secs(20),
+                RData::A(Ipv4Addr::new(192, 0, 2, 9)),
+            ),
         ],
     );
     c.bench_function("wire/encode", |b| b.iter(|| black_box(wire::encode(&msg).unwrap().len())));
     let bytes = wire::encode(&msg).unwrap();
-    c.bench_function("wire/decode", |b| b.iter(|| black_box(wire::decode(&bytes).unwrap().answers.len())));
+    c.bench_function("wire/decode", |b| {
+        b.iter(|| black_box(wire::decode(&bytes).unwrap().answers.len()))
+    });
 }
 
 fn bench_rpdns_dedup(c: &mut Criterion) {
@@ -89,5 +105,11 @@ fn bench_trace_io(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_wire, bench_rpdns_dedup, bench_wildcard_aggregation, bench_trace_io);
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_rpdns_dedup,
+    bench_wildcard_aggregation,
+    bench_trace_io
+);
 criterion_main!(benches);

@@ -16,7 +16,14 @@ fn bench_cache_ops(c: &mut Criterion) {
         .collect();
     let records: Vec<Record> = keys
         .iter()
-        .map(|k| Record::new(k.name.clone(), QType::A, Ttl::from_secs(300), RData::A(Ipv4Addr::new(192, 0, 2, 1))))
+        .map(|k| {
+            Record::new(
+                k.name.clone(),
+                QType::A,
+                Ttl::from_secs(300),
+                RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+            )
+        })
         .collect();
 
     c.bench_function("cache/insert_evict_4k_over_1k_capacity", |b| {
@@ -24,7 +31,12 @@ fn bench_cache_ops(c: &mut Criterion) {
             || TtlLru::new(1_024),
             |mut cache| {
                 for (i, (k, r)) in keys.iter().zip(&records).enumerate() {
-                    cache.insert(k.clone(), vec![r.clone()], Timestamp::from_secs(i as u64), InsertPriority::Normal);
+                    cache.insert(
+                        k.clone(),
+                        vec![r.clone()],
+                        Timestamp::from_secs(i as u64),
+                        InsertPriority::Normal,
+                    );
                 }
                 black_box(cache.len())
             },
@@ -61,7 +73,9 @@ fn bench_resolver_day(c: &mut Criterion) {
     group.bench_function("run_day_scale_0.02", |b| {
         b.iter_batched(
             || ResolverSim::new(SimConfig::default()),
-            |mut sim| black_box(sim.run_day(&trace, Some(scenario.ground_truth()), &mut ()).below_total),
+            |mut sim| {
+                black_box(sim.run_day(&trace, Some(scenario.ground_truth()), &mut ()).below_total)
+            },
             BatchSize::SmallInput,
         )
     });

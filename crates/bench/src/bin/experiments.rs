@@ -36,14 +36,28 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!("usage: experiments [--scale <f64>] [<id> ...]");
-                println!("ids: {}", ExperimentId::all().iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+                println!(
+                    "ids: {}",
+                    ExperimentId::all()
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
                 return ExitCode::SUCCESS;
             }
             other => match other.parse::<ExperimentId>() {
                 Ok(id) => ids.push(id),
                 Err(e) => {
                     eprintln!("{e}");
-                    eprintln!("known ids: {}", ExperimentId::all().iter().map(ToString::to_string).collect::<Vec<_>>().join(" "));
+                    eprintln!(
+                        "known ids: {}",
+                        ExperimentId::all()
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    );
                     return ExitCode::FAILURE;
                 }
             },

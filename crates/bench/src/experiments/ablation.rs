@@ -12,11 +12,11 @@
 //!    observable cache-hit structure; the CHR class separation must
 //!    survive all three.
 
+use dnsnoise_cache::LoadBalance;
 use dnsnoise_core::{DomainTree, Miner, MinerConfig, TrainingSetBuilder};
+use dnsnoise_dns::SuffixList;
 use dnsnoise_ml::{cross_validate, Dataset, LadTree};
 use dnsnoise_resolver::{ChrDistribution, ResolverSim, SimConfig};
-use dnsnoise_cache::LoadBalance;
-use dnsnoise_dns::SuffixList;
 
 use crate::experiments::common;
 use crate::util::{pct, scenario, Table};
@@ -35,7 +35,9 @@ pub struct AblationResult {
 impl AblationResult {
     /// Renders all three ablations.
     pub fn render(&self) -> String {
-        let mut out = String::from("== Ablations: miner design choices ==\n\nfeature families (10-fold CV AUC):\n");
+        let mut out = String::from(
+            "== Ablations: miner design choices ==\n\nfeature families (10-fold CV AUC):\n",
+        );
         let mut t = Table::new(["feature set", "auc"]);
         for (name, auc) in &self.feature_ablation {
             t.row([name.clone(), format!("{auc:.4}")]);
@@ -61,9 +63,8 @@ impl AblationResult {
 
 /// Projects a dataset onto a column subset.
 fn project(data: &Dataset, cols: &[usize]) -> Dataset {
-    let rows: Vec<Vec<f64>> = (0..data.len())
-        .map(|i| cols.iter().map(|&c| data.row(i)[c]).collect())
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        (0..data.len()).map(|i| cols.iter().map(|&c| data.row(i)[c]).collect()).collect();
     Dataset::new(rows, data.labels().to_vec()).expect("projection preserves shape")
 }
 
@@ -96,7 +97,8 @@ fn theta_sweep(scale: f64) -> Vec<(f64, f64, f64, usize)> {
     let m = common::measure_day(&s, &mut sim, 0);
     let gt = s.ground_truth();
     let base_tree = DomainTree::from_day_stats(&m.report.rr_stats);
-    let labeled = TrainingSetBuilder { min_disposable_names: 8, ..Default::default() }.build(&base_tree, gt);
+    let labeled =
+        TrainingSetBuilder { min_disposable_names: 8, ..Default::default() }.build(&base_tree, gt);
     let psl = SuffixList::builtin();
 
     [0.5, 0.7, 0.9, 0.97]
@@ -106,7 +108,14 @@ fn theta_sweep(scale: f64) -> Vec<(f64, f64, f64, usize)> {
             let miner = Miner::train(&labeled, config);
             let mut tree = DomainTree::from_day_stats(&m.report.rr_stats);
             let found = miner.mine(&mut tree, &psl);
-            let report = dnsnoise_core::MiningReport::evaluate(0, found, &base_tree, gt, &psl, config.min_group_size);
+            let report = dnsnoise_core::MiningReport::evaluate(
+                0,
+                found,
+                &base_tree,
+                gt,
+                &psl,
+                config.min_group_size,
+            );
             (theta, report.tpr(), report.fpr(), report.found.len())
         })
         .collect()
@@ -124,7 +133,8 @@ fn load_balance_ablation(scale: f64) -> Vec<(String, f64, f64)> {
     ]
     .into_iter()
     .map(|(name, strategy)| {
-        let mut sim = ResolverSim::new(SimConfig { load_balance: strategy, ..SimConfig::default() });
+        let mut sim =
+            ResolverSim::new(SimConfig { load_balance: strategy, ..SimConfig::default() });
         let report = sim.run_day(&trace, Some(gt), &mut ());
         let mut disposable = Vec::new();
         let mut popular = Vec::new();
@@ -132,7 +142,9 @@ fn load_balance_ablation(scale: f64) -> Vec<(String, f64, f64)> {
             let sample = (stat.dhr(), u64::from(stat.misses));
             match gt.zone_of(&key.name) {
                 Some(z) if z.disposable => disposable.push(sample),
-                Some(z) if z.category == dnsnoise_workload::Category::Popular => popular.push(sample),
+                Some(z) if z.category == dnsnoise_workload::Category::Popular => {
+                    popular.push(sample)
+                }
                 _ => {}
             }
         }
@@ -159,7 +171,8 @@ mod tests {
     #[test]
     fn all_features_beat_single_families() {
         let r = run(0.3);
-        let get = |name: &str| r.feature_ablation.iter().find(|(n, _)| n.starts_with(name)).unwrap().1;
+        let get =
+            |name: &str| r.feature_ablation.iter().find(|(n, _)| n.starts_with(name)).unwrap().1;
         let all = get("all");
         assert!(all >= get("structure") - 0.02, "all {all} vs structure {}", get("structure"));
         assert!(all >= get("cache") - 0.02, "all {all} vs chr {}", get("cache"));

@@ -78,7 +78,8 @@ pub fn run(scale_factor: f64) -> CachePressureResult {
     let mut result = CachePressureResult::default();
     for capacity in [400, 1_500, 6_000] {
         for low_priority in [false, true] {
-            let mut config = SimConfig { members: 2, capacity_each: capacity, ..SimConfig::default() };
+            let mut config =
+                SimConfig { members: 2, capacity_each: capacity, ..SimConfig::default() };
             if low_priority {
                 let gt = Arc::clone(&gt);
                 config = config.with_low_priority(move |name| gt.is_disposable_name(name));
@@ -126,7 +127,10 @@ mod tests {
         let r = run(0.4);
         let small = r.point(400, "lru").unwrap();
         let large = r.point(6_000, "lru").unwrap();
-        assert!(small.premature_normal + small.premature_low > large.premature_normal + large.premature_low);
+        assert!(
+            small.premature_normal + small.premature_low
+                > large.premature_normal + large.premature_low
+        );
         assert!(small.above_total >= large.above_total);
         assert!(small.hit_rate <= large.hit_rate + 1e-9);
         assert!(!r.render().is_empty());

@@ -60,11 +60,8 @@ pub fn measure_day(scenario: &Scenario, sim: &mut ResolverSim, day: u64) -> DayM
     }
 
     let total_rrs = report.rr_stats.len();
-    let disposable_rrs = report
-        .rr_stats
-        .iter()
-        .filter(|(key, _)| gt.is_disposable_name(&key.name))
-        .count();
+    let disposable_rrs =
+        report.rr_stats.iter().filter(|(key, _)| gt.is_disposable_name(&key.name)).count();
 
     DayMeasurement {
         queried_uniques: queried.len(),

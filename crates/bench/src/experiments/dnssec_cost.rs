@@ -38,7 +38,13 @@ impl DnssecResult {
     /// Renders the comparison.
     pub fn render(&self) -> String {
         let mut out = String::from("== §VI-B: DNSSEC validation cost ==\n");
-        let mut t = Table::new(["configuration", "sig validations", "reused", "chain builds", "rrsig cache bytes"]);
+        let mut t = Table::new([
+            "configuration",
+            "sig validations",
+            "reused",
+            "chain builds",
+            "rrsig cache bytes",
+        ]);
         for p in &self.points {
             t.row([
                 p.label.clone(),
@@ -49,8 +55,11 @@ impl DnssecResult {
             ]);
         }
         out.push_str(&t.render());
-        if let (Some(all), Some(without)) = (self.point("all traffic"), self.point("without disposables")) {
-            let share = 1.0 - without.signature_validations as f64 / all.signature_validations.max(1) as f64;
+        if let (Some(all), Some(without)) =
+            (self.point("all traffic"), self.point("without disposables"))
+        {
+            let share = 1.0
+                - without.signature_validations as f64 / all.signature_validations.max(1) as f64;
             out.push_str(&format!("\ndisposable share of validations: {}\n", pct(share)));
         }
         out
@@ -90,21 +99,24 @@ pub fn run(scale_factor: f64) -> DnssecResult {
 
     // Wildcard rules from ground truth: every disposable zone signs one
     // wildcard at its child depth.
-    let wildcard_rules: Vec<(dnsnoise_dns::Name, usize)> = gt
-        .disposable_zones()
-        .filter_map(|z| z.child_depth.map(|d| (z.apex.clone(), d)))
-        .collect();
+    let wildcard_rules: Vec<(dnsnoise_dns::Name, usize)> =
+        gt.disposable_zones().filter_map(|z| z.child_depth.map(|d| (z.apex.clone(), d))).collect();
 
     let configs: Vec<(&str, bool, DnssecConfig)> = vec![
         ("all traffic", false, DnssecConfig::default()),
         ("without disposables", true, DnssecConfig::default()),
-        ("wildcard-signed disposables", false, DnssecConfig::default().with_wildcard_rules(wildcard_rules)),
+        (
+            "wildcard-signed disposables",
+            false,
+            DnssecConfig::default().with_wildcard_rules(wildcard_rules),
+        ),
     ];
 
     let mut result = DnssecResult::default();
     for (label, skip, config) in configs {
         let mut sim = ResolverSim::new(SimConfig::default());
-        let mut obs = ValidationObserver { model: DnssecCostModel::new(config), gt, skip_disposable: skip };
+        let mut obs =
+            ValidationObserver { model: DnssecCostModel::new(config), gt, skip_disposable: skip };
         let _ = sim.run_day(&trace, Some(gt), &mut obs);
         let stats = *obs.model.stats();
         result.points.push(DnssecPoint {

@@ -36,7 +36,11 @@ impl Fig11Result {
         let mut t = Table::new(["category", "measured", "paper"]);
         t.row([
             "classifier accuracy".to_owned(),
-            format!("{} TPR / {} FPR", pct(self.classifier_tpr_fpr.0), pct(self.classifier_tpr_fpr.1)),
+            format!(
+                "{} TPR / {} FPR",
+                pct(self.classifier_tpr_fpr.0),
+                pct(self.classifier_tpr_fpr.1)
+            ),
             "97% TPR / 1% FPR".to_owned(),
         ]);
         t.row([
@@ -83,7 +87,8 @@ pub fn run(scale_factor: f64) -> Fig11Result {
     let classifier_tpr_fpr = cls.operating_point(0.5);
 
     // The 6-day mining campaign.
-    let mut zones: std::collections::HashSet<(dnsnoise_dns::Name, usize)> = std::collections::HashSet::new();
+    let mut zones: std::collections::HashSet<(dnsnoise_dns::Name, usize)> =
+        std::collections::HashSet::new();
     let mut tlds: std::collections::HashSet<dnsnoise_dns::Name> = std::collections::HashSet::new();
     let psl = dnsnoise_dns::SuffixList::builtin();
     let mut tprs = Vec::new();

@@ -49,7 +49,8 @@ impl Fig14Result {
     /// Renders the report.
     pub fn render(&self) -> String {
         let mut out = String::from("== Figure 14: disposable-domain TTLs, Feb vs Dec 2011 ==\n");
-        let mut keys: Vec<u32> = self.february.keys().chain(self.december.keys()).copied().collect();
+        let mut keys: Vec<u32> =
+            self.february.keys().chain(self.december.keys()).copied().collect();
         keys.sort_unstable();
         keys.dedup();
         let mut t = Table::new(["ttl(s)", "feb names", "dec names"]);

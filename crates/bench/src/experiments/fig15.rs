@@ -32,15 +32,11 @@ impl Fig15Result {
 
     /// Renders the report.
     pub fn render(&self) -> String {
-        let mut out = String::from("== Figure 15: new RRs per day, disposable vs non-disposable ==\n");
+        let mut out =
+            String::from("== Figure 15: new RRs per day, disposable vs non-disposable ==\n");
         let mut t = Table::new(["day", "disposable", "non-disposable", "disposable share"]);
         for (i, (d, n)) in self.per_day.iter().enumerate() {
-            t.row([
-                format!("{}", i + 1),
-                d.to_string(),
-                n.to_string(),
-                pct(self.daily_share(i)),
-            ]);
+            t.row([format!("{}", i + 1), d.to_string(), n.to_string(), pct(self.daily_share(i))]);
         }
         out.push_str(&t.render());
         out.push_str(&format!(

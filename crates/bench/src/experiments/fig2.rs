@@ -21,17 +21,20 @@ pub struct Fig2Result {
 impl Fig2Result {
     /// Ratio of below to above volume over the window.
     pub fn below_above_ratio(&self) -> f64 {
-        self.total.below_total(Series::All) as f64 / self.total.above_total(Series::All).max(1) as f64
+        self.total.below_total(Series::All) as f64
+            / self.total.above_total(Series::All).max(1) as f64
     }
 
     /// NXDOMAIN share of traffic above the recursives.
     pub fn nx_share_above(&self) -> f64 {
-        self.total.above_total(Series::NxDomain) as f64 / self.total.above_total(Series::All).max(1) as f64
+        self.total.above_total(Series::NxDomain) as f64
+            / self.total.above_total(Series::All).max(1) as f64
     }
 
     /// NXDOMAIN share of traffic below the recursives.
     pub fn nx_share_below(&self) -> f64 {
-        self.total.below_total(Series::NxDomain) as f64 / self.total.below_total(Series::All).max(1) as f64
+        self.total.below_total(Series::NxDomain) as f64
+            / self.total.below_total(Series::All).max(1) as f64
     }
 
     /// Peak-hour over trough-hour volume below (diurnal swing).
@@ -51,7 +54,15 @@ impl Fig2Result {
     /// Renders the paper-style report.
     pub fn render(&self) -> String {
         let mut out = String::from("== Figure 2: traffic above/below the recursive cluster ==\n");
-        let mut t = Table::new(["day", "below(All)", "below(NX)", "below(Akam)", "below(Goog)", "above(All)", "above(NX)"]);
+        let mut t = Table::new([
+            "day",
+            "below(All)",
+            "below(NX)",
+            "below(Akam)",
+            "below(Goog)",
+            "above(All)",
+            "above(NX)",
+        ]);
         for (d, p) in self.days.iter().enumerate() {
             t.row([
                 format!("dec-{:02}", d + 1),

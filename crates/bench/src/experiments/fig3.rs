@@ -23,7 +23,8 @@ pub struct Fig3aResult {
 impl Fig3aResult {
     /// Renders the report.
     pub fn render(&self) -> String {
-        let mut out = String::from("== Figure 3a: lookup volume distribution (02/01 scenario) ==\n");
+        let mut out =
+            String::from("== Figure 3a: lookup volume distribution (02/01 scenario) ==\n");
         let mut t = Table::new(["quantile", "lookups/day"]);
         for (q, v) in &self.quantiles {
             t.row([format!("p{:02.0}", q * 100.0), v.to_string()]);

@@ -52,7 +52,8 @@ impl Fig5Result {
 
     /// Renders the report.
     pub fn render(&self) -> String {
-        let mut out = String::from("== Figure 5: new resource records per day (rpDNS, 13 days) ==\n");
+        let mut out =
+            String::from("== Figure 5: new resource records per day (rpDNS, 13 days) ==\n");
         let mut t = Table::new(["day", "all", "akamai", "google"]);
         for (d, (a, k, g)) in self.per_day.iter().enumerate() {
             t.row([format!("{}", d + 1), a.to_string(), k.to_string(), g.to_string()]);
@@ -104,7 +105,8 @@ pub fn run(scale_factor: f64) -> Fig5Result {
     }
 
     result.total_records = store.len() as u64;
-    result.google_records = store.count_matching(|k| gt.operator_of(&k.name) == Some(Operator::Google)) as u64;
+    result.google_records =
+        store.count_matching(|k| gt.operator_of(&k.name) == Some(Operator::Google)) as u64;
     result
 }
 

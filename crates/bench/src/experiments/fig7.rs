@@ -26,7 +26,8 @@ pub struct Fig7Result {
 impl Fig7Result {
     /// Renders the report.
     pub fn render(&self) -> String {
-        let mut out = String::from("== Figure 7: CHR distribution, disposable vs non-disposable zones ==\n");
+        let mut out =
+            String::from("== Figure 7: CHR distribution, disposable vs non-disposable zones ==\n");
         let mut t = Table::new(["chr<=", "cdf(disposable)", "cdf(non-disposable)"]);
         for ((x, d), (_, n)) in self.disposable_cdf.iter().zip(&self.nondisposable_cdf) {
             t.row([format!("{x:.1}"), format!("{d:.3}"), format!("{n:.3}")]);

@@ -15,6 +15,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod pdnsdb;
+pub mod resilience;
 pub mod tables;
 
 use std::fmt;
@@ -57,6 +58,8 @@ pub enum ExperimentId {
     PdnsDb,
     /// Design-choice ablations (feature families, θ, load balancing).
     Ablation,
+    /// Resilience — outages × disposable share, serve-stale mitigation.
+    Resilience,
 }
 
 impl ExperimentId {
@@ -80,6 +83,7 @@ impl ExperimentId {
             ExperimentId::Dnssec,
             ExperimentId::PdnsDb,
             ExperimentId::Ablation,
+            ExperimentId::Resilience,
         ]
     }
 }
@@ -104,6 +108,7 @@ impl fmt::Display for ExperimentId {
             ExperimentId::Dnssec => "dnssec",
             ExperimentId::PdnsDb => "pdnsdb",
             ExperimentId::Ablation => "ablation",
+            ExperimentId::Resilience => "resilience",
         };
         f.write_str(s)
     }
@@ -142,6 +147,7 @@ pub fn run_experiment(id: ExperimentId, scale_factor: f64) -> String {
         ExperimentId::Dnssec => dnssec_cost::run(scale_factor).render(),
         ExperimentId::PdnsDb => pdnsdb::run(scale_factor).render(),
         ExperimentId::Ablation => ablation::run(scale_factor).render(),
+        ExperimentId::Resilience => resilience::run(scale_factor).render(),
     }
 }
 

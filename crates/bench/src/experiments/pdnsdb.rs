@@ -42,14 +42,23 @@ impl PdnsDbResult {
         let mut t = Table::new(["metric", "value"]);
         t.row(["stored distinct records".to_owned(), self.total_records.to_string()]);
         t.row(["disposable records".to_owned(), self.disposable_records.to_string()]);
-        t.row(["disposable share".to_owned(), format!("{} (paper: 88%)", pct(self.disposable_share()))]);
+        t.row([
+            "disposable share".to_owned(),
+            format!("{} (paper: 88%)", pct(self.disposable_share())),
+        ]);
         t.row(["modelled storage bytes".to_owned(), self.storage_bytes.to_string()]);
-        t.row(["entries after wildcarding (ground-truth rules)".to_owned(), self.aggregated_entries_gt.to_string()]);
+        t.row([
+            "entries after wildcarding (ground-truth rules)".to_owned(),
+            self.aggregated_entries_gt.to_string(),
+        ]);
         t.row([
             "disposable reduction (ground-truth rules)".to_owned(),
             format!("{} of original (paper: 0.7%)", pct(self.disposable_reduction_gt)),
         ]);
-        t.row(["entries after wildcarding (mined rules)".to_owned(), self.aggregated_entries_mined.to_string()]);
+        t.row([
+            "entries after wildcarding (mined rules)".to_owned(),
+            self.aggregated_entries_mined.to_string(),
+        ]);
         t.row([
             "disposable reduction (mined rules)".to_owned(),
             format!("{} of original", pct(self.disposable_reduction_mined)),
@@ -65,7 +74,8 @@ pub fn run(scale_factor: f64) -> PdnsDbResult {
     let gt = s.ground_truth();
     let mut sim = common::default_sim();
     let mut store = RpDns::new();
-    let mut mined_rules: std::collections::HashSet<(dnsnoise_dns::Name, usize)> = std::collections::HashSet::new();
+    let mut mined_rules: std::collections::HashSet<(dnsnoise_dns::Name, usize)> =
+        std::collections::HashSet::new();
     let mut pipeline = DailyPipeline::new(MinerConfig::default());
 
     for day in 0..13 {
@@ -132,7 +142,11 @@ mod tests {
         assert!(r.disposable_reduction_gt < 0.05, "gt reduction {}", r.disposable_reduction_gt);
         // Mined rules are a subset of ground truth but still help a lot.
         assert!(r.aggregated_entries_mined < r.total_records);
-        assert!(r.disposable_reduction_mined < 0.6, "mined reduction {}", r.disposable_reduction_mined);
+        assert!(
+            r.disposable_reduction_mined < 0.6,
+            "mined reduction {}",
+            r.disposable_reduction_mined
+        );
         assert!(!r.render().is_empty());
     }
 }

@@ -36,7 +36,12 @@ impl TailTable {
     /// Renders the table in the paper's column layout.
     pub fn render(&self) -> String {
         let mut out = format!("== {} ==\n", self.title);
-        let mut t = Table::new(["date", "tail size", "disposable share of tail", "% of disposable in tail"]);
+        let mut t = Table::new([
+            "date",
+            "tail size",
+            "disposable share of tail",
+            "% of disposable in tail",
+        ]);
         for r in &self.rows {
             t.row([
                 r.label.clone(),
@@ -102,12 +107,20 @@ fn run_tail(scale_factor: f64, kind: TailKind, title: &str) -> TailTable {
 
 /// Table I: the lookup-volume tail.
 pub fn run_tab1(scale_factor: f64) -> TailTable {
-    run_tail(scale_factor, TailKind::Volume(10), "Table I: disposable RRs in the low-lookup-volume tail")
+    run_tail(
+        scale_factor,
+        TailKind::Volume(10),
+        "Table I: disposable RRs in the low-lookup-volume tail",
+    )
 }
 
 /// Table II: the zero-DHR tail.
 pub fn run_tab2(scale_factor: f64) -> TailTable {
-    run_tail(scale_factor, TailKind::ZeroDhr, "Table II: disposable RRs in the zero domain-hit-rate tail")
+    run_tail(
+        scale_factor,
+        TailKind::ZeroDhr,
+        "Table II: disposable RRs in the zero domain-hit-rate tail",
+    )
 }
 
 #[cfg(test)]

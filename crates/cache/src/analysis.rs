@@ -123,7 +123,8 @@ mod tests {
             let ttl = Ttl::from_secs(ttl_secs);
             let mut cache = TtlLru::new(4);
             let key = CacheKey::new("probe.example.com".parse().unwrap(), QType::A);
-            let rr = Record::new(key.name.clone(), QType::A, ttl, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+            let rr =
+                Record::new(key.name.clone(), QType::A, ttl, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
 
             // Poisson arrivals over ten simulated days.
             let mut t = 0.0f64;

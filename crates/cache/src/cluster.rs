@@ -55,6 +55,9 @@ pub struct CacheCluster {
     negatives: Vec<NegativeCache>,
     strategy: LoadBalance,
     round_robin: usize,
+    /// Crash state per member: a downed member receives no routes; its
+    /// keyspace rehashes onto the survivors until it restarts cold.
+    down: Vec<bool>,
 }
 
 fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
@@ -64,6 +67,14 @@ fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// SplitMix64 finalizer, used to re-randomize a routing hash when its
+/// primary member is down so failover spreads over the survivors.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl CacheCluster {
@@ -76,11 +87,13 @@ impl CacheCluster {
     /// Panics if `members` is zero or `capacity_each` is zero.
     pub fn new(members: usize, capacity_each: usize, strategy: LoadBalance) -> Self {
         assert!(members > 0, "cluster needs at least one member");
+        assert!(capacity_each > 0, "member capacity must be positive");
         CacheCluster {
             caches: (0..members).map(|_| TtlLru::new(capacity_each)).collect(),
             negatives: (0..members).map(|_| NegativeCache::disabled()).collect(),
             strategy,
             round_robin: 0,
+            down: vec![false; members],
         }
     }
 
@@ -107,19 +120,74 @@ impl CacheCluster {
 
     /// Picks the member cache that will serve this `(client, key)` pair.
     /// Round-robin advances internal state, so successive calls differ.
+    ///
+    /// When the primary member is crashed (see
+    /// [`CacheCluster::set_member_down`]) the query deterministically
+    /// rehashes onto one of the surviving members, so a downed member's
+    /// keyspace spreads over the rest of the cluster instead of being
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every member is down.
     pub fn route(&mut self, client: u64, key: &CacheKey) -> usize {
         let n = self.caches.len();
-        match self.strategy {
-            LoadBalance::HashClient => (fnv1a(client.to_le_bytes()) % n as u64) as usize,
+        let h: u64 = match self.strategy {
+            LoadBalance::HashClient => fnv1a(client.to_le_bytes()),
             LoadBalance::RoundRobin => {
                 let i = self.round_robin;
                 self.round_robin = (self.round_robin + 1) % n;
-                i
+                i as u64
             }
-            LoadBalance::HashName => {
-                (fnv1a(key.name.to_string().bytes()) % n as u64) as usize
-            }
+            LoadBalance::HashName => fnv1a(key.name.to_string().bytes()),
+        };
+        let primary = (h % n as u64) as usize;
+        if !self.down[primary] {
+            return primary;
         }
+        // Failover: remix the original routing value so the crashed
+        // member's keys spread deterministically over the survivors.
+        let alive: Vec<usize> = (0..n).filter(|&i| !self.down[i]).collect();
+        assert!(!alive.is_empty(), "every cluster member is down");
+        alive[(mix64(h) % alive.len() as u64) as usize]
+    }
+
+    /// Marks member `idx` as crashed: it receives no routes until
+    /// [`CacheCluster::restart_member_cold`] brings it back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_member_down(&mut self, idx: usize) {
+        self.down[idx] = true;
+    }
+
+    /// Brings member `idx` back up with a *cold* cache: positive and
+    /// negative entries are gone (a crash loses memory), while the
+    /// accumulated counters survive so day-level accounting stays
+    /// monotone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn restart_member_cold(&mut self, idx: usize) {
+        self.down[idx] = false;
+        self.caches[idx].clear_entries();
+        self.negatives[idx].clear_entries();
+    }
+
+    /// Whether member `idx` is currently crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn member_is_down(&self, idx: usize) -> bool {
+        self.down[idx]
+    }
+
+    /// Whether any member is currently crashed.
+    pub fn any_member_down(&self) -> bool {
+        self.down.iter().any(|&d| d)
     }
 
     /// Mutable access to member `idx`.
@@ -182,7 +250,12 @@ mod tests {
     }
 
     fn rr(s: &str, ttl: u32) -> Record {
-        Record::new(s.parse().unwrap(), QType::A, Ttl::from_secs(ttl), RData::A(Ipv4Addr::new(192, 0, 2, 1)))
+        Record::new(
+            s.parse().unwrap(),
+            QType::A,
+            Ttl::from_secs(ttl),
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        )
     }
 
     #[test]
@@ -216,7 +289,12 @@ mod tests {
     fn independent_caches_do_not_share_entries() {
         let mut cl = CacheCluster::new(2, 10, LoadBalance::RoundRobin);
         let k = key("a.com");
-        cl.cache_mut(0).insert(k.clone(), vec![rr("a.com", 100)], Timestamp::ZERO, InsertPriority::Normal);
+        cl.cache_mut(0).insert(
+            k.clone(),
+            vec![rr("a.com", 100)],
+            Timestamp::ZERO,
+            InsertPriority::Normal,
+        );
         assert!(cl.cache_mut(0).get(&k, Timestamp::from_secs(1)).is_some());
         assert!(cl.cache_mut(1).get(&k, Timestamp::from_secs(1)).is_none());
     }
@@ -244,5 +322,67 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn zero_members_panics() {
         let _ = CacheCluster::new(0, 10, LoadBalance::HashClient);
+    }
+
+    #[test]
+    #[should_panic(expected = "member capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = CacheCluster::new(2, 0, LoadBalance::HashClient);
+    }
+
+    #[test]
+    fn downed_member_fails_over_deterministically() {
+        let mut cl = CacheCluster::new(4, 10, LoadBalance::HashClient);
+        let k = key("a.com");
+        // Find a client that routes to member 0.
+        let client = (0..256).find(|&c| cl.route(c, &k) == 0).expect("some client maps to 0");
+        cl.set_member_down(0);
+        let rerouted = cl.route(client, &k);
+        assert_ne!(rerouted, 0, "downed member must receive no routes");
+        for _ in 0..10 {
+            assert_eq!(cl.route(client, &k), rerouted, "failover must be sticky");
+        }
+        // Different clients of the downed member spread over survivors.
+        let mut spread = std::collections::HashSet::new();
+        for c in 0..4096 {
+            cl.restart_member_cold(0);
+            let primary = cl.route(c, &k) == 0;
+            cl.set_member_down(0);
+            if primary {
+                spread.insert(cl.route(c, &k));
+            }
+        }
+        assert!(spread.len() > 1, "failover should use more than one survivor: {spread:?}");
+        cl.restart_member_cold(0);
+        assert_eq!(cl.route(client, &k), 0, "restart restores the original routing");
+    }
+
+    #[test]
+    fn restart_is_cold_but_keeps_counters() {
+        let mut cl = CacheCluster::new(2, 10, LoadBalance::HashClient);
+        let k = key("a.com");
+        cl.cache_mut(0).insert(
+            k.clone(),
+            vec![rr("a.com", 100)],
+            Timestamp::ZERO,
+            InsertPriority::Normal,
+        );
+        assert!(cl.cache_mut(0).get(&k, Timestamp::from_secs(1)).is_some());
+        cl.set_member_down(0);
+        assert!(cl.member_is_down(0));
+        assert!(cl.any_member_down());
+        cl.restart_member_cold(0);
+        assert!(!cl.any_member_down());
+        assert!(cl.cache_mut(0).get(&k, Timestamp::from_secs(2)).is_none(), "entries lost");
+        assert_eq!(cl.total_stats().hits, 1, "counters survive the restart");
+    }
+
+    #[test]
+    #[should_panic(expected = "every cluster member is down")]
+    fn all_members_down_panics_on_route() {
+        let mut cl = CacheCluster::new(2, 10, LoadBalance::HashClient);
+        cl.set_member_down(0);
+        cl.set_member_down(1);
+        let _ = cl.route(1, &key("a.com"));
     }
 }

@@ -45,5 +45,5 @@ mod lru;
 mod negative;
 
 pub use cluster::{CacheCluster, LoadBalance};
-pub use lru::{CacheKey, CacheStats, EvictionKind, InsertPriority, TtlLru};
+pub use lru::{CacheKey, CacheStats, EvictionKind, InsertPriority, Lookup, TtlLru};
 pub use negative::{NegativeCache, NegativeEntry};

@@ -101,6 +101,20 @@ impl CacheStats {
     }
 }
 
+/// Outcome of a staleness-aware lookup ([`TtlLru::lookup`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// A live entry: its TTL has not lapsed.
+    Fresh(Arc<[Record]>),
+    /// The TTL has lapsed but the entry is still inside the serve-stale
+    /// window (RFC 8767). The entry is *retained* so a later refresh can
+    /// replace it in place; the lookup itself still counts as
+    /// [`CacheStats::expired`] — staleness never inflates the hit rate.
+    Stale(Arc<[Record]>),
+    /// No usable entry.
+    Absent,
+}
+
 #[derive(Debug)]
 struct Entry {
     answers: Arc<[Record]>,
@@ -181,15 +195,36 @@ impl TtlLru {
     /// expired entry is removed and `None` is returned (counted in
     /// [`CacheStats::expired`]).
     pub fn get(&mut self, key: &CacheKey, now: Timestamp) -> Option<Arc<[Record]>> {
+        match self.lookup(key, now, Ttl::ZERO) {
+            Lookup::Fresh(answers) => Some(answers),
+            Lookup::Stale(_) | Lookup::Absent => None,
+        }
+    }
+
+    /// Staleness-aware lookup of `key` at time `now` (RFC 8767).
+    ///
+    /// A live entry behaves exactly as in [`TtlLru::get`]. An expired
+    /// entry still counts as [`CacheStats::expired`], but when `now` is
+    /// within `stale_window` past its expiry the entry is retained and its
+    /// answers returned as [`Lookup::Stale`] for the resolver to fall back
+    /// on if the refresh fails; beyond the window it is removed. A zero
+    /// `stale_window` reproduces [`TtlLru::get`] exactly — state and
+    /// counters included.
+    pub fn lookup(&mut self, key: &CacheKey, now: Timestamp, stale_window: Ttl) -> Lookup {
         let Some(entry) = self.map.get(key) else {
             self.stats.misses += 1;
-            return None;
+            return Lookup::Absent;
         };
         if entry.expires <= now {
+            self.stats.expired += 1;
+            if !stale_window.is_zero() && entry.expires + stale_window > now {
+                // Within the window: keep the entry (recency untouched, so
+                // a stale entry stays a likely eviction victim).
+                return Lookup::Stale(Arc::clone(&entry.answers));
+            }
             let entry = self.map.remove(key).expect("entry just observed");
             self.recency[prio_idx(entry.priority)].remove(&(entry.stamp, key.clone()));
-            self.stats.expired += 1;
-            return None;
+            return Lookup::Absent;
         }
         self.stats.hits += 1;
         let stamp = self.bump_stamp();
@@ -197,7 +232,14 @@ impl TtlLru {
         self.recency[prio_idx(entry.priority)].remove(&(entry.stamp, key.clone()));
         entry.stamp = stamp;
         self.recency[prio_idx(entry.priority)].insert((stamp, key.clone()));
-        Some(Arc::clone(&entry.answers))
+        Lookup::Fresh(Arc::clone(&entry.answers))
+    }
+
+    /// Drops every entry while keeping the accumulated counters — a
+    /// member process restarting with a cold cache after a crash.
+    pub fn clear_entries(&mut self) {
+        self.map.clear();
+        self.recency = [BTreeSet::new(), BTreeSet::new()];
     }
 
     /// Inserts an answer set. The TTL of the entry is the minimum TTL of
@@ -230,7 +272,8 @@ impl TtlLru {
         }
         let stamp = self.bump_stamp();
         self.recency[prio_idx(priority)].insert((stamp, key.clone()));
-        self.map.insert(key, Entry { answers: answers.into(), expires: now + ttl, priority, stamp });
+        self.map
+            .insert(key, Entry { answers: answers.into(), expires: now + ttl, priority, stamp });
         evicted
     }
 
@@ -264,12 +307,8 @@ impl TtlLru {
     ///
     /// [`len`]: TtlLru::len
     pub fn purge_expired(&mut self, now: Timestamp) -> usize {
-        let dead: Vec<CacheKey> = self
-            .map
-            .iter()
-            .filter(|(_, e)| e.expires <= now)
-            .map(|(k, _)| k.clone())
-            .collect();
+        let dead: Vec<CacheKey> =
+            self.map.iter().filter(|(_, e)| e.expires <= now).map(|(k, _)| k.clone()).collect();
         for key in &dead {
             let entry = self.map.remove(key).expect("key collected above");
             self.recency[prio_idx(entry.priority)].remove(&(entry.stamp, key.clone()));
@@ -294,7 +333,12 @@ mod tests {
     }
 
     fn rr(s: &str, ttl: u32) -> Record {
-        Record::new(s.parse().unwrap(), QType::A, Ttl::from_secs(ttl), RData::A(Ipv4Addr::new(192, 0, 2, 1)))
+        Record::new(
+            s.parse().unwrap(),
+            QType::A,
+            Ttl::from_secs(ttl),
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        )
     }
 
     use dnsnoise_dns::RData;
@@ -325,7 +369,12 @@ mod tests {
     #[test]
     fn min_ttl_of_answer_set_governs() {
         let mut c = TtlLru::new(4);
-        c.insert(key("a.com"), vec![rr("a.com", 100), rr("b.com", 5)], t(0), InsertPriority::Normal);
+        c.insert(
+            key("a.com"),
+            vec![rr("a.com", 100), rr("b.com", 5)],
+            t(0),
+            InsertPriority::Normal,
+        );
         assert!(c.get(&key("a.com"), t(4)).is_some());
         assert!(c.get(&key("a.com"), t(5)).is_none());
     }
@@ -358,12 +407,18 @@ mod tests {
     #[test]
     fn low_priority_evicted_before_normal() {
         let mut c = TtlLru::new(2);
-        c.insert(key("disposable.x.com"), vec![rr("disposable.x.com", 300)], t(0), InsertPriority::Low);
+        c.insert(
+            key("disposable.x.com"),
+            vec![rr("disposable.x.com", 300)],
+            t(0),
+            InsertPriority::Low,
+        );
         c.insert(key("stable.com"), vec![rr("stable.com", 300)], t(1), InsertPriority::Normal);
         // Even though the low-priority entry is *more* recently touched,
         // it is still the first victim.
         assert!(c.get(&key("disposable.x.com"), t(2)).is_some());
-        let evicted = c.insert(key("new.com"), vec![rr("new.com", 300)], t(3), InsertPriority::Normal);
+        let evicted =
+            c.insert(key("new.com"), vec![rr("new.com", 300)], t(3), InsertPriority::Normal);
         assert_eq!(evicted, vec![(key("disposable.x.com"), EvictionKind::Premature)]);
         assert_eq!(c.stats().premature_evictions_low, 1);
         assert_eq!(c.stats().premature_evictions_normal, 0);
@@ -385,7 +440,12 @@ mod tests {
     fn purge_expired_shrinks_len() {
         let mut c = TtlLru::new(8);
         for (i, ttl) in [1u32, 2, 100, 200].iter().enumerate() {
-            c.insert(key(&format!("d{i}.com")), vec![rr("x.com", *ttl)], t(0), InsertPriority::Normal);
+            c.insert(
+                key(&format!("d{i}.com")),
+                vec![rr("x.com", *ttl)],
+                t(0),
+                InsertPriority::Normal,
+            );
         }
         assert_eq!(c.len(), 4);
         assert_eq!(c.purge_expired(t(50)), 2);
@@ -396,7 +456,12 @@ mod tests {
     fn capacity_never_exceeded() {
         let mut c = TtlLru::new(3);
         for i in 0..100 {
-            c.insert(key(&format!("d{i}.com")), vec![rr("x.com", 1000)], t(i), InsertPriority::Normal);
+            c.insert(
+                key(&format!("d{i}.com")),
+                vec![rr("x.com", 1000)],
+                t(i),
+                InsertPriority::Normal,
+            );
             assert!(c.len() <= 3);
         }
     }
@@ -405,6 +470,60 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = TtlLru::new(0);
+    }
+
+    #[test]
+    fn stale_lookup_never_serves_past_the_window() {
+        let mut c = TtlLru::new(4);
+        c.insert(key("a.com"), vec![rr("a.com", 10)], t(0), InsertPriority::Normal);
+        let w = Ttl::from_secs(5);
+        assert!(matches!(c.lookup(&key("a.com"), t(9), w), Lookup::Fresh(_)));
+        // Expired at t = 10; stale until (exclusive) 10 + 5.
+        assert!(matches!(c.lookup(&key("a.com"), t(10), w), Lookup::Stale(_)));
+        assert!(matches!(c.lookup(&key("a.com"), t(14), w), Lookup::Stale(_)));
+        assert_eq!(c.len(), 1, "stale entry is retained for refresh");
+        // One second past the window: removed, never served again.
+        assert_eq!(c.lookup(&key("a.com"), t(15), w), Lookup::Absent);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.lookup(&key("a.com"), t(15), w), Lookup::Absent);
+        // Every expired-entry touch counted as expired; the final lookup
+        // found nothing at all.
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().expired, 3);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn zero_window_lookup_is_exactly_get() {
+        let mut via_get = TtlLru::new(2);
+        let mut via_lookup = TtlLru::new(2);
+        for cache in [&mut via_get, &mut via_lookup] {
+            cache.insert(key("a.com"), vec![rr("a.com", 10)], t(0), InsertPriority::Normal);
+            cache.insert(key("b.com"), vec![rr("b.com", 100)], t(1), InsertPriority::Normal);
+        }
+        for (k, now) in [("a.com", 5), ("a.com", 11), ("b.com", 11), ("c.com", 11)] {
+            let got = via_get.get(&key(k), t(now));
+            let looked = via_lookup.lookup(&key(k), t(now), Ttl::ZERO);
+            match looked {
+                Lookup::Fresh(a) => assert_eq!(got.as_deref(), Some(&*a)),
+                Lookup::Absent => assert!(got.is_none()),
+                Lookup::Stale(_) => panic!("zero window must never yield stale"),
+            }
+        }
+        assert_eq!(via_get.stats(), via_lookup.stats());
+        assert_eq!(via_get.len(), via_lookup.len());
+    }
+
+    #[test]
+    fn clear_entries_keeps_counters() {
+        let mut c = TtlLru::new(4);
+        c.insert(key("a.com"), vec![rr("a.com", 100)], t(0), InsertPriority::Normal);
+        assert!(c.get(&key("a.com"), t(1)).is_some());
+        c.clear_entries();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().hits, 1, "a cold restart must not reset accounting");
+        assert_eq!(c.stats().inserts, 1);
+        assert!(c.get(&key("a.com"), t(2)).is_none());
     }
 
     #[test]

@@ -103,6 +103,12 @@ impl NegativeCache {
         }
     }
 
+    /// Drops every stored entry while keeping the hit/miss counters — the
+    /// negative cache of a member restarting cold after a crash.
+    pub fn clear_entries(&mut self) {
+        self.entries.clear();
+    }
+
     /// Number of stored entries (live or lazily uncollected).
     pub fn len(&self) -> usize {
         self.entries.len()

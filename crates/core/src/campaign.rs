@@ -196,7 +196,10 @@ mod tests {
     #[test]
     fn same_zone_different_depth_is_distinct() {
         let mut c = CampaignTracker::new();
-        c.ingest(&report(0, vec![finding("exp.l.google.com", 4, 0.9, 50), finding("exp.l.google.com", 5, 0.9, 10)]));
+        c.ingest(&report(
+            0,
+            vec![finding("exp.l.google.com", 4, 0.9, 50), finding("exp.l.google.com", 5, 0.9, 10)],
+        ));
         assert_eq!(c.zone_count(), 2);
     }
 
@@ -204,7 +207,10 @@ mod tests {
     fn ranking_prefers_stability() {
         let mut c = CampaignTracker::new();
         // Same confidence and volume, but one zone confirmed twice.
-        c.ingest(&report(0, vec![finding("stable.x.com", 3, 0.95, 50), finding("flash.y.com", 3, 0.95, 50)]));
+        c.ingest(&report(
+            0,
+            vec![finding("stable.x.com", 3, 0.95, 50), finding("flash.y.com", 3, 0.95, 50)],
+        ));
         c.ingest(&report(1, vec![finding("stable.x.com", 3, 0.95, 50)]));
         let ranking = c.ranking();
         assert_eq!(ranking[0].zone, n("stable.x.com"));
@@ -223,11 +229,14 @@ mod tests {
     #[test]
     fn unique_2lds_deduplicate() {
         let mut c = CampaignTracker::new();
-        c.ingest(&report(0, vec![
-            finding("avqs.mcafee.com", 4, 0.9, 10),
-            finding("gti.mcafee.com", 4, 0.9, 10),
-            finding("zen.spamhaus.org", 7, 0.9, 10),
-        ]));
+        c.ingest(&report(
+            0,
+            vec![
+                finding("avqs.mcafee.com", 4, 0.9, 10),
+                finding("gti.mcafee.com", 4, 0.9, 10),
+                finding("zen.spamhaus.org", 7, 0.9, 10),
+            ],
+        ));
         assert_eq!(c.unique_2lds(&SuffixList::builtin()), 2);
     }
 }

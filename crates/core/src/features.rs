@@ -105,11 +105,8 @@ fn entropy_stats(labels: &[Label]) -> EntropyStats {
     let n = h.len() as f64;
     let mean = h.iter().sum::<f64>() / n;
     let variance = h.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-    let median = if h.len() % 2 == 1 {
-        h[h.len() / 2]
-    } else {
-        (h[h.len() / 2 - 1] + h[h.len() / 2]) / 2.0
-    };
+    let median =
+        if h.len() % 2 == 1 { h[h.len() / 2] } else { (h[h.len() / 2 - 1] + h[h.len() / 2]) / 2.0 };
     EntropyStats { max: *h.last().expect("non-empty"), min: h[0], mean, median, variance }
 }
 

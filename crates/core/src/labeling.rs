@@ -107,10 +107,7 @@ impl TrainingSetBuilder {
         let mut candidates: Vec<(usize, Name, usize, Vec<f64>)> = Vec::new();
         for zone in gt.nondisposable_zones() {
             let Some(groups) = tree.groups_under(&zone.apex) else { continue };
-            let Some((depth, group)) = groups
-                .groups
-                .iter()
-                .max_by_key(|(_, g)| g.members.len())
+            let Some((depth, group)) = groups.groups.iter().max_by_key(|(_, g)| g.members.len())
             else {
                 continue;
             };
@@ -153,9 +150,14 @@ mod tests {
         let (tree, gt) = day_tree(0.1, 5);
         // At 1/10 experiment scale most tracker zones see < 15 names/day,
         // so use a proportionally smaller floor.
-        let labeled = TrainingSetBuilder { min_disposable_names: 4, ..Default::default() }.build(&tree, &gt);
+        let labeled =
+            TrainingSetBuilder { min_disposable_names: 4, ..Default::default() }.build(&tree, &gt);
         assert!(labeled.positives() > 10, "disposable rows: {}", labeled.positives());
-        assert!(labeled.len() - labeled.positives() > 50, "non-disposable rows: {}", labeled.len() - labeled.positives());
+        assert!(
+            labeled.len() - labeled.positives() > 50,
+            "non-disposable rows: {}",
+            labeled.len() - labeled.positives()
+        );
         assert!(labeled.dataset().is_ok());
     }
 
@@ -198,6 +200,11 @@ mod tests {
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         assert!(mean(&disp) > 0.75, "disposable zero-CHR fraction {}", mean(&disp));
-        assert!(mean(&non) < mean(&disp), "non-disposable {} vs disposable {}", mean(&non), mean(&disp));
+        assert!(
+            mean(&non) < mean(&disp),
+            "non-disposable {} vs disposable {}",
+            mean(&non),
+            mean(&disp)
+        );
     }
 }

@@ -104,7 +104,13 @@ impl Miner {
     }
 
     /// Algorithm 1 for one zone `z` (recursive).
-    fn classify_zone(&self, tree: &mut DomainTree, zone_id: usize, zone: Name, out: &mut Vec<Finding>) {
+    fn classify_zone(
+        &self,
+        tree: &mut DomainTree,
+        zone_id: usize,
+        zone: Name,
+        out: &mut Vec<Finding>,
+    ) {
         let depth = zone.depth();
         let groups = tree.groups_under_id(zone_id, depth);
         // Line 1-3: no black descendants → stop.
@@ -126,7 +132,12 @@ impl Miner {
                 for &member in &group.members {
                     tree.decolor(member);
                 }
-                out.push(Finding { zone: zone.clone(), depth: k, confidence: p, members: group.members.len() });
+                out.push(Finding {
+                    zone: zone.clone(),
+                    depth: k,
+                    confidence: p,
+                    members: group.members.len(),
+                });
             }
         }
         // Lines 15-17: recurse into children.
@@ -173,7 +184,10 @@ mod tests {
             tree.observe(&n(&name), 0.0, 1);
         }
         // Benign: stable hosts with good hit rates.
-        for host in ["www", "mail", "api", "img", "static", "login", "m", "news", "shop", "blog", "cdn", "sso"] {
+        for host in [
+            "www", "mail", "api", "img", "static", "login", "m", "news", "shop", "blog", "cdn",
+            "sso",
+        ] {
             tree.observe(&n(&format!("{host}.bigsite.com")), 0.9, 10);
         }
         tree
@@ -182,7 +196,10 @@ mod tests {
     #[test]
     fn algorithm_one_finds_the_disposable_zone() {
         let mut tree = hashy_tree();
-        let miner = Miner::new(Box::new(RuleModel), MinerConfig { min_group_size: 10, ..Default::default() });
+        let miner = Miner::new(
+            Box::new(RuleModel),
+            MinerConfig { min_group_size: 10, ..Default::default() },
+        );
         let findings = miner.mine(&mut tree, &SuffixList::builtin());
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].zone, n("metrics.tracker.com"));
@@ -193,7 +210,10 @@ mod tests {
     #[test]
     fn decoloring_prevents_double_reporting() {
         let mut tree = hashy_tree();
-        let miner = Miner::new(Box::new(RuleModel), MinerConfig { min_group_size: 10, ..Default::default() });
+        let miner = Miner::new(
+            Box::new(RuleModel),
+            MinerConfig { min_group_size: 10, ..Default::default() },
+        );
         let findings = miner.mine(&mut tree, &SuffixList::builtin());
         // The group members were decolored: re-running on the same
         // (already-decolored) tree finds nothing new.
@@ -209,7 +229,10 @@ mod tests {
             let name = format!("{}.tiny.example.com", dnsnoise_workload::label_base32(i, 20));
             tree.observe(&n(&name), 0.0, 1);
         }
-        let miner = Miner::new(Box::new(RuleModel), MinerConfig { min_group_size: 10, ..Default::default() });
+        let miner = Miner::new(
+            Box::new(RuleModel),
+            MinerConfig { min_group_size: 10, ..Default::default() },
+        );
         let findings = miner.mine(&mut tree, &SuffixList::builtin());
         assert!(findings.is_empty());
     }

@@ -194,9 +194,7 @@ mod tests {
     }
 
     fn gt() -> GroundTruth {
-        Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.05), 7)
-            .ground_truth()
-            .clone()
+        Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.05), 7).ground_truth().clone()
     }
 
     fn tree_with(gt: &GroundTruth, per_zone: usize) -> DomainTree {
@@ -209,14 +207,14 @@ mod tests {
                 for p in 0..pad {
                     name = name.child(format!("x{p}").parse().unwrap());
                 }
-                name = name.child(
-                    dnsnoise_workload::label_base32((zi * 1000 + i) as u64, 16),
-                );
+                name = name.child(dnsnoise_workload::label_base32((zi * 1000 + i) as u64, 16));
                 tree.observe(&name, 0.0, 1);
             }
         }
         for zone in gt.nondisposable_zones().take(50) {
-            for host in ["www", "mail", "api", "img", "static", "login", "m", "news", "shop", "blog"] {
+            for host in
+                ["www", "mail", "api", "img", "static", "login", "m", "news", "shop", "blog"]
+            {
                 tree.observe(&zone.apex.child(host.parse().unwrap()), 0.8, 5);
             }
         }
@@ -236,8 +234,7 @@ mod tests {
                 members: 20,
             })
             .collect();
-        let report =
-            MiningReport::evaluate(0, found, &tree, &gt, &SuffixList::builtin(), 10);
+        let report = MiningReport::evaluate(0, found, &tree, &gt, &SuffixList::builtin(), 10);
         assert_eq!(report.tpr(), 1.0);
         assert_eq!(report.fpr(), 0.0);
         assert_eq!(report.precision(), 1.0);

@@ -79,7 +79,12 @@ impl DomainTree {
     /// Creates an empty tree (just the root).
     pub fn new() -> Self {
         DomainTree {
-            arena: vec![TreeNode { label: None, children: HashMap::new(), black: false, rr_chr: Vec::new() }],
+            arena: vec![TreeNode {
+                label: None,
+                children: HashMap::new(),
+                black: false,
+                rr_chr: Vec::new(),
+            }],
         }
     }
 
@@ -216,7 +221,8 @@ impl DomainTree {
     /// [`DomainTree::groups_under`] by node id (`zone_depth` is the
     /// zone's absolute depth).
     pub fn groups_under_id(&self, zone_id: usize, zone_depth: usize) -> ZoneGroups {
-        let mut groups: HashMap<usize, (Vec<usize>, std::collections::HashSet<Label>)> = HashMap::new();
+        let mut groups: HashMap<usize, (Vec<usize>, std::collections::HashSet<Label>)> =
+            HashMap::new();
         for (adjacent_label, &child) in &self.arena[zone_id].children {
             self.collect(child, zone_depth + 1, adjacent_label, &mut groups);
         }
@@ -336,7 +342,8 @@ mod tests {
         assert!(tree.is_black(&n("a.example.com")));
         // White interior nodes are not group members.
         let groups = tree.groups_under(&n("example.com")).unwrap();
-        let g3_names: Vec<Name> = groups.groups[&3].members.iter().map(|&id| tree.name_of(id)).collect();
+        let g3_names: Vec<Name> =
+            groups.groups[&3].members.iter().map(|&id| tree.name_of(id)).collect();
         assert!(!g3_names.contains(&n("b.example.com")));
     }
 

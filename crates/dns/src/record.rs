@@ -184,7 +184,9 @@ impl RData {
             RData::Cname(n) | RData::Ns(n) | RData::Ptr(n) => n.presentation_len(),
             RData::Txt(s) => s.len(),
             RData::Mx { exchange, .. } => 2 + exchange.presentation_len(),
-            RData::Soa { mname, rname, .. } => mname.presentation_len() + rname.presentation_len() + 20,
+            RData::Soa { mname, rname, .. } => {
+                mname.presentation_len() + rname.presentation_len() + 20
+            }
             RData::Opaque(b) => b.len(),
         }
     }
@@ -292,16 +294,32 @@ mod tests {
 
     #[test]
     fn record_key_ignores_ttl() {
-        let r1 = Record::new(name("x.com"), QType::A, Ttl::from_secs(30), RData::A(Ipv4Addr::new(192, 0, 2, 1)));
-        let r2 = Record::new(name("x.com"), QType::A, Ttl::from_secs(300), RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        let r1 = Record::new(
+            name("x.com"),
+            QType::A,
+            Ttl::from_secs(30),
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        );
+        let r2 = Record::new(
+            name("x.com"),
+            QType::A,
+            Ttl::from_secs(300),
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        );
         assert_eq!(r1.key(), r2.key());
-        let r3 = Record::new(name("x.com"), QType::A, Ttl::from_secs(30), RData::A(Ipv4Addr::new(192, 0, 2, 2)));
+        let r3 = Record::new(
+            name("x.com"),
+            QType::A,
+            Ttl::from_secs(30),
+            RData::A(Ipv4Addr::new(192, 0, 2, 2)),
+        );
         assert_ne!(r1.key(), r3.key());
     }
 
     #[test]
     fn storage_bytes_reflects_name_and_rdata() {
-        let short = Record::new(name("a.com"), QType::A, Ttl::from_secs(1), RData::A(Ipv4Addr::LOCALHOST));
+        let short =
+            Record::new(name("a.com"), QType::A, Ttl::from_secs(1), RData::A(Ipv4Addr::LOCALHOST));
         let long = Record::new(
             name("load-0-p-01.up-1852280.device.trans.manage.esoft.com"),
             QType::A,
@@ -313,7 +331,12 @@ mod tests {
 
     #[test]
     fn display_is_zone_file_like() {
-        let r = Record::new(name("x.com"), QType::A, Ttl::from_secs(60), RData::A(Ipv4Addr::new(127, 0, 0, 1)));
+        let r = Record::new(
+            name("x.com"),
+            QType::A,
+            Ttl::from_secs(60),
+            RData::A(Ipv4Addr::new(127, 0, 0, 1)),
+        );
         assert_eq!(r.to_string(), "x.com 60 IN A 127.0.0.1");
     }
 

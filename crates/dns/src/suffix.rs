@@ -43,26 +43,96 @@ pub struct SuffixList {
 /// rule grammar.
 const BUILTIN_RULES: &[&str] = &[
     // Generic TLDs.
-    "com", "net", "org", "edu", "gov", "mil", "int", "info", "biz", "name",
-    "mobi", "tv", "cc", "ws", "me", "io", "co", "us", "ca", "eu", "de", "fr",
-    "nl", "it", "es", "se", "no", "fi", "dk", "ch", "at", "be", "ru", "pl",
-    "cz", "jp", "kr", "cn", "in", "br", "mx", "au", "nz", "arpa", "dk",
+    "com",
+    "net",
+    "org",
+    "edu",
+    "gov",
+    "mil",
+    "int",
+    "info",
+    "biz",
+    "name",
+    "mobi",
+    "tv",
+    "cc",
+    "ws",
+    "me",
+    "io",
+    "co",
+    "us",
+    "ca",
+    "eu",
+    "de",
+    "fr",
+    "nl",
+    "it",
+    "es",
+    "se",
+    "no",
+    "fi",
+    "dk",
+    "ch",
+    "at",
+    "be",
+    "ru",
+    "pl",
+    "cz",
+    "jp",
+    "kr",
+    "cn",
+    "in",
+    "br",
+    "mx",
+    "au",
+    "nz",
+    "arpa",
+    "dk",
     // Second-level registries.
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk",
-    "com.cn", "net.cn", "org.cn", "gov.cn",
-    "com.au", "net.au", "org.au",
-    "co.jp", "ne.jp", "or.jp", "ac.jp",
-    "co.kr", "or.kr",
-    "com.br", "net.br", "org.br",
-    "co.in", "net.in", "org.in",
-    "com.mx", "org.mx",
-    "co.nz", "net.nz", "org.nz",
-    "in-addr.arpa", "ip6.arpa",
+    "co.uk",
+    "org.uk",
+    "ac.uk",
+    "gov.uk",
+    "me.uk",
+    "net.uk",
+    "com.cn",
+    "net.cn",
+    "org.cn",
+    "gov.cn",
+    "com.au",
+    "net.au",
+    "org.au",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "ac.jp",
+    "co.kr",
+    "or.kr",
+    "com.br",
+    "net.br",
+    "org.br",
+    "co.in",
+    "net.in",
+    "org.in",
+    "com.mx",
+    "org.mx",
+    "co.nz",
+    "net.nz",
+    "org.nz",
+    "in-addr.arpa",
+    "ip6.arpa",
     // Wildcard + exception (PSL grammar exercised end-to-end).
-    "*.ck", "!www.ck",
+    "*.ck",
+    "!www.ck",
     // Dynamic-DNS zones: the paper's stated correction to the Mozilla list.
-    "dyndns.org", "no-ip.com", "no-ip.org", "dynalias.com", "homeip.net",
-    "getmyip.com", "selfip.net", "dnsalias.com",
+    "dyndns.org",
+    "no-ip.com",
+    "no-ip.org",
+    "dynalias.com",
+    "homeip.net",
+    "getmyip.com",
+    "selfip.net",
+    "dnsalias.com",
     // DNSBL infrastructure behaves like a registry for its sub-zones.
     "nerd.dk",
 ];
@@ -224,10 +294,7 @@ mod tests {
     #[test]
     fn dynamic_dns_zone_is_suffix() {
         let psl = SuffixList::builtin();
-        assert_eq!(
-            psl.registered_domain(&n("myhost.dyndns.org")).unwrap(),
-            n("myhost.dyndns.org")
-        );
+        assert_eq!(psl.registered_domain(&n("myhost.dyndns.org")).unwrap(), n("myhost.dyndns.org"));
         assert!(psl.is_suffix(&n("dyndns.org")));
     }
 

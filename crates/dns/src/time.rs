@@ -25,7 +25,9 @@ pub const SECS_PER_DAY: u64 = 86_400;
 /// assert_eq!(expiry - t, Ttl::from_secs(300));
 /// assert_eq!(t.day(), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Timestamp(u64);
 
@@ -71,7 +73,14 @@ impl Timestamp {
 
 impl fmt::Display for Timestamp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "d{}+{:02}:{:02}:{:02}", self.day(), self.hour_of_day(), (self.second_of_day() / 60) % 60, self.second_of_day() % 60)
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            self.day(),
+            self.hour_of_day(),
+            (self.second_of_day() / 60) % 60,
+            self.second_of_day() % 60
+        )
     }
 }
 
@@ -109,7 +118,9 @@ impl Sub<Timestamp> for Timestamp {
 /// arithmetic honest. A TTL of zero is legal and means "do not cache" —
 /// §VI-A discusses why zero-TTL disposable records are rare (0.8% in Feb
 /// 2011).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Ttl(u32);
 

@@ -128,7 +128,11 @@ pub fn encode(msg: &Message) -> Result<Bytes, WireError> {
     Ok(buf.freeze())
 }
 
-fn encode_record(buf: &mut BytesMut, compressor: &mut Compressor, rr: &Record) -> Result<(), WireError> {
+fn encode_record(
+    buf: &mut BytesMut,
+    compressor: &mut Compressor,
+    rr: &Record,
+) -> Result<(), WireError> {
     compressor.encode_name(buf, &rr.name);
     buf.put_u16(rr.qtype.code());
     buf.put_u16(CLASS_IN);
@@ -226,11 +230,11 @@ pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
         return Err(WireError::UnsupportedClass(class));
     }
 
-    let mut answers = Vec::with_capacity(usize::from(ancount));
+    let mut answers = Vec::with_capacity(record_capacity_hint(ancount, &cur));
     for _ in 0..ancount {
         answers.push(cur.record()?);
     }
-    let mut authority = Vec::with_capacity(usize::from(nscount));
+    let mut authority = Vec::with_capacity(record_capacity_hint(nscount, &cur));
     for _ in 0..nscount {
         authority.push(cur.record()?);
     }
@@ -247,6 +251,17 @@ pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
         answers,
         authority,
     })
+}
+
+/// Smallest record the wire format can encode: a one-byte (root) name, plus
+/// TYPE, CLASS, TTL and RDLENGTH — 11 bytes. Attacker-controlled section
+/// counts are clamped by the bytes actually remaining so a forged header
+/// cannot make `decode` pre-allocate 65 535 slots for a 12-byte packet.
+const MIN_RECORD_WIRE_LEN: usize = 11;
+
+fn record_capacity_hint(count: u16, cur: &Cursor<'_>) -> usize {
+    let remaining = cur.bytes.len().saturating_sub(cur.pos);
+    usize::from(count).min(remaining / MIN_RECORD_WIRE_LEN)
 }
 
 struct Cursor<'a> {
@@ -410,9 +425,7 @@ impl<'a> Cursor<'a> {
                     minimum: self.u32()?,
                 }
             }
-            QType::Rrsig | QType::Dnskey | QType::Ds => {
-                RData::Opaque(self.slice(rdlen)?.to_vec())
-            }
+            QType::Rrsig | QType::Dnskey | QType::Ds => RData::Opaque(self.slice(rdlen)?.to_vec()),
         };
         Ok(Record { name, qtype, ttl, rdata })
     }
@@ -432,8 +445,18 @@ mod tests {
             Question::new(name("www.example.com"), QType::A),
             Rcode::NoError,
             vec![
-                Record::new(name("www.example.com"), QType::Cname, Ttl::from_secs(60), RData::Cname(name("edge.cdn.example.net"))),
-                Record::new(name("edge.cdn.example.net"), QType::A, Ttl::from_secs(20), RData::A(Ipv4Addr::new(192, 0, 2, 9))),
+                Record::new(
+                    name("www.example.com"),
+                    QType::Cname,
+                    Ttl::from_secs(60),
+                    RData::Cname(name("edge.cdn.example.net")),
+                ),
+                Record::new(
+                    name("edge.cdn.example.net"),
+                    QType::A,
+                    Ttl::from_secs(20),
+                    RData::A(Ipv4Addr::new(192, 0, 2, 9)),
+                ),
             ],
         )
     }
@@ -454,7 +477,10 @@ mod tests {
         let uncompressed_estimate = 12
             + (msg.question.name.presentation_len() + 2) // qname + root byte
             + 4;
-        assert!(compressed.len() < uncompressed_estimate + 2 * (msg.question.name.presentation_len() + 30));
+        assert!(
+            compressed.len()
+                < uncompressed_estimate + 2 * (msg.question.name.presentation_len() + 30)
+        );
         // Look for at least one pointer byte.
         assert!(compressed.iter().any(|&b| b & POINTER_MASK == POINTER_MASK));
     }
@@ -462,16 +488,52 @@ mod tests {
     #[test]
     fn roundtrip_every_rdata_variant() {
         let records = vec![
-            Record::new(name("a.test"), QType::A, Ttl::from_secs(1), RData::A(Ipv4Addr::new(127, 0, 0, 1))),
-            Record::new(name("aaaa.test"), QType::Aaaa, Ttl::from_secs(2), RData::Aaaa(Ipv6Addr::LOCALHOST)),
-            Record::new(name("c.test"), QType::Cname, Ttl::from_secs(3), RData::Cname(name("target.test"))),
+            Record::new(
+                name("a.test"),
+                QType::A,
+                Ttl::from_secs(1),
+                RData::A(Ipv4Addr::new(127, 0, 0, 1)),
+            ),
+            Record::new(
+                name("aaaa.test"),
+                QType::Aaaa,
+                Ttl::from_secs(2),
+                RData::Aaaa(Ipv6Addr::LOCALHOST),
+            ),
+            Record::new(
+                name("c.test"),
+                QType::Cname,
+                Ttl::from_secs(3),
+                RData::Cname(name("target.test")),
+            ),
             Record::new(name("ns.test"), QType::Ns, Ttl::from_secs(4), RData::Ns(name("ns1.test"))),
-            Record::new(name("p.test"), QType::Ptr, Ttl::from_secs(5), RData::Ptr(name("host.test"))),
-            Record::new(name("t.test"), QType::Txt, Ttl::from_secs(6), RData::Txt("hello world".into())),
-            Record::new(name("m.test"), QType::Mx, Ttl::from_secs(7), RData::Mx { preference: 10, exchange: name("mail.test") }),
-            Record::new(name("s.test"), QType::Rrsig, Ttl::from_secs(8), RData::Opaque(vec![1, 2, 3, 4])),
+            Record::new(
+                name("p.test"),
+                QType::Ptr,
+                Ttl::from_secs(5),
+                RData::Ptr(name("host.test")),
+            ),
+            Record::new(
+                name("t.test"),
+                QType::Txt,
+                Ttl::from_secs(6),
+                RData::Txt("hello world".into()),
+            ),
+            Record::new(
+                name("m.test"),
+                QType::Mx,
+                Ttl::from_secs(7),
+                RData::Mx { preference: 10, exchange: name("mail.test") },
+            ),
+            Record::new(
+                name("s.test"),
+                QType::Rrsig,
+                Ttl::from_secs(8),
+                RData::Opaque(vec![1, 2, 3, 4]),
+            ),
         ];
-        let msg = Message::response(1, Question::new(name("q.test"), QType::A), Rcode::NoError, records);
+        let msg =
+            Message::response(1, Question::new(name("q.test"), QType::A), Rcode::NoError, records);
         let bytes = encode(&msg).unwrap();
         assert_eq!(decode(&bytes).unwrap(), msg);
     }
@@ -492,7 +554,8 @@ mod tests {
                 minimum: 900,
             },
         );
-        let msg = Message::negative_response(3, Question::new(name("gone.example.com"), QType::A), soa);
+        let msg =
+            Message::negative_response(3, Question::new(name("gone.example.com"), QType::A), soa);
         let bytes = encode(&msg).unwrap();
         let back = decode(&bytes).unwrap();
         assert_eq!(back, msg);
@@ -517,7 +580,8 @@ mod tests {
                 minimum: 5,
             },
         );
-        let msg = Message::negative_response(3, Question::new(name("x.example.com"), QType::A), soa);
+        let msg =
+            Message::negative_response(3, Question::new(name("x.example.com"), QType::A), soa);
         let bytes = encode(&msg).unwrap();
         // Chop the last counter field: the RDLENGTH no longer matches.
         assert!(decode(&bytes[..bytes.len() - 4]).is_err());
@@ -525,7 +589,12 @@ mod tests {
 
     #[test]
     fn nxdomain_roundtrip() {
-        let msg = Message::response(9, Question::new(name("no.such.name"), QType::A), Rcode::NxDomain, vec![]);
+        let msg = Message::response(
+            9,
+            Question::new(name("no.such.name"), QType::A),
+            Rcode::NxDomain,
+            vec![],
+        );
         let bytes = encode(&msg).unwrap();
         let back = decode(&bytes).unwrap();
         assert!(back.rcode.is_nxdomain());

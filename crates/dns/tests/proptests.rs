@@ -1,6 +1,8 @@
 //! Property-based tests for the DNS data model and wire codec.
 
-use dnsnoise_dns::{wire, Label, Message, Name, QType, Question, RData, Rcode, Record, SuffixList, Ttl};
+use dnsnoise_dns::{
+    wire, Label, Message, Name, QType, Question, RData, Rcode, Record, SuffixList, Ttl,
+};
 use proptest::prelude::*;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -21,9 +23,13 @@ fn arb_rdata() -> impl Strategy<Value = (QType, RData)> {
         arb_name().prop_map(|n| (QType::Cname, RData::Cname(n))),
         arb_name().prop_map(|n| (QType::Ns, RData::Ns(n))),
         arb_name().prop_map(|n| (QType::Ptr, RData::Ptr(n))),
-        proptest::string::string_regex("[ -~]{1,40}").unwrap().prop_map(|s| (QType::Txt, RData::Txt(s))),
-        (any::<u16>(), arb_name()).prop_map(|(p, n)| (QType::Mx, RData::Mx { preference: p, exchange: n })),
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|b| (QType::Rrsig, RData::Opaque(b))),
+        proptest::string::string_regex("[ -~]{1,40}")
+            .unwrap()
+            .prop_map(|s| (QType::Txt, RData::Txt(s))),
+        (any::<u16>(), arb_name())
+            .prop_map(|(p, n)| (QType::Mx, RData::Mx { preference: p, exchange: n })),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|b| (QType::Rrsig, RData::Opaque(b))),
     ]
 }
 
@@ -79,6 +85,44 @@ proptest! {
                 prop_assert_ne!(parsed, msg);
             }
         }
+    }
+
+    /// Forged section counts never panic the decoder and never trick it
+    /// into a huge up-front allocation: the capacity hint for the answer
+    /// and authority vectors is clamped by the bytes actually remaining
+    /// (a wire record takes at least 11 bytes), so a 12-byte packet
+    /// claiming 65 535 answers reserves nothing.
+    #[test]
+    fn forged_counts_never_panic_or_overallocate(
+        msg in arb_message(),
+        ancount in any::<u16>(),
+        nscount in any::<u16>(),
+    ) {
+        let mut bytes = wire::encode(&msg).unwrap().to_vec();
+        bytes[6..8].copy_from_slice(&ancount.to_be_bytes());
+        bytes[8..10].copy_from_slice(&nscount.to_be_bytes());
+        // Rejecting the forged packet is always acceptable; parsing can
+        // only succeed when the forged counts match what is actually on
+        // the wire, and must not have trusted them for the allocation.
+        if let Ok(parsed) = wire::decode(&bytes) {
+            prop_assert_eq!(usize::from(ancount), parsed.answers.len());
+            prop_assert_eq!(usize::from(nscount), parsed.authority.len());
+            let cap = parsed.answers.capacity() + parsed.authority.capacity();
+            prop_assert!(
+                cap <= bytes.len(),
+                "allocated {} record slots from a {}-byte packet", cap, bytes.len()
+            );
+        }
+    }
+
+    /// Flipping any single byte of a valid message never panics the
+    /// decoder: it parses to something (possibly different) or errors.
+    #[test]
+    fn single_byte_corruption_is_total(msg in arb_message(), pos_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let mut bytes = wire::encode(&msg).unwrap().to_vec();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= flip;
+        let _ = wire::decode(&bytes);
     }
 
     /// Name parse/display roundtrip.

@@ -131,10 +131,7 @@ impl DnssecCostModel {
         for rr in answers {
             let signing = self.signing_name(&rr.name);
             // One chain validation per signing zone whose keys expired.
-            let zone = self
-                .psl
-                .registered_domain(&rr.name)
-                .unwrap_or_else(|| rr.name.clone());
+            let zone = self.psl.registered_domain(&rr.name).unwrap_or_else(|| rr.name.clone());
             let fresh = self.key_cache.get(&zone).is_some_and(|&exp| exp > now);
             if !fresh {
                 self.stats.chain_validations += 1;
@@ -225,7 +222,8 @@ mod tests {
 
     #[test]
     fn signature_cache_bytes_scale_with_entries() {
-        let mut model = DnssecCostModel::new(DnssecConfig { rrsig_bytes: 100, ..Default::default() });
+        let mut model =
+            DnssecCostModel::new(DnssecConfig { rrsig_bytes: 100, ..Default::default() });
         model.validate_upstream_answer(&[rr("a.example.com"), rr("b.example.com")], t(0));
         assert_eq!(model.signature_cache_bytes(), 200);
     }

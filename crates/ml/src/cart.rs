@@ -89,8 +89,8 @@ fn grow(data: &Dataset, indices: &[usize], depth: usize, cfg: &Cart) -> Node {
             let n_left = (k + 1) as f64;
             let n_right = total - n_left;
             let pos_right = pos - pos_left;
-            let impurity =
-                (n_left / total) * gini(pos_left, n_left) + (n_right / total) * gini(pos_right, n_right);
+            let impurity = (n_left / total) * gini(pos_left, n_left)
+                + (n_right / total) * gini(pos_right, n_right);
             let gain = parent_impurity - impurity;
             let threshold = (data.row(order[k])[j] + data.row(order[k + 1])[j]) / 2.0;
             if best.is_none_or(|(g, _, _)| gain > g) {

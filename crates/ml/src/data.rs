@@ -195,11 +195,8 @@ mod tests {
 
     #[test]
     fn subset_picks_rows() {
-        let d = Dataset::new(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![false, true, false],
-        )
-        .unwrap();
+        let d =
+            Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![false, true, false]).unwrap();
         let s = d.subset(&[2, 1]);
         assert_eq!(s.row(0), &[2.0]);
         assert!(s.label(1));

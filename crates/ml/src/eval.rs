@@ -240,8 +240,7 @@ mod tests {
 
     #[test]
     fn perfect_scores_give_auc_one() {
-        let scored: Vec<(f64, bool)> =
-            (0..100).map(|i| (f64::from(i), i >= 50)).collect();
+        let scored: Vec<(f64, bool)> = (0..100).map(|i| (f64::from(i), i >= 50)).collect();
         let roc = RocCurve::from_scores(&scored);
         assert!((roc.auc() - 1.0).abs() < 1e-12);
         assert_eq!(roc.tpr_at_fpr(0.0), 1.0);
@@ -265,8 +264,7 @@ mod tests {
 
     #[test]
     fn operating_point_moves_with_theta() {
-        let scored: Vec<(f64, bool)> =
-            (0..100).map(|i| (f64::from(i) / 100.0, i >= 40)).collect();
+        let scored: Vec<(f64, bool)> = (0..100).map(|i| (f64::from(i) / 100.0, i >= 40)).collect();
         let roc = RocCurve::from_scores(&scored);
         let strict = roc.operating_point(0.9);
         let lax = roc.operating_point(0.1);

@@ -47,7 +47,8 @@ impl Model for KnnModel {
             })
             .collect();
         let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        dists
+            .select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
         let pos = dists[..k].iter().filter(|(_, l)| *l).count();
         pos as f64 / k as f64
     }
@@ -58,13 +59,7 @@ impl Learner for KnnClassifier {
         assert!(self.k > 0, "k must be positive");
         let stats = data.column_stats();
         let rows: Vec<Vec<f64>> = (0..data.len())
-            .map(|i| {
-                data.row(i)
-                    .iter()
-                    .zip(&stats)
-                    .map(|(v, (m, s))| (v - m) / s)
-                    .collect()
-            })
+            .map(|i| data.row(i).iter().zip(&stats).map(|(v, (m, s))| (v - m) / s).collect())
             .collect();
         Box::new(KnnModel { k: self.k, rows, labels: data.labels().to_vec(), stats })
     }

@@ -49,8 +49,8 @@ pub use eval::{cross_validate, stratified_kfold, ConfusionMatrix, CvOutcome, Roc
 pub use knn::KnnClassifier;
 pub use ladtree::{LadTree, LadTreeModel};
 pub use logistic::LogisticRegression;
-pub use persist::{model_from_text, model_to_text, PersistError};
 pub use naive_bayes::GaussianNb;
+pub use persist::{model_from_text, model_to_text, PersistError};
 pub use stump::RegressionStump;
 
 /// A trained binary classifier: scores are calibrated-ish probabilities of

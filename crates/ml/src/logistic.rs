@@ -54,13 +54,7 @@ impl Learner for LogisticRegression {
         let n = data.len();
         let dim = data.dim();
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                data.row(i)
-                    .iter()
-                    .zip(&stats)
-                    .map(|(v, (m, s))| (v - m) / s)
-                    .collect()
-            })
+            .map(|i| data.row(i).iter().zip(&stats).map(|(v, (m, s))| (v - m) / s).collect())
             .collect();
         let y: Vec<f64> = data.labels().iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
 
@@ -98,7 +92,8 @@ mod tests {
 
     #[test]
     fn learns_linear_boundary() {
-        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i), f64::from(100 - i)]).collect();
+        let rows: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![f64::from(i), f64::from(100 - i)]).collect();
         let labels: Vec<bool> = (0..100).map(|i| i >= 50).collect();
         let data = Dataset::new(rows, labels).unwrap();
         let model = LogisticRegression::default().fit(&data);

@@ -23,7 +23,8 @@ pub struct GaussianNbModel {
 }
 
 fn class_stats(data: &Dataset, want: bool, floor: f64) -> Vec<(f64, f64)> {
-    let rows: Vec<&[f64]> = (0..data.len()).filter(|&i| data.label(i) == want).map(|i| data.row(i)).collect();
+    let rows: Vec<&[f64]> =
+        (0..data.len()).filter(|&i| data.label(i) == want).map(|i| data.row(i)).collect();
     let n = rows.len().max(1) as f64;
     (0..data.dim())
         .map(|j| {

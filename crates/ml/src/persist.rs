@@ -93,7 +93,10 @@ pub fn model_from_text(text: &str) -> Result<LadTreeModel, PersistError> {
         let right = field(parts.next().unwrap_or(""), "right", n)?
             .parse::<f64>()
             .map_err(|e| PersistError::BadStump(n, e.to_string()))?;
-        if !(threshold.is_finite() || threshold == f64::INFINITY) || !left.is_finite() || !right.is_finite() {
+        if !(threshold.is_finite() || threshold == f64::INFINITY)
+            || !left.is_finite()
+            || !right.is_finite()
+        {
             return Err(PersistError::BadStump(n, "non-finite stump parameters".into()));
         }
         stumps.push(RegressionStump { feature, threshold, left, right });

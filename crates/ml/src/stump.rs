@@ -43,7 +43,8 @@ impl RegressionStump {
 
         #[allow(clippy::needless_range_loop)] // j indexes every row's j-th feature
         for j in 0..dim {
-            order.sort_unstable_by(|&a, &b| x[a][j].partial_cmp(&x[b][j]).expect("finite features"));
+            order
+                .sort_unstable_by(|&a, &b| x[a][j].partial_cmp(&x[b][j]).expect("finite features"));
             // Prefix sums over the sorted order let every split be scored
             // in O(1).
             let mut wl = 0.0;
@@ -116,12 +117,7 @@ mod tests {
     #[test]
     fn picks_the_informative_feature() {
         // Feature 0 is noise; feature 1 separates.
-        let data = vec![
-            vec![5.0, 0.0],
-            vec![1.0, 0.1],
-            vec![4.0, 10.0],
-            vec![2.0, 10.1],
-        ];
+        let data = vec![vec![5.0, 0.0], vec![1.0, 0.1], vec![4.0, 10.0], vec![2.0, 10.1]];
         let z = [-1.0, -1.0, 1.0, 1.0];
         let w = [1.0; 4];
         let stump = RegressionStump::fit(&rows(&data), &z, &w);

@@ -9,21 +9,23 @@ use proptest::prelude::*;
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     // 2-D rows where the label correlates (noisily) with x0 so learners
     // have something learnable, plus guaranteed class balance.
-    proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0, any::<bool>()), 12..80).prop_map(|rows| {
-        let mut feats = Vec::new();
-        let mut labels = Vec::new();
-        for (i, (a, b, noise)) in rows.into_iter().enumerate() {
-            let label = if i % 5 == 0 { noise } else { a > 0.0 };
-            feats.push(vec![a, b]);
-            labels.push(label);
-        }
-        // Force at least one row of each class.
-        feats.push(vec![100.0, 0.0]);
-        labels.push(true);
-        feats.push(vec![-100.0, 0.0]);
-        labels.push(false);
-        Dataset::new(feats, labels).unwrap()
-    })
+    proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0, any::<bool>()), 12..80).prop_map(
+        |rows| {
+            let mut feats = Vec::new();
+            let mut labels = Vec::new();
+            for (i, (a, b, noise)) in rows.into_iter().enumerate() {
+                let label = if i % 5 == 0 { noise } else { a > 0.0 };
+                feats.push(vec![a, b]);
+                labels.push(label);
+            }
+            // Force at least one row of each class.
+            feats.push(vec![100.0, 0.0]);
+            labels.push(true);
+            feats.push(vec![-100.0, 0.0]);
+            labels.push(false);
+            Dataset::new(feats, labels).unwrap()
+        },
+    )
 }
 
 proptest! {

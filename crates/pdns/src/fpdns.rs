@@ -145,7 +145,12 @@ impl FpDnsLog {
             );
             Message::negative_response(self.next_txid, Question::new(qname.clone(), qtype), soa)
         } else {
-            Message::response(self.next_txid, Question::new(qname.clone(), qtype), Rcode::NoError, answers.to_vec())
+            Message::response(
+                self.next_txid,
+                Question::new(qname.clone(), qtype),
+                Rcode::NoError,
+                answers.to_vec(),
+            )
         };
         self.next_txid = self.next_txid.wrapping_add(1);
         self.wire_roundtrips += 1;
@@ -209,7 +214,13 @@ mod tests {
     fn counts_and_retains() {
         let mut log = FpDnsLog::new(1, false);
         let n = "a.example.com".parse().unwrap();
-        log.collect(Timestamp::ZERO, 1, &n, QType::A, &[rr("a.example.com", 1), rr("b.example.com", 2)]);
+        log.collect(
+            Timestamp::ZERO,
+            1,
+            &n,
+            QType::A,
+            &[rr("a.example.com", 1), rr("b.example.com", 2)],
+        );
         log.collect(Timestamp::from_secs(5), 2, &n, QType::A, &[rr("a.example.com", 1)]);
         assert_eq!(log.total_records(), 3);
         assert_eq!(log.total_responses(), 2);
@@ -232,7 +243,13 @@ mod tests {
         let mut log = FpDnsLog::new(0, true);
         let n = "www.example.com".parse().unwrap();
         for i in 0..50u8 {
-            log.collect(Timestamp::from_secs(u64::from(i)), 1, &n, QType::A, &[rr("www.example.com", i)]);
+            log.collect(
+                Timestamp::from_secs(u64::from(i)),
+                1,
+                &n,
+                QType::A,
+                &[rr("www.example.com", i)],
+            );
         }
         log.collect(Timestamp::ZERO, 1, &n, QType::A, &[]);
         assert_eq!(log.wire_roundtrips(), 51);
@@ -246,7 +263,13 @@ mod tests {
         let ns = "a.com".parse().unwrap();
         let nl = "load-0-p-01.up-1852280.device.trans.manage.esoft.com".parse().unwrap();
         short.collect(Timestamp::ZERO, 1, &ns, QType::A, &[rr("a.com", 1)]);
-        long.collect(Timestamp::ZERO, 1, &nl, QType::A, &[rr("load-0-p-01.up-1852280.device.trans.manage.esoft.com", 1)]);
+        long.collect(
+            Timestamp::ZERO,
+            1,
+            &nl,
+            QType::A,
+            &[rr("load-0-p-01.up-1852280.device.trans.manage.esoft.com", 1)],
+        );
         assert!(long.storage_bytes() > short.storage_bytes());
     }
 }

@@ -149,7 +149,8 @@ mod tests {
     #[test]
     fn collapses_disposable_children() {
         let agg = agg_with_rule("avqs.mcafee.com", 4);
-        let keys: Vec<RrKey> = (0..100).map(|i| key(&format!("h{i}.avqs.mcafee.com"), (i % 250) as u8)).collect();
+        let keys: Vec<RrKey> =
+            (0..100).map(|i| key(&format!("h{i}.avqs.mcafee.com"), (i % 250) as u8)).collect();
         let outcome = agg.aggregate(keys.iter());
         assert_eq!(outcome.aggregated_records, 100);
         assert_eq!(outcome.wildcard_entries, 1);

@@ -28,12 +28,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 mod observer;
 mod sim;
 mod stats;
 mod traffic;
 
+pub use faults::{
+    FaultKind, FaultPlan, FaultSpecError, MemberOutage, OutageScope, OutageWindow, RetryPolicy,
+    SERVFAIL_LATENCY_MS,
+};
 pub use observer::{Observer, Served};
-pub use sim::{DayReport, PriorityPredicate, ResolverSim, SimConfig};
+pub use sim::{
+    Availability, DayReport, PriorityPredicate, ResilienceStats, ResolverSim, SimConfig,
+};
 pub use stats::{ChrDistribution, RrDayStats, RrStat};
 pub use traffic::{Series, TrafficProfile};

@@ -15,10 +15,19 @@ pub enum Served {
     NegativeHit,
     /// NXDOMAIN fetched upstream: *above* and *below*.
     NxMiss,
+    /// Expired entry served past its TTL because every upstream attempt
+    /// failed (RFC 8767 serve-stale): records appear *below* only; the
+    /// failed attempts are accounted separately as above traffic.
+    StaleHit,
+    /// Upstream unreachable and nothing stale to fall back on: a SERVFAIL
+    /// went below, carrying no records.
+    ServFail,
 }
 
 impl Served {
-    /// Whether the query generated traffic above the recursives.
+    /// Whether the query fetched an answer from above the recursives.
+    /// Failed upstream *attempts* (retries that never produced an answer)
+    /// are counted separately and do not set this.
     pub fn went_above(self) -> bool {
         matches!(self, Served::CacheMiss | Served::NxMiss)
     }
@@ -26,6 +35,11 @@ impl Served {
     /// Whether the response was NXDOMAIN.
     pub fn is_nxdomain(self) -> bool {
         matches!(self, Served::NegativeHit | Served::NxMiss)
+    }
+
+    /// Whether the client got SERVFAIL instead of an answer.
+    pub fn is_failure(self) -> bool {
+        matches!(self, Served::ServFail)
     }
 }
 
@@ -63,5 +77,12 @@ mod tests {
         assert!(Served::NxMiss.is_nxdomain());
         assert!(Served::NegativeHit.is_nxdomain());
         assert!(!Served::CacheHit.is_nxdomain());
+        // Resilience outcomes stay below: records (or SERVFAIL) reach the
+        // client without a successful upstream fetch.
+        assert!(!Served::StaleHit.went_above());
+        assert!(!Served::ServFail.went_above());
+        assert!(!Served::StaleHit.is_nxdomain());
+        assert!(Served::ServFail.is_failure());
+        assert!(!Served::StaleHit.is_failure());
     }
 }

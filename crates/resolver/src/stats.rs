@@ -78,7 +78,7 @@ impl RrStat {
 /// assert_eq!(stats.get(&key).unwrap().dhr(), 0.5);
 /// # Ok::<(), dnsnoise_dns::NameParseError>(())
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RrDayStats {
     stats: HashMap<RrKey, RrStat>,
 }
@@ -163,7 +163,11 @@ impl RrDayStats {
             .iter()
             .map(|&p| {
                 let idx = dhrs.partition_point(|&d| d <= p);
-                if dhrs.is_empty() { 0.0 } else { idx as f64 / dhrs.len() as f64 }
+                if dhrs.is_empty() {
+                    0.0
+                } else {
+                    idx as f64 / dhrs.len() as f64
+                }
             })
             .collect()
     }

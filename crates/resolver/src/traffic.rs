@@ -95,6 +95,24 @@ impl TrafficProfile {
         }
     }
 
+    /// Records `count` upstream-only unit(s) at `hour` — failed fetch
+    /// attempts (timeouts, lost packets, upstream SERVFAILs) that produced
+    /// traffic above the recursives but no answer below. This is how retry
+    /// amplification under faults becomes visible in the Fig. 2 series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn record_above_only(&mut self, hour: usize, operator: Option<Operator>, count: u64) {
+        assert!(hour < 24, "hour out of range");
+        self.above[idx(Series::All)][hour] += count;
+        match operator {
+            Some(Operator::Akamai) => self.above[idx(Series::Akamai)][hour] += count,
+            Some(Operator::Google) => self.above[idx(Series::Google)][hour] += count,
+            _ => {}
+        }
+    }
+
     /// Hourly volumes below the recursives for a series.
     pub fn below(&self, series: Series) -> &[u64; 24] {
         &self.below[idx(series)]
@@ -146,6 +164,19 @@ mod tests {
         assert_eq!(p.below_total(Series::NxDomain), 1);
         assert_eq!(p.below(Series::All)[3], 3);
         assert_eq!(p.below(Series::All)[4], 1);
+    }
+
+    #[test]
+    fn above_only_skips_the_below_tap() {
+        let mut p = TrafficProfile::new();
+        p.record(5, Some(Operator::Google), false, 1, true);
+        p.record_above_only(5, Some(Operator::Google), 3);
+        p.record_above_only(6, None, 2);
+        assert_eq!(p.below_total(Series::All), 1);
+        assert_eq!(p.above_total(Series::All), 6);
+        assert_eq!(p.above_total(Series::Google), 4);
+        assert_eq!(p.above_total(Series::NxDomain), 0);
+        assert_eq!(p.above(Series::All)[6], 2);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property-based invariants of the cluster simulation.
 
 use dnsnoise_cache::LoadBalance;
-use dnsnoise_resolver::{ResolverSim, SimConfig};
+use dnsnoise_dns::{Timestamp, Ttl};
+use dnsnoise_resolver::{FaultKind, FaultPlan, OutageScope, ResolverSim, SimConfig};
 use dnsnoise_workload::{Scenario, ScenarioConfig};
 use proptest::prelude::*;
 
@@ -71,6 +72,67 @@ proptest! {
         let large = large_sim.run_day(&trace, None, &mut ());
         prop_assert!(large.above_total <= small.above_total,
             "large {} vs small {}", large.above_total, small.above_total);
+    }
+
+    /// The extended conservation law under arbitrary fault plans:
+    /// * per-RR query counts equal the below records minus NXDOMAIN and
+    ///   SERVFAIL responses (which carry no records);
+    /// * per-RR miss counts equal the above fetches minus NXDOMAIN fetches
+    ///   and failed attempts (retries are above-only traffic);
+    /// * hourly traffic series still sum to the scalar totals;
+    /// * every trace event lands in exactly one availability bucket.
+    #[test]
+    fn fault_accounting_is_conserved(
+        seed in 0u64..200,
+        fault_seed in 0u64..1_000,
+        loss in 0.0f64..0.5,
+        outage_start_h in 0u64..20,
+        outage_len_h in 1u64..8,
+        timeout in prop_oneof![Just(FaultKind::Timeout), Just(FaultKind::ServFail)],
+        stale in prop_oneof![Just(None), Just(Some(Ttl::from_secs(86_400)))],
+        member_fault in any::<bool>(),
+    ) {
+        let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.01), seed);
+        let trace = scenario.generate_day(0);
+        let mut plan = FaultPlan::default()
+            .with_seed(fault_seed)
+            .with_packet_loss(loss)
+            .with_outage(
+                OutageScope::All,
+                timeout,
+                Timestamp::from_secs(outage_start_h * 3_600),
+                Timestamp::from_secs((outage_start_h + outage_len_h) * 3_600),
+            );
+        if member_fault {
+            plan = plan.with_member_outage(
+                0,
+                Timestamp::from_secs(2 * 3_600),
+                Timestamp::from_secs(10 * 3_600),
+            );
+        }
+        let mut config = SimConfig { members: 2, ..SimConfig::default() };
+        if let Some(w) = stale {
+            config = config.with_serve_stale(w);
+        }
+        let mut sim = ResolverSim::new(config);
+        let report = sim.run_day_with_faults(&trace, Some(scenario.ground_truth()), &mut (), &plan);
+
+        let r = &report.resilience;
+        let sum_queries: u64 = report.rr_stats.iter().map(|(_, s)| u64::from(s.queries)).sum();
+        let sum_misses: u64 = report.rr_stats.iter().map(|(_, s)| u64::from(s.misses)).sum();
+        prop_assert_eq!(sum_queries, report.below_total - report.nx_below - r.servfails_below);
+        prop_assert_eq!(sum_misses, report.above_total - report.nx_above - r.failed_attempts);
+
+        use dnsnoise_resolver::Series;
+        prop_assert_eq!(report.traffic.below_total(Series::All), report.below_total);
+        prop_assert_eq!(report.traffic.above_total(Series::All), report.above_total);
+
+        let events = trace.events.len() as u64;
+        let tallied = r.disposable.answered + r.disposable.failed
+            + r.nondisposable.answered + r.nondisposable.failed;
+        prop_assert_eq!(tallied, events, "every event lands in one availability bucket");
+        prop_assert_eq!(r.overall().failed, r.servfails_below);
+        prop_assert!(r.timeouts + r.upstream_servfails == r.failed_attempts);
     }
 
     /// Replaying the identical trace twice through one warm simulator

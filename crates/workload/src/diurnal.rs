@@ -126,7 +126,10 @@ mod tests {
         }
         let expect = 2_000.0;
         for &c in &hour_counts {
-            assert!((f64::from(c) - expect).abs() < expect * 0.2, "bucket {c} too far from {expect}");
+            assert!(
+                (f64::from(c) - expect).abs() < expect * 0.2,
+                "bucket {c} too far from {expect}"
+            );
         }
     }
 

@@ -53,7 +53,8 @@ pub fn label_hex(seed: u64, len: usize) -> Label {
 /// Panics if `len` is zero or exceeds 63.
 pub fn label_base32(seed: u64, len: usize) -> Label {
     assert!((1..=63).contains(&len));
-    Label::new(&take_chars(seed, len, b"abcdefghijklmnopqrstuvwxyz234567")).expect("base32 label is valid")
+    Label::new(&take_chars(seed, len, b"abcdefghijklmnopqrstuvwxyz234567"))
+        .expect("base32 label is valid")
 }
 
 /// An alphanumeric label.
@@ -63,7 +64,8 @@ pub fn label_base32(seed: u64, len: usize) -> Label {
 /// Panics if `len` is zero or exceeds 63.
 pub fn label_alnum(seed: u64, len: usize) -> Label {
     assert!((1..=63).contains(&len));
-    Label::new(&take_chars(seed, len, b"abcdefghijklmnopqrstuvwxyz0123456789")).expect("alnum label is valid")
+    Label::new(&take_chars(seed, len, b"abcdefghijklmnopqrstuvwxyz0123456789"))
+        .expect("alnum label is valid")
 }
 
 /// Deterministic name/record forge bound to a zone seed.

@@ -318,7 +318,12 @@ impl Scenario {
                 TtlModel::cdn(),
                 mix64(seed ^ 6),
             )),
-            Box::new(PopularSites::new(popular_sites, popular_events as usize, TtlModel::popular(), mix64(seed ^ 7))),
+            Box::new(PopularSites::new(
+                popular_sites,
+                popular_events as usize,
+                TtlModel::popular(),
+                mix64(seed ^ 7),
+            )),
             Box::new(PortalFleet::new(
                 ((portal_uniques / 90.0).round() as usize).clamp(4, 40),
                 portal_uniques as usize,

@@ -21,8 +21,15 @@ use crate::scenario::DayTrace;
 /// Errors while reading a serialized trace.
 #[derive(Debug)]
 pub enum TraceIoError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
+    /// Underlying I/O failure. `line` is the 1-based number of the line
+    /// being read when the failure occurred, when known (`None` for
+    /// failures outside line-by-line reading, e.g. while writing).
+    Io {
+        /// 1-based line number of the failed read, if applicable.
+        line: Option<usize>,
+        /// The underlying error.
+        source: std::io::Error,
+    },
     /// A malformed line, with its 1-based number and a description.
     Parse {
         /// 1-based line number.
@@ -35,7 +42,10 @@ pub enum TraceIoError {
 impl std::fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Io { line: Some(n), source } => {
+                write!(f, "line {n}: trace i/o failed: {source}")
+            }
+            TraceIoError::Io { line: None, source } => write!(f, "trace i/o failed: {source}"),
             TraceIoError::Parse { line, message } => write!(f, "line {line}: {message}"),
         }
     }
@@ -44,7 +54,7 @@ impl std::fmt::Display for TraceIoError {
 impl std::error::Error for TraceIoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Io { source, .. } => Some(source),
             TraceIoError::Parse { .. } => None,
         }
     }
@@ -52,7 +62,7 @@ impl std::error::Error for TraceIoError {
 
 impl From<std::io::Error> for TraceIoError {
     fn from(e: std::io::Error) -> Self {
-        TraceIoError::Io(e)
+        TraceIoError::Io { line: None, source: e }
     }
 }
 
@@ -134,19 +144,16 @@ fn parse_qtype(s: &str) -> Result<QType, String> {
 
 /// Serializes one event as a trace line (without the newline).
 pub fn render_event(event: &QueryEvent) -> String {
-    let mut line = format!(
-        "{}\t{}\t{}\t{}\t",
-        event.time.as_secs(),
-        event.client,
-        event.name,
-        event.qtype
-    );
+    let mut line =
+        format!("{}\t{}\t{}\t{}\t", event.time.as_secs(), event.client, event.name, event.qtype);
     match &event.outcome {
         Outcome::NxDomain => line.push_str("NXDOMAIN"),
         Outcome::Answer(records) => {
             let rendered: Vec<String> = records
                 .iter()
-                .map(|r| format!("{},{},{},{}", r.name, r.qtype, r.ttl.as_secs(), render_rdata(&r.rdata)))
+                .map(|r| {
+                    format!("{},{},{},{}", r.name, r.qtype, r.ttl.as_secs(), render_rdata(&r.rdata))
+                })
                 .collect();
             line.push_str(&rendered.join(";"));
         }
@@ -163,7 +170,8 @@ pub fn parse_event(line: &str) -> Result<QueryEvent, String> {
     let mut fields = line.splitn(5, '\t');
     let secs: u64 = fields.next().ok_or("missing time")?.parse().map_err(|_| "bad time")?;
     let client: u64 = fields.next().ok_or("missing client")?.parse().map_err(|_| "bad client")?;
-    let name: Name = fields.next().ok_or("missing qname")?.parse().map_err(|e| format!("bad qname: {e}"))?;
+    let name: Name =
+        fields.next().ok_or("missing qname")?.parse().map_err(|e| format!("bad qname: {e}"))?;
     let qtype = parse_qtype(fields.next().ok_or("missing qtype")?)?;
     let outcome_field = fields.next().ok_or("missing outcome")?;
     let outcome = if outcome_field == "NXDOMAIN" {
@@ -219,7 +227,7 @@ pub fn write_trace<W: Write>(trace: &DayTrace, mut out: W) -> Result<(), TraceIo
 pub fn read_trace<R: BufRead>(input: R) -> Result<DayTrace, TraceIoError> {
     let mut events = Vec::new();
     for (i, line) in input.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(|source| TraceIoError::Io { line: Some(i + 1), source })?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -271,6 +279,36 @@ mod tests {
             TraceIoError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other}"),
         }
+    }
+
+    #[test]
+    fn io_failures_report_position() {
+        use std::io::{BufReader, Read};
+
+        /// Yields one valid line, then fails.
+        struct FailAfterOneLine {
+            served: bool,
+        }
+
+        impl Read for FailAfterOneLine {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.served {
+                    return Err(std::io::Error::other("disk on fire"));
+                }
+                self.served = true;
+                let line = b"10\t7\twww.example.com\tA\tNXDOMAIN\n";
+                buf[..line.len()].copy_from_slice(line);
+                Ok(line.len())
+            }
+        }
+
+        let reader = BufReader::new(FailAfterOneLine { served: false });
+        let err = read_trace(reader).unwrap_err();
+        match &err {
+            TraceIoError::Io { line: Some(2), .. } => {}
+            other => panic!("expected i/o error on line 2, got {other:?}"),
+        }
+        assert_eq!(err.to_string(), "line 2: trace i/o failed: disk on fire");
     }
 
     #[test]

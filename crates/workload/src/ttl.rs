@@ -122,11 +122,7 @@ impl TtlModel {
     /// Probability of drawing exactly `ttl_secs`.
     pub fn probability_of(&self, ttl_secs: u32) -> f64 {
         let total: f64 = self.buckets.iter().map(|(_, w)| w).sum();
-        self.buckets
-            .iter()
-            .filter(|(t, _)| *t == ttl_secs)
-            .map(|(_, w)| w / total)
-            .sum()
+        self.buckets.iter().filter(|(t, _)| *t == ttl_secs).map(|(_, w)| w / total).sum()
     }
 }
 

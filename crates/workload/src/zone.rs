@@ -6,8 +6,6 @@ use std::fmt;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-
-
 use crate::diurnal::DiurnalCurve;
 use crate::event::QueryEvent;
 

@@ -54,13 +54,7 @@ impl AvReputation {
                 (apex, Operator::Other(3_000 + i as u32))
             })
             .collect();
-        AvReputation {
-            zones,
-            lookups_per_zone,
-            file_pool: ZipfSampler::new(pool, 0.85),
-            ttl,
-            seed,
-        }
+        AvReputation { zones, lookups_per_zone, file_pool: ZipfSampler::new(pool, 0.85), ttl, seed }
     }
 
     fn fingerprint_name(&self, zone_idx: usize, apex: &Name, file: usize) -> Name {
@@ -88,7 +82,13 @@ impl ZoneModel for AvReputation {
             .collect()
     }
 
-    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+    fn generate_day(
+        &self,
+        ctx: &DayCtx,
+        tag: u32,
+        rng: &mut StdRng,
+        sink: &mut Vec<crate::event::QueryEvent>,
+    ) {
         for (zi, (apex, _)) in self.zones.iter().enumerate() {
             let forge = NameForge::new(mix64(self.seed ^ zi as u64), apex.clone());
             for _ in 0..self.lookups_per_zone {
@@ -98,14 +98,27 @@ impl ZoneModel for AvReputation {
                 // Suspicious-file encounters follow user activity.
                 let second = ctx.diurnal.sample_second(rng);
                 let ttl = self.ttl.sample(mix64(file as u64 ^ self.seed));
-                let rr = Record::new(name.clone(), QType::A, ttl, forge.loopback_signal(file as u64));
-                sink.push(event_at(ctx, second, client, name, QType::A, Outcome::Answer(vec![rr]), tag));
+                let rr =
+                    Record::new(name.clone(), QType::A, ttl, forge.loopback_signal(file as u64));
+                sink.push(event_at(
+                    ctx,
+                    second,
+                    client,
+                    name,
+                    QType::A,
+                    Outcome::Answer(vec![rr]),
+                    tag,
+                ));
             }
         }
     }
 
     fn describe(&self) -> String {
-        format!("av reputation fleet ({} zones, {} lookups each)", self.zones.len(), self.lookups_per_zone)
+        format!(
+            "av reputation fleet ({} zones, {} lookups each)",
+            self.zones.len(),
+            self.lookups_per_zone
+        )
     }
 }
 

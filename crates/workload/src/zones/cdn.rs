@@ -56,12 +56,16 @@ impl CdnFleet {
     /// # Panics
     ///
     /// Panics if `shards_per_zone` is zero.
-    pub fn new(shards_per_zone: usize, n_customers: usize, daily_events: usize, ttl: TtlModel, seed: u64) -> Self {
+    pub fn new(
+        shards_per_zone: usize,
+        n_customers: usize,
+        daily_events: usize,
+        ttl: TtlModel,
+        seed: u64,
+    ) -> Self {
         assert!(shards_per_zone > 0, "cdn needs at least one shard per zone");
-        let edge_zones = EDGE_SUFFIXES
-            .iter()
-            .map(|s| s.parse().expect("static edge zone is valid"))
-            .collect();
+        let edge_zones =
+            EDGE_SUFFIXES.iter().map(|s| s.parse().expect("static edge zone is valid")).collect();
         let customers = (0..n_customers)
             .map(|i| {
                 let brand = label_alnum(mix64(seed ^ 0xcd ^ ((i as u64) << 11)), 8);
@@ -122,7 +126,13 @@ impl ZoneModel for CdnFleet {
         infos
     }
 
-    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+    fn generate_day(
+        &self,
+        ctx: &DayCtx,
+        tag: u32,
+        rng: &mut StdRng,
+        sink: &mut Vec<crate::event::QueryEvent>,
+    ) {
         for _ in 0..self.daily_events {
             let zone_idx = rng.gen_range(0..self.edge_zones.len());
             let shard = self.shard_pop.sample(rng);
@@ -140,7 +150,8 @@ impl ZoneModel for CdnFleet {
                 let assigned = mix64(self.seed ^ 0xa551 ^ ci as u64);
                 // Customers are CNAMEd onto head (popular) shards.
                 let head = self.shards_per_zone.min(32);
-                let shard_choice = ((assigned >> 8).wrapping_add(rng.gen_range(0..4)) as usize) % head;
+                let shard_choice =
+                    ((assigned >> 8).wrapping_add(rng.gen_range(0..4)) as usize) % head;
                 let zone_choice = (assigned % self.edge_zones.len() as u64) as usize;
                 let edge_rr = self.shard_answer(zone_choice, shard_choice, ctx.day);
                 let cname_rr = Record::new(
@@ -160,7 +171,15 @@ impl ZoneModel for CdnFleet {
                 ));
             } else {
                 let name = edge_rr.name.clone();
-                sink.push(event_at(ctx, second, client, name, QType::A, Outcome::Answer(vec![edge_rr]), tag));
+                sink.push(event_at(
+                    ctx,
+                    second,
+                    client,
+                    name,
+                    QType::A,
+                    Outcome::Answer(vec![edge_rr]),
+                    tag,
+                ));
             }
         }
     }
@@ -183,7 +202,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn generate(fleet: &CdnFleet, day: u64) -> Vec<crate::event::QueryEvent> {
-        let ctx = DayCtx { day, epoch: 0.0, n_clients: 2_000, diurnal: DiurnalCurve::residential() };
+        let ctx =
+            DayCtx { day, epoch: 0.0, n_clients: 2_000, diurnal: DiurnalCurve::residential() };
         let mut rng = StdRng::seed_from_u64(31 ^ day);
         let mut sink = Vec::new();
         fleet.generate_day(&ctx, 5, &mut rng, &mut sink);
@@ -196,7 +216,12 @@ mod tests {
         let events = generate(&fleet, 0);
         let unique: std::collections::HashSet<_> = events.iter().map(|e| e.name.clone()).collect();
         // Zipf head: far fewer unique names than events.
-        assert!(unique.len() * 3 < events.len(), "{} unique / {} events", unique.len(), events.len());
+        assert!(
+            unique.len() * 3 < events.len(),
+            "{} unique / {} events",
+            unique.len(),
+            events.len()
+        );
     }
 
     #[test]
@@ -213,20 +238,14 @@ mod tests {
             }
             new_per_day.push(new);
         }
-        assert!(
-            new_per_day[4] < new_per_day[0],
-            "new names should decline: {new_per_day:?}"
-        );
+        assert!(new_per_day[4] < new_per_day[0], "new names should decline: {new_per_day:?}");
     }
 
     #[test]
     fn customer_lookups_carry_cname_chains() {
         let fleet = CdnFleet::new(1_000, 30, 5_000, TtlModel::cdn(), 3);
         let events = generate(&fleet, 0);
-        let chained = events
-            .iter()
-            .filter(|e| e.outcome.records().len() == 2)
-            .collect::<Vec<_>>();
+        let chained = events.iter().filter(|e| e.outcome.records().len() == 2).collect::<Vec<_>>();
         assert!(!chained.is_empty(), "expected CNAME chains");
         for ev in chained {
             let recs = ev.outcome.records();
@@ -243,6 +262,9 @@ mod tests {
         let infos = fleet.zones();
         assert_eq!(infos.len(), EDGE_SUFFIXES.len() + 7);
         assert!(infos.iter().all(|z| !z.disposable));
-        assert_eq!(infos.iter().filter(|z| z.operator == Operator::Akamai).count(), EDGE_SUFFIXES.len());
+        assert_eq!(
+            infos.iter().filter(|z| z.operator == Operator::Akamai).count(),
+            EDGE_SUFFIXES.len()
+        );
     }
 }

@@ -77,12 +77,19 @@ impl ZoneModel for DnsblFleet {
             .collect()
     }
 
-    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+    fn generate_day(
+        &self,
+        ctx: &DayCtx,
+        tag: u32,
+        rng: &mut StdRng,
+        sink: &mut Vec<crate::event::QueryEvent>,
+    ) {
         for (zi, (apex, _)) in self.zones.iter().enumerate() {
             let forge = NameForge::new(mix64(self.seed ^ zi as u64 ^ 0xb1), apex.clone());
             // DNSBL lookups come from the ISP's mail relays: a handful of
             // clients issue all queries.
-            let relays: Vec<u64> = (0..8).map(|i| mix64(self.seed ^ 0xee ^ i) % ctx.n_clients).collect();
+            let relays: Vec<u64> =
+                (0..8).map(|i| mix64(self.seed ^ 0xee ^ i) % ctx.n_clients).collect();
             for _ in 0..self.queries_per_zone {
                 let prefix = self.prefix_pool.sample(rng);
                 let host: u8 = rng.gen();
@@ -91,8 +98,21 @@ impl ZoneModel for DnsblFleet {
                 // Mail flow is flat-ish around the clock.
                 let second = rng.gen_range(0..86_400);
                 let ttl = self.ttl.sample(mix64(prefix as u64 ^ u64::from(host)));
-                let rr = Record::new(name.clone(), QType::A, ttl, forge.loopback_signal(prefix as u64 ^ u64::from(host)));
-                sink.push(event_at(ctx, second, client, name, QType::A, Outcome::Answer(vec![rr]), tag));
+                let rr = Record::new(
+                    name.clone(),
+                    QType::A,
+                    ttl,
+                    forge.loopback_signal(prefix as u64 ^ u64::from(host)),
+                );
+                sink.push(event_at(
+                    ctx,
+                    second,
+                    client,
+                    name,
+                    QType::A,
+                    Outcome::Answer(vec![rr]),
+                    tag,
+                ));
             }
         }
     }
@@ -135,7 +155,11 @@ mod tests {
         let fleet = DnsblFleet::new(2, 400, TtlModel::fixed(300), 5);
         let events = generate(&fleet);
         let clients: std::collections::HashSet<_> = events.iter().map(|e| e.client).collect();
-        assert!(clients.len() <= 16, "dnsbl lookups come from relays, got {} clients", clients.len());
+        assert!(
+            clients.len() <= 16,
+            "dnsbl lookups come from relays, got {} clients",
+            clients.len()
+        );
     }
 
     #[test]

@@ -90,7 +90,13 @@ impl ZoneModel for Ipv6Experiment {
         ]
     }
 
-    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+    fn generate_day(
+        &self,
+        ctx: &DayCtx,
+        tag: u32,
+        rng: &mut StdRng,
+        sink: &mut Vec<crate::event::QueryEvent>,
+    ) {
         let sessions = self.sessions_on(ctx.day);
         let forge = NameForge::new(mix64(self.seed ^ 0x6006), self.collector_apex.clone());
         for s in 0..sessions {
@@ -117,8 +123,14 @@ impl ZoneModel for Ipv6Experiment {
                     .collector_apex
                     .child(label_base32(mix64(session_seed ^ 0xc011 ^ vi as u64), 18));
                 let ttl = self.ttl.sample(mix64(session_seed ^ (vi as u64) << 8));
-                let cname = Record::new(name.clone(), QType::Cname, ttl, RData::Cname(target.clone()));
-                let rr_a = Record::new(target.clone(), QType::A, ttl, forge.ipv4(session_seed ^ vi as u64));
+                let cname =
+                    Record::new(name.clone(), QType::Cname, ttl, RData::Cname(target.clone()));
+                let rr_a = Record::new(
+                    target.clone(),
+                    QType::A,
+                    ttl,
+                    forge.ipv4(session_seed ^ vi as u64),
+                );
                 sink.push(event_at(
                     ctx,
                     second + vi as u64,
@@ -130,7 +142,8 @@ impl ZoneModel for Ipv6Experiment {
                 ));
 
                 let dual_stack = self.dual_stack_fraction * (0.45 + 0.55 * ctx.epoch);
-                if (mix64(session_seed ^ 0xaaaa ^ vi as u64) as f64 / u64::MAX as f64) < dual_stack {
+                if (mix64(session_seed ^ 0xaaaa ^ vi as u64) as f64 / u64::MAX as f64) < dual_stack
+                {
                     // The v6 path reports to its own collector host, so a
                     // dual-stack probe mints two one-shot targets (this is
                     // what pushes disposable names to ≈3 RRs each,
@@ -138,8 +151,12 @@ impl ZoneModel for Ipv6Experiment {
                     let target_v6 = self
                         .collector_apex
                         .child(label_base32(mix64(session_seed ^ 0x06c0 ^ vi as u64), 18));
-                    let cname_v6 =
-                        Record::new(name.clone(), QType::Cname, ttl, RData::Cname(target_v6.clone()));
+                    let cname_v6 = Record::new(
+                        name.clone(),
+                        QType::Cname,
+                        ttl,
+                        RData::Cname(target_v6.clone()),
+                    );
                     let v6 = std::net::Ipv6Addr::new(
                         0x2001,
                         0x4860,
@@ -166,7 +183,11 @@ impl ZoneModel for Ipv6Experiment {
     }
 
     fn describe(&self) -> String {
-        format!("ipv6 experiment ({} base sessions, +{:.1}%/day)", self.base_sessions, self.daily_growth * 100.0)
+        format!(
+            "ipv6 experiment ({} base sessions, +{:.1}%/day)",
+            self.base_sessions,
+            self.daily_growth * 100.0
+        )
     }
 }
 

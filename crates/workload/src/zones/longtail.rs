@@ -78,7 +78,13 @@ impl ZoneModel for LongTail {
         Vec::new()
     }
 
-    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+    fn generate_day(
+        &self,
+        ctx: &DayCtx,
+        tag: u32,
+        rng: &mut StdRng,
+        sink: &mut Vec<crate::event::QueryEvent>,
+    ) {
         for _ in 0..self.daily_events {
             let idx = self.pool_pop.sample(rng);
             let name = self.name_of(idx);
@@ -86,9 +92,20 @@ impl ZoneModel for LongTail {
             let second = ctx.diurnal.sample_second(rng);
             let name_hash = mix64(self.seed ^ idx as u64);
             let ttl = self.ttl.sample(name_hash);
-            let forge = NameForge::new(mix64(self.seed ^ 0x1417), name.parent().expect("hostname has parent"));
+            let forge = NameForge::new(
+                mix64(self.seed ^ 0x1417),
+                name.parent().expect("hostname has parent"),
+            );
             let rr = Record::new(name.clone(), QType::A, ttl, forge.ipv4(idx as u64));
-            sink.push(event_at(ctx, second, client, name, QType::A, Outcome::Answer(vec![rr]), tag));
+            sink.push(event_at(
+                ctx,
+                second,
+                client,
+                name,
+                QType::A,
+                Outcome::Answer(vec![rr]),
+                tag,
+            ));
         }
     }
 
@@ -104,7 +121,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn generate(model: &LongTail, day: u64) -> Vec<crate::event::QueryEvent> {
-        let ctx = DayCtx { day, epoch: 0.0, n_clients: 2_000, diurnal: DiurnalCurve::residential() };
+        let ctx =
+            DayCtx { day, epoch: 0.0, n_clients: 2_000, diurnal: DiurnalCurve::residential() };
         let mut rng = StdRng::seed_from_u64(100 + day);
         let mut sink = Vec::new();
         model.generate_day(&ctx, 7, &mut rng, &mut sink);

@@ -44,7 +44,8 @@ pub(crate) fn event_at(
     tag: u32,
 ) -> QueryEvent {
     QueryEvent {
-        time: Timestamp::from_days(ctx.day) + dnsnoise_dns::Ttl::from_secs(second_of_day.min(86_399) as u32),
+        time: Timestamp::from_days(ctx.day)
+            + dnsnoise_dns::Ttl::from_secs(second_of_day.min(86_399) as u32),
         client,
         name,
         qtype,

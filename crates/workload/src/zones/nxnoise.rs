@@ -84,7 +84,13 @@ impl ZoneModel for NxNoise {
         Vec::new()
     }
 
-    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+    fn generate_day(
+        &self,
+        ctx: &DayCtx,
+        tag: u32,
+        rng: &mut StdRng,
+        sink: &mut Vec<crate::event::QueryEvent>,
+    ) {
         // Probes: a capped count of fresh names, three lookups each.
         let n_probes = ((self.unique_budget as f64) * self.probe_share) as usize;
         for _ in 0..n_probes {
@@ -92,7 +98,15 @@ impl ZoneModel for NxNoise {
             let second = ctx.diurnal.sample_second(rng);
             let name = self.probe_name(rng);
             for k in 0..3 {
-                sink.push(event_at(ctx, second + k, client, name.clone(), QType::A, Outcome::NxDomain, tag));
+                sink.push(event_at(
+                    ctx,
+                    second + k,
+                    client,
+                    name.clone(),
+                    QType::A,
+                    Outcome::NxDomain,
+                    tag,
+                ));
             }
         }
         // Fresh one-shot typos: the rest of the unique budget.
@@ -125,7 +139,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn generate(model: &NxNoise) -> Vec<crate::event::QueryEvent> {
-        let ctx = DayCtx { day: 0, epoch: 0.0, n_clients: 500, diurnal: DiurnalCurve::residential() };
+        let ctx =
+            DayCtx { day: 0, epoch: 0.0, n_clients: 500, diurnal: DiurnalCurve::residential() };
         let mut rng = StdRng::seed_from_u64(55);
         let mut sink = Vec::new();
         model.generate_day(&ctx, 4, &mut rng, &mut sink);
@@ -164,11 +179,8 @@ mod tests {
             *counts.entry(ev.name.clone()).or_insert(0u32) += 1;
         }
         // Probe names are single labels; typo names have 2-3.
-        let probe_counts: Vec<u32> = counts
-            .iter()
-            .filter(|(n, _)| n.depth() == 1)
-            .map(|(_, &c)| c)
-            .collect();
+        let probe_counts: Vec<u32> =
+            counts.iter().filter(|(n, _)| n.depth() == 1).map(|(_, &c)| c).collect();
         assert!(!probe_counts.is_empty());
         assert!(probe_counts.iter().all(|&c| c == 3), "every probe fires 3x");
     }

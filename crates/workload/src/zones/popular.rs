@@ -18,9 +18,8 @@ use crate::zipf::ZipfSampler;
 use crate::zone::{Category, DayCtx, Operator, ZoneModel};
 use crate::zones::event_at;
 
-const SUBDOMAINS: &[&str] = &[
-    "www", "mail", "api", "img", "static", "login", "m", "news", "shop", "blog", "cdn", "search",
-];
+const SUBDOMAINS: &[&str] =
+    &["www", "mail", "api", "img", "static", "login", "m", "news", "shop", "blog", "cdn", "search"];
 
 /// A population of popular sites with Zipf traffic across sites.
 #[derive(Debug, Clone)]
@@ -52,10 +51,14 @@ impl PopularSites {
                 ("google.com".parse().expect("static"), Operator::Google)
             } else {
                 let brand = label_alnum(mix64(seed ^ 0x909 ^ ((i as u64) << 13)), 7);
-                (format!("{brand}.com").parse().expect("brand 2LD is valid"), Operator::Other(1_000 + i as u32))
+                (
+                    format!("{brand}.com").parse().expect("brand 2LD is valid"),
+                    Operator::Other(1_000 + i as u32),
+                )
             };
             sites.push((apex, op));
-            subdomain_counts.push(2 + (mix64(seed ^ i as u64) % (SUBDOMAINS.len() as u64 - 1)) as usize);
+            subdomain_counts
+                .push(2 + (mix64(seed ^ i as u64) % (SUBDOMAINS.len() as u64 - 1)) as usize);
         }
         // Google gets the full set.
         subdomain_counts[0] = SUBDOMAINS.len();
@@ -90,7 +93,13 @@ impl ZoneModel for PopularSites {
             .collect()
     }
 
-    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+    fn generate_day(
+        &self,
+        ctx: &DayCtx,
+        tag: u32,
+        rng: &mut StdRng,
+        sink: &mut Vec<crate::event::QueryEvent>,
+    ) {
         for _ in 0..self.daily_events {
             let site = self.site_pop.sample(rng);
             let (apex, _) = &self.sites[site];
@@ -108,7 +117,16 @@ impl ZoneModel for PopularSites {
             let ttl = self.ttl.sample(name_hash);
             let forge = NameForge::new(mix64(self.seed ^ site as u64), apex.clone());
             let (qtype, rdata) = if rng.gen::<f64>() < self.aaaa_fraction {
-                let v6 = std::net::Ipv6Addr::new(0x2606, (site & 0xffff) as u16, sub_idx as u16, 0, 0, 0, 0, 1);
+                let v6 = std::net::Ipv6Addr::new(
+                    0x2606,
+                    (site & 0xffff) as u16,
+                    sub_idx as u16,
+                    0,
+                    0,
+                    0,
+                    0,
+                    1,
+                );
                 (QType::Aaaa, dnsnoise_dns::RData::Aaaa(v6))
             } else {
                 (QType::A, forge.ipv4(sub_idx as u64))
@@ -130,7 +148,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn generate(model: &PopularSites) -> Vec<crate::event::QueryEvent> {
-        let ctx = DayCtx { day: 0, epoch: 0.0, n_clients: 2_000, diurnal: DiurnalCurve::residential() };
+        let ctx =
+            DayCtx { day: 0, epoch: 0.0, n_clients: 2_000, diurnal: DiurnalCurve::residential() };
         let mut rng = StdRng::seed_from_u64(12);
         let mut sink = Vec::new();
         model.generate_day(&ctx, 9, &mut rng, &mut sink);

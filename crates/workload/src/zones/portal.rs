@@ -42,7 +42,13 @@ impl PortalFleet {
     /// # Panics
     ///
     /// Panics if `n_zones` is zero.
-    pub fn new(n_zones: usize, daily_names: usize, events_per_name: f64, ttl: TtlModel, seed: u64) -> Self {
+    pub fn new(
+        n_zones: usize,
+        daily_names: usize,
+        events_per_name: f64,
+        ttl: TtlModel,
+        seed: u64,
+    ) -> Self {
         assert!(n_zones > 0, "portal fleet needs at least one zone");
         let names_per_zone = (daily_names / n_zones).max(4);
         // The pool is wider than the daily active set: the Zipf head is
@@ -86,7 +92,13 @@ impl ZoneModel for PortalFleet {
             .collect()
     }
 
-    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+    fn generate_day(
+        &self,
+        ctx: &DayCtx,
+        tag: u32,
+        rng: &mut StdRng,
+        sink: &mut Vec<crate::event::QueryEvent>,
+    ) {
         for (zi, (apex, _)) in self.zones.iter().enumerate() {
             let forge = NameForge::new(mix64(self.seed ^ zi as u64 ^ 0x90a7), apex.clone());
             for _ in 0..self.events_per_zone {
@@ -97,7 +109,15 @@ impl ZoneModel for PortalFleet {
                 let name_hash = mix64((zi as u64) << 32 ^ user as u64 ^ self.seed);
                 let ttl = self.ttl.sample(name_hash);
                 let rr = Record::new(name.clone(), QType::A, ttl, forge.ipv4(user as u64));
-                sink.push(event_at(ctx, second, client, name, QType::A, Outcome::Answer(vec![rr]), tag));
+                sink.push(event_at(
+                    ctx,
+                    second,
+                    client,
+                    name,
+                    QType::A,
+                    Outcome::Answer(vec![rr]),
+                    tag,
+                ));
             }
         }
     }
@@ -119,7 +139,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn generate(fleet: &PortalFleet) -> Vec<crate::event::QueryEvent> {
-        let ctx = DayCtx { day: 0, epoch: 0.5, n_clients: 2_000, diurnal: DiurnalCurve::residential() };
+        let ctx =
+            DayCtx { day: 0, epoch: 0.5, n_clients: 2_000, diurnal: DiurnalCurve::residential() };
         let mut rng = StdRng::seed_from_u64(77);
         let mut sink = Vec::new();
         fleet.generate_day(&ctx, 6, &mut rng, &mut sink);
@@ -132,14 +153,20 @@ mod tests {
         let events = generate(&fleet);
         let unique: std::collections::HashSet<_> = events.iter().map(|e| e.name.clone()).collect();
         // Heavy reuse: far fewer names than events.
-        assert!(unique.len() * 3 < events.len(), "{} names / {} events", unique.len(), events.len());
+        assert!(
+            unique.len() * 3 < events.len(),
+            "{} names / {} events",
+            unique.len(),
+            events.len()
+        );
     }
 
     #[test]
     fn user_names_recur_across_days() {
         let fleet = PortalFleet::new(2, 200, 6.0, TtlModel::long_tail(), 5);
         let names = |day: u64| -> std::collections::HashSet<Name> {
-            let ctx = DayCtx { day, epoch: 0.5, n_clients: 2_000, diurnal: DiurnalCurve::residential() };
+            let ctx =
+                DayCtx { day, epoch: 0.5, n_clients: 2_000, diurnal: DiurnalCurve::residential() };
             let mut rng = StdRng::seed_from_u64(100 + day);
             let mut sink = Vec::new();
             fleet.generate_day(&ctx, 6, &mut rng, &mut sink);
@@ -157,11 +184,9 @@ mod tests {
         // The hard-negative property: portal child labels have real entropy.
         let fleet = PortalFleet::new(1, 200, 4.0, TtlModel::long_tail(), 5);
         let events = generate(&fleet);
-        let mean_entropy: f64 = events
-            .iter()
-            .map(|e| e.name.leftmost().expect("has label").entropy())
-            .sum::<f64>()
-            / events.len() as f64;
+        let mean_entropy: f64 =
+            events.iter().map(|e| e.name.leftmost().expect("has label").entropy()).sum::<f64>()
+                / events.len() as f64;
         assert!(mean_entropy > 2.0, "portal labels should look random: {mean_entropy}");
     }
 

@@ -46,8 +46,7 @@ impl TelemetryFleet {
     pub fn new(n_zones: usize, daily_names: usize, ttl: TtlModel, seed: u64) -> Self {
         assert!(n_zones > 0, "telemetry fleet needs at least one zone");
         let beacons_per_device = 4;
-        let devices_per_zone =
-            (daily_names / n_zones / beacons_per_device).max(1);
+        let devices_per_zone = (daily_names / n_zones / beacons_per_device).max(1);
         let zones = (0..n_zones)
             .map(|i| {
                 let vendor = crate::namegen::label_alnum(mix64(seed ^ (i as u64) << 3), 6);
@@ -101,27 +100,47 @@ impl ZoneModel for TelemetryFleet {
             .collect()
     }
 
-    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+    fn generate_day(
+        &self,
+        ctx: &DayCtx,
+        tag: u32,
+        rng: &mut StdRng,
+        sink: &mut Vec<crate::event::QueryEvent>,
+    ) {
         for (zi, (apex, _)) in self.zones.iter().enumerate() {
             let forge = NameForge::new(mix64(self.seed ^ (zi as u64)), apex.clone());
             for device in 0..self.devices_per_zone {
                 // A device is one client machine; its identity is stable
                 // across days.
-                let client = mix64(self.seed ^ 0xdead ^ ((zi * 131 + device) as u64)) % ctx.n_clients;
+                let client =
+                    mix64(self.seed ^ 0xdead ^ ((zi * 131 + device) as u64)) % ctx.n_clients;
                 for _ in 0..self.beacons_per_device {
                     // Telemetry beacons around the clock.
                     let second = rng.gen_range(0..86_400);
                     let name = self.beacon_name(apex, rng);
-                    let ttl = self.ttl.sample(mix64(name.presentation_len() as u64 ^ rng.gen::<u64>()));
+                    let ttl =
+                        self.ttl.sample(mix64(name.presentation_len() as u64 ^ rng.gen::<u64>()));
                     let rr = Record::new(name.clone(), QType::A, ttl, forge.ipv4(rng.gen()));
-                    sink.push(event_at(ctx, second, client, name, QType::A, Outcome::Answer(vec![rr]), tag));
+                    sink.push(event_at(
+                        ctx,
+                        second,
+                        client,
+                        name,
+                        QType::A,
+                        Outcome::Answer(vec![rr]),
+                        tag,
+                    ));
                 }
             }
         }
     }
 
     fn describe(&self) -> String {
-        format!("telemetry fleet ({} zones, {} devices each)", self.zones.len(), self.devices_per_zone)
+        format!(
+            "telemetry fleet ({} zones, {} devices each)",
+            self.zones.len(),
+            self.devices_per_zone
+        )
     }
 }
 
@@ -145,7 +164,11 @@ mod tests {
         let apexes: Vec<Name> = fleet.zones().iter().map(|z| z.apex.clone()).collect();
         let mut seen = std::collections::HashSet::new();
         for ev in &sink {
-            assert!(apexes.iter().any(|a| ev.name.is_subdomain_of(a)), "{} not under any apex", ev.name);
+            assert!(
+                apexes.iter().any(|a| ev.name.is_subdomain_of(a)),
+                "{} not under any apex",
+                ev.name
+            );
             assert!(seen.insert(ev.name.clone()), "telemetry name repeated: {}", ev.name);
         }
     }

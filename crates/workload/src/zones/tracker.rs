@@ -42,7 +42,8 @@ impl TrackerFleet {
             .map(|i| {
                 let brand = crate::namegen::label_alnum(mix64(seed ^ 0x7c ^ ((i as u64) << 9)), 9);
                 let tld = if i % 3 == 0 { "net" } else { "com" };
-                let apex: Name = format!("metrics.{brand}.{tld}").parse().expect("tracker apex is valid");
+                let apex: Name =
+                    format!("metrics.{brand}.{tld}").parse().expect("tracker apex is valid");
                 (apex, Operator::Other(5_000 + i as u32))
             })
             .collect();
@@ -64,26 +65,53 @@ impl ZoneModel for TrackerFleet {
             .collect()
     }
 
-    fn generate_day(&self, ctx: &DayCtx, tag: u32, rng: &mut StdRng, sink: &mut Vec<crate::event::QueryEvent>) {
+    fn generate_day(
+        &self,
+        ctx: &DayCtx,
+        tag: u32,
+        rng: &mut StdRng,
+        sink: &mut Vec<crate::event::QueryEvent>,
+    ) {
         for (zi, (apex, _)) in self.zones.iter().enumerate() {
             let forge = NameForge::new(mix64(self.seed ^ zi as u64 ^ 0x7c), apex.clone());
             for s in 0..self.sessions_per_zone {
-                let session_seed = mix64(self.seed ^ ((ctx.day) << 40) ^ ((zi as u64) << 20) ^ s as u64);
+                let session_seed =
+                    mix64(self.seed ^ ((ctx.day) << 40) ^ ((zi as u64) << 20) ^ s as u64);
                 let name = apex.child(label_base32(session_seed, 14 + (session_seed % 5) as usize));
                 let client = rng.gen_range(0..ctx.n_clients);
                 let second = ctx.diurnal.sample_second(rng);
                 let ttl = self.ttl.sample(session_seed);
                 let rr = Record::new(name.clone(), QType::A, ttl, forge.ipv4(session_seed));
-                sink.push(event_at(ctx, second, client, name.clone(), QType::A, Outcome::Answer(vec![rr.clone()]), tag));
+                sink.push(event_at(
+                    ctx,
+                    second,
+                    client,
+                    name.clone(),
+                    QType::A,
+                    Outcome::Answer(vec![rr.clone()]),
+                    tag,
+                ));
                 if rng.gen::<f64>() < self.retry_fraction {
-                    sink.push(event_at(ctx, second + 2, client, name, QType::A, Outcome::Answer(vec![rr]), tag));
+                    sink.push(event_at(
+                        ctx,
+                        second + 2,
+                        client,
+                        name,
+                        QType::A,
+                        Outcome::Answer(vec![rr]),
+                        tag,
+                    ));
                 }
             }
         }
     }
 
     fn describe(&self) -> String {
-        format!("tracker fleet ({} zones, {} sessions each)", self.zones.len(), self.sessions_per_zone)
+        format!(
+            "tracker fleet ({} zones, {} sessions each)",
+            self.zones.len(),
+            self.sessions_per_zone
+        )
     }
 }
 
@@ -94,7 +122,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn generate(fleet: &TrackerFleet) -> Vec<crate::event::QueryEvent> {
-        let ctx = DayCtx { day: 0, epoch: 0.0, n_clients: 1_000, diurnal: DiurnalCurve::residential() };
+        let ctx =
+            DayCtx { day: 0, epoch: 0.0, n_clients: 1_000, diurnal: DiurnalCurve::residential() };
         let mut rng = StdRng::seed_from_u64(8);
         let mut sink = Vec::new();
         fleet.generate_day(&ctx, 2, &mut rng, &mut sink);
@@ -106,7 +135,10 @@ mod tests {
         let fleet = TrackerFleet::new(3, 90, TtlModel::fixed(60), 11);
         let infos = fleet.zones();
         for ev in generate(&fleet) {
-            let zone = infos.iter().find(|z| ev.name.is_subdomain_of(&z.apex)).expect("event under a tracker zone");
+            let zone = infos
+                .iter()
+                .find(|z| ev.name.is_subdomain_of(&z.apex))
+                .expect("event under a tracker zone");
             assert_eq!(ev.name.depth(), zone.child_depth.unwrap());
         }
     }

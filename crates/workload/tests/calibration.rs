@@ -29,7 +29,9 @@ fn measure(t: f64, scale: f64) -> DayShares {
         if cat != "nx-noise" {
             resolved += names.len();
         }
-        if ["telemetry", "av-reputation", "ipv6-experiment", "dnsbl", "tracker"].contains(&cat.as_str()) {
+        if ["telemetry", "av-reputation", "ipv6-experiment", "dnsbl", "tracker"]
+            .contains(&cat.as_str())
+        {
             disposable += names.len();
         }
     }

@@ -16,9 +16,7 @@ use dnsnoise::workload::{Scenario, ScenarioConfig};
 
 fn main() {
     let scenario = Scenario::new(
-        ScenarioConfig::paper_epoch(1.0)
-            .with_scale(0.05)
-            .with_events_per_unique(250.0),
+        ScenarioConfig::paper_epoch(1.0).with_scale(0.05).with_events_per_unique(250.0),
         7,
     );
     let gt = Arc::new(scenario.ground_truth().clone());
@@ -29,7 +27,8 @@ fn main() {
     println!("---------|-------------------------|----------------------------------|----------|--------------");
     for capacity in [300usize, 1_000, 3_000, 10_000] {
         for mitigated in [false, true] {
-            let mut config = SimConfig { members: 2, capacity_each: capacity, ..SimConfig::default() };
+            let mut config =
+                SimConfig { members: 2, capacity_each: capacity, ..SimConfig::default() };
             if mitigated {
                 let gt = Arc::clone(&gt);
                 config = config.with_low_priority(move |name| gt.is_disposable_name(name));

@@ -27,8 +27,12 @@ fn main() {
     let mut pipeline = DailyPipeline::new(MinerConfig::default());
 
     let mut campaign = CampaignTracker::new();
-    println!("day | new zones | cumulative zones | TPR    | new RRs | store size | disposable share");
-    println!("----|-----------|------------------|--------|---------|------------|-----------------");
+    println!(
+        "day | new zones | cumulative zones | TPR    | new RRs | store size | disposable share"
+    );
+    println!(
+        "----|-----------|------------------|--------|---------|------------|-----------------"
+    );
 
     for day in 0..7 {
         // Mining.
@@ -40,7 +44,8 @@ fn main() {
         let day_report = pdns_sim.run_day(&trace, Some(gt), &mut ());
         let mut new_rrs = 0u64;
         for (key, _) in day_report.rr_stats.iter() {
-            let rr = Record::new(key.name.clone(), key.qtype, Ttl::from_secs(60), key.rdata.clone());
+            let rr =
+                Record::new(key.name.clone(), key.qtype, Ttl::from_secs(60), key.rdata.clone());
             if store.observe(&rr, day) {
                 new_rrs += 1;
             }
@@ -65,7 +70,11 @@ fn main() {
         campaign.unique_2lds(&SuffixList::builtin())
     );
     println!("  {} zones confirmed on every day", campaign.stable_zones(7).count());
-    println!("  {} distinct records in the pDNS store ({} bytes modelled)", store.len(), store.storage_bytes());
+    println!(
+        "  {} distinct records in the pDNS store ({} bytes modelled)",
+        store.len(),
+        store.storage_bytes()
+    );
     println!("\ntop stable zones:");
     for h in campaign.ranking().into_iter().take(8) {
         println!(

@@ -37,11 +37,7 @@ fn main() {
         );
     }
 
-    println!(
-        "\nfound {} zones under {} unique 2LDs",
-        report.found.len(),
-        report.unique_2lds
-    );
+    println!("\nfound {} zones under {} unique 2LDs", report.found.len(), report.unique_2lds);
     println!(
         "vs ground truth: TPR {:.1}%  FPR {:.1}%  precision {:.1}%",
         report.tpr() * 100.0,

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Pre-PR gate: everything a reviewer would run, in the order that fails
+# fastest. All cargo invocations are --offline because the workspace
+# vendors its dependencies under third_party/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release ==" >&2
+cargo build --release --offline
+
+echo "== cargo test ==" >&2
+cargo test -q --offline
+
+echo "== cargo clippy -D warnings ==" >&2
+cargo clippy --offline -- -D warnings
+
+echo "== cargo fmt --check ==" >&2
+cargo fmt --check
+
+echo "ok" >&2

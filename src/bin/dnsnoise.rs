@@ -15,8 +15,8 @@ use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use dnsnoise::core::{DailyPipeline, DomainTree, Miner, MinerConfig, TrainingSetBuilder};
-use dnsnoise::dns::SuffixList;
-use dnsnoise::resolver::{ResolverSim, SimConfig};
+use dnsnoise::dns::{SuffixList, Ttl};
+use dnsnoise::resolver::{FaultPlan, ResolverSim, SimConfig};
 use dnsnoise::workload::{trace_io, DayTrace, Scenario, ScenarioConfig};
 
 /// Parsed command-line options shared by the subcommands.
@@ -33,6 +33,8 @@ struct Options {
     trace: Option<String>,
     out: Option<String>,
     model: Option<String>,
+    faults: Option<String>,
+    stale: Option<u32>,
 }
 
 impl Default for Options {
@@ -49,6 +51,8 @@ impl Default for Options {
             trace: None,
             out: None,
             model: None,
+            faults: None,
+            stale: None,
         }
     }
 }
@@ -66,12 +70,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
             "--day" => opts.day = value("--day")?.parse().map_err(|_| "bad --day")?,
             "--theta" => opts.theta = value("--theta")?.parse().map_err(|_| "bad --theta")?,
-            "--min-group" => opts.min_group = value("--min-group")?.parse().map_err(|_| "bad --min-group")?,
-            "--members" => opts.members = value("--members")?.parse().map_err(|_| "bad --members")?,
-            "--capacity" => opts.capacity = value("--capacity")?.parse().map_err(|_| "bad --capacity")?,
+            "--min-group" => {
+                opts.min_group = value("--min-group")?.parse().map_err(|_| "bad --min-group")?
+            }
+            "--members" => {
+                opts.members = value("--members")?.parse().map_err(|_| "bad --members")?
+            }
+            "--capacity" => {
+                opts.capacity = value("--capacity")?.parse().map_err(|_| "bad --capacity")?
+            }
             "--trace" => opts.trace = Some(value("--trace")?.clone()),
             "--out" => opts.out = Some(value("--out")?.clone()),
             "--model" => opts.model = Some(value("--model")?.clone()),
+            "--faults" => opts.faults = Some(value("--faults")?.clone()),
+            "--stale" => opts.stale = Some(value("--stale")?.parse().map_err(|_| "bad --stale")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -85,10 +97,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn scenario_of(opts: &Options) -> Scenario {
-    Scenario::new(
-        ScenarioConfig::paper_epoch(opts.epoch).with_scale(opts.scale),
-        opts.seed,
-    )
+    Scenario::new(ScenarioConfig::paper_epoch(opts.epoch).with_scale(opts.scale), opts.seed)
 }
 
 fn load_trace(path: &str) -> Result<DayTrace, String> {
@@ -107,26 +116,37 @@ fn cmd_generate(opts: &Options) -> Result<(), String> {
         }
         None => {
             let stdout = std::io::stdout();
-            trace_io::write_trace(&trace, BufWriter::new(stdout.lock())).map_err(|e| e.to_string())?;
+            trace_io::write_trace(&trace, BufWriter::new(stdout.lock()))
+                .map_err(|e| e.to_string())?;
         }
     }
     Ok(())
 }
 
 fn cmd_simulate(opts: &Options) -> Result<(), String> {
-    let config = SimConfig { members: opts.members, capacity_each: opts.capacity, ..SimConfig::default() };
+    let plan: FaultPlan = match &opts.faults {
+        Some(spec) => {
+            spec.parse().map_err(|e: dnsnoise::resolver::FaultSpecError| e.to_string())?
+        }
+        None => FaultPlan::default(),
+    };
+    let mut config =
+        SimConfig { members: opts.members, capacity_each: opts.capacity, ..SimConfig::default() };
+    if let Some(secs) = opts.stale {
+        config = config.with_serve_stale(Ttl::from_secs(secs));
+    }
     let mut sim = ResolverSim::new(config);
     let (trace, gt);
     let report = match &opts.trace {
         Some(path) => {
             trace = load_trace(path)?;
-            sim.run_day(&trace, None, &mut ())
+            sim.run_day_with_faults(&trace, None, &mut (), &plan)
         }
         None => {
             let scenario = scenario_of(opts);
             trace = scenario.generate_day(opts.day);
             gt = scenario.ground_truth().clone();
-            sim.run_day(&trace, Some(&gt), &mut ())
+            sim.run_day_with_faults(&trace, Some(&gt), &mut (), &plan)
         }
     };
     println!("events:            {}", trace.events.len());
@@ -137,23 +157,42 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
     println!("cache hit rate:    {:.1}%", report.cache.hit_rate() * 100.0);
     println!("zero-DHR fraction: {:.1}%", report.rr_stats.zero_dhr_fraction() * 100.0);
     println!("premature evicts:  {}", report.cache.premature_evictions());
+    if opts.faults.is_some() {
+        let r = &report.resilience;
+        println!("-- resilience --");
+        println!(
+            "failed attempts:   {} ({} timeouts, {} servfails)",
+            r.failed_attempts, r.timeouts, r.upstream_servfails
+        );
+        println!("retries:           {}", r.retries);
+        println!("stale serves:      {}", r.stale_serves);
+        println!("servfail (below):  {}", r.servfails_below);
+        println!("avail disposable:  {:.2}%", r.disposable.fraction() * 100.0);
+        println!("avail other:       {:.2}%", r.nondisposable.fraction() * 100.0);
+    }
     Ok(())
 }
 
 /// Builds a labeled training set from a synthetic day.
 fn synthetic_labeled(opts: &Options) -> dnsnoise::core::LabeledZones {
-    let train_scenario =
-        Scenario::new(ScenarioConfig::paper_epoch(opts.epoch).with_scale(opts.scale.max(0.1)), opts.seed);
+    let train_scenario = Scenario::new(
+        ScenarioConfig::paper_epoch(opts.epoch).with_scale(opts.scale.max(0.1)),
+        opts.seed,
+    );
     let mut train_sim = ResolverSim::new(SimConfig::default());
-    let train_report =
-        train_sim.run_day(&train_scenario.generate_day(0), Some(train_scenario.ground_truth()), &mut ());
+    let train_report = train_sim.run_day(
+        &train_scenario.generate_day(0),
+        Some(train_scenario.ground_truth()),
+        &mut (),
+    );
     let train_tree = DomainTree::from_day_stats(&train_report.rr_stats);
     TrainingSetBuilder { min_disposable_names: 8, ..Default::default() }
         .build(&train_tree, train_scenario.ground_truth())
 }
 
 fn cmd_train(opts: &Options) -> Result<(), String> {
-    let miner_config = MinerConfig { theta: opts.theta, min_group_size: opts.min_group, ..Default::default() };
+    let miner_config =
+        MinerConfig { theta: opts.theta, min_group_size: opts.min_group, ..Default::default() };
     let labeled = synthetic_labeled(opts);
     let model = Miner::train_model(&labeled, miner_config);
     let text = dnsnoise::ml::model_to_text(&model);
@@ -174,7 +213,8 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
 fn load_or_train_miner(opts: &Options, miner_config: MinerConfig) -> Result<Miner, String> {
     match &opts.model {
         Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let model = dnsnoise::ml::model_from_text(&text).map_err(|e| e.to_string())?;
             Ok(Miner::new(Box::new(model), miner_config))
         }
@@ -188,7 +228,8 @@ fn load_or_train_miner(opts: &Options, miner_config: MinerConfig) -> Result<Mine
 }
 
 fn cmd_mine(opts: &Options) -> Result<(), String> {
-    let miner_config = MinerConfig { theta: opts.theta, min_group_size: opts.min_group, ..Default::default() };
+    let miner_config =
+        MinerConfig { theta: opts.theta, min_group_size: opts.min_group, ..Default::default() };
     match &opts.trace {
         Some(path) => {
             let trace = load_trace(path)?;
@@ -234,6 +275,9 @@ fn usage() -> &'static str {
      common flags: --epoch <0..1> --scale <f64> --seed <u64> --day <u64>\n\
      generate:     --out <file>           (default: stdout)\n\
      simulate:     --trace <file> --members <n> --capacity <n>\n\
+     \x20              --faults <spec> --stale <secs>\n\
+     \x20              fault spec: 'seed=7; loss=0.1; outage=all,timeout,28800,57600;\n\
+     \x20              member=0,3600,7200; retries=2; timeout=1500; backoff=200; budget=4000'\n\
      mine:         --trace <file> --model <file> --theta <f64> --min-group <n>\n\
      train:        --out <file>           (default: stdout)\n"
 }
@@ -298,6 +342,17 @@ mod tests {
         assert_eq!(opts.capacity, 100);
         assert_eq!(opts.trace.as_deref(), Some("t.txt"));
         assert_eq!(opts.out.as_deref(), Some("o.txt"));
+        assert_eq!(opts.faults, None);
+        assert_eq!(opts.stale, None);
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let opts = parse_options(&args("--faults loss=0.1;retries=3 --stale 3600")).unwrap();
+        assert_eq!(opts.faults.as_deref(), Some("loss=0.1;retries=3"));
+        assert_eq!(opts.stale, Some(3600));
+        let plan: FaultPlan = opts.faults.unwrap().parse().unwrap();
+        assert_eq!(plan.retry.max_retries, 3);
     }
 
     #[test]
@@ -306,5 +361,6 @@ mod tests {
         assert!(parse_options(&args("--epoch")).is_err());
         assert!(parse_options(&args("--epoch 2.0")).is_err());
         assert!(parse_options(&args("--scale -1")).is_err());
+        assert!(parse_options(&args("--stale lots")).is_err());
     }
 }

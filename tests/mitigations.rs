@@ -22,7 +22,8 @@ fn low_priority_caching_shields_nondisposable_entries() {
     let gt = Arc::new(s.ground_truth().clone());
     let trace = s.generate_day(0);
 
-    let mut plain = ResolverSim::new(SimConfig { members: 2, capacity_each: 600, ..SimConfig::default() });
+    let mut plain =
+        ResolverSim::new(SimConfig { members: 2, capacity_each: 600, ..SimConfig::default() });
     let plain_report = plain.run_day(&trace, None, &mut ());
 
     let gt2 = Arc::clone(&gt);
@@ -33,7 +34,8 @@ fn low_priority_caching_shields_nondisposable_entries() {
     let mitigated_report = mitigated.run_day(&trace, None, &mut ());
 
     assert!(
-        mitigated_report.cache.premature_evictions_normal < plain_report.cache.premature_evictions_normal,
+        mitigated_report.cache.premature_evictions_normal
+            < plain_report.cache.premature_evictions_normal,
         "mitigated {} vs plain {}",
         mitigated_report.cache.premature_evictions_normal,
         plain_report.cache.premature_evictions_normal
@@ -48,7 +50,8 @@ fn honoring_negative_cache_cuts_upstream_nxdomain() {
     let mut ignoring = ResolverSim::new(SimConfig::default());
     let r_ignore = ignoring.run_day(&trace, None, &mut ());
 
-    let mut honoring = ResolverSim::new(SimConfig::default().with_negative_ttl(Ttl::from_secs(900)));
+    let mut honoring =
+        ResolverSim::new(SimConfig::default().with_negative_ttl(Ttl::from_secs(900)));
     let r_honor = honoring.run_day(&trace, None, &mut ());
 
     assert_eq!(r_ignore.nx_above, r_ignore.nx_below, "unhonoured: every NXDOMAIN goes upstream");
@@ -75,10 +78,8 @@ fn wildcard_signing_reduces_dnssec_costs() {
     let s = scenario();
     let gt = s.ground_truth();
     let trace = s.generate_day(0);
-    let rules: Vec<(dnsnoise::dns::Name, usize)> = gt
-        .disposable_zones()
-        .filter_map(|z| z.child_depth.map(|d| (z.apex.clone(), d)))
-        .collect();
+    let rules: Vec<(dnsnoise::dns::Name, usize)> =
+        gt.disposable_zones().filter_map(|z| z.child_depth.map(|d| (z.apex.clone(), d))).collect();
 
     let run = |config: DnssecConfig| {
         let mut sim = ResolverSim::new(SimConfig::default());
@@ -104,7 +105,8 @@ fn pdns_wildcarding_shrinks_the_store_dramatically() {
         let trace = s.generate_day(day);
         let report = sim.run_day(&trace, Some(gt), &mut ());
         for (key, _) in report.rr_stats.iter() {
-            let rr = Record::new(key.name.clone(), key.qtype, Ttl::from_secs(60), key.rdata.clone());
+            let rr =
+                Record::new(key.name.clone(), key.qtype, Ttl::from_secs(60), key.rdata.clone());
             store.observe(&rr, day);
         }
     }

@@ -46,7 +46,10 @@ fn collector_parses_every_packet_and_counts_match() {
 fn fpdns_storage_dwarfs_rpdns_storage() {
     // §III-A: fpDNS is 60-145 GB/day compressed; rpDNS is 7-9 GB — an
     // order of magnitude apart. The same gap must appear in the models.
-    let s = Scenario::new(ScenarioConfig::paper_epoch(0.7).with_scale(0.04).with_events_per_unique(120.0), 9);
+    let s = Scenario::new(
+        ScenarioConfig::paper_epoch(0.7).with_scale(0.04).with_events_per_unique(120.0),
+        9,
+    );
     let trace = s.generate_day(0);
     let mut sim = ResolverSim::new(SimConfig::default());
     let mut collector = Collector { log: FpDnsLog::new(0, false) };
@@ -54,7 +57,12 @@ fn fpdns_storage_dwarfs_rpdns_storage() {
 
     let mut store = dnsnoise::pdns::RpDns::new();
     for (key, _) in report.rr_stats.iter() {
-        let rr = Record::new(key.name.clone(), key.qtype, dnsnoise::dns::Ttl::from_secs(60), key.rdata.clone());
+        let rr = Record::new(
+            key.name.clone(),
+            key.qtype,
+            dnsnoise::dns::Ttl::from_secs(60),
+            key.rdata.clone(),
+        );
         store.observe(&rr, 0);
     }
     assert!(

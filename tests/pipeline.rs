@@ -16,10 +16,7 @@ fn full_pipeline_discovers_disposable_zones_accurately() {
     assert!(report.precision() >= 0.8, "precision {}", report.precision());
     assert!(report.unique_2lds >= 10);
     // The ranking is sorted by confidence.
-    assert!(report
-        .ranking
-        .windows(2)
-        .all(|w| w[0].confidence >= w[1].confidence));
+    assert!(report.ranking.windows(2).all(|w| w[0].confidence >= w[1].confidence));
 }
 
 #[test]
@@ -28,7 +25,8 @@ fn pipeline_is_deterministic() {
         let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.8).with_scale(0.08), 777);
         let mut pipeline = DailyPipeline::new(MinerConfig::default());
         let report = pipeline.run_day(&scenario, 0);
-        let mut zones: Vec<String> = report.found.iter().map(|f| format!("{}#{}", f.zone, f.depth)).collect();
+        let mut zones: Vec<String> =
+            report.found.iter().map(|f| format!("{}#{}", f.zone, f.depth)).collect();
         zones.sort();
         (zones, report.eligible_disposable, report.detected_disposable)
     };

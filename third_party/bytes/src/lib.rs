@@ -1,0 +1,231 @@
+//! Offline stand-in for `bytes` 1.x.
+//!
+//! The build environment cannot fetch crates, so this crate provides the
+//! subset of the `bytes` API the workspace uses: big-endian reads via
+//! [`Buf`] on byte slices, big-endian writes via [`BufMut`] on
+//! [`BytesMut`], and the `BytesMut::freeze` → [`Bytes`] handoff. Both
+//! buffer types are plain `Vec<u8>` wrappers — no shared-arc storage,
+//! which the workspace never relies on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a buffer of bytes, big-endian.
+pub trait Buf {
+    /// Number of bytes left.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is exhausted (as in upstream `bytes`).
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u16` and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 bytes remain.
+    fn get_u16(&mut self) -> u16;
+
+    /// Reads a big-endian `u32` and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_be_bytes(head.try_into().expect("2-byte slice"))
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().expect("4-byte slice"))
+    }
+}
+
+/// Write access to a growable buffer, big-endian.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A growable byte buffer; freeze into [`Bytes`] when done writing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes { inner: self.inner }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.put_u8(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.inner.put_u16(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.put_u32(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.put_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+/// An immutable byte buffer (here: an owned `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    inner: Vec<u8>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes { inner: Vec::new() }
+    }
+
+    /// Copies `data` into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { inner: data.to_vec() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(inner: Vec<u8>) -> Self {
+        Bytes { inner }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn round_trip_through_freeze() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u8(0xab);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xdead_beef);
+        buf.put_slice(b"xy");
+        let frozen: Bytes = buf.freeze();
+        assert_eq!(&frozen[..], &[0xab, 0x12, 0x34, 0xde, 0xad, 0xbe, 0xef, b'x', b'y']);
+
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    fn bytes_mut_allows_in_place_patching() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(0);
+        buf.put_u8(7);
+        buf[0..2].copy_from_slice(&9u16.to_be_bytes());
+        assert_eq!(&buf[..], &[0, 9, 7]);
+    }
+}

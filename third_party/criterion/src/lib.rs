@@ -1,0 +1,172 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! The build environment cannot fetch crates, so this crate provides the
+//! subset of the criterion API the workspace's benches use: `Criterion`
+//! with `bench_function`/`benchmark_group`, `Bencher::iter`/
+//! `iter_batched`, `BatchSize`, and the `criterion_group!`/
+//! `criterion_main!` macros. Measurement is a simple wall-clock mean over
+//! a fixed iteration budget — enough to smoke-run the benches and print
+//! comparable numbers, with none of upstream's statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// Re-export for callers that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Times closures handed to it by a benchmark target.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over the iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` over fresh `setup` outputs (setup time excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn run_target(label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up pass, then the measured pass.
+    let mut warmup = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut warmup);
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let mean = bencher.elapsed.as_secs_f64() / iters as f64;
+    println!("{label:<48} {:>12.3} µs/iter  ({iters} iters)", mean * 1e6);
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark target.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_target(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmark targets.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named collection of targets with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration budget for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one target inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_target(&format!("{}/{id}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut calls = 0u64;
+        Criterion::default().bench_function("stub/count", |b| b.iter(|| calls += 1));
+        // One warm-up iteration plus the measured budget.
+        assert!(calls > 1, "routine ran {calls} times");
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut inputs = Vec::new();
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("stub");
+        group.sample_size(5).bench_function("batched", |b| {
+            let mut i = 0u32;
+            b.iter_batched(
+                || {
+                    i += 1;
+                    i
+                },
+                |v| inputs.push(v),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        assert!(!inputs.is_empty());
+    }
+}

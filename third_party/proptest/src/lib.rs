@@ -1,0 +1,733 @@
+//! Offline stand-in for `proptest` 1.x.
+//!
+//! The build environment cannot fetch crates, so this crate provides the
+//! subset of the proptest API the workspace uses: the [`proptest!`] macro,
+//! `prop_assert*`/`prop_assume!`, [`strategy::Strategy`] with `prop_map`,
+//! [`prop_oneof!`]/`Just`/`any`, `collection::vec` and
+//! `string::string_regex`. Cases are generated from a deterministic
+//! per-test seed and checked without shrinking — a failure reports the
+//! case number so it can be replayed (generation is deterministic), which
+//! is cruder than upstream shrinking but sufficient for CI.
+
+#![forbid(unsafe_code)]
+
+/// Test-case execution: config, error type, and the deterministic runner.
+pub mod test_runner {
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Deterministic RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Runner configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config requiring `cases` successful cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — the case is discarded, not a failure.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds the rejection (assume) variant.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Runs `case` until `config.cases` successes, panicking on the first
+    /// failure. Each attempt's RNG is seeded from the test name and the
+    /// attempt index, so runs are reproducible.
+    pub fn run(config: &ProptestConfig, name: &str, case: impl Fn(&mut TestRng) -> TestCaseResult) {
+        let base = fnv1a(name.as_bytes());
+        let mut successes = 0u32;
+        let mut attempt = 0u64;
+        let max_attempts = u64::from(config.cases) * 16 + 1_000;
+        while successes < config.cases {
+            if attempt >= max_attempts {
+                panic!(
+                    "proptest '{name}': too many prop_assume! rejections \
+                     ({attempt} attempts for {successes}/{} cases)",
+                    config.cases
+                );
+            }
+            let mut rng = StdRng::seed_from_u64(base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            match case(&mut rng) {
+                Ok(()) => successes += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed at attempt {attempt}: {msg}")
+                }
+            }
+            attempt += 1;
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives ([`prop_oneof!`] backend).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for [`Union`]; used by the `prop_oneof!` expansion.
+    pub fn union_box<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {
+            $(
+                impl Strategy for Range<$ty> {
+                    type Value = $ty;
+
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        rng.gen_range(self.clone())
+                    }
+                }
+
+                impl Strategy for RangeInclusive<$ty> {
+                    type Value = $ty;
+
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+);)*) => {
+            $(
+                #[allow(non_snake_case)]
+                impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                    type Value = ($($s::Value,)+);
+
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        let ($($s,)+) = self;
+                        ($($s.generate(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {
+            $(impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            })*
+        };
+    }
+
+    impl_arbitrary_int!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let mut out = [0u8; N];
+            for b in &mut out {
+                *b = rng.gen();
+            }
+            out
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct ArbitraryStrategy<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for ArbitraryStrategy<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over all values of `A`.
+    #[must_use]
+    pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+        ArbitraryStrategy(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` (half-open).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty proptest vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Regex-shaped string strategies.
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt;
+
+    /// Regex-parse failure.
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One regex AST node plus its repetition bounds (inclusive).
+    #[derive(Debug, Clone)]
+    struct Node {
+        kind: Kind,
+        min: u32,
+        max: u32,
+    }
+
+    #[derive(Debug, Clone)]
+    enum Kind {
+        Literal(char),
+        /// Inclusive character ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        Group(Vec<Node>),
+    }
+
+    /// Strategy returned by [`string_regex`].
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        nodes: Vec<Node>,
+    }
+
+    /// Builds a generator for the regex subset used in this workspace:
+    /// literals, `\x` escapes, `[...]` classes with ranges, `(...)`
+    /// groups, and the `{n}`/`{m,n}`/`?`/`*`/`+` quantifiers (the
+    /// unbounded forms are capped at 8 repetitions).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let nodes = parse_seq(&mut chars, false)?;
+        if chars.next().is_some() {
+            return Err(Error(format!("unbalanced ')' in {pattern:?}")));
+        }
+        Ok(RegexGeneratorStrategy { nodes })
+    }
+
+    type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+    fn parse_seq(chars: &mut Chars<'_>, in_group: bool) -> Result<Vec<Node>, Error> {
+        let mut nodes = Vec::new();
+        while let Some(&c) = chars.peek() {
+            let kind = match c {
+                ')' if in_group => break,
+                ')' => return Err(Error("unbalanced ')'".into())),
+                '(' => {
+                    chars.next();
+                    let inner = parse_seq(chars, true)?;
+                    if chars.next() != Some(')') {
+                        return Err(Error("unterminated group".into()));
+                    }
+                    Kind::Group(inner)
+                }
+                '[' => {
+                    chars.next();
+                    Kind::Class(parse_class(chars)?)
+                }
+                '\\' => {
+                    chars.next();
+                    let escaped = chars.next().ok_or_else(|| Error("dangling escape".into()))?;
+                    Kind::Literal(escaped)
+                }
+                '{' | '}' | '?' | '*' | '+' => {
+                    return Err(Error(format!("quantifier '{c}' with nothing to repeat")))
+                }
+                _ => {
+                    chars.next();
+                    Kind::Literal(c)
+                }
+            };
+            let (min, max) = parse_quantifier(chars)?;
+            nodes.push(Node { kind, min, max });
+        }
+        Ok(nodes)
+    }
+
+    fn parse_class(chars: &mut Chars<'_>) -> Result<Vec<(char, char)>, Error> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = chars.next().ok_or_else(|| Error("unterminated class".into()))?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let escaped = chars.next().ok_or_else(|| Error("dangling escape".into()))?;
+                    ranges.push((escaped, escaped));
+                }
+                _ => {
+                    // `a-z` is a range unless the '-' is last in the class.
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if ahead.peek().is_some_and(|&end| end != ']') {
+                            chars.next();
+                            let end = chars.next().expect("peeked end of range");
+                            if end < c {
+                                return Err(Error(format!("inverted range {c}-{end}")));
+                            }
+                            ranges.push((c, end));
+                            continue;
+                        }
+                    }
+                    ranges.push((c, c));
+                }
+            }
+        }
+        if ranges.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(ranges)
+    }
+
+    /// Cap for the unbounded `*`/`+` quantifiers.
+    const UNBOUNDED_CAP: u32 = 8;
+
+    fn parse_quantifier(chars: &mut Chars<'_>) -> Result<(u32, u32), Error> {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, UNBOUNDED_CAP))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, UNBOUNDED_CAP))
+            }
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => body.push(c),
+                        None => return Err(Error("unterminated quantifier".into())),
+                    }
+                }
+                let parse = |s: &str| {
+                    s.trim().parse::<u32>().map_err(|_| Error(format!("bad quantifier {{{body}}}")))
+                };
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    None => {
+                        let n = parse(&body)?;
+                        (n, n)
+                    }
+                };
+                if min > max {
+                    return Err(Error(format!("inverted quantifier {{{body}}}")));
+                }
+                Ok((min, max))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    fn generate_nodes(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in nodes {
+            let reps = rng.gen_range(node.min..=node.max);
+            for _ in 0..reps {
+                match &node.kind {
+                    Kind::Literal(c) => out.push(*c),
+                    Kind::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                        let span = hi as u32 - lo as u32 + 1;
+                        let c = char::from_u32(lo as u32 + rng.gen_range(0..span))
+                            .expect("class ranges stay inside valid scalar values");
+                        out.push(c);
+                    }
+                    Kind::Group(inner) => generate_nodes(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            generate_nodes(&self.nodes, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// Runs each embedded `fn name(args in strategies) { body }` as a
+/// property test over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr; $($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run(&config, stringify!($name), |rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    outcome
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            left,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assume failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::union_box($strat)),+])
+    };
+}
+
+/// The items most tests want in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = rng();
+        let strat = crate::string::string_regex("[a-z0-9]{1,8}(\\.[a-z0-9]{1,8}){1,4}").unwrap();
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            let parts: Vec<&str> = s.split('.').collect();
+            assert!(
+                (2..=5).contains(&parts.len()),
+                "{s:?} has {} dot-separated parts",
+                parts.len()
+            );
+            for p in parts {
+                assert!((1..=8).contains(&p.len()), "{s:?}");
+                assert!(p.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_is_literal() {
+        let mut rng = rng();
+        let strat = crate::string::string_regex("[a-z0-9_-]{1,16}").unwrap();
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class_spans_the_range() {
+        let mut rng = rng();
+        let strat = crate::string::string_regex("[ -~]{1,40}").unwrap();
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=40).contains(&s.len()));
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![Just(1u32), 2u32..10, (10u32..20).prop_map(|x| x * 2)]) {
+            prop_assert!(v == 1 || (2..10).contains(&v) || (20..40).contains(&v), "got {v}");
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn assume_discards_cases(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+}

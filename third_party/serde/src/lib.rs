@@ -1,0 +1,261 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its data model with serde derives for
+//! upstream compatibility but never runs a serializer (there is no
+//! format crate in the dependency tree). With no network access to fetch
+//! the real `serde`, this crate mirrors the trait *shapes* —
+//! `Serialize`/`Serializer`, `Deserialize`/`Deserializer`, and the
+//! `ser::Error`/`de::Error` traits — so both derived and hand-written
+//! impls compile unchanged. Any attempt to actually drive these traits
+//! through a data format returns an "unimplemented" error, which no code
+//! path in this workspace does. The derive macros live in the sibling
+//! `serde_derive` stand-in.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Serialization-side error support.
+pub mod ser {
+    use std::fmt;
+
+    /// Errors a [`Serializer`](crate::Serializer) can produce.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error support.
+pub mod de {
+    use std::fmt;
+
+    /// Errors a [`Deserializer`](crate::Deserializer) can produce.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Builds an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can serialize values (stub: strings only).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+
+    /// Serializes the `Display` form of `value`.
+    fn collect_str<T: ?Sized + fmt::Display>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can deserialize values (stub: strings only).
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Deserializes an owned string.
+    fn deserialize_string(self) -> Result<String, Self::Error> {
+        Err(de::Error::custom("serde stub: deserialization is not implemented"))
+    }
+}
+
+/// Types that can hand themselves to a [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types that can be built from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value of this type.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// `Display`-backed impls: these genuinely serialize via `collect_str`.
+macro_rules! impl_via_display {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.collect_str(self)
+                }
+            }
+
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    let s = deserializer.deserialize_string()?;
+                    s.parse().map_err(|_| de::Error::custom("serde stub: parse failed"))
+                }
+            }
+        )*
+    };
+}
+
+impl_via_display!(
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    std::net::Ipv4Addr,
+    std::net::Ipv6Addr,
+    std::net::IpAddr,
+);
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+/// Container impls exist for bound-satisfaction only; driving them
+/// returns the stub error (no format crate ever does in this workspace).
+macro_rules! unimplemented_serialize_body {
+    () => {
+        fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+            Err(ser::Error::custom("serde stub: container serialization is not implemented"))
+        }
+    };
+}
+
+macro_rules! unimplemented_deserialize_body {
+    () => {
+        fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+            Err(de::Error::custom("serde stub: container deserialization is not implemented"))
+        }
+    };
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    unimplemented_serialize_body!();
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    unimplemented_deserialize_body!();
+}
+impl<T: Serialize> Serialize for Option<T> {
+    unimplemented_serialize_body!();
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    unimplemented_deserialize_body!();
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    unimplemented_serialize_body!();
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    unimplemented_deserialize_body!();
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    unimplemented_serialize_body!();
+}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    unimplemented_deserialize_body!();
+}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    unimplemented_serialize_body!();
+}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    unimplemented_deserialize_body!();
+}
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    unimplemented_serialize_body!();
+}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>, H: Default> Deserialize<'de>
+    for std::collections::HashMap<K, V, H>
+{
+    unimplemented_deserialize_body!();
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    unimplemented_serialize_body!();
+}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    unimplemented_deserialize_body!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A serializer that renders everything through `Display`.
+    struct StringSerializer;
+
+    #[derive(Debug)]
+    struct StringError(String);
+
+    impl fmt::Display for StringError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl ser::Error for StringError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            StringError(msg.to_string())
+        }
+    }
+
+    impl de::Error for StringError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            StringError(msg.to_string())
+        }
+    }
+
+    impl Serializer for StringSerializer {
+        type Ok = String;
+        type Error = StringError;
+
+        fn collect_str<T: ?Sized + fmt::Display>(self, value: &T) -> Result<String, StringError> {
+            Ok(value.to_string())
+        }
+    }
+
+    struct StrDeserializer(&'static str);
+
+    impl<'de> Deserializer<'de> for StrDeserializer {
+        type Error = StringError;
+
+        fn deserialize_string(self) -> Result<String, StringError> {
+            Ok(self.0.to_string())
+        }
+    }
+
+    #[test]
+    fn display_types_round_trip_through_the_string_model() {
+        assert_eq!(42u32.serialize(StringSerializer).unwrap(), "42");
+        let back = u32::deserialize(StrDeserializer("42")).unwrap();
+        assert_eq!(back, 42);
+    }
+
+    #[test]
+    fn containers_fail_loudly_instead_of_silently() {
+        let err = vec![1u8].serialize(StringSerializer).unwrap_err();
+        assert!(err.0.contains("not implemented"));
+    }
+}
