@@ -3,20 +3,23 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--scale <f64>] [<id> ...]
+//! experiments [--scale <f64>] [--threads <n>] [<id> ...]
 //! ```
 //!
 //! With no ids, every experiment runs in paper order. `--scale` multiplies
 //! the workload size (1.0 = report scale used for EXPERIMENTS.md; smaller
-//! values run faster with noisier numbers).
+//! values run faster with noisier numbers). `--threads` runs the
+//! day-simulation loops on the sharded engine; reports are bit-identical
+//! to `--threads 1`, only faster.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use dnsnoise_bench::{run_experiment, ExperimentId};
+use dnsnoise_bench::{run_experiment_threaded, ExperimentId};
 
 fn main() -> ExitCode {
     let mut scale = 1.0f64;
+    let mut threads = 1usize;
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,8 +37,21 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--threads" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--threads needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(v) if v > 0 => threads = v,
+                    _ => {
+                        eprintln!("invalid thread count: {value}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: experiments [--scale <f64>] [<id> ...]");
+                println!("usage: experiments [--scale <f64>] [--threads <n>] [<id> ...]");
                 println!(
                     "ids: {}",
                     ExperimentId::all()
@@ -69,9 +85,13 @@ fn main() -> ExitCode {
 
     for id in ids {
         let start = Instant::now();
-        let report = run_experiment(id, scale);
+        let report = run_experiment_threaded(id, scale, threads);
         println!("{report}");
-        println!("[{id} completed in {:.1?} at scale {scale}]\n", start.elapsed());
+        println!(
+            "[{id} completed in {:.1?} at scale {scale}, {threads} thread{}]\n",
+            start.elapsed(),
+            if threads == 1 { "" } else { "s" }
+        );
     }
     ExitCode::SUCCESS
 }

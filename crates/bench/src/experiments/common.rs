@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 
 use dnsnoise_dns::Name;
-use dnsnoise_resolver::{DayReport, ResolverSim, SimConfig};
+use dnsnoise_resolver::{DayReport, FaultPlan, ResolverSim, SimConfig};
 use dnsnoise_workload::Scenario;
 
 /// Name-level and record-level measurements of one simulated day.
@@ -42,9 +42,21 @@ impl DayMeasurement {
 
 /// Runs one scenario day through `sim` and computes the measurement.
 pub fn measure_day(scenario: &Scenario, sim: &mut ResolverSim, day: u64) -> DayMeasurement {
+    measure_day_threaded(scenario, sim, day, 1)
+}
+
+/// [`measure_day`] on the sharded engine with `threads` worker threads.
+/// The report — and therefore the whole measurement — is bit-identical
+/// for every thread count; only wall-clock time changes.
+pub fn measure_day_threaded(
+    scenario: &Scenario,
+    sim: &mut ResolverSim,
+    day: u64,
+    threads: usize,
+) -> DayMeasurement {
     let trace = scenario.generate_day(day);
     let gt = scenario.ground_truth();
-    let report = sim.run_day(&trace, Some(gt), &mut ());
+    let report = sim.run_day_sharded(&trace, Some(gt), &mut (), &FaultPlan::default(), threads);
 
     let mut queried: HashSet<&Name> = HashSet::new();
     let mut resolved: HashSet<&Name> = HashSet::new();

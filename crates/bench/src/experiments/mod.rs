@@ -129,6 +129,14 @@ impl FromStr for ExperimentId {
 /// Runs one experiment at `scale_factor` (1.0 = report scale; tests use
 /// much smaller) and returns its rendered report.
 pub fn run_experiment(id: ExperimentId, scale_factor: f64) -> String {
+    run_experiment_threaded(id, scale_factor, 1)
+}
+
+/// [`run_experiment`] with the day-simulation loops spread over
+/// `threads` worker threads (the sharded engine). Reports are
+/// bit-identical to `threads = 1`; experiments whose cost is not
+/// dominated by day replay simply ignore the knob.
+pub fn run_experiment_threaded(id: ExperimentId, scale_factor: f64, threads: usize) -> String {
     match id {
         ExperimentId::Fig2 => fig2::run(scale_factor).render(),
         ExperimentId::Fig3a => fig3::run_3a(scale_factor).render(),
@@ -138,7 +146,7 @@ pub fn run_experiment(id: ExperimentId, scale_factor: f64) -> String {
         ExperimentId::Fig7 => fig7::run(scale_factor).render(),
         ExperimentId::Fig11 => fig11::run(scale_factor).render(),
         ExperimentId::Fig12 => fig12::run(scale_factor).render(),
-        ExperimentId::Fig13 => fig13::run(scale_factor).render(),
+        ExperimentId::Fig13 => fig13::run_threaded(scale_factor, threads).render(),
         ExperimentId::Fig14 => fig14::run(scale_factor).render(),
         ExperimentId::Fig15 => fig15::run(scale_factor).render(),
         ExperimentId::Tab1 => tables::run_tab1(scale_factor).render(),
@@ -147,7 +155,7 @@ pub fn run_experiment(id: ExperimentId, scale_factor: f64) -> String {
         ExperimentId::Dnssec => dnssec_cost::run(scale_factor).render(),
         ExperimentId::PdnsDb => pdnsdb::run(scale_factor).render(),
         ExperimentId::Ablation => ablation::run(scale_factor).render(),
-        ExperimentId::Resilience => resilience::run(scale_factor).render(),
+        ExperimentId::Resilience => resilience::run_threaded(scale_factor, threads).render(),
     }
 }
 

@@ -94,6 +94,13 @@ fn day1_outage() -> FaultPlan {
 
 /// Runs the sweep: three epochs × {none, 20% loss, outage±serve-stale}.
 pub fn run(scale_factor: f64) -> ResilienceResult {
+    run_threaded(scale_factor, 1)
+}
+
+/// [`run`] on the sharded engine with `threads` worker threads per day
+/// replay; bit-identical to the single-threaded sweep, fault plans
+/// included.
+pub fn run_threaded(scale_factor: f64, threads: usize) -> ResilienceResult {
     let severities: [(&str, FaultPlan, bool); 4] = [
         ("none", FaultPlan::default(), false),
         ("loss-20%", FaultPlan::default().with_seed(17).with_packet_loss(0.2), false),
@@ -113,8 +120,8 @@ pub fn run(scale_factor: f64) -> ResilienceResult {
                 config = config.with_serve_stale(Ttl::from_secs(DAY as u32));
             }
             let mut sim = ResolverSim::new(config);
-            sim.run_day(&warm, Some(gt), &mut ());
-            let report = sim.run_day_with_faults(&day1, Some(gt), &mut (), plan);
+            sim.run_day_sharded(&warm, Some(gt), &mut (), &FaultPlan::default(), threads);
+            let report = sim.run_day_sharded(&day1, Some(gt), &mut (), plan, threads);
             let r = &report.resilience;
             result.points.push(ResiliencePoint {
                 epoch,

@@ -13,4 +13,4 @@
 pub mod experiments;
 pub mod util;
 
-pub use experiments::{run_experiment, ExperimentId};
+pub use experiments::{run_experiment, run_experiment_threaded, ExperimentId};

@@ -44,6 +44,6 @@ mod cluster;
 mod lru;
 mod negative;
 
-pub use cluster::{CacheCluster, LoadBalance};
+pub use cluster::{CacheCluster, LoadBalance, MemberShard};
 pub use lru::{CacheKey, CacheStats, EvictionKind, InsertPriority, Lookup, TtlLru};
 pub use negative::{NegativeCache, NegativeEntry};

@@ -1,0 +1,346 @@
+//! The multi-threaded sharded day-simulation engine.
+//!
+//! [`ResolverSim::run_day_sharded`] replays one day of traffic on several
+//! worker threads and produces a [`DayReport`] **bit-identical** to the
+//! single-threaded [`ResolverSim::run_day_with_faults`] for any thread
+//! count, including under an active [`FaultPlan`]. Three properties make
+//! that possible:
+//!
+//! 1. **Pure routing.** [`CacheCluster::route_hash`] +
+//!    [`CacheCluster::member_for_hash`] compute, without advancing any
+//!    cluster state, exactly the member [`CacheCluster::route`] would
+//!    pick — round-robin sequence numbers are reconstructed from the
+//!    cursor plus the event's global index, and member crash windows are
+//!    replayed against a local copy of the down flags. A sequential
+//!    partition pass therefore assigns every event its owner up front.
+//! 2. **Disjoint ownership.** Each cluster member's cache state is touched
+//!    only by the shard that owns it (member `m` → shard `m % shards`),
+//!    and each shard's stream preserves the global event order, so the
+//!    per-member cache evolution is identical to the single-threaded
+//!    replay no matter how threads interleave.
+//! 3. **Commutative accounting + index-keyed randomness.** Everything a
+//!    worker writes outside its members' caches is a sum or key-wise
+//!    counter merge in its private partial [`DayReport`], and the only
+//!    randomness — packet-loss sampling — is a pure function of
+//!    `(plan seed, day, global event index, attempt)`, i.e. a
+//!    scheduling-independent per-event RNG stream derived by SplitMix64
+//!    hashing. Merging the partials in shard order reproduces the
+//!    single-threaded totals exactly.
+//!
+//! Member crash windows are the delicate part: the single-threaded loop
+//! restarts a member *cold* (entries cleared) at the first event on or
+//! after the window's end. The partition pass records those restart
+//! instants as global event indices; each worker clears an owned member
+//! lazily before processing the first owned event at or past a recorded
+//! instant, and drains any leftover instants after its stream ends. A
+//! window that contains no events never triggers a clear — exactly like
+//! the single-threaded fault sync, which only runs per event.
+
+use std::collections::VecDeque;
+
+use dnsnoise_cache::{CacheCluster, CacheKey, LoadBalance, MemberShard};
+use dnsnoise_dns::Ttl;
+use dnsnoise_workload::{DayTrace, GroundTruth, ShardedTrace};
+
+use crate::faults::FaultPlan;
+use crate::observer::Observer;
+use crate::sim::{diff_stats, process_event, DayReport, EventCtx, ResolverSim};
+
+/// An [`Observer`] that can be split across shard workers and merged
+/// back.
+///
+/// The engine calls [`ShardObserver::fork`] once per shard (on the main
+/// thread, in shard order) before the workers start, hands each worker
+/// its fork, and after all workers have joined feeds the forks back into
+/// the original via [`ShardObserver::absorb`] — again in shard order, so
+/// absorption is deterministic in the shard count.
+pub trait ShardObserver: Observer + Send + Sized {
+    /// Creates an empty observer of the same configuration to run on one
+    /// shard. A fork starts with no collected state: the parent's state
+    /// is never duplicated into workers.
+    fn fork(&self) -> Self;
+
+    /// Folds a shard's collected state back into `self`.
+    fn absorb(&mut self, shard: Self);
+}
+
+/// The no-op observer shards trivially.
+impl ShardObserver for () {
+    fn fork(&self) {}
+    fn absorb(&mut self, _shard: ()) {}
+}
+
+/// One cluster member as owned by a shard worker: its cache handles plus
+/// the cold-restart instants the partition pass recorded for it.
+struct WorkerMember<'a> {
+    handles: MemberShard<'a>,
+    restarts: VecDeque<u64>,
+}
+
+impl WorkerMember<'_> {
+    /// Applies every recorded restart at or before `index`: the member
+    /// loses its entries, exactly as
+    /// [`CacheCluster::restart_member_cold`] would have done at that
+    /// point of the single-threaded replay.
+    fn catch_up_restarts(&mut self, index: u64) {
+        while self.restarts.front().is_some_and(|&at| at <= index) {
+            self.restarts.pop_front();
+            self.handles.cache.clear_entries();
+            self.handles.negative.clear_entries();
+        }
+    }
+
+    /// Applies restarts that fell after the member's last owned event so
+    /// day-end cache contents match the single-threaded replay.
+    fn drain_restarts(&mut self) {
+        if !self.restarts.is_empty() {
+            self.restarts.clear();
+            self.handles.cache.clear_entries();
+            self.handles.negative.clear_entries();
+        }
+    }
+}
+
+impl ResolverSim {
+    /// Replays one day of traffic on `threads` worker threads.
+    ///
+    /// The day's events are partitioned by owning cluster member
+    /// (consistent with [`CacheCluster::route`], including failover while
+    /// members are crashed), members are dealt round-robin onto
+    /// `min(threads, members)` shards, each shard replays its streams on
+    /// its own thread, and the per-shard partial reports are merged at a
+    /// barrier. The result — the returned [`DayReport`] *and* the
+    /// cluster's cache state afterwards — is bit-identical to
+    /// [`ResolverSim::run_day_with_faults`] for every `threads` value;
+    /// `threads <= 1` (and a single-member cluster) simply delegates to
+    /// it.
+    ///
+    /// `observer` must be a [`ShardObserver`] so each worker can collect
+    /// into a private fork; forks are absorbed in shard order after the
+    /// join, making observer output deterministic for a fixed shard
+    /// count (though, unlike the report, not necessarily identical
+    /// *across* shard counts — collectors that retain per-event state may
+    /// order it differently).
+    pub fn run_day_sharded<O: ShardObserver>(
+        &mut self,
+        trace: &DayTrace,
+        ground_truth: Option<&GroundTruth>,
+        observer: &mut O,
+        plan: &FaultPlan,
+        threads: usize,
+    ) -> DayReport {
+        let members = self.cluster.members();
+        let shards = threads.min(members).max(1);
+        if shards <= 1 || trace.events.is_empty() {
+            return self.run_day_with_faults(trace, ground_truth, observer, plan);
+        }
+
+        let stats_before = self.cluster.total_stats();
+        let ctx = EventCtx {
+            plan,
+            day: trace.day,
+            stale_window: self.config.stale_window.unwrap_or(Ttl::ZERO),
+            low_priority: self.config.low_priority.clone(),
+            faults_active: !plan.is_empty(),
+        };
+
+        // Partition pass: replay the routing decisions (and the member
+        // crash schedule they depend on) purely, without touching cache
+        // state.
+        let rr0 = self.cluster.rr_cursor();
+        let drive_members = !plan.member_outages.is_empty() || self.cluster.any_member_down();
+        let mut down = self.cluster.down_flags();
+        let mut restarts: Vec<Vec<u64>> = vec![Vec::new(); members];
+        let cluster = &self.cluster;
+        let sharded = ShardedTrace::partition(&trace.events, shards, |index, event| {
+            if drive_members {
+                for (m, flag) in down.iter_mut().enumerate() {
+                    let want_down = plan.member_down(m, event.time);
+                    if want_down != *flag {
+                        *flag = want_down;
+                        if !want_down {
+                            restarts[m].push(index);
+                        }
+                    }
+                }
+            }
+            let key = CacheKey::new(event.name.clone(), event.qtype);
+            let h = cluster.route_hash(event.client, &key, rr0 + index);
+            CacheCluster::member_for_hash(h, &down)
+        });
+        let day_end_down = down;
+
+        // Deal members (with their restart schedules) onto shards.
+        let mut worker_members: Vec<Vec<WorkerMember<'_>>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (m, (handles, member_restarts)) in
+            self.cluster.member_shards().into_iter().zip(restarts).enumerate()
+        {
+            worker_members[m % shards]
+                .push(WorkerMember { handles, restarts: member_restarts.into() });
+        }
+        let forks: Vec<O> = (0..shards).map(|_| observer.fork()).collect();
+
+        // Run the shard workers; each builds a private partial report.
+        let partials: Vec<(DayReport, O)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = worker_members
+                .into_iter()
+                .zip(forks)
+                .enumerate()
+                .map(|(s, (mut owned, mut fork))| {
+                    let stream = sharded.shard(s);
+                    let ctx = &ctx;
+                    scope.spawn(move || {
+                        let mut partial = DayReport { day: ctx.day, ..DayReport::default() };
+                        for routed in stream {
+                            let wm = &mut owned[routed.member / shards];
+                            wm.catch_up_restarts(routed.index);
+                            process_event(
+                                ctx,
+                                routed.index,
+                                routed.event,
+                                ground_truth,
+                                wm.handles.cache,
+                                wm.handles.negative,
+                                &mut partial,
+                                &mut fork,
+                            );
+                        }
+                        for wm in &mut owned {
+                            wm.drain_restarts();
+                        }
+                        (partial, fork)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        });
+
+        // Deterministic merge in shard order.
+        let mut report = DayReport { day: trace.day, ..DayReport::default() };
+        for (partial, fork) in partials {
+            report.merge(&partial);
+            observer.absorb(fork);
+        }
+
+        // Sync the cluster state the workers bypassed: the round-robin
+        // cursor and the day-end crash flags (entries were already
+        // cleared at the replayed restart instants).
+        if self.cluster.strategy() == LoadBalance::RoundRobin {
+            self.cluster.advance_rr_cursor(trace.events.len() as u64);
+        }
+        for (m, flag) in day_end_down.into_iter().enumerate() {
+            self.cluster.set_member_flag(m, flag);
+        }
+
+        report.cache = diff_stats(&stats_before, &self.cluster.total_stats());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultKind, OutageScope};
+    use crate::sim::SimConfig;
+    use dnsnoise_dns::Timestamp;
+    use dnsnoise_workload::{Scenario, ScenarioConfig};
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::new(ScenarioConfig::paper_epoch(0.4).with_scale(0.03), seed)
+    }
+
+    fn eventful_plan() -> FaultPlan {
+        FaultPlan::default()
+            .with_seed(7)
+            .with_packet_loss(0.2)
+            .with_outage(
+                OutageScope::All,
+                FaultKind::Timeout,
+                Timestamp::from_secs(3 * 3_600),
+                Timestamp::from_secs(5 * 3_600),
+            )
+            .with_member_outage(
+                1,
+                Timestamp::from_secs(8 * 3_600),
+                Timestamp::from_secs(14 * 3_600),
+            )
+    }
+
+    #[test]
+    fn sharded_matches_single_thread_without_faults() {
+        let s = scenario(21);
+        let trace = s.generate_day(0);
+        let plan = FaultPlan::default();
+        let mut reference = ResolverSim::new(SimConfig::default());
+        let expected =
+            reference.run_day_with_faults(&trace, Some(s.ground_truth()), &mut (), &plan);
+        for threads in [2, 3, 4, 8] {
+            let mut sim = ResolverSim::new(SimConfig::default());
+            let got = sim.run_day_sharded(&trace, Some(s.ground_truth()), &mut (), &plan, threads);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_single_thread_under_faults() {
+        let s = scenario(22);
+        let trace = s.generate_day(0);
+        let plan = eventful_plan();
+        let mut reference = ResolverSim::new(SimConfig::default());
+        let expected =
+            reference.run_day_with_faults(&trace, Some(s.ground_truth()), &mut (), &plan);
+        for threads in [2, 4, 8] {
+            let mut sim = ResolverSim::new(SimConfig::default());
+            let got = sim.run_day_sharded(&trace, Some(s.ground_truth()), &mut (), &plan, threads);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_leaves_identical_cluster_state() {
+        // Day 0 sharded, day 1 single-threaded: if the sharded run left
+        // any cache state (entries, counters, rr cursor, crash flags)
+        // different, day 1 would diverge.
+        for strategy in [LoadBalance::HashClient, LoadBalance::RoundRobin, LoadBalance::HashName] {
+            let s = scenario(23);
+            let d0 = s.generate_day(0);
+            let d1 = s.generate_day(1);
+            let plan = eventful_plan();
+            let config = SimConfig { load_balance: strategy, ..SimConfig::default() };
+
+            let mut reference = ResolverSim::new(config.clone());
+            reference.run_day_with_faults(&d0, Some(s.ground_truth()), &mut (), &plan);
+            let expected =
+                reference.run_day_with_faults(&d1, Some(s.ground_truth()), &mut (), &plan);
+
+            let mut sim = ResolverSim::new(config);
+            sim.run_day_sharded(&d0, Some(s.ground_truth()), &mut (), &plan, 4);
+            let got = sim.run_day_with_faults(&d1, Some(s.ground_truth()), &mut (), &plan);
+            assert_eq!(got, expected, "strategy={strategy:?}");
+        }
+    }
+
+    #[test]
+    fn one_thread_delegates_to_reference_path() {
+        let s = scenario(24);
+        let trace = s.generate_day(0);
+        let mut a = ResolverSim::new(SimConfig::default());
+        let mut b = ResolverSim::new(SimConfig::default());
+        let ra = a.run_day_sharded(&trace, None, &mut (), &FaultPlan::default(), 1);
+        let rb = b.run_day(&trace, None, &mut ());
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn thread_count_beyond_members_is_clamped() {
+        let s = scenario(25);
+        let trace = s.generate_day(0);
+        let config = SimConfig { members: 2, ..SimConfig::default() };
+        let mut reference = ResolverSim::new(config.clone());
+        let expected = reference.run_day(&trace, None, &mut ());
+        let mut sim = ResolverSim::new(config);
+        let got = sim.run_day_sharded(&trace, None, &mut (), &FaultPlan::default(), 64);
+        assert_eq!(got, expected);
+    }
+}

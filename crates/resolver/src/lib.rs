@@ -28,12 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod faults;
 mod observer;
 mod sim;
 mod stats;
 mod traffic;
 
+pub use engine::ShardObserver;
 pub use faults::{
     FaultKind, FaultPlan, FaultSpecError, MemberOutage, OutageScope, OutageWindow, RetryPolicy,
     SERVFAIL_LATENCY_MS,

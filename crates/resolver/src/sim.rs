@@ -5,10 +5,10 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use dnsnoise_cache::{
-    CacheCluster, CacheKey, CacheStats, InsertPriority, LoadBalance, Lookup, NegativeCache,
+    CacheCluster, CacheKey, CacheStats, InsertPriority, LoadBalance, Lookup, NegativeCache, TtlLru,
 };
 use dnsnoise_dns::{Name, Record, Timestamp, Ttl};
-use dnsnoise_workload::{DayTrace, GroundTruth, Operator, Outcome};
+use dnsnoise_workload::{DayTrace, GroundTruth, Operator, Outcome, QueryEvent};
 
 use crate::faults::{FaultKind, FaultPlan, SERVFAIL_LATENCY_MS};
 use crate::observer::{Observer, Served};
@@ -117,6 +117,12 @@ impl Availability {
             self.answered as f64 / total as f64
         }
     }
+
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &Availability) {
+        self.answered += other.answered;
+        self.failed += other.failed;
+    }
 }
 
 /// Resilience accounting for one simulated day under a
@@ -157,6 +163,19 @@ impl ResilienceStats {
             failed: self.disposable.failed + self.nondisposable.failed,
         }
     }
+
+    /// Folds another day's (or shard's) counters into this one. Every
+    /// field is a sum, so merging in any order yields the same result.
+    pub fn merge(&mut self, other: &ResilienceStats) {
+        self.retries += other.retries;
+        self.failed_attempts += other.failed_attempts;
+        self.timeouts += other.timeouts;
+        self.upstream_servfails += other.upstream_servfails;
+        self.servfails_below += other.servfails_below;
+        self.stale_serves += other.stale_serves;
+        self.disposable.merge(&other.disposable);
+        self.nondisposable.merge(&other.nondisposable);
+    }
 }
 
 /// Everything the monitoring point learned from one simulated day.
@@ -182,14 +201,31 @@ pub struct DayReport {
     pub resilience: ResilienceStats,
 }
 
+impl DayReport {
+    /// Folds another report into this one. Every constituent is a sum or
+    /// a key-wise counter merge, so per-shard partial reports merged in
+    /// any order reproduce the single-threaded report bit for bit. The
+    /// `day` field is kept from `self`.
+    pub fn merge(&mut self, other: &DayReport) {
+        self.rr_stats.merge(&other.rr_stats);
+        self.traffic.merge(&other.traffic);
+        self.cache.merge(&other.cache);
+        self.below_total += other.below_total;
+        self.above_total += other.above_total;
+        self.nx_below += other.nx_below;
+        self.nx_above += other.nx_above;
+        self.resilience.merge(&other.resilience);
+    }
+}
+
 /// The recursive-resolver cluster simulator.
 ///
 /// Cache contents persist across [`ResolverSim::run_day`] calls, so
 /// multi-day traces behave like a long-lived production cluster.
 #[derive(Debug)]
 pub struct ResolverSim {
-    config: SimConfig,
-    cluster: CacheCluster,
+    pub(crate) config: SimConfig,
+    pub(crate) cluster: CacheCluster,
 }
 
 impl ResolverSim {
@@ -248,124 +284,32 @@ impl ResolverSim {
     ) -> DayReport {
         let mut report = DayReport { day: trace.day, ..DayReport::default() };
         let stats_before = self.cluster.total_stats();
-        let faults_active = !plan.is_empty();
         let drive_members = !plan.member_outages.is_empty() || self.cluster.any_member_down();
-        let stale_window = self.config.stale_window.unwrap_or(Ttl::ZERO);
+        let ctx = EventCtx {
+            plan,
+            day: trace.day,
+            stale_window: self.config.stale_window.unwrap_or(Ttl::ZERO),
+            low_priority: self.config.low_priority.clone(),
+            faults_active: !plan.is_empty(),
+        };
 
         for (index, event) in trace.events.iter().enumerate() {
             if drive_members {
                 self.apply_member_faults(plan, event.time);
             }
-            let hour = event.time.hour_of_day() as usize;
             let member =
                 self.cluster.route(event.client, &CacheKey::new(event.name.clone(), event.qtype));
-            let operator = ground_truth.and_then(|gt| gt.operator_of(&event.name));
-
-            let served = match &event.outcome {
-                Outcome::NxDomain => {
-                    let served =
-                        if self.cluster.negative_mut(member).contains(&event.name, event.time) {
-                            Served::NegativeHit
-                        } else {
-                            let fetch =
-                                fetch_upstream(plan, trace.day, index as u64, event, operator);
-                            tally_fetch(&mut report, &fetch, hour, operator);
-                            if fetch.success {
-                                self.cluster
-                                    .negative_mut(member)
-                                    .insert(event.name.clone(), event.time);
-                                Served::NxMiss
-                            } else {
-                                Served::ServFail
-                            }
-                        };
-                    if served.is_failure() {
-                        report.below_total += 1;
-                        report.resilience.servfails_below += 1;
-                        report.traffic.record(hour, operator, false, 1, false);
-                    } else {
-                        report.below_total += 1;
-                        report.nx_below += 1;
-                        if served.went_above() {
-                            report.above_total += 1;
-                            report.nx_above += 1;
-                        }
-                        report.traffic.record(hour, operator, true, 1, served.went_above());
-                    }
-                    observer.observe(event, served, &[]);
-                    served
-                }
-                Outcome::Answer(auth_answers) => {
-                    let key = CacheKey::new(event.name.clone(), event.qtype);
-                    let looked =
-                        self.cluster.cache_mut(member).lookup(&key, event.time, stale_window);
-                    let (served, answers): (Served, Vec<Record>) = match looked {
-                        Lookup::Fresh(records) => (Served::CacheHit, records.to_vec()),
-                        not_fresh => {
-                            let fetch =
-                                fetch_upstream(plan, trace.day, index as u64, event, operator);
-                            tally_fetch(&mut report, &fetch, hour, operator);
-                            if fetch.success {
-                                let priority = match &self.config.low_priority {
-                                    Some(pred) if pred(&event.name) => InsertPriority::Low,
-                                    _ => InsertPriority::Normal,
-                                };
-                                self.cluster.cache_mut(member).insert(
-                                    key,
-                                    auth_answers.clone(),
-                                    event.time,
-                                    priority,
-                                );
-                                (Served::CacheMiss, auth_answers.clone())
-                            } else {
-                                match not_fresh {
-                                    Lookup::Stale(records) => (Served::StaleHit, records.to_vec()),
-                                    _ => (Served::ServFail, Vec::new()),
-                                }
-                            }
-                        }
-                    };
-
-                    if served.is_failure() {
-                        report.below_total += 1;
-                        report.resilience.servfails_below += 1;
-                        report.traffic.record(hour, operator, false, 1, false);
-                    } else {
-                        if served == Served::StaleHit {
-                            report.resilience.stale_serves += 1;
-                        }
-                        let n = answers.len() as u64;
-                        report.below_total += n;
-                        if served.went_above() {
-                            report.above_total += n;
-                        }
-                        report.traffic.record(hour, operator, false, n, served.went_above());
-                        for rr in &answers {
-                            let rr_key = rr.key();
-                            report.rr_stats.record_below_by(&rr_key, event.client);
-                            if served.went_above() {
-                                report.rr_stats.record_above(&rr_key);
-                            }
-                        }
-                    }
-                    observer.observe(event, served, &answers);
-                    served
-                }
-            };
-
-            if faults_active {
-                let disposable = ground_truth.is_some_and(|gt| gt.is_disposable_name(&event.name));
-                let slice = if disposable {
-                    &mut report.resilience.disposable
-                } else {
-                    &mut report.resilience.nondisposable
-                };
-                if served.is_failure() {
-                    slice.failed += 1;
-                } else {
-                    slice.answered += 1;
-                }
-            }
+            let shard = self.cluster.member_mut(member);
+            process_event(
+                &ctx,
+                index as u64,
+                event,
+                ground_truth,
+                shard.cache,
+                shard.negative,
+                &mut report,
+                observer,
+            );
         }
 
         let stats_after = self.cluster.total_stats();
@@ -386,6 +330,140 @@ impl ResolverSim {
                     self.cluster.restart_member_cold(m);
                 }
             }
+        }
+    }
+}
+
+/// Per-day context shared by every event of a run: the fault plan, the
+/// day coordinate fault sampling is keyed on, and the config knobs the
+/// per-event logic needs. Cloning the [`PriorityPredicate`] `Arc` here
+/// (once per day) lets the context cross thread boundaries without
+/// borrowing the simulator.
+pub(crate) struct EventCtx<'a> {
+    pub(crate) plan: &'a FaultPlan,
+    pub(crate) day: u64,
+    pub(crate) stale_window: Ttl,
+    pub(crate) low_priority: Option<PriorityPredicate>,
+    pub(crate) faults_active: bool,
+}
+
+/// Serves one query event against one member's caches and folds the
+/// outcome into `report`.
+///
+/// This is the entire per-event logic of the simulation, shared verbatim
+/// by the single-threaded loop and the sharded engine. Everything it
+/// touches is either the owning member's private cache state or a
+/// commutative counter in `report` (sums and key-wise counter merges),
+/// and the only randomness — fault loss sampling — is a pure function of
+/// `(plan seed, day, global event index, attempt)`. Those three facts
+/// together are why per-member replay on any thread interleaving merges
+/// back into a bit-identical [`DayReport`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_event(
+    ctx: &EventCtx<'_>,
+    index: u64,
+    event: &QueryEvent,
+    ground_truth: Option<&GroundTruth>,
+    cache: &mut TtlLru,
+    negative: &mut NegativeCache,
+    report: &mut DayReport,
+    observer: &mut dyn Observer,
+) {
+    let hour = event.time.hour_of_day() as usize;
+    let operator = ground_truth.and_then(|gt| gt.operator_of(&event.name));
+
+    let served = match &event.outcome {
+        Outcome::NxDomain => {
+            let served = if negative.contains(&event.name, event.time) {
+                Served::NegativeHit
+            } else {
+                let fetch = fetch_upstream(ctx.plan, ctx.day, index, event, operator);
+                tally_fetch(report, &fetch, hour, operator);
+                if fetch.success {
+                    negative.insert(event.name.clone(), event.time);
+                    Served::NxMiss
+                } else {
+                    Served::ServFail
+                }
+            };
+            if served.is_failure() {
+                report.below_total += 1;
+                report.resilience.servfails_below += 1;
+                report.traffic.record(hour, operator, false, 1, false);
+            } else {
+                report.below_total += 1;
+                report.nx_below += 1;
+                if served.went_above() {
+                    report.above_total += 1;
+                    report.nx_above += 1;
+                }
+                report.traffic.record(hour, operator, true, 1, served.went_above());
+            }
+            observer.observe(event, served, &[]);
+            served
+        }
+        Outcome::Answer(auth_answers) => {
+            let key = CacheKey::new(event.name.clone(), event.qtype);
+            let looked = cache.lookup(&key, event.time, ctx.stale_window);
+            let (served, answers): (Served, Vec<Record>) = match looked {
+                Lookup::Fresh(records) => (Served::CacheHit, records.to_vec()),
+                not_fresh => {
+                    let fetch = fetch_upstream(ctx.plan, ctx.day, index, event, operator);
+                    tally_fetch(report, &fetch, hour, operator);
+                    if fetch.success {
+                        let priority = match &ctx.low_priority {
+                            Some(pred) if pred(&event.name) => InsertPriority::Low,
+                            _ => InsertPriority::Normal,
+                        };
+                        cache.insert(key, auth_answers.clone(), event.time, priority);
+                        (Served::CacheMiss, auth_answers.clone())
+                    } else {
+                        match not_fresh {
+                            Lookup::Stale(records) => (Served::StaleHit, records.to_vec()),
+                            _ => (Served::ServFail, Vec::new()),
+                        }
+                    }
+                }
+            };
+
+            if served.is_failure() {
+                report.below_total += 1;
+                report.resilience.servfails_below += 1;
+                report.traffic.record(hour, operator, false, 1, false);
+            } else {
+                if served == Served::StaleHit {
+                    report.resilience.stale_serves += 1;
+                }
+                let n = answers.len() as u64;
+                report.below_total += n;
+                if served.went_above() {
+                    report.above_total += n;
+                }
+                report.traffic.record(hour, operator, false, n, served.went_above());
+                for rr in &answers {
+                    let rr_key = rr.key();
+                    report.rr_stats.record_below_by(&rr_key, event.client);
+                    if served.went_above() {
+                        report.rr_stats.record_above(&rr_key);
+                    }
+                }
+            }
+            observer.observe(event, served, &answers);
+            served
+        }
+    };
+
+    if ctx.faults_active {
+        let disposable = ground_truth.is_some_and(|gt| gt.is_disposable_name(&event.name));
+        let slice = if disposable {
+            &mut report.resilience.disposable
+        } else {
+            &mut report.resilience.nondisposable
+        };
+        if served.is_failure() {
+            slice.failed += 1;
+        } else {
+            slice.answered += 1;
         }
     }
 }
@@ -475,7 +553,7 @@ fn tally_fetch(
     report.resilience.upstream_servfails += fetch.upstream_servfails;
 }
 
-fn diff_stats(before: &CacheStats, after: &CacheStats) -> CacheStats {
+pub(crate) fn diff_stats(before: &CacheStats, after: &CacheStats) -> CacheStats {
     CacheStats {
         hits: after.hits - before.hits,
         misses: after.misses - before.misses,

@@ -135,6 +135,58 @@ proptest! {
         prop_assert!(r.timeouts + r.upstream_servfails == r.failed_attempts);
     }
 
+    /// Merge conservation: replaying a day on the sharded engine with an
+    /// arbitrary shard count (arbitrary splits of members over workers)
+    /// yields a merged report that is bit-identical to the reference and
+    /// therefore satisfies every conservation invariant above. Checked
+    /// under a fault plan so the resilience counters merge too.
+    #[test]
+    fn sharded_merge_conserves_accounting(
+        config in arb_config(),
+        seed in 0u64..200,
+        fault_seed in 0u64..1_000,
+        loss in 0.0f64..0.4,
+        threads in 1usize..9,
+        member_fault in any::<bool>(),
+    ) {
+        let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.01), seed);
+        let trace = scenario.generate_day(0);
+        let mut plan = FaultPlan::default().with_seed(fault_seed).with_packet_loss(loss);
+        if member_fault {
+            plan = plan.with_member_outage(
+                0,
+                Timestamp::from_secs(4 * 3_600),
+                Timestamp::from_secs(11 * 3_600),
+            );
+        }
+
+        let mut reference = ResolverSim::new(config.clone());
+        let expected =
+            reference.run_day_with_faults(&trace, Some(scenario.ground_truth()), &mut (), &plan);
+        let mut sim = ResolverSim::new(config);
+        let report =
+            sim.run_day_sharded(&trace, Some(scenario.ground_truth()), &mut (), &plan, threads);
+        prop_assert_eq!(&report, &expected, "sharded replay must be bit-identical");
+
+        // The merged per-shard partials must still satisfy the
+        // conservation laws — not just equality with the reference.
+        let r = &report.resilience;
+        let sum_queries: u64 = report.rr_stats.iter().map(|(_, s)| u64::from(s.queries)).sum();
+        let sum_misses: u64 = report.rr_stats.iter().map(|(_, s)| u64::from(s.misses)).sum();
+        prop_assert_eq!(sum_queries, report.below_total - report.nx_below - r.servfails_below);
+        prop_assert_eq!(sum_misses, report.above_total - report.nx_above - r.failed_attempts);
+        use dnsnoise_resolver::Series;
+        prop_assert_eq!(report.traffic.below_total(Series::All), report.below_total);
+        prop_assert_eq!(report.traffic.above_total(Series::All), report.above_total);
+        if !plan.is_empty() {
+            let events = trace.events.len() as u64;
+            let tallied = r.disposable.answered + r.disposable.failed
+                + r.nondisposable.answered + r.nondisposable.failed;
+            prop_assert_eq!(tallied, events);
+        }
+        prop_assert_eq!(r.timeouts + r.upstream_servfails, r.failed_attempts);
+    }
+
     /// Replaying the identical trace twice through one warm simulator
     /// strictly increases hits (the cache was seeded by the first pass).
     #[test]

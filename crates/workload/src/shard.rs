@@ -1,0 +1,138 @@
+//! Partitioning a day's events into per-shard streams.
+//!
+//! The sharded simulation engine owes its determinism to one fact: once
+//! every event is routed to its owning cluster member, members never share
+//! mutable state, so the per-member event streams can be replayed on any
+//! thread in any interleaving. This module performs that routing step —
+//! the caller supplies an `owner` function (pure in the event and its
+//! global index) and gets back one stream per shard, each preserving the
+//! global event order.
+
+use crate::event::QueryEvent;
+
+/// One event as routed to a shard: the event's global index in the day
+/// trace (the coordinate fault plans and RNG streams are keyed on), the
+/// cluster member that serves it, and the event itself.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutedEvent<'a> {
+    /// Position of the event in the day trace, `0`-based.
+    pub index: u64,
+    /// The cluster member that owns this event's cache operations.
+    pub member: usize,
+    /// The event.
+    pub event: &'a QueryEvent,
+}
+
+/// A day's events partitioned into per-shard streams.
+///
+/// Shard `s` owns members `m` with `m % shards == s`, so each member's
+/// stream lives in exactly one shard and every stream preserves the
+/// global (time-sorted) event order.
+#[derive(Debug)]
+pub struct ShardedTrace<'a> {
+    shards: Vec<Vec<RoutedEvent<'a>>>,
+}
+
+impl<'a> ShardedTrace<'a> {
+    /// Partitions `events` into `shards` streams. `owner` maps an event
+    /// (and its global index) to the cluster member serving it; the member
+    /// then lands in shard `member % shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn partition<F>(events: &'a [QueryEvent], shards: usize, mut owner: F) -> Self
+    where
+        F: FnMut(u64, &QueryEvent) -> usize,
+    {
+        assert!(shards > 0, "at least one shard is required");
+        let mut buckets: Vec<Vec<RoutedEvent<'a>>> = vec![Vec::new(); shards];
+        for (index, event) in events.iter().enumerate() {
+            let index = index as u64;
+            let member = owner(index, event);
+            buckets[member % shards].push(RoutedEvent { index, member, event });
+        }
+        ShardedTrace { shards: buckets }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routed stream of shard `s`, in global event order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn shard(&self, s: usize) -> &[RoutedEvent<'a>] {
+        &self.shards[s]
+    }
+
+    /// Iterates over the per-shard streams in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = &[RoutedEvent<'a>]> {
+        self.shards.iter().map(Vec::as_slice)
+    }
+
+    /// Total routed events across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no events were routed.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scenario, ScenarioConfig};
+
+    fn events() -> Vec<QueryEvent> {
+        Scenario::new(ScenarioConfig::paper_epoch(0.3).with_scale(0.01), 5).generate_day(0).events
+    }
+
+    #[test]
+    fn partition_covers_every_event_exactly_once() {
+        let events = events();
+        let sharded = ShardedTrace::partition(&events, 3, |i, _| (i % 4) as usize);
+        assert_eq!(sharded.len(), events.len());
+        assert!(!sharded.is_empty());
+        let mut seen = vec![false; events.len()];
+        for stream in sharded.iter() {
+            for r in stream {
+                assert!(!seen[r.index as usize], "event routed twice");
+                seen[r.index as usize] = true;
+                assert_eq!(r.member % 3, stream[0].member % 3);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every event routed");
+    }
+
+    #[test]
+    fn streams_preserve_global_order() {
+        let events = events();
+        let sharded = ShardedTrace::partition(&events, 4, |i, _| (i % 7) as usize);
+        for stream in sharded.iter() {
+            assert!(stream.windows(2).all(|w| w[0].index < w[1].index));
+            assert!(stream.windows(2).all(|w| w[0].event.time <= w[1].event.time));
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let events = events();
+        let sharded = ShardedTrace::partition(&events, 1, |i, _| (i % 5) as usize);
+        assert_eq!(sharded.num_shards(), 1);
+        assert_eq!(sharded.shard(0).len(), events.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let events = events();
+        let _ = ShardedTrace::partition(&events, 0, |_, _| 0);
+    }
+}

@@ -30,6 +30,7 @@ struct Options {
     min_group: usize,
     members: usize,
     capacity: usize,
+    threads: usize,
     trace: Option<String>,
     out: Option<String>,
     model: Option<String>,
@@ -48,6 +49,7 @@ impl Default for Options {
             min_group: 10,
             members: 4,
             capacity: 50_000,
+            threads: 1,
             trace: None,
             out: None,
             model: None,
@@ -79,6 +81,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--capacity" => {
                 opts.capacity = value("--capacity")?.parse().map_err(|_| "bad --capacity")?
             }
+            "--threads" => {
+                opts.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?
+            }
             "--trace" => opts.trace = Some(value("--trace")?.clone()),
             "--out" => opts.out = Some(value("--out")?.clone()),
             "--model" => opts.model = Some(value("--model")?.clone()),
@@ -92,6 +97,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if opts.scale <= 0.0 {
         return Err("--scale must be positive".into());
+    }
+    if opts.threads == 0 {
+        return Err("--threads must be at least 1".into());
     }
     Ok(opts)
 }
@@ -137,16 +145,18 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
     }
     let mut sim = ResolverSim::new(config);
     let (trace, gt);
+    // `run_day_sharded` is bit-identical to the single-threaded replay
+    // for any thread count (and delegates to it at --threads 1).
     let report = match &opts.trace {
         Some(path) => {
             trace = load_trace(path)?;
-            sim.run_day_with_faults(&trace, None, &mut (), &plan)
+            sim.run_day_sharded(&trace, None, &mut (), &plan, opts.threads)
         }
         None => {
             let scenario = scenario_of(opts);
             trace = scenario.generate_day(opts.day);
             gt = scenario.ground_truth().clone();
-            sim.run_day_with_faults(&trace, Some(&gt), &mut (), &plan)
+            sim.run_day_sharded(&trace, Some(&gt), &mut (), &plan, opts.threads)
         }
     };
     println!("events:            {}", trace.events.len());
@@ -274,7 +284,7 @@ fn usage() -> &'static str {
      \n\
      common flags: --epoch <0..1> --scale <f64> --seed <u64> --day <u64>\n\
      generate:     --out <file>           (default: stdout)\n\
-     simulate:     --trace <file> --members <n> --capacity <n>\n\
+     simulate:     --trace <file> --members <n> --capacity <n> --threads <n>\n\
      \x20              --faults <spec> --stale <secs>\n\
      \x20              fault spec: 'seed=7; loss=0.1; outage=all,timeout,28800,57600;\n\
      \x20              member=0,3600,7200; retries=2; timeout=1500; backoff=200; budget=4000'\n\
@@ -344,6 +354,14 @@ mod tests {
         assert_eq!(opts.out.as_deref(), Some("o.txt"));
         assert_eq!(opts.faults, None);
         assert_eq!(opts.stale, None);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        let opts = parse_options(&args("--threads 4")).unwrap();
+        assert_eq!(opts.threads, 4);
+        assert!(parse_options(&args("--threads 0")).is_err());
+        assert!(parse_options(&args("--threads many")).is_err());
     }
 
     #[test]

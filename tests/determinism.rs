@@ -1,0 +1,125 @@
+//! Determinism matrix for the sharded engine: for every thread count,
+//! every load-balance strategy, several seeds, with and without a
+//! non-trivial fault plan, the sharded day replay must produce a
+//! `DayReport` bit-identical to the single-threaded reference — and a
+//! sharded passive-DNS collector must reproduce the single-threaded
+//! collection counts.
+
+use dnsnoise::cache::LoadBalance;
+use dnsnoise::dns::Record;
+use dnsnoise::pdns::FpDnsLog;
+use dnsnoise::resolver::{FaultPlan, Observer, ResolverSim, Served, ShardObserver, SimConfig};
+use dnsnoise::workload::{QueryEvent, Scenario, ScenarioConfig};
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::new(ScenarioConfig::paper_epoch(0.6).with_scale(0.015), seed)
+}
+
+fn eventful_plan() -> FaultPlan {
+    "seed=5; loss=0.2; outage=all,servfail,10800,18000; member=0,28800,50400; member=2,3600,7200"
+        .parse()
+        .expect("static fault spec")
+}
+
+#[test]
+fn thread_matrix_is_bit_identical() {
+    for seed in [11, 3021] {
+        let s = scenario(seed);
+        let trace = s.generate_day(0);
+        for plan in [FaultPlan::default(), eventful_plan()] {
+            let mut reference = ResolverSim::new(SimConfig::default());
+            let expected =
+                reference.run_day_with_faults(&trace, Some(s.ground_truth()), &mut (), &plan);
+            for threads in [1, 2, 4, 8] {
+                let mut sim = ResolverSim::new(SimConfig::default());
+                let got =
+                    sim.run_day_sharded(&trace, Some(s.ground_truth()), &mut (), &plan, threads);
+                assert_eq!(
+                    got,
+                    expected,
+                    "seed {seed}, threads {threads}, faults={}",
+                    !plan.is_empty()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_holds_for_every_load_balance_strategy() {
+    let s = scenario(77);
+    let trace = s.generate_day(0);
+    let plan = eventful_plan();
+    for strategy in [LoadBalance::HashClient, LoadBalance::RoundRobin, LoadBalance::HashName] {
+        let config = SimConfig { load_balance: strategy, ..SimConfig::default() };
+        let mut reference = ResolverSim::new(config.clone());
+        let expected =
+            reference.run_day_with_faults(&trace, Some(s.ground_truth()), &mut (), &plan);
+        for threads in [2, 8] {
+            let mut sim = ResolverSim::new(config.clone());
+            let got = sim.run_day_sharded(&trace, Some(s.ground_truth()), &mut (), &plan, threads);
+            assert_eq!(got, expected, "strategy {strategy:?}, threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn multi_day_carryover_is_bit_identical() {
+    // Warm cache, rr cursor, and crash flags all carry across days; three
+    // sharded days must replay exactly like three single-threaded ones.
+    let s = scenario(40);
+    let plan = eventful_plan();
+    let config =
+        SimConfig { load_balance: LoadBalance::RoundRobin, members: 5, ..SimConfig::default() };
+    let mut reference = ResolverSim::new(config.clone());
+    let mut sharded = ResolverSim::new(config);
+    for day in 0..3 {
+        let trace = s.generate_day(day);
+        let expected =
+            reference.run_day_with_faults(&trace, Some(s.ground_truth()), &mut (), &plan);
+        let got = sharded.run_day_sharded(&trace, Some(s.ground_truth()), &mut (), &plan, 4);
+        assert_eq!(got, expected, "day {day}");
+    }
+}
+
+/// A passive-DNS collector that shards by forking empty logs and
+/// absorbing the per-shard counts.
+struct Collector {
+    log: FpDnsLog,
+}
+
+impl Observer for Collector {
+    fn observe(&mut self, event: &QueryEvent, _served: Served, answers: &[Record]) {
+        self.log.collect(event.time, event.client, &event.name, event.qtype, answers);
+    }
+}
+
+impl ShardObserver for Collector {
+    fn fork(&self) -> Self {
+        Collector { log: FpDnsLog::new(200, false) }
+    }
+
+    fn absorb(&mut self, shard: Self) {
+        self.log.merge(shard.log);
+    }
+}
+
+#[test]
+fn sharded_pdns_collection_counts_match_single_thread() {
+    let s = scenario(90);
+    let trace = s.generate_day(0);
+
+    let mut single = Collector { log: FpDnsLog::new(200, false) };
+    let mut reference = ResolverSim::new(SimConfig::default());
+    reference.run_day(&trace, Some(s.ground_truth()), &mut single);
+
+    let mut merged = Collector { log: FpDnsLog::new(200, false) };
+    let mut sim = ResolverSim::new(SimConfig::default());
+    sim.run_day_sharded(&trace, Some(s.ground_truth()), &mut merged, &FaultPlan::default(), 4);
+
+    assert_eq!(merged.log.total_responses(), single.log.total_responses());
+    assert_eq!(merged.log.total_records(), single.log.total_records());
+    assert_eq!(merged.log.nx_responses(), single.log.nx_responses());
+    assert_eq!(merged.log.storage_bytes(), single.log.storage_bytes());
+    assert_eq!(merged.log.retained().len(), single.log.retained().len());
+}
