@@ -14,7 +14,7 @@ use dnsnoise_workload::{Scenario, ScenarioConfig};
 fn day_stats() -> dnsnoise_resolver::RrDayStats {
     let scenario = Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.05), 7);
     let mut sim = ResolverSim::new(SimConfig::default());
-    sim.run_day(&scenario.generate_day(0), Some(scenario.ground_truth()), &mut ()).rr_stats
+    sim.day(&scenario.generate_day(0)).ground_truth(scenario.ground_truth()).run().rr_stats
 }
 
 fn bench_tree_build(c: &mut Criterion) {

@@ -74,7 +74,7 @@ fn bench_resolver_day(c: &mut Criterion) {
         b.iter_batched(
             || ResolverSim::new(SimConfig::default()),
             |mut sim| {
-                black_box(sim.run_day(&trace, Some(scenario.ground_truth()), &mut ()).below_total)
+                black_box(sim.day(&trace).ground_truth(scenario.ground_truth()).run().below_total)
             },
             BatchSize::SmallInput,
         )

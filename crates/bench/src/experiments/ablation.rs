@@ -135,7 +135,7 @@ fn load_balance_ablation(scale: f64) -> Vec<(String, f64, f64)> {
     .map(|(name, strategy)| {
         let mut sim =
             ResolverSim::new(SimConfig { load_balance: strategy, ..SimConfig::default() });
-        let report = sim.run_day(&trace, Some(gt), &mut ());
+        let report = sim.day(&trace).ground_truth(gt).run();
         let mut disposable = Vec::new();
         let mut popular = Vec::new();
         for (key, stat) in report.rr_stats.iter() {

@@ -85,7 +85,7 @@ pub fn run(scale_factor: f64) -> CachePressureResult {
                 config = config.with_low_priority(move |name| gt.is_disposable_name(name));
             }
             let mut sim = ResolverSim::new(config);
-            let report = sim.run_day(&trace, Some(s.ground_truth()), &mut ());
+            let report = sim.day(&trace).ground_truth(s.ground_truth()).run();
             result.points.push(CachePoint {
                 capacity,
                 policy: if low_priority { "low-priority-disposable" } else { "lru" }.to_owned(),

@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 
 use dnsnoise_dns::Name;
-use dnsnoise_resolver::{DayReport, FaultPlan, ResolverSim, SimConfig};
+use dnsnoise_resolver::{DayReport, ResolverSim, SimConfig};
 use dnsnoise_workload::Scenario;
 
 /// Name-level and record-level measurements of one simulated day.
@@ -56,7 +56,7 @@ pub fn measure_day_threaded(
 ) -> DayMeasurement {
     let trace = scenario.generate_day(day);
     let gt = scenario.ground_truth();
-    let report = sim.run_day_sharded(&trace, Some(gt), &mut (), &FaultPlan::default(), threads);
+    let report = sim.day(&trace).ground_truth(gt).threads(threads).run();
 
     let mut queried: HashSet<&Name> = HashSet::new();
     let mut resolved: HashSet<&Name> = HashSet::new();

@@ -15,6 +15,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod pdnsdb;
+pub mod phases;
 pub mod resilience;
 pub mod tables;
 
@@ -56,6 +57,8 @@ pub enum ExperimentId {
     Dnssec,
     /// §VI-C — pDNS storage and wildcard aggregation.
     PdnsDb,
+    /// Engine phase timings + metrics-registry profile of one day.
+    Phases,
     /// Design-choice ablations (feature families, θ, load balancing).
     Ablation,
     /// Resilience — outages × disposable share, serve-stale mitigation.
@@ -82,6 +85,7 @@ impl ExperimentId {
             ExperimentId::Cache,
             ExperimentId::Dnssec,
             ExperimentId::PdnsDb,
+            ExperimentId::Phases,
             ExperimentId::Ablation,
             ExperimentId::Resilience,
         ]
@@ -107,6 +111,7 @@ impl fmt::Display for ExperimentId {
             ExperimentId::Cache => "cache",
             ExperimentId::Dnssec => "dnssec",
             ExperimentId::PdnsDb => "pdnsdb",
+            ExperimentId::Phases => "phases",
             ExperimentId::Ablation => "ablation",
             ExperimentId::Resilience => "resilience",
         };
@@ -154,6 +159,7 @@ pub fn run_experiment_threaded(id: ExperimentId, scale_factor: f64, threads: usi
         ExperimentId::Cache => cache_pressure::run(scale_factor).render(),
         ExperimentId::Dnssec => dnssec_cost::run(scale_factor).render(),
         ExperimentId::PdnsDb => pdnsdb::run(scale_factor).render(),
+        ExperimentId::Phases => phases::run_threaded(scale_factor, threads).render(),
         ExperimentId::Ablation => ablation::run(scale_factor).render(),
         ExperimentId::Resilience => resilience::run_threaded(scale_factor, threads).render(),
     }

@@ -120,8 +120,8 @@ pub fn run_threaded(scale_factor: f64, threads: usize) -> ResilienceResult {
                 config = config.with_serve_stale(Ttl::from_secs(DAY as u32));
             }
             let mut sim = ResolverSim::new(config);
-            sim.run_day_sharded(&warm, Some(gt), &mut (), &FaultPlan::default(), threads);
-            let report = sim.run_day_sharded(&day1, Some(gt), &mut (), plan, threads);
+            sim.day(&warm).ground_truth(gt).threads(threads).run();
+            let report = sim.day(&day1).ground_truth(gt).faults(plan).threads(threads).run();
             let r = &report.resilience;
             result.points.push(ResiliencePoint {
                 epoch,

@@ -313,6 +313,17 @@ impl CacheCluster {
         self.caches.iter().map(|c| *c.stats()).collect()
     }
 
+    /// Entry counts per member cache, in member order — the occupancy
+    /// gauge a metrics layer samples at day end.
+    pub fn member_occupancy(&self) -> Vec<usize> {
+        self.caches.iter().map(TtlLru::len).collect()
+    }
+
+    /// The per-member entry capacity (every member is built equal).
+    pub fn capacity_each(&self) -> usize {
+        self.caches.first().map_or(0, TtlLru::capacity)
+    }
+
     /// Total entries across all members.
     pub fn len(&self) -> usize {
         self.caches.iter().map(TtlLru::len).sum()

@@ -141,7 +141,7 @@ mod tests {
         let scenario = Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(scale), seed);
         let trace = scenario.generate_day(0);
         let mut sim = dnsnoise_resolver::ResolverSim::new(dnsnoise_resolver::SimConfig::default());
-        let report = sim.run_day(&trace, Some(scenario.ground_truth()), &mut ());
+        let report = sim.day(&trace).ground_truth(scenario.ground_truth()).run();
         (DomainTree::from_day_stats(&report.rr_stats), scenario.ground_truth().clone())
     }
 

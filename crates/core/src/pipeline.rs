@@ -63,7 +63,7 @@ impl DailyPipeline {
     pub fn run_day(&mut self, scenario: &Scenario, day: u64) -> MiningReport {
         let trace = scenario.generate_day(day);
         let gt = scenario.ground_truth();
-        let report = self.sim.run_day(&trace, Some(gt), &mut ());
+        let report = self.sim.day(&trace).ground_truth(gt).run();
         let mut tree = DomainTree::from_day_stats(&report.rr_stats);
 
         if self.miner.is_none() {

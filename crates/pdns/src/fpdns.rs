@@ -68,6 +68,11 @@ pub struct FpDnsLog {
     wire_roundtrips: u64,
     wire_parse_failures: u64,
     next_txid: u16,
+    /// Collector growth by hour of (simulated) day: tuples appended and
+    /// storage bytes added per hour — the intra-day growth curve a
+    /// capacity planner watches (§VI-C storage model).
+    hourly_records: [u64; 24],
+    hourly_storage_bytes: [u64; 24],
 }
 
 impl FpDnsLog {
@@ -86,6 +91,8 @@ impl FpDnsLog {
             wire_roundtrips: 0,
             wire_parse_failures: 0,
             next_txid: 1,
+            hourly_records: [0; 24],
+            hourly_storage_bytes: [0; 24],
         }
     }
 
@@ -105,6 +112,7 @@ impl FpDnsLog {
         if self.exercise_wire {
             self.roundtrip_wire(qname, qtype, answers);
         }
+        let hour = (timestamp.hour_of_day() as usize).min(23);
         for rr in answers {
             self.total_records += 1;
             let tuple = FpDnsRecord {
@@ -115,7 +123,10 @@ impl FpDnsLog {
                 ttl: rr.ttl,
                 rdata: rr.rdata.clone(),
             };
-            self.storage_bytes += tuple.storage_bytes() as u64;
+            let bytes = tuple.storage_bytes() as u64;
+            self.storage_bytes += bytes;
+            self.hourly_records[hour] += 1;
+            self.hourly_storage_bytes[hour] += bytes;
             if self.retained.len() < self.retain {
                 self.retained.push(tuple);
             }
@@ -177,6 +188,12 @@ impl FpDnsLog {
         self.storage_bytes += other.storage_bytes;
         self.wire_roundtrips += other.wire_roundtrips;
         self.wire_parse_failures += other.wire_parse_failures;
+        for (mine, theirs) in self.hourly_records.iter_mut().zip(other.hourly_records) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.hourly_storage_bytes.iter_mut().zip(other.hourly_storage_bytes) {
+            *mine += theirs;
+        }
         let room = self.retain.saturating_sub(self.retained.len());
         self.retained.extend(other.retained.into_iter().take(room));
         // Keep the single-threaded invariant txid = roundtrips + 1.
@@ -216,6 +233,16 @@ impl FpDnsLog {
     /// Wire round-trips that failed to re-parse identically.
     pub fn wire_parse_failures(&self) -> u64 {
         self.wire_parse_failures
+    }
+
+    /// Tuples appended per hour of simulated day (collector growth).
+    pub fn hourly_records(&self) -> &[u64; 24] {
+        &self.hourly_records
+    }
+
+    /// Storage bytes added per hour of simulated day.
+    pub fn hourly_storage_bytes(&self) -> &[u64; 24] {
+        &self.hourly_storage_bytes
     }
 }
 
@@ -302,6 +329,27 @@ mod tests {
         assert_eq!(left.wire_roundtrips(), whole.wire_roundtrips());
         assert_eq!(left.wire_parse_failures(), 0);
         assert_eq!(left.retained().len(), 3, "retention cap holds across merges");
+        assert_eq!(left.hourly_records(), whole.hourly_records());
+        assert_eq!(left.hourly_storage_bytes(), whole.hourly_storage_bytes());
+    }
+
+    #[test]
+    fn hourly_growth_buckets_by_timestamp() {
+        let mut log = FpDnsLog::new(0, false);
+        let n: dnsnoise_dns::Name = "a.example.com".parse().unwrap();
+        log.collect(Timestamp::from_secs(30), 1, &n, QType::A, &[rr("a.example.com", 1)]);
+        log.collect(
+            Timestamp::from_secs(7 * 3_600 + 5),
+            1,
+            &n,
+            QType::A,
+            &[rr("a.example.com", 2), rr("b.example.com", 3)],
+        );
+        assert_eq!(log.hourly_records()[0], 1);
+        assert_eq!(log.hourly_records()[7], 2);
+        assert_eq!(log.hourly_records().iter().sum::<u64>(), log.total_records());
+        assert_eq!(log.hourly_storage_bytes().iter().sum::<u64>(), log.storage_bytes());
+        assert!(log.hourly_storage_bytes()[7] > log.hourly_storage_bytes()[0]);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! The unified day-run entry point: [`ResolverSim::day`] returns a
+//! [`DayRun`] builder that replaces the historical
+//! `run_day` / `run_day_with_faults` / `run_day_sharded` trio.
+//!
+//! ```
+//! use dnsnoise_resolver::{FaultPlan, MetricsRegistry, ResolverSim, SimConfig};
+//! use dnsnoise_workload::{Scenario, ScenarioConfig};
+//!
+//! let s = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.02), 7);
+//! let trace = s.generate_day(0);
+//! let plan: FaultPlan = "seed=3; loss=0.1".parse()?;
+//! let mut reg = MetricsRegistry::with_buckets(96);
+//!
+//! let mut sim = ResolverSim::new(SimConfig::default());
+//! let report = sim
+//!     .day(&trace)
+//!     .ground_truth(s.ground_truth())
+//!     .faults(&plan)
+//!     .threads(4)
+//!     .metrics(&mut reg)
+//!     .run();
+//! assert_eq!(reg.counters().records_below, report.below_total);
+//! # Ok::<(), dnsnoise_resolver::FaultSpecError>(())
+//! ```
+
+use dnsnoise_cache::CacheKey;
+use dnsnoise_dns::Ttl;
+use dnsnoise_workload::{DayTrace, GroundTruth};
+
+use crate::engine::{run_sharded, ShardObserver};
+use crate::faults::FaultPlan;
+use crate::metrics::MetricsRegistry;
+use crate::observer::Observer;
+use crate::sim::{diff_stats, process_event, DayReport, EventCtx, ResolverSim};
+
+/// A configured-but-not-yet-run day replay, built by
+/// [`ResolverSim::day`].
+///
+/// Every knob is optional: with none set, [`DayRun::run`] is the plain
+/// single-threaded fault-free replay. The observer is a type parameter
+/// (starting at `()`) so the sharded path can fork it; call
+/// [`DayRun::observer`] to attach one, and [`DayRun::run_serial`] to run
+/// with an observer that is not a [`ShardObserver`] (e.g. `&mut dyn
+/// Observer`).
+pub struct DayRun<'a, O: Observer + ?Sized = ()> {
+    sim: &'a mut ResolverSim,
+    trace: &'a DayTrace,
+    ground_truth: Option<&'a GroundTruth>,
+    plan: Option<&'a FaultPlan>,
+    threads: usize,
+    observer: Option<&'a mut O>,
+    metrics: Option<&'a mut MetricsRegistry>,
+}
+
+impl ResolverSim {
+    /// Starts building a replay of one day of traffic. See [`DayRun`].
+    pub fn day<'a>(&'a mut self, trace: &'a DayTrace) -> DayRun<'a, ()> {
+        DayRun {
+            sim: self,
+            trace,
+            ground_truth: None,
+            plan: None,
+            threads: 1,
+            observer: None,
+            metrics: None,
+        }
+    }
+}
+
+impl<'a, O: Observer + ?Sized> DayRun<'a, O> {
+    /// Attributes traffic to the Google / Akamai series of Fig. 2 and
+    /// enables disposable-vs-other availability slicing. Accepts a
+    /// `&GroundTruth` or an `Option<&GroundTruth>`.
+    pub fn ground_truth(mut self, gt: impl Into<Option<&'a GroundTruth>>) -> Self {
+        self.ground_truth = gt.into();
+        self
+    }
+
+    /// Injects faults from `plan` during the replay (see
+    /// [`FaultPlan`]). An empty plan is equivalent to not setting one.
+    pub fn faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Replays on up to `n` worker threads (clamped to the member count;
+    /// `0` and `1` both mean single-threaded). The report, the cluster
+    /// state, and any attached [`MetricsRegistry`] are bit-identical for
+    /// every value.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Records counters, histograms, and the intra-day timeline into
+    /// `registry` (see [`MetricsRegistry`]).
+    pub fn metrics(mut self, registry: &'a mut MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Attaches an observer that sees every served response. Rebinds the
+    /// builder's observer type: use a [`ShardObserver`] to keep
+    /// [`DayRun::run`] available, or any `Observer` (including `dyn`)
+    /// with [`DayRun::run_serial`].
+    pub fn observer<O2: Observer + ?Sized>(self, observer: &'a mut O2) -> DayRun<'a, O2> {
+        DayRun {
+            sim: self.sim,
+            trace: self.trace,
+            ground_truth: self.ground_truth,
+            plan: self.plan,
+            threads: self.threads,
+            observer: Some(observer),
+            metrics: self.metrics,
+        }
+    }
+
+    /// Runs the replay on the calling thread, ignoring
+    /// [`DayRun::threads`]. This is the entry for observers that cannot
+    /// be forked across shards; prefer [`DayRun::run`] otherwise.
+    pub fn run_serial(self) -> DayReport {
+        let DayRun { sim, trace, ground_truth, plan, threads: _, observer, metrics } = self;
+        match observer {
+            Some(o) => run_serial_impl(sim, trace, ground_truth, plan, o, metrics),
+            None => run_serial_impl(sim, trace, ground_truth, plan, &mut (), metrics),
+        }
+    }
+}
+
+impl<'a, O: ShardObserver> DayRun<'a, O> {
+    /// Runs the configured replay and returns its [`DayReport`].
+    ///
+    /// Dispatches to the sharded engine when more than one effective
+    /// shard is requested, and to the single-threaded reference loop
+    /// otherwise; both produce bit-identical reports, cluster state, and
+    /// metrics.
+    pub fn run(self) -> DayReport {
+        let DayRun { sim, trace, ground_truth, plan, threads, observer, metrics } = self;
+        match observer {
+            Some(o) => run_dispatch(sim, trace, ground_truth, plan, threads, o, metrics),
+            None => run_dispatch(sim, trace, ground_truth, plan, threads, &mut (), metrics),
+        }
+    }
+}
+
+fn run_dispatch<O: ShardObserver>(
+    sim: &mut ResolverSim,
+    trace: &DayTrace,
+    ground_truth: Option<&GroundTruth>,
+    plan: Option<&FaultPlan>,
+    threads: usize,
+    observer: &mut O,
+    metrics: Option<&mut MetricsRegistry>,
+) -> DayReport {
+    let shards = threads.min(sim.cluster.members()).max(1);
+    if shards <= 1 || trace.events.is_empty() {
+        run_serial_impl(sim, trace, ground_truth, plan, observer, metrics)
+    } else {
+        run_sharded(sim, trace, ground_truth, plan, shards, observer, metrics)
+    }
+}
+
+/// The single-threaded reference replay: the loop every other execution
+/// mode must reproduce bit for bit.
+pub(crate) fn run_serial_impl<Obs: Observer + ?Sized>(
+    sim: &mut ResolverSim,
+    trace: &DayTrace,
+    ground_truth: Option<&GroundTruth>,
+    plan: Option<&FaultPlan>,
+    observer: &mut Obs,
+    mut metrics: Option<&mut MetricsRegistry>,
+) -> DayReport {
+    let default_plan;
+    let plan = match plan {
+        Some(p) => p,
+        None => {
+            default_plan = FaultPlan::default();
+            &default_plan
+        }
+    };
+    if let Some(m) = metrics.as_deref_mut() {
+        m.begin_day(trace.day, sim.cluster.members());
+    }
+    let replay_start = std::time::Instant::now();
+
+    let mut report = DayReport { day: trace.day, ..DayReport::default() };
+    let stats_before = sim.cluster.total_stats();
+    let drive_members = !plan.member_outages.is_empty() || sim.cluster.any_member_down();
+    let ctx = EventCtx {
+        plan,
+        day: trace.day,
+        stale_window: sim.config.stale_window.unwrap_or(Ttl::ZERO),
+        low_priority: sim.config.low_priority.clone(),
+        faults_active: !plan.is_empty(),
+    };
+
+    for (index, event) in trace.events.iter().enumerate() {
+        if drive_members {
+            sim.apply_member_faults(plan, event.time);
+        }
+        let member =
+            sim.cluster.route(event.client, &CacheKey::new(event.name.clone(), event.qtype));
+        let shard = sim.cluster.member_mut(member);
+        process_event(
+            &ctx,
+            index as u64,
+            member,
+            event,
+            ground_truth,
+            shard.cache,
+            shard.negative,
+            &mut report,
+            observer,
+            metrics.as_deref_mut(),
+        );
+    }
+
+    let stats_after = sim.cluster.total_stats();
+    report.cache = diff_stats(&stats_before, &stats_after);
+
+    if let Some(m) = metrics {
+        m.phases_mut().add_replay(replay_start.elapsed());
+        m.set_day_end(&sim.cluster.member_occupancy(), &sim.cluster.down_flags(), &report.cache);
+    }
+    report
+}

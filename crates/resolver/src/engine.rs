@@ -37,12 +37,14 @@
 //! the single-threaded fault sync, which only runs per event.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use dnsnoise_cache::{CacheCluster, CacheKey, LoadBalance, MemberShard};
 use dnsnoise_dns::Ttl;
 use dnsnoise_workload::{DayTrace, GroundTruth, ShardedTrace};
 
 use crate::faults::FaultPlan;
+use crate::metrics::MetricsRegistry;
 use crate::observer::Observer;
 use crate::sim::{diff_stats, process_event, DayReport, EventCtx, ResolverSim};
 
@@ -104,6 +106,11 @@ impl WorkerMember<'_> {
 impl ResolverSim {
     /// Replays one day of traffic on `threads` worker threads.
     ///
+    /// **Deprecated**: use the [`ResolverSim::day`] builder instead —
+    /// `sim.day(&trace).ground_truth(gt).faults(&plan).threads(n)
+    /// .observer(&mut o).run()`. This wrapper remains only for source
+    /// compatibility.
+    ///
     /// The day's events are partitioned by owning cluster member
     /// (consistent with [`CacheCluster::route`], including failover while
     /// members are crashed), members are dealt round-robin onto
@@ -129,113 +136,162 @@ impl ResolverSim {
         plan: &FaultPlan,
         threads: usize,
     ) -> DayReport {
-        let members = self.cluster.members();
-        let shards = threads.min(members).max(1);
-        if shards <= 1 || trace.events.is_empty() {
-            return self.run_day_with_faults(trace, ground_truth, observer, plan);
+        self.day(trace)
+            .ground_truth(ground_truth)
+            .faults(plan)
+            .threads(threads)
+            .observer(observer)
+            .run()
+    }
+}
+
+/// The sharded replay behind [`DayRun::run`](crate::DayRun::run). The
+/// caller (the builder's dispatch) has already clamped `shards` to
+/// `2..=members` and ruled out the empty trace.
+pub(crate) fn run_sharded<O: ShardObserver>(
+    sim: &mut ResolverSim,
+    trace: &DayTrace,
+    ground_truth: Option<&GroundTruth>,
+    plan: Option<&FaultPlan>,
+    shards: usize,
+    observer: &mut O,
+    mut metrics: Option<&mut MetricsRegistry>,
+) -> DayReport {
+    let default_plan;
+    let plan = match plan {
+        Some(p) => p,
+        None => {
+            default_plan = FaultPlan::default();
+            &default_plan
         }
+    };
+    let members = sim.cluster.members();
+    if let Some(m) = metrics.as_deref_mut() {
+        m.begin_day(trace.day, members);
+    }
 
-        let stats_before = self.cluster.total_stats();
-        let ctx = EventCtx {
-            plan,
-            day: trace.day,
-            stale_window: self.config.stale_window.unwrap_or(Ttl::ZERO),
-            low_priority: self.config.low_priority.clone(),
-            faults_active: !plan.is_empty(),
-        };
+    let stats_before = sim.cluster.total_stats();
+    let ctx = EventCtx {
+        plan,
+        day: trace.day,
+        stale_window: sim.config.stale_window.unwrap_or(Ttl::ZERO),
+        low_priority: sim.config.low_priority.clone(),
+        faults_active: !plan.is_empty(),
+    };
 
-        // Partition pass: replay the routing decisions (and the member
-        // crash schedule they depend on) purely, without touching cache
-        // state.
-        let rr0 = self.cluster.rr_cursor();
-        let drive_members = !plan.member_outages.is_empty() || self.cluster.any_member_down();
-        let mut down = self.cluster.down_flags();
-        let mut restarts: Vec<Vec<u64>> = vec![Vec::new(); members];
-        let cluster = &self.cluster;
-        let sharded = ShardedTrace::partition(&trace.events, shards, |index, event| {
-            if drive_members {
-                for (m, flag) in down.iter_mut().enumerate() {
-                    let want_down = plan.member_down(m, event.time);
-                    if want_down != *flag {
-                        *flag = want_down;
-                        if !want_down {
-                            restarts[m].push(index);
-                        }
+    // Partition pass: replay the routing decisions (and the member
+    // crash schedule they depend on) purely, without touching cache
+    // state.
+    let partition_start = Instant::now();
+    let rr0 = sim.cluster.rr_cursor();
+    let drive_members = !plan.member_outages.is_empty() || sim.cluster.any_member_down();
+    let mut down = sim.cluster.down_flags();
+    let mut restarts: Vec<Vec<u64>> = vec![Vec::new(); members];
+    let cluster = &sim.cluster;
+    let sharded = ShardedTrace::partition(&trace.events, shards, |index, event| {
+        if drive_members {
+            for (m, flag) in down.iter_mut().enumerate() {
+                let want_down = plan.member_down(m, event.time);
+                if want_down != *flag {
+                    *flag = want_down;
+                    if !want_down {
+                        restarts[m].push(index);
                     }
                 }
             }
-            let key = CacheKey::new(event.name.clone(), event.qtype);
-            let h = cluster.route_hash(event.client, &key, rr0 + index);
-            CacheCluster::member_for_hash(h, &down)
-        });
-        let day_end_down = down;
-
-        // Deal members (with their restart schedules) onto shards.
-        let mut worker_members: Vec<Vec<WorkerMember<'_>>> =
-            (0..shards).map(|_| Vec::new()).collect();
-        for (m, (handles, member_restarts)) in
-            self.cluster.member_shards().into_iter().zip(restarts).enumerate()
-        {
-            worker_members[m % shards]
-                .push(WorkerMember { handles, restarts: member_restarts.into() });
         }
-        let forks: Vec<O> = (0..shards).map(|_| observer.fork()).collect();
+        let key = CacheKey::new(event.name.clone(), event.qtype);
+        let h = cluster.route_hash(event.client, &key, rr0 + index);
+        CacheCluster::member_for_hash(h, &down)
+    });
+    let day_end_down = down;
+    let partition_elapsed = partition_start.elapsed();
 
-        // Run the shard workers; each builds a private partial report.
-        let partials: Vec<(DayReport, O)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = worker_members
-                .into_iter()
-                .zip(forks)
-                .enumerate()
-                .map(|(s, (mut owned, mut fork))| {
-                    let stream = sharded.shard(s);
-                    let ctx = &ctx;
-                    scope.spawn(move || {
-                        let mut partial = DayReport { day: ctx.day, ..DayReport::default() };
-                        for routed in stream {
-                            let wm = &mut owned[routed.member / shards];
-                            wm.catch_up_restarts(routed.index);
-                            process_event(
-                                ctx,
-                                routed.index,
-                                routed.event,
-                                ground_truth,
-                                wm.handles.cache,
-                                wm.handles.negative,
-                                &mut partial,
-                                &mut fork,
-                            );
-                        }
-                        for wm in &mut owned {
-                            wm.drain_restarts();
-                        }
-                        (partial, fork)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
-        });
-
-        // Deterministic merge in shard order.
-        let mut report = DayReport { day: trace.day, ..DayReport::default() };
-        for (partial, fork) in partials {
-            report.merge(&partial);
-            observer.absorb(fork);
-        }
-
-        // Sync the cluster state the workers bypassed: the round-robin
-        // cursor and the day-end crash flags (entries were already
-        // cleared at the replayed restart instants).
-        if self.cluster.strategy() == LoadBalance::RoundRobin {
-            self.cluster.advance_rr_cursor(trace.events.len() as u64);
-        }
-        for (m, flag) in day_end_down.into_iter().enumerate() {
-            self.cluster.set_member_flag(m, flag);
-        }
-
-        report.cache = diff_stats(&stats_before, &self.cluster.total_stats());
-        report
+    // Deal members (with their restart schedules) onto shards.
+    let mut worker_members: Vec<Vec<WorkerMember<'_>>> = (0..shards).map(|_| Vec::new()).collect();
+    for (m, (handles, member_restarts)) in
+        sim.cluster.member_shards().into_iter().zip(restarts).enumerate()
+    {
+        worker_members[m % shards].push(WorkerMember { handles, restarts: member_restarts.into() });
     }
+    let forks: Vec<O> = (0..shards).map(|_| observer.fork()).collect();
+    // Metric forks mirror observer forks: created on the main thread in
+    // shard order, absorbed in shard order after the join.
+    let metric_forks: Vec<Option<MetricsRegistry>> =
+        (0..shards).map(|_| metrics.as_deref().map(MetricsRegistry::fork)).collect();
+
+    // Run the shard workers; each builds a private partial report.
+    let replay_start = Instant::now();
+    let partials: Vec<(DayReport, O, Option<MetricsRegistry>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = worker_members
+            .into_iter()
+            .zip(forks.into_iter().zip(metric_forks))
+            .enumerate()
+            .map(|(s, (mut owned, (mut fork, mut metric_fork)))| {
+                let stream = sharded.shard(s);
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    let mut partial = DayReport { day: ctx.day, ..DayReport::default() };
+                    for routed in stream {
+                        let wm = &mut owned[routed.member / shards];
+                        wm.catch_up_restarts(routed.index);
+                        process_event(
+                            ctx,
+                            routed.index,
+                            routed.member,
+                            routed.event,
+                            ground_truth,
+                            wm.handles.cache,
+                            wm.handles.negative,
+                            &mut partial,
+                            &mut fork,
+                            metric_fork.as_mut(),
+                        );
+                    }
+                    for wm in &mut owned {
+                        wm.drain_restarts();
+                    }
+                    (partial, fork, metric_fork)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+    });
+    let replay_elapsed = replay_start.elapsed();
+
+    // Deterministic merge in shard order: reports through the canonical
+    // `DayReport::merge_partials`, observers and registries via absorb.
+    let merge_start = Instant::now();
+    let mut shard_reports = Vec::with_capacity(partials.len());
+    for (partial, fork, metric_fork) in partials {
+        shard_reports.push(partial);
+        observer.absorb(fork);
+        if let (Some(m), Some(shard_metrics)) = (metrics.as_deref_mut(), metric_fork) {
+            m.absorb(shard_metrics);
+        }
+    }
+    let mut report = DayReport::merge_partials(trace.day, &shard_reports);
+    let merge_elapsed = merge_start.elapsed();
+
+    // Sync the cluster state the workers bypassed: the round-robin
+    // cursor and the day-end crash flags (entries were already
+    // cleared at the replayed restart instants).
+    if sim.cluster.strategy() == LoadBalance::RoundRobin {
+        sim.cluster.advance_rr_cursor(trace.events.len() as u64);
+    }
+    for (m, flag) in day_end_down.into_iter().enumerate() {
+        sim.cluster.set_member_flag(m, flag);
+    }
+
+    report.cache = diff_stats(&stats_before, &sim.cluster.total_stats());
+
+    if let Some(m) = metrics {
+        m.phases_mut().add_partition(partition_elapsed);
+        m.phases_mut().add_replay(replay_elapsed);
+        m.phases_mut().add_merge(merge_elapsed);
+        m.set_day_end(&sim.cluster.member_occupancy(), &sim.cluster.down_flags(), &report.cache);
+    }
+    report
 }
 
 #[cfg(test)]

@@ -27,6 +27,11 @@ use dnsnoise_workload::Operator;
 /// (reached, but failing) — much cheaper than a timeout.
 pub const SERVFAIL_LATENCY_MS: u64 = 50;
 
+/// Latency modelled for a healthy upstream round trip: the simulated-time
+/// cost of one successful fetch attempt. Purely observational — it feeds
+/// the metrics latency histogram and never influences replay behaviour.
+pub const UPSTREAM_RTT_MS: u64 = 30;
+
 /// What a faulted upstream does during an outage window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultKind {

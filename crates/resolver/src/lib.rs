@@ -12,6 +12,10 @@
 //! * hourly traffic volumes split into the Fig. 2 series (All / NXDOMAIN /
 //!   Akamai / Google).
 //!
+//! Runs are configured through the [`ResolverSim::day`] builder; the
+//! observability layer ([`MetricsRegistry`], [`TimelineRecorder`]) hangs
+//! off the same builder and stays bit-identical across thread counts.
+//!
 //! # Examples
 //!
 //! ```
@@ -19,8 +23,9 @@
 //! use dnsnoise_workload::{Scenario, ScenarioConfig};
 //!
 //! let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.0).with_scale(0.02), 7);
+//! let trace = scenario.generate_day(0);
 //! let mut sim = ResolverSim::new(SimConfig::default());
-//! let report = sim.run_day(&scenario.generate_day(0), Some(scenario.ground_truth()), &mut ());
+//! let report = sim.day(&trace).ground_truth(scenario.ground_truth()).run();
 //! assert!(report.below_total > 0);
 //! assert!(report.above_total <= report.below_total);
 //! ```
@@ -28,17 +33,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod engine;
 mod faults;
+mod metrics;
 mod observer;
 mod sim;
 mod stats;
 mod traffic;
 
+pub use builder::DayRun;
 pub use engine::ShardObserver;
 pub use faults::{
     FaultKind, FaultPlan, FaultSpecError, MemberOutage, OutageScope, OutageWindow, RetryPolicy,
-    SERVFAIL_LATENCY_MS,
+    SERVFAIL_LATENCY_MS, UPSTREAM_RTT_MS,
+};
+pub use metrics::{
+    served_index, Histogram, MetricsRegistry, PhaseTimings, QueryClass, QueryCounters, TimeSlot,
+    TimelineRecorder, ATTEMPT_BOUNDS, DEFAULT_TIMELINE_BUCKETS, LATENCY_BOUNDS_MS, RETRY_BOUNDS,
+    SERVED_KINDS, SERVED_LABELS,
 };
 pub use observer::{Observer, Served};
 pub use sim::{

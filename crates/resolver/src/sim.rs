@@ -10,7 +10,8 @@ use dnsnoise_cache::{
 use dnsnoise_dns::{Name, Record, Timestamp, Ttl};
 use dnsnoise_workload::{DayTrace, GroundTruth, Operator, Outcome, QueryEvent};
 
-use crate::faults::{FaultKind, FaultPlan, SERVFAIL_LATENCY_MS};
+use crate::faults::{FaultKind, FaultPlan, SERVFAIL_LATENCY_MS, UPSTREAM_RTT_MS};
+use crate::metrics::{MetricsRegistry, QueryClass};
 use crate::observer::{Observer, Served};
 
 /// A shared predicate deciding whether a name is cached with low priority.
@@ -216,6 +217,23 @@ impl DayReport {
         self.nx_above += other.nx_above;
         self.resilience.merge(&other.resilience);
     }
+
+    /// Folds a sequence of per-shard partial reports into one report for
+    /// `day`. This is the *only* merge path the sharded engine uses, so
+    /// every merge rule lives on the report types themselves and is
+    /// exercised identically by tests and production runs. `merge` is
+    /// associative (each constituent is a sum or key-wise counter merge),
+    /// so any grouping of the same partials yields the same report.
+    pub fn merge_partials<'a>(
+        day: u64,
+        partials: impl IntoIterator<Item = &'a DayReport>,
+    ) -> DayReport {
+        let mut report = DayReport { day, ..DayReport::default() };
+        for partial in partials {
+            report.merge(partial);
+        }
+        report
+    }
 }
 
 /// The recursive-resolver cluster simulator.
@@ -251,6 +269,10 @@ impl ResolverSim {
 
     /// Replays one day of traffic with no faults injected.
     ///
+    /// **Deprecated**: use the [`ResolverSim::day`] builder instead —
+    /// `sim.day(&trace).ground_truth(gt).observer(&mut o).run_serial()`.
+    /// This wrapper remains only for source compatibility.
+    ///
     /// `ground_truth` (when provided) attributes traffic to the Google /
     /// Akamai series of Fig. 2; `observer` sees every served response.
     pub fn run_day(
@@ -259,10 +281,15 @@ impl ResolverSim {
         ground_truth: Option<&GroundTruth>,
         observer: &mut dyn Observer,
     ) -> DayReport {
-        self.run_day_with_faults(trace, ground_truth, observer, &FaultPlan::default())
+        self.day(trace).ground_truth(ground_truth).observer(observer).run_serial()
     }
 
     /// Replays one day of traffic under a [`FaultPlan`].
+    ///
+    /// **Deprecated**: use the [`ResolverSim::day`] builder instead —
+    /// `sim.day(&trace).ground_truth(gt).faults(&plan).observer(&mut o)
+    /// .run_serial()`. This wrapper remains only for source
+    /// compatibility.
     ///
     /// On a cache miss the resolver attempts the upstream fetch with
     /// bounded exponential-backoff retries inside a per-query time budget
@@ -282,45 +309,13 @@ impl ResolverSim {
         observer: &mut dyn Observer,
         plan: &FaultPlan,
     ) -> DayReport {
-        let mut report = DayReport { day: trace.day, ..DayReport::default() };
-        let stats_before = self.cluster.total_stats();
-        let drive_members = !plan.member_outages.is_empty() || self.cluster.any_member_down();
-        let ctx = EventCtx {
-            plan,
-            day: trace.day,
-            stale_window: self.config.stale_window.unwrap_or(Ttl::ZERO),
-            low_priority: self.config.low_priority.clone(),
-            faults_active: !plan.is_empty(),
-        };
-
-        for (index, event) in trace.events.iter().enumerate() {
-            if drive_members {
-                self.apply_member_faults(plan, event.time);
-            }
-            let member =
-                self.cluster.route(event.client, &CacheKey::new(event.name.clone(), event.qtype));
-            let shard = self.cluster.member_mut(member);
-            process_event(
-                &ctx,
-                index as u64,
-                event,
-                ground_truth,
-                shard.cache,
-                shard.negative,
-                &mut report,
-                observer,
-            );
-        }
-
-        let stats_after = self.cluster.total_stats();
-        report.cache = diff_stats(&stats_before, &stats_after);
-        report
+        self.day(trace).ground_truth(ground_truth).faults(plan).observer(observer).run_serial()
     }
 
     /// Syncs cluster member up/down state with the plan at `now`. A member
     /// leaving its crash window restarts cold (entries lost, counters
     /// kept).
-    fn apply_member_faults(&mut self, plan: &FaultPlan, now: Timestamp) {
+    pub(crate) fn apply_member_faults(&mut self, plan: &FaultPlan, now: Timestamp) {
         for m in 0..self.cluster.members() {
             let want_down = plan.member_down(m, now);
             if want_down != self.cluster.member_is_down(m) {
@@ -359,18 +354,23 @@ pub(crate) struct EventCtx<'a> {
 /// together are why per-member replay on any thread interleaving merges
 /// back into a bit-identical [`DayReport`].
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn process_event(
+pub(crate) fn process_event<Obs: Observer + ?Sized>(
     ctx: &EventCtx<'_>,
     index: u64,
+    member: usize,
     event: &QueryEvent,
     ground_truth: Option<&GroundTruth>,
     cache: &mut TtlLru,
     negative: &mut NegativeCache,
     report: &mut DayReport,
-    observer: &mut dyn Observer,
+    observer: &mut Obs,
+    metrics: Option<&mut MetricsRegistry>,
 ) {
     let hour = event.time.hour_of_day() as usize;
     let operator = ground_truth.and_then(|gt| gt.operator_of(&event.name));
+    let below_before = report.below_total;
+    let above_before = report.above_total;
+    let mut fetch_sample: Option<FetchOutcome> = None;
 
     let served = match &event.outcome {
         Outcome::NxDomain => {
@@ -379,6 +379,7 @@ pub(crate) fn process_event(
             } else {
                 let fetch = fetch_upstream(ctx.plan, ctx.day, index, event, operator);
                 tally_fetch(report, &fetch, hour, operator);
+                fetch_sample = Some(fetch);
                 if fetch.success {
                     negative.insert(event.name.clone(), event.time);
                     Served::NxMiss
@@ -410,6 +411,7 @@ pub(crate) fn process_event(
                 not_fresh => {
                     let fetch = fetch_upstream(ctx.plan, ctx.day, index, event, operator);
                     tally_fetch(report, &fetch, hour, operator);
+                    fetch_sample = Some(fetch);
                     if fetch.success {
                         let priority = match &ctx.low_priority {
                             Some(pred) if pred(&event.name) => InsertPriority::Low,
@@ -466,15 +468,31 @@ pub(crate) fn process_event(
             slice.answered += 1;
         }
     }
+
+    if let Some(m) = metrics {
+        m.record_event(
+            event.time.as_secs() % 86_400,
+            member,
+            served,
+            QueryClass::classify(ground_truth, event.zone_tag),
+            report.below_total - below_before,
+            report.above_total - above_before,
+            fetch_sample.as_ref(),
+        );
+    }
 }
 
 /// Result of one bounded-retry upstream fetch.
-struct FetchOutcome {
-    success: bool,
-    failed_attempts: u64,
-    retries: u64,
-    timeouts: u64,
-    upstream_servfails: u64,
+#[derive(Clone, Copy)]
+pub(crate) struct FetchOutcome {
+    pub(crate) success: bool,
+    pub(crate) failed_attempts: u64,
+    pub(crate) retries: u64,
+    pub(crate) timeouts: u64,
+    pub(crate) upstream_servfails: u64,
+    /// Simulated milliseconds the whole fetch (attempts + backoffs) took
+    /// — metrics-only; never feeds back into replay decisions.
+    pub(crate) elapsed_ms: u64,
 }
 
 /// Attempts the upstream fetch for `event` under `plan`, retrying with
@@ -493,13 +511,14 @@ fn fetch_upstream(
         retries: 0,
         timeouts: 0,
         upstream_servfails: 0,
+        elapsed_ms: 0,
     };
     if plan.is_empty() {
         out.success = true;
+        out.elapsed_ms = UPSTREAM_RTT_MS;
         return out;
     }
     let policy = &plan.retry;
-    let mut elapsed_ms = 0u64;
     let mut attempt = 0u32;
     loop {
         attempt += 1;
@@ -508,28 +527,29 @@ fn fetch_upstream(
         match fault {
             None if !lost => {
                 out.success = true;
+                out.elapsed_ms += UPSTREAM_RTT_MS;
                 return out;
             }
             Some(FaultKind::ServFail) if !lost => {
                 out.failed_attempts += 1;
                 out.upstream_servfails += 1;
-                elapsed_ms += SERVFAIL_LATENCY_MS;
+                out.elapsed_ms += SERVFAIL_LATENCY_MS;
             }
             _ => {
                 // Outage timeout, or the packet was lost in transit.
                 out.failed_attempts += 1;
                 out.timeouts += 1;
-                elapsed_ms += policy.timeout_ms;
+                out.elapsed_ms += policy.timeout_ms;
             }
         }
         if attempt > policy.max_retries {
             return out;
         }
         let backoff = policy.backoff_ms(attempt);
-        if elapsed_ms.saturating_add(backoff) >= policy.budget_ms {
+        if out.elapsed_ms.saturating_add(backoff) >= policy.budget_ms {
             return out;
         }
-        elapsed_ms += backoff;
+        out.elapsed_ms += backoff;
         out.retries += 1;
     }
 }

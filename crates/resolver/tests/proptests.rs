@@ -152,7 +152,10 @@ proptest! {
         let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.01), seed);
         let trace = scenario.generate_day(0);
         let mut plan = FaultPlan::default().with_seed(fault_seed).with_packet_loss(loss);
-        if member_fault {
+        // A member outage needs a survivor to fail over to: crashing the
+        // only member of a 1-member cluster is a (documented) panic, not
+        // a resilience scenario.
+        if member_fault && config.members > 1 {
             plan = plan.with_member_outage(
                 0,
                 Timestamp::from_secs(4 * 3_600),
@@ -185,6 +188,53 @@ proptest! {
             prop_assert_eq!(tallied, events);
         }
         prop_assert_eq!(r.timeouts + r.upstream_servfails, r.failed_attempts);
+    }
+
+    /// `DayReport::merge` is associative: folding the same partial
+    /// reports under any grouping — i.e. any split of the event stream
+    /// over shards, merged in any tree shape — yields the same report.
+    /// The partials are real single-day reports (different seeds and
+    /// epochs) so every constituent (rr stats, traffic, cache counters,
+    /// resilience slices) is populated.
+    #[test]
+    fn merge_is_associative_over_arbitrary_shard_splits(
+        seed in 0u64..100,
+        epochs in proptest::collection::vec(0.0f64..=1.0, 3..4),
+        loss in 0.0f64..0.3,
+    ) {
+        let plan = FaultPlan::default().with_seed(seed).with_packet_loss(loss);
+        let partials: Vec<_> = epochs
+            .iter()
+            .enumerate()
+            .map(|(i, &epoch)| {
+                let s = Scenario::new(
+                    ScenarioConfig::paper_epoch(epoch).with_scale(0.005),
+                    seed + i as u64,
+                );
+                let mut sim = ResolverSim::new(SimConfig::default());
+                sim.run_day_with_faults(&s.generate_day(0), Some(s.ground_truth()), &mut (), &plan)
+            })
+            .collect();
+        let (a, b, c) = (&partials[0], &partials[1], &partials[2]);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(b);
+        left.merge(c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "merge must be associative");
+
+        // The canonical fold the engine uses agrees with both groupings,
+        // and merging an empty (identity) report is a no-op.
+        let folded = dnsnoise_resolver::DayReport::merge_partials(a.day, &partials);
+        prop_assert_eq!(&folded, &left);
+        let mut with_identity = left.clone();
+        with_identity.merge(&dnsnoise_resolver::DayReport::default());
+        prop_assert_eq!(&with_identity, &left);
     }
 
     /// Replaying the identical trace twice through one warm simulator

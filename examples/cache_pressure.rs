@@ -34,7 +34,7 @@ fn main() {
                 config = config.with_low_priority(move |name| gt.is_disposable_name(name));
             }
             let mut sim = ResolverSim::new(config);
-            let report = sim.run_day(&trace, Some(scenario.ground_truth()), &mut ());
+            let report = sim.day(&trace).ground_truth(scenario.ground_truth()).run();
             println!(
                 "{:>8} | {:<23} | {:>15} / {:<14} | {:>7.1}% | {:>13}",
                 capacity,

@@ -50,7 +50,7 @@ fn main() {
     let scenario = Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.5), 11);
     let trace = scenario.generate_day(0);
     let mut sim = ResolverSim::new(SimConfig::default());
-    let report = sim.run_day(&trace, Some(scenario.ground_truth()), &mut ());
+    let report = sim.day(&trace).ground_truth(scenario.ground_truth()).run();
     let tree = DomainTree::from_day_stats(&report.rr_stats);
     let labeled = TrainingSetBuilder { min_disposable_names: 8, ..Default::default() }
         .build(&tree, scenario.ground_truth());

@@ -41,7 +41,7 @@ fn main() {
 
         // Passive-DNS accounting on the same day's traffic.
         let trace = scenario.generate_day(day);
-        let day_report = pdns_sim.run_day(&trace, Some(gt), &mut ());
+        let day_report = pdns_sim.day(&trace).ground_truth(gt).run();
         let mut new_rrs = 0u64;
         for (key, _) in day_report.rr_stats.iter() {
             let rr =

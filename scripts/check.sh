@@ -5,8 +5,36 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== deprecated run_day_* call sites ==" >&2
+# Everything in-tree goes through the `ResolverSim::day` builder; the
+# `run_day` / `run_day_with_faults` / `run_day_sharded` wrappers exist
+# for external callers only and may appear solely inside the resolver
+# crate (the wrappers themselves + their equivalence tests). Matches on
+# `pipeline.run_day(` are the unrelated `DailyPipeline::run_day` API.
+if grep -rn --include='*.rs' -E '\.(run_day_with_faults|run_day_sharded)\(' \
+        src tests examples crates/core crates/bench crates/pdns crates/dnssec; then
+    echo "error: deprecated sharded/fault entry points used outside crates/resolver" >&2
+    exit 1
+fi
+if grep -rn --include='*.rs' -E '\.run_day\(' \
+        src tests examples crates/core crates/bench crates/pdns crates/dnssec \
+        | grep -vE '(pipeline|self)\.run_day\('; then
+    echo "error: deprecated ResolverSim::run_day used outside crates/resolver" >&2
+    exit 1
+fi
+
 echo "== cargo build --release ==" >&2
 cargo build --release --offline
+
+echo "== simulate --metrics smoke (byte-identical across --threads) ==" >&2
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/dnsnoise generate --scale 0.01 --seed 3 --out "$smoke_dir/day.trace" 2>/dev/null
+./target/release/dnsnoise simulate --trace "$smoke_dir/day.trace" \
+    --threads 1 --buckets 8 --metrics "$smoke_dir/m1.json" >/dev/null 2>&1
+./target/release/dnsnoise simulate --trace "$smoke_dir/day.trace" \
+    --threads 4 --buckets 8 --metrics "$smoke_dir/m4.json" >/dev/null 2>&1
+diff "$smoke_dir/m1.json" "$smoke_dir/m4.json" >&2
 
 echo "== cargo test ==" >&2
 cargo test -q --offline

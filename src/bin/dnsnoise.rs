@@ -4,11 +4,17 @@
 //! ```text
 //! dnsnoise generate --epoch 1.0 --scale 0.1 --seed 7 --day 0 --out day0.trace
 //! dnsnoise simulate --trace day0.trace
+//! dnsnoise simulate --trace day0.trace --metrics day0.json --buckets 96
 //! dnsnoise mine     --trace day0.trace --theta 0.9
 //! dnsnoise mine     --epoch 1.0 --scale 0.2        # synthetic, self-grading
 //! dnsnoise train    --scale 0.3 --out model.txt    # persist the classifier
 //! dnsnoise mine     --trace day0.trace --model model.txt
 //! ```
+//!
+//! Each subcommand accepts the common scenario flags (`--epoch`,
+//! `--scale`, `--seed`, `--day`) plus its own option set, and rejects
+//! flags that belong to another subcommand; `dnsnoise <cmd> --help`
+//! prints the per-subcommand usage.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -16,96 +22,260 @@ use std::process::ExitCode;
 
 use dnsnoise::core::{DailyPipeline, DomainTree, Miner, MinerConfig, TrainingSetBuilder};
 use dnsnoise::dns::{SuffixList, Ttl};
-use dnsnoise::resolver::{FaultPlan, ResolverSim, SimConfig};
+use dnsnoise::resolver::{
+    FaultPlan, MetricsRegistry, ResolverSim, SimConfig, DEFAULT_TIMELINE_BUCKETS,
+};
 use dnsnoise::workload::{trace_io, DayTrace, Scenario, ScenarioConfig};
 
-/// Parsed command-line options shared by the subcommands.
+/// Scenario flags shared by every subcommand.
 #[derive(Debug, Clone, PartialEq)]
-struct Options {
+struct CommonOpts {
     epoch: f64,
     scale: f64,
     seed: u64,
     day: u64,
-    theta: f64,
-    min_group: usize,
+}
+
+impl Default for CommonOpts {
+    fn default() -> Self {
+        CommonOpts { epoch: 1.0, scale: 0.1, seed: 7, day: 0 }
+    }
+}
+
+/// `dnsnoise generate` options.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct GenerateOpts {
+    common: CommonOpts,
+    out: Option<String>,
+}
+
+/// `dnsnoise simulate` options.
+#[derive(Debug, Clone, PartialEq)]
+struct SimulateOpts {
+    common: CommonOpts,
+    trace: Option<String>,
     members: usize,
     capacity: usize,
     threads: usize,
-    trace: Option<String>,
-    out: Option<String>,
-    model: Option<String>,
     faults: Option<String>,
     stale: Option<u32>,
+    metrics: Option<String>,
+    buckets: usize,
 }
 
-impl Default for Options {
+impl Default for SimulateOpts {
     fn default() -> Self {
-        Options {
-            epoch: 1.0,
-            scale: 0.1,
-            seed: 7,
-            day: 0,
-            theta: 0.9,
-            min_group: 10,
+        SimulateOpts {
+            common: CommonOpts::default(),
+            trace: None,
             members: 4,
             capacity: 50_000,
             threads: 1,
-            trace: None,
-            out: None,
-            model: None,
             faults: None,
             stale: None,
+            metrics: None,
+            buckets: DEFAULT_TIMELINE_BUCKETS,
         }
     }
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options::default();
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> Result<&String, String> {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+/// `dnsnoise mine` options.
+#[derive(Debug, Clone, PartialEq)]
+struct MineOpts {
+    common: CommonOpts,
+    trace: Option<String>,
+    model: Option<String>,
+    theta: f64,
+    min_group: usize,
+}
+
+impl Default for MineOpts {
+    fn default() -> Self {
+        MineOpts {
+            common: CommonOpts::default(),
+            trace: None,
+            model: None,
+            theta: 0.9,
+            min_group: 10,
+        }
+    }
+}
+
+/// `dnsnoise train` options.
+#[derive(Debug, Clone, PartialEq)]
+struct TrainOpts {
+    common: CommonOpts,
+    out: Option<String>,
+    theta: f64,
+    min_group: usize,
+}
+
+impl Default for TrainOpts {
+    fn default() -> Self {
+        TrainOpts { common: CommonOpts::default(), out: None, theta: 0.9, min_group: 10 }
+    }
+}
+
+/// Walks the flag stream, yielding values for flags that take one.
+struct FlagValues<'a>(std::slice::Iter<'a, String>);
+
+impl<'a> FlagValues<'a> {
+    fn take(&mut self, name: &str) -> Result<&'a str, String> {
+        self.0.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+    }
+}
+
+fn parsed<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("bad {name}"))
+}
+
+impl CommonOpts {
+    /// Consumes one common flag; `Ok(false)` means the flag is not a
+    /// common one and belongs to the subcommand (or to nobody).
+    fn try_flag(&mut self, flag: &str, values: &mut FlagValues) -> Result<bool, String> {
+        match flag {
+            "--epoch" => self.epoch = parsed(values.take("--epoch")?, "--epoch")?,
+            "--scale" => self.scale = parsed(values.take("--scale")?, "--scale")?,
+            "--seed" => self.seed = parsed(values.take("--seed")?, "--seed")?,
+            "--day" => self.day = parsed(values.take("--day")?, "--day")?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.epoch) {
+            return Err("--epoch must be in [0, 1]".into());
+        }
+        if self.scale <= 0.0 {
+            return Err("--scale must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of parsing a subcommand's flags: either the options, or a
+/// request to print the per-subcommand usage.
+enum ParseOutcome<T> {
+    Parsed(T),
+    Help,
+}
+
+/// The shared flag loop: `--help`/`-h` short-circuit, common flags are
+/// tried first, and anything the subcommand handler declines is an
+/// "unknown flag" error naming the subcommand.
+fn parse_flags(
+    cmd: &str,
+    args: &[String],
+    common: &mut CommonOpts,
+    mut handle: impl FnMut(&str, &mut FlagValues) -> Result<bool, String>,
+) -> Result<ParseOutcome<()>, String> {
+    let mut values = FlagValues(args.iter());
+    while let Some(flag) = values.0.next() {
         match flag.as_str() {
-            "--epoch" => opts.epoch = value("--epoch")?.parse().map_err(|_| "bad --epoch")?,
-            "--scale" => opts.scale = value("--scale")?.parse().map_err(|_| "bad --scale")?,
-            "--seed" => opts.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
-            "--day" => opts.day = value("--day")?.parse().map_err(|_| "bad --day")?,
-            "--theta" => opts.theta = value("--theta")?.parse().map_err(|_| "bad --theta")?,
-            "--min-group" => {
-                opts.min_group = value("--min-group")?.parse().map_err(|_| "bad --min-group")?
+            "--help" | "-h" => return Ok(ParseOutcome::Help),
+            f => {
+                if !common.try_flag(f, &mut values)? && !handle(f, &mut values)? {
+                    return Err(format!("unknown flag {f} for `{cmd}`"));
+                }
             }
-            "--members" => {
-                opts.members = value("--members")?.parse().map_err(|_| "bad --members")?
-            }
-            "--capacity" => {
-                opts.capacity = value("--capacity")?.parse().map_err(|_| "bad --capacity")?
-            }
-            "--threads" => {
-                opts.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?
-            }
-            "--trace" => opts.trace = Some(value("--trace")?.clone()),
-            "--out" => opts.out = Some(value("--out")?.clone()),
-            "--model" => opts.model = Some(value("--model")?.clone()),
-            "--faults" => opts.faults = Some(value("--faults")?.clone()),
-            "--stale" => opts.stale = Some(value("--stale")?.parse().map_err(|_| "bad --stale")?),
-            other => return Err(format!("unknown flag {other}")),
         }
     }
-    if !(0.0..=1.0).contains(&opts.epoch) {
-        return Err("--epoch must be in [0, 1]".into());
-    }
-    if opts.scale <= 0.0 {
-        return Err("--scale must be positive".into());
-    }
-    if opts.threads == 0 {
-        return Err("--threads must be at least 1".into());
-    }
-    Ok(opts)
+    common.validate()?;
+    Ok(ParseOutcome::Parsed(()))
 }
 
-fn scenario_of(opts: &Options) -> Scenario {
-    Scenario::new(ScenarioConfig::paper_epoch(opts.epoch).with_scale(opts.scale), opts.seed)
+fn parse_generate(args: &[String]) -> Result<ParseOutcome<GenerateOpts>, String> {
+    let mut opts = GenerateOpts::default();
+    let mut common = std::mem::take(&mut opts.common);
+    let outcome = parse_flags("generate", args, &mut common, |flag, values| {
+        match flag {
+            "--out" => opts.out = Some(values.take("--out")?.to_owned()),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    opts.common = common;
+    Ok(match outcome {
+        ParseOutcome::Parsed(()) => ParseOutcome::Parsed(opts),
+        ParseOutcome::Help => ParseOutcome::Help,
+    })
+}
+
+fn parse_simulate(args: &[String]) -> Result<ParseOutcome<SimulateOpts>, String> {
+    let mut opts = SimulateOpts::default();
+    let mut common = std::mem::take(&mut opts.common);
+    let outcome = parse_flags("simulate", args, &mut common, |flag, values| {
+        match flag {
+            "--trace" => opts.trace = Some(values.take("--trace")?.to_owned()),
+            "--members" => opts.members = parsed(values.take("--members")?, "--members")?,
+            "--capacity" => opts.capacity = parsed(values.take("--capacity")?, "--capacity")?,
+            "--threads" => opts.threads = parsed(values.take("--threads")?, "--threads")?,
+            "--faults" => opts.faults = Some(values.take("--faults")?.to_owned()),
+            "--stale" => opts.stale = Some(parsed(values.take("--stale")?, "--stale")?),
+            "--metrics" => opts.metrics = Some(values.take("--metrics")?.to_owned()),
+            "--buckets" => opts.buckets = parsed(values.take("--buckets")?, "--buckets")?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    opts.common = common;
+    if let ParseOutcome::Parsed(()) = outcome {
+        if opts.threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        if opts.members == 0 {
+            return Err("--members must be at least 1".into());
+        }
+        if opts.buckets == 0 {
+            return Err("--buckets must be at least 1".into());
+        }
+        return Ok(ParseOutcome::Parsed(opts));
+    }
+    Ok(ParseOutcome::Help)
+}
+
+fn parse_mine(args: &[String]) -> Result<ParseOutcome<MineOpts>, String> {
+    let mut opts = MineOpts::default();
+    let mut common = std::mem::take(&mut opts.common);
+    let outcome = parse_flags("mine", args, &mut common, |flag, values| {
+        match flag {
+            "--trace" => opts.trace = Some(values.take("--trace")?.to_owned()),
+            "--model" => opts.model = Some(values.take("--model")?.to_owned()),
+            "--theta" => opts.theta = parsed(values.take("--theta")?, "--theta")?,
+            "--min-group" => opts.min_group = parsed(values.take("--min-group")?, "--min-group")?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    opts.common = common;
+    Ok(match outcome {
+        ParseOutcome::Parsed(()) => ParseOutcome::Parsed(opts),
+        ParseOutcome::Help => ParseOutcome::Help,
+    })
+}
+
+fn parse_train(args: &[String]) -> Result<ParseOutcome<TrainOpts>, String> {
+    let mut opts = TrainOpts::default();
+    let mut common = std::mem::take(&mut opts.common);
+    let outcome = parse_flags("train", args, &mut common, |flag, values| {
+        match flag {
+            "--out" => opts.out = Some(values.take("--out")?.to_owned()),
+            "--theta" => opts.theta = parsed(values.take("--theta")?, "--theta")?,
+            "--min-group" => opts.min_group = parsed(values.take("--min-group")?, "--min-group")?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    opts.common = common;
+    Ok(match outcome {
+        ParseOutcome::Parsed(()) => ParseOutcome::Parsed(opts),
+        ParseOutcome::Help => ParseOutcome::Help,
+    })
+}
+
+fn scenario_of(common: &CommonOpts) -> Scenario {
+    Scenario::new(ScenarioConfig::paper_epoch(common.epoch).with_scale(common.scale), common.seed)
 }
 
 fn load_trace(path: &str) -> Result<DayTrace, String> {
@@ -113,9 +283,9 @@ fn load_trace(path: &str) -> Result<DayTrace, String> {
     trace_io::read_trace(BufReader::new(file)).map_err(|e| e.to_string())
 }
 
-fn cmd_generate(opts: &Options) -> Result<(), String> {
-    let scenario = scenario_of(opts);
-    let trace = scenario.generate_day(opts.day);
+fn cmd_generate(opts: &GenerateOpts) -> Result<(), String> {
+    let scenario = scenario_of(&opts.common);
+    let trace = scenario.generate_day(opts.common.day);
     match &opts.out {
         Some(path) => {
             let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
@@ -131,7 +301,7 @@ fn cmd_generate(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(opts: &Options) -> Result<(), String> {
+fn cmd_simulate(opts: &SimulateOpts) -> Result<(), String> {
     let plan: FaultPlan = match &opts.faults {
         Some(spec) => {
             spec.parse().map_err(|e: dnsnoise::resolver::FaultSpecError| e.to_string())?
@@ -144,19 +314,25 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
         config = config.with_serve_stale(Ttl::from_secs(secs));
     }
     let mut sim = ResolverSim::new(config);
+    let mut registry = MetricsRegistry::with_buckets(opts.buckets);
     let (trace, gt);
-    // `run_day_sharded` is bit-identical to the single-threaded replay
-    // for any thread count (and delegates to it at --threads 1).
+    // The builder replay is bit-identical for any `--threads` count —
+    // registry exports included.
     let report = match &opts.trace {
         Some(path) => {
             trace = load_trace(path)?;
-            sim.run_day_sharded(&trace, None, &mut (), &plan, opts.threads)
+            sim.day(&trace).faults(&plan).threads(opts.threads).metrics(&mut registry).run()
         }
         None => {
-            let scenario = scenario_of(opts);
-            trace = scenario.generate_day(opts.day);
+            let scenario = scenario_of(&opts.common);
+            trace = scenario.generate_day(opts.common.day);
             gt = scenario.ground_truth().clone();
-            sim.run_day_sharded(&trace, Some(&gt), &mut (), &plan, opts.threads)
+            sim.day(&trace)
+                .ground_truth(&gt)
+                .faults(&plan)
+                .threads(opts.threads)
+                .metrics(&mut registry)
+                .run()
         }
     };
     println!("events:            {}", trace.events.len());
@@ -180,30 +356,37 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
         println!("avail disposable:  {:.2}%", r.disposable.fraction() * 100.0);
         println!("avail other:       {:.2}%", r.nondisposable.fraction() * 100.0);
     }
+    if let Some(path) = &opts.metrics {
+        // `.csv` selects the timeline table; anything else gets the full
+        // JSON registry dump. Both are deterministic byte-for-byte.
+        let payload =
+            if path.ends_with(".csv") { registry.timeline_csv() } else { registry.to_json() };
+        std::fs::write(path, payload).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote metrics to {path}");
+        eprint!("{}", registry.phases().render_table());
+    }
     Ok(())
 }
 
 /// Builds a labeled training set from a synthetic day.
-fn synthetic_labeled(opts: &Options) -> dnsnoise::core::LabeledZones {
+fn synthetic_labeled(common: &CommonOpts) -> dnsnoise::core::LabeledZones {
     let train_scenario = Scenario::new(
-        ScenarioConfig::paper_epoch(opts.epoch).with_scale(opts.scale.max(0.1)),
-        opts.seed,
+        ScenarioConfig::paper_epoch(common.epoch).with_scale(common.scale.max(0.1)),
+        common.seed,
     );
+    let train_trace = train_scenario.generate_day(0);
     let mut train_sim = ResolverSim::new(SimConfig::default());
-    let train_report = train_sim.run_day(
-        &train_scenario.generate_day(0),
-        Some(train_scenario.ground_truth()),
-        &mut (),
-    );
+    let train_report =
+        train_sim.day(&train_trace).ground_truth(train_scenario.ground_truth()).run();
     let train_tree = DomainTree::from_day_stats(&train_report.rr_stats);
     TrainingSetBuilder { min_disposable_names: 8, ..Default::default() }
         .build(&train_tree, train_scenario.ground_truth())
 }
 
-fn cmd_train(opts: &Options) -> Result<(), String> {
+fn cmd_train(opts: &TrainOpts) -> Result<(), String> {
     let miner_config =
         MinerConfig { theta: opts.theta, min_group_size: opts.min_group, ..Default::default() };
-    let labeled = synthetic_labeled(opts);
+    let labeled = synthetic_labeled(&opts.common);
     let model = Miner::train_model(&labeled, miner_config);
     let text = dnsnoise::ml::model_to_text(&model);
     match &opts.out {
@@ -220,7 +403,7 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn load_or_train_miner(opts: &Options, miner_config: MinerConfig) -> Result<Miner, String> {
+fn load_or_train_miner(opts: &MineOpts, miner_config: MinerConfig) -> Result<Miner, String> {
     match &opts.model {
         Some(path) => {
             let text =
@@ -231,13 +414,13 @@ fn load_or_train_miner(opts: &Options, miner_config: MinerConfig) -> Result<Mine
         None => {
             // No persisted model: train the classifier on a synthetic
             // labeled day.
-            let labeled = synthetic_labeled(opts);
+            let labeled = synthetic_labeled(&opts.common);
             Ok(Miner::train(&labeled, miner_config))
         }
     }
 }
 
-fn cmd_mine(opts: &Options) -> Result<(), String> {
+fn cmd_mine(opts: &MineOpts) -> Result<(), String> {
     let miner_config =
         MinerConfig { theta: opts.theta, min_group_size: opts.min_group, ..Default::default() };
     match &opts.trace {
@@ -246,7 +429,7 @@ fn cmd_mine(opts: &Options) -> Result<(), String> {
             let miner = load_or_train_miner(opts, miner_config)?;
 
             let mut sim = ResolverSim::new(SimConfig::default());
-            let report = sim.run_day(&trace, None, &mut ());
+            let report = sim.day(&trace).run();
             let mut tree = DomainTree::from_day_stats(&report.rr_stats);
             let mut findings = miner.mine(&mut tree, &SuffixList::builtin());
             findings.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).expect("finite"));
@@ -259,9 +442,9 @@ fn cmd_mine(opts: &Options) -> Result<(), String> {
             Ok(())
         }
         None => {
-            let scenario = scenario_of(opts);
+            let scenario = scenario_of(&opts.common);
             let mut pipeline = DailyPipeline::new(miner_config);
-            let report = pipeline.run_day(&scenario, opts.day);
+            let report = pipeline.run_day(&scenario, opts.common.day);
             println!("# zone\tdepth\tconfidence\tnames");
             for f in &report.ranking {
                 println!("{}\t{}\t{:.3}\t{}", f.zone, f.depth, f.confidence, f.members);
@@ -279,17 +462,52 @@ fn cmd_mine(opts: &Options) -> Result<(), String> {
     }
 }
 
-fn usage() -> &'static str {
-    "usage: dnsnoise <generate|simulate|mine|train> [flags]\n\
-     \n\
-     common flags: --epoch <0..1> --scale <f64> --seed <u64> --day <u64>\n\
-     generate:     --out <file>           (default: stdout)\n\
-     simulate:     --trace <file> --members <n> --capacity <n> --threads <n>\n\
-     \x20              --faults <spec> --stale <secs>\n\
-     \x20              fault spec: 'seed=7; loss=0.1; outage=all,timeout,28800,57600;\n\
-     \x20              member=0,3600,7200; retries=2; timeout=1500; backoff=200; budget=4000'\n\
-     mine:         --trace <file> --model <file> --theta <f64> --min-group <n>\n\
-     train:        --out <file>           (default: stdout)\n"
+const COMMON_USAGE: &str = "common flags: --epoch <0..1> --scale <f64> --seed <u64> --day <u64>\n";
+
+fn usage() -> String {
+    format!(
+        "usage: dnsnoise <generate|simulate|mine|train> [flags]\n\
+         \n\
+         {COMMON_USAGE}\
+         run `dnsnoise <command> --help` for the per-command flags\n\
+         \n\
+         generate:  write a synthetic day trace\n\
+         simulate:  replay a day through the resolver cluster\n\
+         mine:      mine a day for disposable zones\n\
+         train:     train and persist the classifier\n"
+    )
+}
+
+fn subcommand_usage(cmd: &str) -> String {
+    let specific = match cmd {
+        "generate" => "  --out <file>       trace destination (default: stdout)\n",
+        "simulate" => {
+            "  --trace <file>     replay this trace (default: synthesize one)\n\
+             \x20 --members <n>      cluster size (default: 4)\n\
+             \x20 --capacity <n>     per-member cache capacity (default: 50000)\n\
+             \x20 --threads <n>      worker threads, bit-identical results (default: 1)\n\
+             \x20 --faults <spec>    e.g. 'seed=7; loss=0.1; outage=all,timeout,28800,57600;\n\
+             \x20                    member=0,3600,7200; retries=2; timeout=1500; backoff=200;\n\
+             \x20                    budget=4000'\n\
+             \x20 --stale <secs>     serve-stale window\n\
+             \x20 --metrics <file>   export the metrics registry (.csv = timeline table,\n\
+             \x20                    anything else = full JSON dump)\n\
+             \x20 --buckets <n>      timeline buckets per day (default: 24)\n"
+        }
+        "mine" => {
+            "  --trace <file>     mine this trace (default: synthetic, self-grading)\n\
+             \x20 --model <file>     load a persisted classifier instead of training\n\
+             \x20 --theta <f64>      confidence threshold (default: 0.9)\n\
+             \x20 --min-group <n>    minimal group size (default: 10)\n"
+        }
+        "train" => {
+            "  --out <file>       model destination (default: stdout)\n\
+             \x20 --theta <f64>      confidence threshold (default: 0.9)\n\
+             \x20 --min-group <n>    minimal group size (default: 10)\n"
+        }
+        _ => "",
+    };
+    format!("usage: dnsnoise {cmd} [flags]\n\n{COMMON_USAGE}{specific}")
 }
 
 fn main() -> ExitCode {
@@ -298,18 +516,35 @@ fn main() -> ExitCode {
         eprint!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let opts = match parse_options(rest) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}\n\n{}", usage());
-            return ExitCode::FAILURE;
-        }
-    };
     let result = match command.as_str() {
-        "generate" => cmd_generate(&opts),
-        "simulate" => cmd_simulate(&opts),
-        "mine" => cmd_mine(&opts),
-        "train" => cmd_train(&opts),
+        "generate" => parse_generate(rest).and_then(|o| match o {
+            ParseOutcome::Parsed(opts) => cmd_generate(&opts),
+            ParseOutcome::Help => {
+                print!("{}", subcommand_usage("generate"));
+                Ok(())
+            }
+        }),
+        "simulate" => parse_simulate(rest).and_then(|o| match o {
+            ParseOutcome::Parsed(opts) => cmd_simulate(&opts),
+            ParseOutcome::Help => {
+                print!("{}", subcommand_usage("simulate"));
+                Ok(())
+            }
+        }),
+        "mine" => parse_mine(rest).and_then(|o| match o {
+            ParseOutcome::Parsed(opts) => cmd_mine(&opts),
+            ParseOutcome::Help => {
+                print!("{}", subcommand_usage("mine"));
+                Ok(())
+            }
+        }),
+        "train" => parse_train(rest).and_then(|o| match o {
+            ParseOutcome::Parsed(opts) => cmd_train(&opts),
+            ParseOutcome::Help => {
+                print!("{}", subcommand_usage("train"));
+                Ok(())
+            }
+        }),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())
@@ -319,7 +554,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("{e}");
+            eprintln!("{e}\n\n{}", usage());
             ExitCode::FAILURE
         }
     }
@@ -333,52 +568,101 @@ mod tests {
         s.split_whitespace().map(String::from).collect()
     }
 
+    fn simulate(s: &str) -> Result<SimulateOpts, String> {
+        match parse_simulate(&args(s))? {
+            ParseOutcome::Parsed(o) => Ok(o),
+            ParseOutcome::Help => Err("help".into()),
+        }
+    }
+
+    fn mine(s: &str) -> Result<MineOpts, String> {
+        match parse_mine(&args(s))? {
+            ParseOutcome::Parsed(o) => Ok(o),
+            ParseOutcome::Help => Err("help".into()),
+        }
+    }
+
     #[test]
     fn defaults_apply() {
-        let opts = parse_options(&[]).unwrap();
-        assert_eq!(opts, Options::default());
+        assert_eq!(simulate("").unwrap(), SimulateOpts::default());
+        assert_eq!(mine("").unwrap(), MineOpts::default());
     }
 
     #[test]
-    fn flags_parse() {
-        let opts = parse_options(&args("--epoch 0.5 --scale 2 --seed 9 --day 3 --theta 0.7 --min-group 5 --members 2 --capacity 100 --trace t.txt --out o.txt")).unwrap();
-        assert_eq!(opts.epoch, 0.5);
-        assert_eq!(opts.scale, 2.0);
-        assert_eq!(opts.seed, 9);
-        assert_eq!(opts.day, 3);
-        assert_eq!(opts.theta, 0.7);
-        assert_eq!(opts.min_group, 5);
-        assert_eq!(opts.members, 2);
-        assert_eq!(opts.capacity, 100);
-        assert_eq!(opts.trace.as_deref(), Some("t.txt"));
-        assert_eq!(opts.out.as_deref(), Some("o.txt"));
-        assert_eq!(opts.faults, None);
-        assert_eq!(opts.stale, None);
+    fn common_flags_parse_everywhere() {
+        let o = simulate("--epoch 0.5 --scale 2 --seed 9 --day 3").unwrap();
+        assert_eq!(o.common, CommonOpts { epoch: 0.5, scale: 2.0, seed: 9, day: 3 });
+        let o = mine("--epoch 0.25 --theta 0.7 --min-group 5 --trace t.txt").unwrap();
+        assert_eq!(o.common.epoch, 0.25);
+        assert_eq!(o.theta, 0.7);
+        assert_eq!(o.min_group, 5);
+        assert_eq!(o.trace.as_deref(), Some("t.txt"));
     }
 
     #[test]
-    fn threads_flag_parses_and_rejects_zero() {
-        let opts = parse_options(&args("--threads 4")).unwrap();
-        assert_eq!(opts.threads, 4);
-        assert!(parse_options(&args("--threads 0")).is_err());
-        assert!(parse_options(&args("--threads many")).is_err());
+    fn simulate_flags_parse() {
+        let o = simulate(
+            "--trace t.txt --members 2 --capacity 100 --threads 4 --metrics m.json --buckets 96",
+        )
+        .unwrap();
+        assert_eq!(o.trace.as_deref(), Some("t.txt"));
+        assert_eq!(o.members, 2);
+        assert_eq!(o.capacity, 100);
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.metrics.as_deref(), Some("m.json"));
+        assert_eq!(o.buckets, 96);
+    }
+
+    #[test]
+    fn simulate_rejects_degenerate_values() {
+        assert!(simulate("--threads 0").is_err());
+        assert!(simulate("--threads many").is_err());
+        assert!(simulate("--members 0").is_err());
+        assert!(simulate("--buckets 0").is_err());
+        assert!(simulate("--epoch 2.0").is_err());
+        assert!(simulate("--scale -1").is_err());
+        assert!(simulate("--stale lots").is_err());
+        assert!(simulate("--epoch").is_err());
     }
 
     #[test]
     fn fault_flags_parse() {
-        let opts = parse_options(&args("--faults loss=0.1;retries=3 --stale 3600")).unwrap();
-        assert_eq!(opts.faults.as_deref(), Some("loss=0.1;retries=3"));
-        assert_eq!(opts.stale, Some(3600));
-        let plan: FaultPlan = opts.faults.unwrap().parse().unwrap();
+        let o = simulate("--faults loss=0.1;retries=3 --stale 3600").unwrap();
+        assert_eq!(o.faults.as_deref(), Some("loss=0.1;retries=3"));
+        assert_eq!(o.stale, Some(3600));
+        let plan: FaultPlan = o.faults.unwrap().parse().unwrap();
         assert_eq!(plan.retry.max_retries, 3);
     }
 
     #[test]
-    fn bad_flags_are_rejected() {
-        assert!(parse_options(&args("--bogus 1")).is_err());
-        assert!(parse_options(&args("--epoch")).is_err());
-        assert!(parse_options(&args("--epoch 2.0")).is_err());
-        assert!(parse_options(&args("--scale -1")).is_err());
-        assert!(parse_options(&args("--stale lots")).is_err());
+    fn subcommands_reject_foreign_flags() {
+        // Pre-redesign, one flat option set meant `mine --members 9`
+        // parsed silently; each subcommand now owns its flags.
+        let err = mine("--members 9").unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        assert!(err.contains("mine"), "{err}");
+        assert!(simulate("--theta 0.5").is_err());
+        assert!(simulate("--bogus 1").is_err());
+        match parse_generate(&args("--metrics m.json")) {
+            Err(e) => assert!(e.contains("unknown flag"), "{e}"),
+            Ok(_) => panic!("generate must not accept --metrics"),
+        }
+        match parse_train(&args("--trace t.txt")) {
+            Err(e) => assert!(e.contains("unknown flag"), "{e}"),
+            Ok(_) => panic!("train must not accept --trace"),
+        }
+    }
+
+    #[test]
+    fn help_flag_short_circuits() {
+        for cmd_args in ["--help", "-h", "--members 2 --help"] {
+            match parse_simulate(&args(cmd_args)).unwrap() {
+                ParseOutcome::Help => {}
+                ParseOutcome::Parsed(_) => panic!("{cmd_args} must yield help"),
+            }
+        }
+        assert!(subcommand_usage("simulate").contains("--metrics"));
+        assert!(subcommand_usage("mine").contains("--theta"));
+        assert!(subcommand_usage("generate").starts_with("usage: dnsnoise generate"));
     }
 }

@@ -76,3 +76,66 @@ fn bad_arguments_fail_cleanly() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
 }
+
+#[test]
+fn subcommands_own_their_flags() {
+    // A simulate-only flag is an error under mine (it used to parse
+    // silently when all subcommands shared one flat option set).
+    let out = bin().args(["mine", "--members", "9"]).output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+
+    // Per-subcommand help names the subcommand's own flags.
+    let out = bin().args(["simulate", "--help"]).output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: dnsnoise simulate"), "{stdout}");
+    assert!(stdout.contains("--metrics"), "{stdout}");
+}
+
+#[test]
+fn simulate_exports_metrics_identically_across_threads() {
+    let dir = tempdir();
+    let trace = dir.join("metrics-day.trace");
+    let out = bin()
+        .args(["generate", "--scale", "0.01", "--seed", "3", "--out"])
+        .arg(&trace)
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let mut payloads = Vec::new();
+    for (threads, name) in [("1", "m1.json"), ("4", "m4.json")] {
+        let path = dir.join(name);
+        let out = bin()
+            .args(["simulate", "--trace"])
+            .arg(&trace)
+            .args(["--threads", threads, "--buckets", "8", "--metrics"])
+            .arg(&path)
+            .output()
+            .expect("run simulate");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        // The wall-clock phase table goes to stderr, never into the export.
+        assert!(String::from_utf8_lossy(&out.stderr).contains("phase"));
+        payloads.push(std::fs::read_to_string(&path).expect("metrics written"));
+    }
+    assert_eq!(payloads[0], payloads[1], "metrics must not depend on --threads");
+    assert!(payloads[0].starts_with("{"), "JSON export");
+
+    // The CSV form is selected by extension.
+    let csv_path = dir.join("timeline.csv");
+    let out = bin()
+        .args(["simulate", "--trace"])
+        .arg(&trace)
+        .args(["--buckets", "8", "--metrics"])
+        .arg(&csv_path)
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(&csv_path).expect("csv written");
+    assert!(csv.starts_with("bucket,start_secs"), "{csv}");
+    assert_eq!(csv.lines().count(), 9, "header + 8 buckets");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -13,7 +13,7 @@ fn disposable_records_are_seen_by_a_handful_of_clients() {
     );
     let gt = scenario.ground_truth();
     let mut sim = ResolverSim::new(SimConfig::default());
-    let report = sim.run_day(&scenario.generate_day(0), Some(gt), &mut ());
+    let report = sim.day(&scenario.generate_day(0)).ground_truth(gt).run();
 
     let mut disposable = Vec::new();
     let mut popular = Vec::new();

@@ -28,12 +28,15 @@ fn thread_matrix_is_bit_identical() {
         let trace = s.generate_day(0);
         for plan in [FaultPlan::default(), eventful_plan()] {
             let mut reference = ResolverSim::new(SimConfig::default());
-            let expected =
-                reference.run_day_with_faults(&trace, Some(s.ground_truth()), &mut (), &plan);
+            let expected = reference.day(&trace).ground_truth(s.ground_truth()).faults(&plan).run();
             for threads in [1, 2, 4, 8] {
                 let mut sim = ResolverSim::new(SimConfig::default());
-                let got =
-                    sim.run_day_sharded(&trace, Some(s.ground_truth()), &mut (), &plan, threads);
+                let got = sim
+                    .day(&trace)
+                    .ground_truth(s.ground_truth())
+                    .faults(&plan)
+                    .threads(threads)
+                    .run();
                 assert_eq!(
                     got,
                     expected,
@@ -53,11 +56,11 @@ fn matrix_holds_for_every_load_balance_strategy() {
     for strategy in [LoadBalance::HashClient, LoadBalance::RoundRobin, LoadBalance::HashName] {
         let config = SimConfig { load_balance: strategy, ..SimConfig::default() };
         let mut reference = ResolverSim::new(config.clone());
-        let expected =
-            reference.run_day_with_faults(&trace, Some(s.ground_truth()), &mut (), &plan);
+        let expected = reference.day(&trace).ground_truth(s.ground_truth()).faults(&plan).run();
         for threads in [2, 8] {
             let mut sim = ResolverSim::new(config.clone());
-            let got = sim.run_day_sharded(&trace, Some(s.ground_truth()), &mut (), &plan, threads);
+            let got =
+                sim.day(&trace).ground_truth(s.ground_truth()).faults(&plan).threads(threads).run();
             assert_eq!(got, expected, "strategy {strategy:?}, threads {threads}");
         }
     }
@@ -75,9 +78,8 @@ fn multi_day_carryover_is_bit_identical() {
     let mut sharded = ResolverSim::new(config);
     for day in 0..3 {
         let trace = s.generate_day(day);
-        let expected =
-            reference.run_day_with_faults(&trace, Some(s.ground_truth()), &mut (), &plan);
-        let got = sharded.run_day_sharded(&trace, Some(s.ground_truth()), &mut (), &plan, 4);
+        let expected = reference.day(&trace).ground_truth(s.ground_truth()).faults(&plan).run();
+        let got = sharded.day(&trace).ground_truth(s.ground_truth()).faults(&plan).threads(4).run();
         assert_eq!(got, expected, "day {day}");
     }
 }
@@ -111,11 +113,11 @@ fn sharded_pdns_collection_counts_match_single_thread() {
 
     let mut single = Collector { log: FpDnsLog::new(200, false) };
     let mut reference = ResolverSim::new(SimConfig::default());
-    reference.run_day(&trace, Some(s.ground_truth()), &mut single);
+    reference.day(&trace).ground_truth(s.ground_truth()).observer(&mut single).run();
 
     let mut merged = Collector { log: FpDnsLog::new(200, false) };
     let mut sim = ResolverSim::new(SimConfig::default());
-    sim.run_day_sharded(&trace, Some(s.ground_truth()), &mut merged, &FaultPlan::default(), 4);
+    sim.day(&trace).ground_truth(s.ground_truth()).observer(&mut merged).threads(4).run();
 
     assert_eq!(merged.log.total_responses(), single.log.total_responses());
     assert_eq!(merged.log.total_records(), single.log.total_records());

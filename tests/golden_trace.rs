@@ -36,7 +36,7 @@ fn run(threads: usize) -> DayReport {
     let config = SimConfig { members: 3, ..SimConfig::default() }
         .with_serve_stale(dnsnoise::dns::Ttl::from_secs(43_200));
     let mut sim = ResolverSim::new(config);
-    sim.run_day_sharded(&trace, Some(s.ground_truth()), &mut (), &fault_plan(), threads)
+    sim.day(&trace).ground_truth(s.ground_truth()).faults(&fault_plan()).threads(threads).run()
 }
 
 /// FNV-1a over the sorted per-record stat lines: order-free, float-free,

@@ -1,0 +1,95 @@
+//! Observability-layer guarantees, end to end: the metrics registry and
+//! timeline a run exports must be bit-identical for every thread count
+//! (fork/absorb merging is exact, like the `DayReport` itself), and the
+//! histogram bucket boundaries must be compile-time stable — independent
+//! of `--scale`, seed, or trace size — so exported histograms stay
+//! comparable across runs.
+
+use dnsnoise::resolver::{
+    FaultPlan, MetricsRegistry, ResolverSim, SimConfig, ATTEMPT_BOUNDS, LATENCY_BOUNDS_MS,
+    RETRY_BOUNDS,
+};
+use dnsnoise::workload::{Scenario, ScenarioConfig};
+
+/// The golden-trace fault plan: packet loss (retries), an upstream
+/// timeout outage (stale serves), and a member crash (failover).
+fn fault_plan() -> FaultPlan {
+    "seed=9; loss=0.15; outage=all,timeout,21600,32400; member=1,39600,54000"
+        .parse()
+        .expect("static fault spec")
+}
+
+fn run_with_metrics(threads: usize, buckets: usize) -> MetricsRegistry {
+    let s = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.02), 20140622);
+    let trace = s.generate_day(0);
+    let config = SimConfig { members: 3, ..SimConfig::default() }
+        .with_serve_stale(dnsnoise::dns::Ttl::from_secs(43_200));
+    let mut sim = ResolverSim::new(config);
+    let mut registry = MetricsRegistry::with_buckets(buckets);
+    let plan = fault_plan();
+    sim.day(&trace)
+        .ground_truth(s.ground_truth())
+        .faults(&plan)
+        .threads(threads)
+        .metrics(&mut registry)
+        .run();
+    registry
+}
+
+#[test]
+fn registry_exports_are_bit_identical_across_thread_counts() {
+    let reference = run_with_metrics(1, 24);
+    let json = reference.to_json();
+    let csv = reference.timeline_csv();
+    assert!(json.contains("\"queries\":"), "{json}");
+    assert!(reference.counters().queries > 0);
+    assert!(reference.counters().stale_serves > 0, "outage must trigger stale serves");
+
+    for threads in [2, 4, 8] {
+        let sharded = run_with_metrics(threads, 24);
+        assert_eq!(sharded.to_json(), json, "JSON export drifted at {threads} threads");
+        assert_eq!(sharded.timeline_csv(), csv, "timeline drifted at {threads} threads");
+    }
+}
+
+#[test]
+fn timeline_respects_the_requested_bucket_count() {
+    for buckets in [8, 96] {
+        let reg = run_with_metrics(4, buckets);
+        let csv = reg.timeline_csv();
+        assert_eq!(csv.lines().count(), buckets + 1, "header + {buckets} rows");
+        // Every recorded query lands in exactly one slot.
+        let total: u64 = reg.timeline().slots().iter().map(|s| s.served.iter().sum::<u64>()).sum();
+        assert_eq!(total, reg.counters().queries);
+    }
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_stable_across_scale() {
+    // The bounds are compile-time constants; two runs at very different
+    // scales must expose the very same boundary vectors, so their
+    // exported histograms are comparable bucket-for-bucket.
+    let mut registries = Vec::new();
+    for scale in [0.005, 0.03] {
+        let s = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(scale), 11);
+        let trace = s.generate_day(0);
+        let mut sim = ResolverSim::new(SimConfig::default());
+        let mut reg = MetricsRegistry::new();
+        let plan = FaultPlan::default().with_seed(3).with_packet_loss(0.2);
+        sim.day(&trace).ground_truth(s.ground_truth()).faults(&plan).metrics(&mut reg).run();
+        registries.push(reg);
+    }
+    for reg in &registries {
+        assert_eq!(reg.latency_ms().bounds(), LATENCY_BOUNDS_MS);
+        assert_eq!(reg.upstream_attempts().bounds(), ATTEMPT_BOUNDS);
+        assert_eq!(reg.retries_per_fetch().bounds(), RETRY_BOUNDS);
+        assert!(reg.latency_ms().count() > 0);
+    }
+    // The counts differ (different traffic volume) but the shape is the
+    // same: every histogram has bounds.len() + 1 buckets.
+    assert_ne!(registries[0].counters().queries, registries[1].counters().queries);
+    assert_eq!(
+        registries[0].latency_ms().counts().len(),
+        registries[1].latency_ms().counts().len()
+    );
+}

@@ -27,14 +27,14 @@ fn check_low_priority_caching(scale: f64, capacity_each: usize) {
 
     let mut plain =
         ResolverSim::new(SimConfig { members: 2, capacity_each, ..SimConfig::default() });
-    let plain_report = plain.run_day(&trace, None, &mut ());
+    let plain_report = plain.day(&trace).run();
 
     let gt2 = Arc::clone(&gt);
     let mut mitigated = ResolverSim::new(
         SimConfig { members: 2, capacity_each, ..SimConfig::default() }
             .with_low_priority(move |name| gt2.is_disposable_name(name)),
     );
-    let mitigated_report = mitigated.run_day(&trace, None, &mut ());
+    let mitigated_report = mitigated.day(&trace).run();
 
     assert!(
         mitigated_report.cache.premature_evictions_normal
@@ -61,11 +61,11 @@ fn check_negative_cache(scale: f64) {
     let trace = s.generate_day(0);
 
     let mut ignoring = ResolverSim::new(SimConfig::default());
-    let r_ignore = ignoring.run_day(&trace, None, &mut ());
+    let r_ignore = ignoring.day(&trace).run();
 
     let mut honoring =
         ResolverSim::new(SimConfig::default().with_negative_ttl(Ttl::from_secs(900)));
-    let r_honor = honoring.run_day(&trace, None, &mut ());
+    let r_honor = honoring.day(&trace).run();
 
     assert_eq!(r_ignore.nx_above, r_ignore.nx_below, "unhonoured: every NXDOMAIN goes upstream");
     assert!(r_honor.nx_above < r_ignore.nx_above, "honoured cache absorbs repeats");
@@ -107,7 +107,7 @@ fn check_wildcard_signing(scale: f64) {
     let run = |config: DnssecConfig| {
         let mut sim = ResolverSim::new(SimConfig::default());
         let mut obs = Validator { model: DnssecCostModel::new(config), gt };
-        let _ = sim.run_day(&trace, Some(gt), &mut obs);
+        let _ = sim.day(&trace).ground_truth(gt).observer(&mut obs).run_serial();
         (obs.model.stats().signature_validations, obs.model.signature_cache_bytes())
     };
 
@@ -136,7 +136,7 @@ fn check_pdns_wildcarding(scale: f64, days: u64, min_aggregated: u64, max_ratio:
     let mut store = RpDns::new();
     for day in 0..days {
         let trace = s.generate_day(day);
-        let report = sim.run_day(&trace, Some(gt), &mut ());
+        let report = sim.day(&trace).ground_truth(gt).run();
         for (key, _) in report.rr_stats.iter() {
             let rr =
                 Record::new(key.name.clone(), key.qtype, Ttl::from_secs(60), key.rdata.clone());
