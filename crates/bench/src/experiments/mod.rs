@@ -14,6 +14,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig7;
+pub mod overload;
 pub mod pdnsdb;
 pub mod phases;
 pub mod resilience;
@@ -63,6 +64,8 @@ pub enum ExperimentId {
     Ablation,
     /// Resilience — outages × disposable share, serve-stale mitigation.
     Resilience,
+    /// Overload — subdomain floods vs admission control.
+    Overload,
 }
 
 impl ExperimentId {
@@ -88,6 +91,7 @@ impl ExperimentId {
             ExperimentId::Phases,
             ExperimentId::Ablation,
             ExperimentId::Resilience,
+            ExperimentId::Overload,
         ]
     }
 }
@@ -114,6 +118,7 @@ impl fmt::Display for ExperimentId {
             ExperimentId::Phases => "phases",
             ExperimentId::Ablation => "ablation",
             ExperimentId::Resilience => "resilience",
+            ExperimentId::Overload => "overload",
         };
         f.write_str(s)
     }
@@ -162,6 +167,7 @@ pub fn run_experiment_threaded(id: ExperimentId, scale_factor: f64, threads: usi
         ExperimentId::Phases => phases::run_threaded(scale_factor, threads).render(),
         ExperimentId::Ablation => ablation::run(scale_factor).render(),
         ExperimentId::Resilience => resilience::run_threaded(scale_factor, threads).render(),
+        ExperimentId::Overload => overload::run_threaded(scale_factor, threads).render(),
     }
 }
 

@@ -27,6 +27,7 @@ use dnsnoise_cache::CacheKey;
 use dnsnoise_dns::Ttl;
 use dnsnoise_workload::{DayTrace, GroundTruth};
 
+use crate::admission::{AdmissionState, OverloadConfig};
 use crate::engine::{run_sharded, ShardObserver};
 use crate::faults::FaultPlan;
 use crate::metrics::MetricsRegistry;
@@ -47,6 +48,7 @@ pub struct DayRun<'a, O: Observer + ?Sized = ()> {
     trace: &'a DayTrace,
     ground_truth: Option<&'a GroundTruth>,
     plan: Option<&'a FaultPlan>,
+    overload: Option<&'a OverloadConfig>,
     threads: usize,
     observer: Option<&'a mut O>,
     metrics: Option<&'a mut MetricsRegistry>,
@@ -60,6 +62,7 @@ impl ResolverSim {
             trace,
             ground_truth: None,
             plan: None,
+            overload: None,
             threads: 1,
             observer: None,
             metrics: None,
@@ -80,6 +83,16 @@ impl<'a, O: Observer + ?Sized> DayRun<'a, O> {
     /// [`FaultPlan`]). An empty plan is equivalent to not setting one.
     pub fn faults(mut self, plan: &'a FaultPlan) -> Self {
         self.plan = Some(plan);
+        self
+    }
+
+    /// Enables the admission-control stage with `config` (see
+    /// [`OverloadConfig`]): bounded per-member queues, per-client token
+    /// buckets, and optional NXDOMAIN rate limiting. Without this knob no
+    /// query is ever shed and the replay is bit-identical to builds that
+    /// predate admission control.
+    pub fn overload(mut self, config: &'a OverloadConfig) -> Self {
+        self.overload = Some(config);
         self
     }
 
@@ -109,6 +122,7 @@ impl<'a, O: Observer + ?Sized> DayRun<'a, O> {
             trace: self.trace,
             ground_truth: self.ground_truth,
             plan: self.plan,
+            overload: self.overload,
             threads: self.threads,
             observer: Some(observer),
             metrics: self.metrics,
@@ -119,10 +133,11 @@ impl<'a, O: Observer + ?Sized> DayRun<'a, O> {
     /// [`DayRun::threads`]. This is the entry for observers that cannot
     /// be forked across shards; prefer [`DayRun::run`] otherwise.
     pub fn run_serial(self) -> DayReport {
-        let DayRun { sim, trace, ground_truth, plan, threads: _, observer, metrics } = self;
+        let DayRun { sim, trace, ground_truth, plan, overload, threads: _, observer, metrics } =
+            self;
         match observer {
-            Some(o) => run_serial_impl(sim, trace, ground_truth, plan, o, metrics),
-            None => run_serial_impl(sim, trace, ground_truth, plan, &mut (), metrics),
+            Some(o) => run_serial_impl(sim, trace, ground_truth, plan, overload, o, metrics),
+            None => run_serial_impl(sim, trace, ground_truth, plan, overload, &mut (), metrics),
         }
     }
 }
@@ -135,28 +150,32 @@ impl<'a, O: ShardObserver> DayRun<'a, O> {
     /// otherwise; both produce bit-identical reports, cluster state, and
     /// metrics.
     pub fn run(self) -> DayReport {
-        let DayRun { sim, trace, ground_truth, plan, threads, observer, metrics } = self;
+        let DayRun { sim, trace, ground_truth, plan, overload, threads, observer, metrics } = self;
         match observer {
-            Some(o) => run_dispatch(sim, trace, ground_truth, plan, threads, o, metrics),
-            None => run_dispatch(sim, trace, ground_truth, plan, threads, &mut (), metrics),
+            Some(o) => run_dispatch(sim, trace, ground_truth, plan, overload, threads, o, metrics),
+            None => {
+                run_dispatch(sim, trace, ground_truth, plan, overload, threads, &mut (), metrics)
+            }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_dispatch<O: ShardObserver>(
     sim: &mut ResolverSim,
     trace: &DayTrace,
     ground_truth: Option<&GroundTruth>,
     plan: Option<&FaultPlan>,
+    overload: Option<&OverloadConfig>,
     threads: usize,
     observer: &mut O,
     metrics: Option<&mut MetricsRegistry>,
 ) -> DayReport {
     let shards = threads.min(sim.cluster.members()).max(1);
     if shards <= 1 || trace.events.is_empty() {
-        run_serial_impl(sim, trace, ground_truth, plan, observer, metrics)
+        run_serial_impl(sim, trace, ground_truth, plan, overload, observer, metrics)
     } else {
-        run_sharded(sim, trace, ground_truth, plan, shards, observer, metrics)
+        run_sharded(sim, trace, ground_truth, plan, overload, shards, observer, metrics)
     }
 }
 
@@ -167,6 +186,7 @@ pub(crate) fn run_serial_impl<Obs: Observer + ?Sized>(
     trace: &DayTrace,
     ground_truth: Option<&GroundTruth>,
     plan: Option<&FaultPlan>,
+    overload: Option<&OverloadConfig>,
     observer: &mut Obs,
     mut metrics: Option<&mut MetricsRegistry>,
 ) -> DayReport {
@@ -179,6 +199,7 @@ pub(crate) fn run_serial_impl<Obs: Observer + ?Sized>(
         }
     };
     if let Some(m) = metrics.as_deref_mut() {
+        m.set_overload_enabled(overload.is_some());
         m.begin_day(trace.day, sim.cluster.members());
     }
     let replay_start = std::time::Instant::now();
@@ -192,7 +213,12 @@ pub(crate) fn run_serial_impl<Obs: Observer + ?Sized>(
         stale_window: sim.config.stale_window.unwrap_or(Ttl::ZERO),
         low_priority: sim.config.low_priority.clone(),
         faults_active: !plan.is_empty(),
+        overload,
     };
+    // One admission queue per cluster member, fresh at day start — the
+    // same lifecycle the sharded engine reproduces per owned member.
+    let mut admission: Vec<AdmissionState> =
+        (0..sim.cluster.members()).map(|_| AdmissionState::default()).collect();
 
     for (index, event) in trace.events.iter().enumerate() {
         if drive_members {
@@ -212,6 +238,7 @@ pub(crate) fn run_serial_impl<Obs: Observer + ?Sized>(
             &mut report,
             observer,
             metrics.as_deref_mut(),
+            if overload.is_some() { Some(&mut admission[member]) } else { None },
         );
     }
 

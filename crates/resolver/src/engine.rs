@@ -43,6 +43,7 @@ use dnsnoise_cache::{CacheCluster, CacheKey, LoadBalance, MemberShard};
 use dnsnoise_dns::Ttl;
 use dnsnoise_workload::{DayTrace, GroundTruth, ShardedTrace};
 
+use crate::admission::{AdmissionState, OverloadConfig};
 use crate::faults::FaultPlan;
 use crate::metrics::MetricsRegistry;
 use crate::observer::Observer;
@@ -77,6 +78,12 @@ impl ShardObserver for () {
 struct WorkerMember<'a> {
     handles: MemberShard<'a>,
     restarts: VecDeque<u64>,
+    /// The member's admission queue and rate-limit state. Owned by the
+    /// shard worker like the caches, so the backlog/token evolution is
+    /// identical to the single-threaded replay. Persists across member
+    /// crash restarts (a restart clears caches, not the inbound queue
+    /// model), matching the serial loop which never resets it mid-day.
+    admission: AdmissionState,
 }
 
 impl WorkerMember<'_> {
@@ -148,11 +155,13 @@ impl ResolverSim {
 /// The sharded replay behind [`DayRun::run`](crate::DayRun::run). The
 /// caller (the builder's dispatch) has already clamped `shards` to
 /// `2..=members` and ruled out the empty trace.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sharded<O: ShardObserver>(
     sim: &mut ResolverSim,
     trace: &DayTrace,
     ground_truth: Option<&GroundTruth>,
     plan: Option<&FaultPlan>,
+    overload: Option<&OverloadConfig>,
     shards: usize,
     observer: &mut O,
     mut metrics: Option<&mut MetricsRegistry>,
@@ -167,6 +176,7 @@ pub(crate) fn run_sharded<O: ShardObserver>(
     };
     let members = sim.cluster.members();
     if let Some(m) = metrics.as_deref_mut() {
+        m.set_overload_enabled(overload.is_some());
         m.begin_day(trace.day, members);
     }
 
@@ -177,6 +187,7 @@ pub(crate) fn run_sharded<O: ShardObserver>(
         stale_window: sim.config.stale_window.unwrap_or(Ttl::ZERO),
         low_priority: sim.config.low_priority.clone(),
         faults_active: !plan.is_empty(),
+        overload,
     };
 
     // Partition pass: replay the routing decisions (and the member
@@ -212,7 +223,11 @@ pub(crate) fn run_sharded<O: ShardObserver>(
     for (m, (handles, member_restarts)) in
         sim.cluster.member_shards().into_iter().zip(restarts).enumerate()
     {
-        worker_members[m % shards].push(WorkerMember { handles, restarts: member_restarts.into() });
+        worker_members[m % shards].push(WorkerMember {
+            handles,
+            restarts: member_restarts.into(),
+            admission: AdmissionState::default(),
+        });
     }
     let forks: Vec<O> = (0..shards).map(|_| observer.fork()).collect();
     // Metric forks mirror observer forks: created on the main thread in
@@ -246,6 +261,7 @@ pub(crate) fn run_sharded<O: ShardObserver>(
                             &mut partial,
                             &mut fork,
                             metric_fork.as_mut(),
+                            ctx.overload.is_some().then_some(&mut wm.admission),
                         );
                     }
                     for wm in &mut owned {

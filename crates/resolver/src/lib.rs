@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod builder;
 mod engine;
 mod faults;
@@ -42,6 +43,7 @@ mod sim;
 mod stats;
 mod traffic;
 
+pub use admission::{AdmissionState, OverloadConfig, OverloadStats};
 pub use builder::DayRun;
 pub use engine::ShardObserver;
 pub use faults::{
@@ -50,8 +52,8 @@ pub use faults::{
 };
 pub use metrics::{
     served_index, Histogram, MetricsRegistry, PhaseTimings, QueryClass, QueryCounters, TimeSlot,
-    TimelineRecorder, ATTEMPT_BOUNDS, DEFAULT_TIMELINE_BUCKETS, LATENCY_BOUNDS_MS, RETRY_BOUNDS,
-    SERVED_KINDS, SERVED_LABELS,
+    TimelineRecorder, ATTEMPT_BOUNDS, BASELINE_SERVED_KINDS, DEFAULT_TIMELINE_BUCKETS,
+    LATENCY_BOUNDS_MS, QUEUE_BOUNDS, RETRY_BOUNDS, SERVED_KINDS, SERVED_LABELS,
 };
 pub use observer::{Observer, Served};
 pub use sim::{

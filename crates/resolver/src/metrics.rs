@@ -40,6 +40,11 @@ pub const ATTEMPT_BOUNDS: &[u64] = &[1, 2, 3, 4, 6];
 /// Upper-inclusive bucket bounds for backoff retries per fetch.
 pub const RETRY_BOUNDS: &[u64] = &[0, 1, 2, 3, 4];
 
+/// Upper-inclusive bucket bounds for the admission-queue backlog sampled
+/// after each admission decision (only populated when an
+/// [`OverloadConfig`](crate::OverloadConfig) is attached).
+pub const QUEUE_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
+
 /// Default number of intra-day timeline buckets (hourly).
 pub const DEFAULT_TIMELINE_BUCKETS: usize = 24;
 
@@ -150,15 +155,19 @@ impl QueryClass {
         QueryClass::Unknown,
     ];
 
-    /// Attributes one event's zone tag using the ground truth.
+    /// Attributes one event's zone tag using the ground truth. Tags with
+    /// no scenario zone behind them — injected attack traffic
+    /// ([`ATTACK_TAG`](dnsnoise_workload::ATTACK_TAG)), replayed traces
+    /// with sentinel tags — classify as [`QueryClass::Unknown`] instead
+    /// of panicking.
     pub fn classify(ground_truth: Option<&GroundTruth>, zone_tag: u32) -> QueryClass {
         let Some(gt) = ground_truth else { return QueryClass::Unknown };
-        match gt.category_of_tag(zone_tag) {
-            c if c.is_disposable() => QueryClass::Disposable,
-            Category::Cdn => QueryClass::Cdn,
-            Category::Popular | Category::Portal => QueryClass::Popular,
-            Category::LongTail => QueryClass::LongTail,
-            Category::NxNoise => QueryClass::NxNoise,
+        match gt.try_category_of_tag(zone_tag) {
+            Some(c) if c.is_disposable() => QueryClass::Disposable,
+            Some(Category::Cdn) => QueryClass::Cdn,
+            Some(Category::Popular | Category::Portal) => QueryClass::Popular,
+            Some(Category::LongTail) => QueryClass::LongTail,
+            Some(Category::NxNoise) => QueryClass::NxNoise,
             _ => QueryClass::Unknown,
         }
     }
@@ -188,13 +197,27 @@ impl QueryClass {
     }
 }
 
-/// Number of [`Served`] outcomes tracked per timeline slot.
-pub const SERVED_KINDS: usize = 6;
+/// Number of [`Served`] outcomes tracked per timeline slot. The final
+/// two (shed outcomes) only occur when admission control is enabled; the
+/// exports omit their columns otherwise so pre-overload artifacts stay
+/// byte-identical.
+pub const SERVED_KINDS: usize = 8;
+
+/// Served-outcome columns exported when admission control is off.
+pub const BASELINE_SERVED_KINDS: usize = 6;
 
 /// Export labels for the served-outcome columns, in [`served_index`]
 /// order.
-pub const SERVED_LABELS: [&str; SERVED_KINDS] =
-    ["cache_hit", "cache_miss", "negative_hit", "nx_miss", "stale_hit", "servfail"];
+pub const SERVED_LABELS: [&str; SERVED_KINDS] = [
+    "cache_hit",
+    "cache_miss",
+    "negative_hit",
+    "nx_miss",
+    "stale_hit",
+    "servfail",
+    "dropped",
+    "rate_limited",
+];
 
 /// Stable position of a served outcome in timeline arrays and exports.
 pub fn served_index(served: Served) -> usize {
@@ -205,6 +228,8 @@ pub fn served_index(served: Served) -> usize {
         Served::NxMiss => 3,
         Served::StaleHit => 4,
         Served::ServFail => 5,
+        Served::Dropped => 6,
+        Served::RateLimited => 7,
     }
 }
 
@@ -241,6 +266,10 @@ pub struct QueryCounters {
     pub timeouts: u64,
     /// Failed attempts answered with upstream SERVFAIL.
     pub upstream_servfails: u64,
+    /// Queries shed by admission control with no response (full queue).
+    pub dropped: u64,
+    /// Queries refused by admission control (token bucket or RRL).
+    pub rate_limited: u64,
 }
 
 impl QueryCounters {
@@ -260,6 +289,8 @@ impl QueryCounters {
         self.retries += other.retries;
         self.timeouts += other.timeouts;
         self.upstream_servfails += other.upstream_servfails;
+        self.dropped += other.dropped;
+        self.rate_limited += other.rate_limited;
     }
 }
 
@@ -479,6 +510,8 @@ pub struct MetricsRegistry {
     latency_ms: Histogram,
     upstream_attempts: Histogram,
     retries_per_fetch: Histogram,
+    queue_backlog: Histogram,
+    overload_enabled: bool,
     timeline: TimelineRecorder,
     member_load: Vec<u64>,
     member_occupancy: Vec<u64>,
@@ -507,6 +540,8 @@ impl MetricsRegistry {
             latency_ms: Histogram::new(LATENCY_BOUNDS_MS),
             upstream_attempts: Histogram::new(ATTEMPT_BOUNDS),
             retries_per_fetch: Histogram::new(RETRY_BOUNDS),
+            queue_backlog: Histogram::new(QUEUE_BOUNDS),
+            overload_enabled: false,
             timeline: TimelineRecorder::new(buckets),
             member_load: Vec::new(),
             member_occupancy: Vec::new(),
@@ -545,6 +580,7 @@ impl MetricsRegistry {
         records_below: u64,
         records_above: u64,
         fetch: Option<&FetchOutcome>,
+        backlog: Option<u64>,
     ) {
         let c = &mut self.counters;
         c.queries += 1;
@@ -555,9 +591,14 @@ impl MetricsRegistry {
             Served::NxMiss => c.nx_misses += 1,
             Served::StaleHit => c.stale_serves += 1,
             Served::ServFail => c.servfails += 1,
+            Served::Dropped => c.dropped += 1,
+            Served::RateLimited => c.rate_limited += 1,
         }
         c.records_below += records_below;
         c.records_above += records_above;
+        if let Some(depth) = backlog {
+            self.queue_backlog.record(depth);
+        }
         self.latency_ms.record(fetch.map_or(0, |f| f.elapsed_ms));
         if let Some(f) = fetch {
             c.upstream_fetches += 1;
@@ -593,7 +634,40 @@ impl MetricsRegistry {
     pub fn fork(&self) -> MetricsRegistry {
         let mut fork = MetricsRegistry::with_buckets(self.timeline.buckets());
         fork.day = self.day;
+        fork.overload_enabled = self.overload_enabled;
         fork
+    }
+
+    /// Marks whether admission control is active for this run: the
+    /// engines call this before [`MetricsRegistry::begin_day`]. Gates the
+    /// export of the shed columns, the dropped/rate-limited counters, and
+    /// the queue-backlog histogram so a run without an
+    /// [`OverloadConfig`](crate::OverloadConfig) exports byte-identical
+    /// artifacts to pre-overload builds.
+    pub fn set_overload_enabled(&mut self, enabled: bool) {
+        self.overload_enabled = enabled;
+    }
+
+    /// Whether the shed columns are included in exports.
+    pub fn overload_enabled(&self) -> bool {
+        self.overload_enabled
+    }
+
+    /// Served-outcome columns the exports carry:
+    /// [`BASELINE_SERVED_KINDS`] normally, [`SERVED_KINDS`] when
+    /// admission control is enabled.
+    pub fn exported_kinds(&self) -> usize {
+        if self.overload_enabled {
+            SERVED_KINDS
+        } else {
+            BASELINE_SERVED_KINDS
+        }
+    }
+
+    /// Admission-queue backlog sampled after each admission decision
+    /// (empty unless admission control is enabled).
+    pub fn queue_backlog(&self) -> &Histogram {
+        &self.queue_backlog
     }
 
     /// Folds a shard's registry back into this one. Called in shard
@@ -604,6 +678,7 @@ impl MetricsRegistry {
         self.latency_ms.merge(&shard.latency_ms);
         self.upstream_attempts.merge(&shard.upstream_attempts);
         self.retries_per_fetch.merge(&shard.retries_per_fetch);
+        self.queue_backlog.merge(&shard.queue_backlog);
         self.timeline.merge(&shard.timeline);
         if self.member_load.len() < shard.member_load.len() {
             self.member_load.resize(shard.member_load.len(), 0);
@@ -684,9 +759,10 @@ impl MetricsRegistry {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
         let _ = writeln!(out, "  \"day\": {},", self.day);
+        let kinds = self.exported_kinds();
         out.push_str("  \"counters\": {");
         let c = &self.counters;
-        let fields: [(&str, u64); 14] = [
+        let mut fields: Vec<(&str, u64)> = vec![
             ("queries", c.queries),
             ("cache_hits", c.cache_hits),
             ("cache_misses", c.cache_misses),
@@ -702,6 +778,10 @@ impl MetricsRegistry {
             ("timeouts", c.timeouts),
             ("upstream_servfails", c.upstream_servfails),
         ];
+        if self.overload_enabled {
+            fields.push(("dropped", c.dropped));
+            fields.push(("rate_limited", c.rate_limited));
+        }
         push_u64_fields(&mut out, &fields);
         out.push_str("},\n  \"cache\": {");
         push_u64_fields(
@@ -719,7 +799,15 @@ impl MetricsRegistry {
         out.push_str("},\n  \"histograms\": {\n");
         push_histogram(&mut out, "latency_ms", &self.latency_ms, true);
         push_histogram(&mut out, "upstream_attempts", &self.upstream_attempts, true);
-        push_histogram(&mut out, "retries_per_fetch", &self.retries_per_fetch, false);
+        push_histogram(
+            &mut out,
+            "retries_per_fetch",
+            &self.retries_per_fetch,
+            self.overload_enabled,
+        );
+        if self.overload_enabled {
+            push_histogram(&mut out, "queue_backlog", &self.queue_backlog, false);
+        }
         out.push_str("  },\n  \"members\": {");
         let _ = write!(out, "\"load\": ");
         push_u64_array(&mut out, &self.member_load);
@@ -735,7 +823,7 @@ impl MetricsRegistry {
         for (i, slot) in self.timeline.slots().iter().enumerate() {
             let _ = write!(out, "      {{\"start_secs\": {}, ", self.timeline.slot_start_secs(i));
             out.push_str("\"served\": ");
-            push_u64_array(&mut out, &slot.served);
+            push_u64_array(&mut out, &slot.served[..kinds]);
             out.push_str(", \"classes\": ");
             push_u64_array(&mut out, &slot.classes);
             out.push_str(", \"member_load\": ");
@@ -762,9 +850,10 @@ impl MetricsRegistry {
             .max()
             .unwrap_or(0)
             .max(self.member_load.len());
+        let kinds = self.exported_kinds();
         let mut out = String::with_capacity(2048);
         out.push_str("bucket,start_secs");
-        for label in SERVED_LABELS {
+        for label in &SERVED_LABELS[..kinds] {
             let _ = write!(out, ",{label}");
         }
         for class in QueryClass::ALL {
@@ -777,7 +866,7 @@ impl MetricsRegistry {
         out.push('\n');
         for (i, slot) in self.timeline.slots().iter().enumerate() {
             let _ = write!(out, "{i},{}", self.timeline.slot_start_secs(i));
-            for v in slot.served {
+            for v in &slot.served[..kinds] {
                 let _ = write!(out, ",{v}");
             }
             for v in slot.classes {
@@ -878,9 +967,9 @@ mod tests {
             (80_000, 0, Served::ServFail, QueryClass::LongTail, 1, 0),
         ];
         for (i, &(secs, member, served, class, below, above)) in events.iter().enumerate() {
-            direct.record_event(secs, member, served, class, below, above, None);
+            direct.record_event(secs, member, served, class, below, above, None, None);
             let fork = if i % 2 == 0 { &mut f0 } else { &mut f1 };
-            fork.record_event(secs, member, served, class, below, above, None);
+            fork.record_event(secs, member, served, class, below, above, None, None);
         }
         parent.absorb(f0);
         parent.absorb(f1);
@@ -892,7 +981,7 @@ mod tests {
     fn json_export_has_stable_shape() {
         let mut reg = MetricsRegistry::with_buckets(2);
         reg.begin_day(0, 1);
-        reg.record_event(10, 0, Served::CacheHit, QueryClass::Cdn, 1, 0, None);
+        reg.record_event(10, 0, Served::CacheHit, QueryClass::Cdn, 1, 0, None, None);
         let json = reg.to_json();
         assert!(json.contains("\"counters\""));
         assert!(json.contains("\"queries\": 1"));
@@ -902,6 +991,40 @@ mod tests {
         // deterministic export.
         assert!(!json.contains("phase"));
         assert!(!json.contains("wall"));
+    }
+
+    #[test]
+    fn disabled_overload_exports_hide_shed_columns() {
+        let mut reg = MetricsRegistry::with_buckets(2);
+        reg.begin_day(0, 1);
+        reg.record_event(10, 0, Served::CacheHit, QueryClass::Cdn, 1, 0, None, None);
+        let json = reg.to_json();
+        let csv = reg.timeline_csv();
+        for hidden in ["dropped", "rate_limited", "queue_backlog"] {
+            assert!(!json.contains(hidden), "{hidden} leaked into disabled json");
+            assert!(!csv.contains(hidden), "{hidden} leaked into disabled csv");
+        }
+        assert_eq!(reg.exported_kinds(), BASELINE_SERVED_KINDS);
+    }
+
+    #[test]
+    fn enabled_overload_exports_carry_shed_columns() {
+        let mut reg = MetricsRegistry::with_buckets(2);
+        reg.set_overload_enabled(true);
+        reg.begin_day(0, 1);
+        reg.record_event(10, 0, Served::Dropped, QueryClass::Unknown, 0, 0, None, Some(5));
+        reg.record_event(20, 0, Served::RateLimited, QueryClass::Unknown, 0, 0, None, Some(3));
+        assert_eq!(reg.counters().dropped, 1);
+        assert_eq!(reg.counters().rate_limited, 1);
+        assert_eq!(reg.queue_backlog().count(), 2);
+        let json = reg.to_json();
+        assert!(json.contains("\"dropped\": 1"));
+        assert!(json.contains("\"rate_limited\": 1"));
+        assert!(json.contains("\"queue_backlog\""));
+        let csv = reg.timeline_csv();
+        assert!(csv.contains(",dropped,rate_limited"));
+        // The flag survives forking, so shard workers tally the same way.
+        assert!(reg.fork().overload_enabled());
     }
 
     #[test]

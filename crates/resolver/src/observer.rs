@@ -22,6 +22,14 @@ pub enum Served {
     /// Upstream unreachable and nothing stale to fall back on: a SERVFAIL
     /// went below, carrying no records.
     ServFail,
+    /// Admission control shed the query because the member's queue was
+    /// full: the client got no response at all. Only produced when an
+    /// [`OverloadConfig`](crate::OverloadConfig) is attached to the run.
+    Dropped,
+    /// Admission control refused the query (token bucket exhausted under
+    /// pressure, or NXDOMAIN RRL): the client got REFUSED. Only produced
+    /// when an [`OverloadConfig`](crate::OverloadConfig) is attached.
+    RateLimited,
 }
 
 impl Served {
@@ -40,6 +48,11 @@ impl Served {
     /// Whether the client got SERVFAIL instead of an answer.
     pub fn is_failure(self) -> bool {
         matches!(self, Served::ServFail)
+    }
+
+    /// Whether admission control shed the query instead of serving it.
+    pub fn is_shed(self) -> bool {
+        matches!(self, Served::Dropped | Served::RateLimited)
     }
 }
 
@@ -84,5 +97,11 @@ mod tests {
         assert!(!Served::StaleHit.is_nxdomain());
         assert!(Served::ServFail.is_failure());
         assert!(!Served::StaleHit.is_failure());
+        // Shed outcomes never reach a cache or the upstream.
+        assert!(Served::Dropped.is_shed());
+        assert!(Served::RateLimited.is_shed());
+        assert!(!Served::Dropped.went_above());
+        assert!(!Served::RateLimited.is_failure());
+        assert!(!Served::ServFail.is_shed());
     }
 }

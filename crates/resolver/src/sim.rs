@@ -10,6 +10,7 @@ use dnsnoise_cache::{
 use dnsnoise_dns::{Name, Record, Timestamp, Ttl};
 use dnsnoise_workload::{DayTrace, GroundTruth, Operator, Outcome, QueryEvent};
 
+use crate::admission::{Admission, AdmissionState, OverloadConfig, OverloadStats};
 use crate::faults::{FaultKind, FaultPlan, SERVFAIL_LATENCY_MS, UPSTREAM_RTT_MS};
 use crate::metrics::{MetricsRegistry, QueryClass};
 use crate::observer::{Observer, Served};
@@ -98,7 +99,8 @@ impl SimConfig {
     }
 }
 
-/// Answered-vs-failed tallies for one traffic slice under faults.
+/// Answered-vs-failed tallies for one traffic slice under faults or
+/// overload.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Availability {
     /// Queries that received a usable response (hit, miss, stale, or
@@ -106,12 +108,15 @@ pub struct Availability {
     pub answered: u64,
     /// Queries that received SERVFAIL.
     pub failed: u64,
+    /// Queries shed by admission control (dropped or rate-limited);
+    /// always zero without an [`OverloadConfig`](crate::OverloadConfig).
+    pub shed: u64,
 }
 
 impl Availability {
     /// Fraction of queries answered; `1.0` when nothing was observed.
     pub fn fraction(&self) -> f64 {
-        let total = self.answered + self.failed;
+        let total = self.answered + self.failed + self.shed;
         if total == 0 {
             1.0
         } else {
@@ -123,6 +128,7 @@ impl Availability {
     pub fn merge(&mut self, other: &Availability) {
         self.answered += other.answered;
         self.failed += other.failed;
+        self.shed += other.shed;
     }
 }
 
@@ -162,6 +168,7 @@ impl ResilienceStats {
         Availability {
             answered: self.disposable.answered + self.nondisposable.answered,
             failed: self.disposable.failed + self.nondisposable.failed,
+            shed: self.disposable.shed + self.nondisposable.shed,
         }
     }
 
@@ -200,6 +207,9 @@ pub struct DayReport {
     pub nx_above: u64,
     /// Fault-injection accounting; all-zero without a fault plan.
     pub resilience: ResilienceStats,
+    /// Admission-control accounting; all-zero without an
+    /// [`OverloadConfig`](crate::OverloadConfig).
+    pub overload: OverloadStats,
 }
 
 impl DayReport {
@@ -216,6 +226,7 @@ impl DayReport {
         self.nx_below += other.nx_below;
         self.nx_above += other.nx_above;
         self.resilience.merge(&other.resilience);
+        self.overload.merge(&other.overload);
     }
 
     /// Folds a sequence of per-shard partial reports into one report for
@@ -340,6 +351,9 @@ pub(crate) struct EventCtx<'a> {
     pub(crate) stale_window: Ttl,
     pub(crate) low_priority: Option<PriorityPredicate>,
     pub(crate) faults_active: bool,
+    /// Admission-control knobs; `None` compiles the overload stage out of
+    /// the replay entirely (bit-identical to an overload-free build).
+    pub(crate) overload: Option<&'a OverloadConfig>,
 }
 
 /// Serves one query event against one member's caches and folds the
@@ -365,29 +379,46 @@ pub(crate) fn process_event<Obs: Observer + ?Sized>(
     report: &mut DayReport,
     observer: &mut Obs,
     metrics: Option<&mut MetricsRegistry>,
+    mut admission: Option<&mut AdmissionState>,
 ) {
     let hour = event.time.hour_of_day() as usize;
     let operator = ground_truth.and_then(|gt| gt.operator_of(&event.name));
     let below_before = report.below_total;
     let above_before = report.above_total;
     let mut fetch_sample: Option<FetchOutcome> = None;
+    let overload_active = ctx.overload.is_some();
+    let mut backlog_sample: Option<u64> = None;
+    if overload_active {
+        report.overload.offered += 1;
+    }
 
     let served = match &event.outcome {
         Outcome::NxDomain => {
             let served = if negative.contains(&event.name, event.time) {
+                // Negative-cache fast path: never pays an admission toll.
                 Served::NegativeHit
             } else {
-                let fetch = fetch_upstream(ctx.plan, ctx.day, index, event, operator);
-                tally_fetch(report, &fetch, hour, operator);
-                fetch_sample = Some(fetch);
-                if fetch.success {
-                    negative.insert(event.name.clone(), event.time);
-                    Served::NxMiss
-                } else {
-                    Served::ServFail
+                match admission_gate(ctx, &mut admission, report, event, true, &mut backlog_sample)
+                {
+                    Admission::Drop => Served::Dropped,
+                    Admission::RateLimit => Served::RateLimited,
+                    Admission::Admit => {
+                        let fetch = fetch_upstream(ctx.plan, ctx.day, index, event, operator);
+                        tally_fetch(report, &fetch, hour, operator);
+                        fetch_sample = Some(fetch);
+                        if fetch.success {
+                            negative.insert(event.name.clone(), event.time);
+                            Served::NxMiss
+                        } else {
+                            Served::ServFail
+                        }
+                    }
                 }
             };
-            if served.is_failure() {
+            if served.is_shed() {
+                // Shed queries produce no response: nothing below, nothing
+                // above, no traffic-series entry.
+            } else if served.is_failure() {
                 report.below_total += 1;
                 report.resilience.servfails_below += 1;
                 report.traffic.record(hour, operator, false, 1, false);
@@ -407,28 +438,56 @@ pub(crate) fn process_event<Obs: Observer + ?Sized>(
             let key = CacheKey::new(event.name.clone(), event.qtype);
             let looked = cache.lookup(&key, event.time, ctx.stale_window);
             let (served, answers): (Served, Vec<Record>) = match looked {
+                // Cache-hit fast path: protected, never queued or shed.
                 Lookup::Fresh(records) => (Served::CacheHit, records.to_vec()),
                 not_fresh => {
-                    let fetch = fetch_upstream(ctx.plan, ctx.day, index, event, operator);
-                    tally_fetch(report, &fetch, hour, operator);
-                    fetch_sample = Some(fetch);
-                    if fetch.success {
-                        let priority = match &ctx.low_priority {
-                            Some(pred) if pred(&event.name) => InsertPriority::Low,
-                            _ => InsertPriority::Normal,
-                        };
-                        cache.insert(key, auth_answers.clone(), event.time, priority);
-                        (Served::CacheMiss, auth_answers.clone())
-                    } else {
-                        match not_fresh {
-                            Lookup::Stale(records) => (Served::StaleHit, records.to_vec()),
-                            _ => (Served::ServFail, Vec::new()),
+                    match admission_gate(
+                        ctx,
+                        &mut admission,
+                        report,
+                        event,
+                        false,
+                        &mut backlog_sample,
+                    ) {
+                        Admission::Admit => {
+                            let fetch = fetch_upstream(ctx.plan, ctx.day, index, event, operator);
+                            tally_fetch(report, &fetch, hour, operator);
+                            fetch_sample = Some(fetch);
+                            if fetch.success {
+                                let priority = match &ctx.low_priority {
+                                    Some(pred) if pred(&event.name) => InsertPriority::Low,
+                                    _ => InsertPriority::Normal,
+                                };
+                                cache.insert(key, auth_answers.clone(), event.time, priority);
+                                (Served::CacheMiss, auth_answers.clone())
+                            } else {
+                                match not_fresh {
+                                    Lookup::Stale(records) => (Served::StaleHit, records.to_vec()),
+                                    _ => (Served::ServFail, Vec::new()),
+                                }
+                            }
+                        }
+                        decision => {
+                            // Graceful degradation: answer from a stale
+                            // entry rather than shed, when RFC 8767 allows.
+                            if let Lookup::Stale(records) = not_fresh {
+                                report.overload.stale_under_pressure += 1;
+                                (Served::StaleHit, records.to_vec())
+                            } else {
+                                match decision {
+                                    Admission::Drop => (Served::Dropped, Vec::new()),
+                                    _ => (Served::RateLimited, Vec::new()),
+                                }
+                            }
                         }
                     }
                 }
             };
 
-            if served.is_failure() {
+            if served.is_shed() {
+                // No response delivered: no below/above traffic, no
+                // per-record stats.
+            } else if served.is_failure() {
                 report.below_total += 1;
                 report.resilience.servfails_below += 1;
                 report.traffic.record(hour, operator, false, 1, false);
@@ -455,14 +514,31 @@ pub(crate) fn process_event<Obs: Observer + ?Sized>(
         }
     };
 
-    if ctx.faults_active {
+    if overload_active {
+        match served {
+            Served::Dropped => report.overload.dropped += 1,
+            Served::RateLimited => report.overload.rate_limited += 1,
+            _ => report.overload.admitted += 1,
+        }
+        if served.is_shed() {
+            if event.zone_tag == dnsnoise_workload::ATTACK_TAG {
+                report.overload.shed_attack += 1;
+            } else {
+                report.overload.shed_legit += 1;
+            }
+        }
+    }
+
+    if ctx.faults_active || overload_active {
         let disposable = ground_truth.is_some_and(|gt| gt.is_disposable_name(&event.name));
         let slice = if disposable {
             &mut report.resilience.disposable
         } else {
             &mut report.resilience.nondisposable
         };
-        if served.is_failure() {
+        if served.is_shed() {
+            slice.shed += 1;
+        } else if served.is_failure() {
             slice.failed += 1;
         } else {
             slice.answered += 1;
@@ -478,8 +554,29 @@ pub(crate) fn process_event<Obs: Observer + ?Sized>(
             report.below_total - below_before,
             report.above_total - above_before,
             fetch_sample.as_ref(),
+            backlog_sample,
         );
     }
+}
+
+/// Runs the admission stage for one miss-path query, when an
+/// [`OverloadConfig`] is attached; folds the member's queue peak into the
+/// report and samples the post-decision backlog for metrics.
+fn admission_gate(
+    ctx: &EventCtx<'_>,
+    admission: &mut Option<&mut AdmissionState>,
+    report: &mut DayReport,
+    event: &QueryEvent,
+    is_nxdomain: bool,
+    backlog_sample: &mut Option<u64>,
+) -> Admission {
+    let (Some(cfg), Some(adm)) = (ctx.overload, admission.as_deref_mut()) else {
+        return Admission::Admit;
+    };
+    let decision = adm.admit(cfg, event.client, &event.name, event.time.as_secs(), is_nxdomain);
+    report.overload.queue_peak = report.overload.queue_peak.max(adm.peak_backlog());
+    *backlog_sample = Some(adm.backlog());
+    decision
 }
 
 /// Result of one bounded-retry upstream fetch.

@@ -2,8 +2,10 @@
 
 use dnsnoise_cache::LoadBalance;
 use dnsnoise_dns::{Timestamp, Ttl};
-use dnsnoise_resolver::{FaultKind, FaultPlan, OutageScope, ResolverSim, SimConfig};
-use dnsnoise_workload::{Scenario, ScenarioConfig};
+use dnsnoise_resolver::{
+    FaultKind, FaultPlan, OutageScope, OverloadConfig, ResolverSim, SimConfig,
+};
+use dnsnoise_workload::{AttackPlan, Scenario, ScenarioConfig};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SimConfig> {
@@ -235,6 +237,109 @@ proptest! {
         let mut with_identity = left.clone();
         with_identity.merge(&dnsnoise_resolver::DayReport::default());
         prop_assert_eq!(&with_identity, &left);
+    }
+
+    /// Query accounting under admission control: every offered query is
+    /// either admitted or shed (`offered = admitted + dropped +
+    /// rate_limited`), the shed split by ground truth covers the shed
+    /// total, and every trace event still lands in exactly one
+    /// availability bucket (`answered + failed + shed = events`) — for
+    /// any flood intensity, queue depth, RRL setting, and thread count.
+    #[test]
+    fn overload_accounting_is_conserved(
+        seed in 0u64..100,
+        attack_seed in 0u64..500,
+        clients in 1u64..400,
+        mult in 2u64..40,
+        depth in 4u64..64,
+        rrl in any::<bool>(),
+        threads in 1usize..5,
+    ) {
+        let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.005), seed);
+        let mut trace = scenario.generate_day(0);
+        let spec = format!(
+            "seed={attack_seed}; victim=flood-target.example; clients={clients}; \
+             surge=21600,43200,{mult}"
+        );
+        let attack: AttackPlan = spec.parse().expect("generated attack spec");
+        attack.inject(&mut trace);
+        let events = trace.events.len() as u64;
+
+        // Tiny simulated capacity: the 0.005-scale day idles around
+        // 0.06 qps, so a unit service rate is what lets the larger surge
+        // multipliers actually overrun the queue.
+        let mut cfg =
+            OverloadConfig::default().with_queue_depth(depth).with_service_rate(1);
+        if rrl {
+            cfg = cfg.with_rrl(1);
+        }
+        let mut sim = ResolverSim::new(SimConfig::default());
+        let report = sim
+            .day(&trace)
+            .ground_truth(scenario.ground_truth())
+            .overload(&cfg)
+            .threads(threads)
+            .run();
+
+        let o = &report.overload;
+        prop_assert_eq!(o.offered, events, "every event is offered exactly once");
+        prop_assert_eq!(o.admitted + o.dropped + o.rate_limited, o.offered);
+        prop_assert_eq!(o.shed(), o.dropped + o.rate_limited);
+        prop_assert_eq!(o.shed_attack + o.shed_legit, o.shed());
+        prop_assert!(o.queue_peak <= depth, "backlog never exceeds the configured depth");
+
+        let r = &report.resilience;
+        let tallied = r.disposable.answered + r.disposable.failed + r.disposable.shed
+            + r.nondisposable.answered + r.nondisposable.failed + r.nondisposable.shed;
+        prop_assert_eq!(tallied, events, "every event lands in one availability bucket");
+        prop_assert_eq!(r.overall().shed, o.shed());
+        prop_assert_eq!(r.stale_serves, o.stale_under_pressure,
+            "faultless run: every stale serve is an under-pressure serve");
+
+        // Shed queries deliver nothing: records below never exceed the
+        // fault-free baseline, and the traffic series still reconcile.
+        use dnsnoise_resolver::Series;
+        prop_assert_eq!(report.traffic.below_total(Series::All), report.below_total);
+        prop_assert_eq!(report.traffic.above_total(Series::All), report.above_total);
+    }
+
+    /// Fault specs round-trip: parse → render → parse is the identity
+    /// for any clause combination (scoped outages, member crash windows,
+    /// retry overrides), mirroring the attack-spec property on the
+    /// workload side.
+    #[test]
+    fn fault_specs_round_trip(
+        seed in any::<u64>(),
+        loss_milli in 0u64..1_000,
+        outages in proptest::collection::vec(
+            (0usize..3, 0u64..10_000, any::<bool>(), 0u64..80_000, 1u64..6_000),
+            0..4,
+        ),
+        members in proptest::collection::vec((0u64..6, 0u64..80_000, 1u64..6_000), 0..3),
+        retries in 0u64..8,
+        budget in 100u64..20_000,
+    ) {
+        let loss = loss_milli as f64 / 1_000.0;
+        let mut spec = format!("seed={seed}; loss={loss}; retries={retries}; budget={budget}");
+        for &(scope_kind, name, servfail, start, len) in &outages {
+            let scope = match scope_kind {
+                0 => "all".to_string(),
+                1 if name % 2 == 0 => "op:google".to_string(),
+                1 => "op:akamai".to_string(),
+                _ => format!("zone:zone{name}.example"),
+            };
+            let kind = if servfail { "servfail" } else { "timeout" };
+            spec.push_str(&format!("; outage={scope},{kind},{start},{}", start + len));
+        }
+        for &(m, start, len) in &members {
+            spec.push_str(&format!("; member={m},{start},{}", start + len));
+        }
+
+        let plan: FaultPlan = spec.parse().expect("generated spec parses");
+        let rendered = plan.to_string();
+        let back: FaultPlan = rendered.parse().expect("rendered spec parses");
+        prop_assert_eq!(&back, &plan, "parse(render(p)) == p");
+        prop_assert_eq!(back.to_string(), rendered, "render is stable");
     }
 
     /// Replaying the identical trace twice through one warm simulator

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attack;
 mod diurnal;
 mod event;
 mod namegen;
@@ -42,6 +43,9 @@ mod zipf;
 mod zone;
 pub mod zones;
 
+pub use attack::{
+    AttackPlan, AttackSpecError, LabelEntropy, SurgeWindow, ATTACK_CLIENT_BASE, ATTACK_TAG,
+};
 pub use diurnal::DiurnalCurve;
 pub use event::{Outcome, QueryEvent};
 pub use namegen::{label_alnum, label_base32, label_hex, mix64, NameForge};

@@ -214,6 +214,14 @@ impl GroundTruth {
         self.tag_category[tag as usize]
     }
 
+    /// The ground-truth category of a model tag, or `None` when the tag
+    /// does not belong to this scenario — e.g. the
+    /// [`ATTACK_TAG`](crate::ATTACK_TAG) carried by injected flood
+    /// traffic, or sentinel tags in replayed traces.
+    pub fn try_category_of_tag(&self, tag: u32) -> Option<Category> {
+        self.tag_category.get(tag as usize).copied()
+    }
+
     /// Whether events with this tag come from a disposable class.
     ///
     /// # Panics

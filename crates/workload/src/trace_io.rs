@@ -10,13 +10,29 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read as _, Write};
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 use dnsnoise_dns::{Name, QType, RData, Record, Timestamp, Ttl};
 
 use crate::event::{Outcome, QueryEvent};
 use crate::scenario::DayTrace;
+
+/// Longest accepted trace line, in bytes. Generated lines stay well under
+/// a kilobyte; anything beyond this is hostile or corrupt, and the reader
+/// refuses it *before* buffering the rest of the line so a single
+/// newline-free multi-gigabyte input cannot exhaust memory.
+pub const MAX_LINE_BYTES: usize = 8192;
+
+/// Most records accepted in one answer line. The simulator never emits
+/// more than a handful; a burst of thousands is a decompression-bomb
+/// shape, not a trace.
+pub const MAX_ANSWER_RECORDS: usize = 64;
+
+/// Most dot-separated labels accepted in a queried or record name,
+/// mirroring the RFC 1035 wire limit (255 octets / at least 1 byte per
+/// label + separator ⇒ < 128 labels).
+pub const MAX_NAME_LABELS: usize = 127;
 
 /// Errors while reading a serialized trace.
 #[derive(Debug)]
@@ -123,6 +139,11 @@ fn parse_rdata(s: &str) -> Result<RData, String> {
             if rest.len() % 2 != 0 {
                 return Err("odd-length hex".into());
             }
+            // Reject non-hex input before slicing: byte-indexing a
+            // multi-byte UTF-8 character would panic.
+            if !rest.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err("non-hex byte in opaque rdata".into());
+            }
             let bytes = (0..rest.len())
                 .step_by(2)
                 .map(|i| u8::from_str_radix(&rest[i..i + 2], 16))
@@ -161,17 +182,34 @@ pub fn render_event(event: &QueryEvent) -> String {
     line
 }
 
+/// Validates a raw name field before handing it to [`Name`] parsing:
+/// bounded label count and no NUL/control bytes.
+fn vet_name_field(field: &str, what: &str) -> Result<(), String> {
+    if field.bytes().any(|b| b < 0x20 || b == 0x7f) {
+        return Err(format!("control byte in {what}"));
+    }
+    let labels = field.split('.').filter(|l| !l.is_empty()).count();
+    if labels > MAX_NAME_LABELS {
+        return Err(format!("{what} has {labels} labels (cap {MAX_NAME_LABELS})"));
+    }
+    Ok(())
+}
+
 /// Parses one trace line.
 ///
 /// # Errors
 ///
 /// Returns a description of the first malformed field.
 pub fn parse_event(line: &str) -> Result<QueryEvent, String> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(format!("line exceeds {MAX_LINE_BYTES} bytes"));
+    }
     let mut fields = line.splitn(5, '\t');
     let secs: u64 = fields.next().ok_or("missing time")?.parse().map_err(|_| "bad time")?;
     let client: u64 = fields.next().ok_or("missing client")?.parse().map_err(|_| "bad client")?;
-    let name: Name =
-        fields.next().ok_or("missing qname")?.parse().map_err(|e| format!("bad qname: {e}"))?;
+    let name_field = fields.next().ok_or("missing qname")?;
+    vet_name_field(name_field, "qname")?;
+    let name: Name = name_field.parse().map_err(|e| format!("bad qname: {e}"))?;
     let qtype = parse_qtype(fields.next().ok_or("missing qtype")?)?;
     let outcome_field = fields.next().ok_or("missing outcome")?;
     let outcome = if outcome_field == "NXDOMAIN" {
@@ -179,12 +217,13 @@ pub fn parse_event(line: &str) -> Result<QueryEvent, String> {
     } else {
         let mut records = Vec::new();
         for part in outcome_field.split(';') {
+            if records.len() >= MAX_ANSWER_RECORDS {
+                return Err(format!("answer exceeds {MAX_ANSWER_RECORDS} records"));
+            }
             let mut cols = part.splitn(4, ',');
-            let rname: Name = cols
-                .next()
-                .ok_or("missing record name")?
-                .parse()
-                .map_err(|e| format!("bad record name: {e}"))?;
+            let rname_field = cols.next().ok_or("missing record name")?;
+            vet_name_field(rname_field, "record name")?;
+            let rname: Name = rname_field.parse().map_err(|e| format!("bad record name: {e}"))?;
             let rtype = parse_qtype(cols.next().ok_or("missing record type")?)?;
             let ttl: u32 = cols.next().ok_or("missing ttl")?.parse().map_err(|_| "bad ttl")?;
             let rdata = parse_rdata(cols.next().ok_or("missing rdata")?)?;
@@ -221,19 +260,54 @@ pub fn write_trace<W: Write>(trace: &DayTrace, mut out: W) -> Result<(), TraceIo
 /// Reads a trace from `input`, inferring the day from the first event.
 /// Blank lines and `#` comments are skipped.
 ///
+/// Hostile input is bounded: each line is read through a
+/// [`MAX_LINE_BYTES`]-byte window, so a newline-free stream fails fast
+/// with a line-numbered error instead of buffering without limit; bytes
+/// that are not UTF-8 are likewise a line-numbered parse error.
+///
 /// # Errors
 ///
-/// Fails on I/O errors or the first malformed line.
-pub fn read_trace<R: BufRead>(input: R) -> Result<DayTrace, TraceIoError> {
+/// Fails on I/O errors or the first malformed line; every error carries
+/// the 1-based number of the offending line.
+pub fn read_trace<R: BufRead>(mut input: R) -> Result<DayTrace, TraceIoError> {
     let mut events = Vec::new();
-    for (i, line) in input.lines().enumerate() {
-        let line = line.map_err(|source| TraceIoError::Io { line: Some(i + 1), source })?;
+    let mut buf = Vec::with_capacity(256);
+    let mut lineno = 0usize;
+    loop {
+        lineno += 1;
+        buf.clear();
+        // Read at most one byte past the cap: seeing the extra byte
+        // distinguishes "line exactly at the cap" from "line too long".
+        let n = input
+            .by_ref()
+            .take(MAX_LINE_BYTES as u64 + 1)
+            .read_until(b'\n', &mut buf)
+            .map_err(|source| TraceIoError::Io { line: Some(lineno), source })?;
+        if n == 0 {
+            break;
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+        } else if buf.len() > MAX_LINE_BYTES {
+            return Err(TraceIoError::Parse {
+                line: lineno,
+                message: format!("line exceeds {MAX_LINE_BYTES} bytes"),
+            });
+        }
+        let line = std::str::from_utf8(&buf).map_err(|e| TraceIoError::Parse {
+            line: lineno,
+            message: format!("line is not utf-8: {e}"),
+        })?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         events.push(
-            parse_event(trimmed).map_err(|message| TraceIoError::Parse { line: i + 1, message })?,
+            parse_event(trimmed)
+                .map_err(|message| TraceIoError::Parse { line: lineno, message })?,
         );
     }
     let day = events.first().map_or(0, |e| e.time.day());
@@ -331,5 +405,97 @@ mod tests {
         assert!(parse_rdata("BOGUS:x").is_err());
         assert!(parse_rdata("A:not-an-ip").is_err());
         assert!(parse_rdata("OPAQUE:abc").is_err(), "odd hex length");
+    }
+
+    #[test]
+    fn opaque_rdata_rejects_multibyte_hex_without_panicking() {
+        // "€x" is 4 bytes (even), but slicing [0..2] would split the
+        // 3-byte euro sign — the old code panicked here.
+        assert!(parse_rdata("OPAQUE:\u{20ac}x").is_err());
+        assert!(parse_rdata("OPAQUE:zz").is_err());
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_with_line_number() {
+        let long = format!("10\t7\t{}.example.com\tA\tNXDOMAIN\n", "a".repeat(MAX_LINE_BYTES));
+        let text = format!("10\t7\twww.example.com\tA\tNXDOMAIN\n{long}");
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line, ref message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("exceeds"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn newline_free_stream_fails_fast() {
+        // A single unbounded line must error at the cap, not buffer it all.
+        let garbage = vec![b'x'; MAX_LINE_BYTES * 4];
+        let err = read_trace(garbage.as_slice()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line: 1, .. } => {}
+            other => panic!("expected line-1 parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn control_bytes_in_names_are_rejected() {
+        let text = "10\t7\twww.exa\u{0}mple.com\tA\tNXDOMAIN\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line: 1, ref message } => {
+                assert!(message.contains("control byte"), "{message}")
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_utf8_bytes_report_line_number() {
+        let mut bytes = b"10\t7\twww.example.com\tA\tNXDOMAIN\n".to_vec();
+        bytes.extend_from_slice(b"10\t7\t\xff\xfe\tA\tNXDOMAIN\n");
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line: 2, ref message } => {
+                assert!(message.contains("utf-8"), "{message}")
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn label_count_cap_is_enforced() {
+        let deep = "a.".repeat(MAX_NAME_LABELS + 1) + "com";
+        let text = format!("10\t7\t{deep}\tA\tNXDOMAIN\n");
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line: 1, ref message } => {
+                assert!(message.contains("labels"), "{message}")
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn answer_record_cap_is_enforced() {
+        let record = "www.example.com,A,60,A:192.0.2.1";
+        let flood = vec![record; MAX_ANSWER_RECORDS + 1].join(";");
+        let text = format!("10\t7\twww.example.com\tA\t{flood}\n");
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line: 1, ref message } => {
+                assert!(message.contains("records"), "{message}")
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn crlf_lines_parse() {
+        let text = "10\t7\twww.example.com\tA\tNXDOMAIN\r\n";
+        let trace = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(trace.events.len(), 1);
     }
 }

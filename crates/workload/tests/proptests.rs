@@ -89,3 +89,118 @@ proptest! {
         }
     }
 }
+
+/// Arbitrary corruptions applied to a serialized trace: the reader must
+/// reject or accept, never panic or hang.
+#[derive(Debug, Clone)]
+enum Corruption {
+    FlipByte { offset: usize, value: u8 },
+    Truncate { keep: usize },
+    InsertBytes { offset: usize, bytes: Vec<u8> },
+    DropNewlines,
+}
+
+fn corruption() -> impl Strategy<Value = Corruption> {
+    prop_oneof![
+        (any::<usize>(), any::<u8>())
+            .prop_map(|(offset, value)| Corruption::FlipByte { offset, value }),
+        any::<usize>().prop_map(|keep| Corruption::Truncate { keep }),
+        (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(offset, bytes)| Corruption::InsertBytes { offset, bytes }),
+        Just(Corruption::DropNewlines),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feeding corrupted or truncated trace bytes to `read_trace` never
+    /// panics — it returns a (line-numbered) error or a parsed trace.
+    #[test]
+    fn corrupted_traces_never_panic(
+        seed in 0u64..100,
+        corruptions in proptest::collection::vec(corruption(), 1..6),
+    ) {
+        use dnsnoise_workload::trace_io::{read_trace, write_trace, TraceIoError};
+
+        let scenario = Scenario::new(ScenarioConfig::paper_epoch(0.3).with_scale(0.002), seed);
+        let trace = scenario.generate_day(0);
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).unwrap();
+        for c in corruptions {
+            match c {
+                Corruption::FlipByte { offset, value } => {
+                    if !bytes.is_empty() {
+                        let at = offset % bytes.len();
+                        bytes[at] = value;
+                    }
+                }
+                Corruption::Truncate { keep } => {
+                    let at = keep % (bytes.len() + 1);
+                    bytes.truncate(at);
+                }
+                Corruption::InsertBytes { offset, bytes: extra } => {
+                    let at = offset % (bytes.len() + 1);
+                    bytes.splice(at..at, extra);
+                }
+                Corruption::DropNewlines => bytes.retain(|&b| b != b'\n'),
+            }
+        }
+        match read_trace(bytes.as_slice()) {
+            Ok(_) => {}
+            Err(TraceIoError::Parse { line, .. }) => prop_assert!(line >= 1),
+            Err(TraceIoError::Io { .. }) => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Attack specs round-trip: parse → render → parse is the identity
+    /// for any clause combination including multiple surge windows, and
+    /// flood generation is a pure function of the plan and the day.
+    #[test]
+    fn attack_specs_round_trip(
+        seed in any::<u64>(),
+        victims in proptest::collection::vec(0u64..100_000, 1..4),
+        clients in 1u64..5_000,
+        label_len in 1usize..=63,
+        entropy_idx in 0usize..3,
+        surges in proptest::collection::vec((0u64..86_399, 1u64..600, 1u64..20), 1..4),
+    ) {
+        use dnsnoise_workload::AttackPlan;
+
+        let entropy = ["hex", "base32", "alnum"][entropy_idx];
+        let mut spec =
+            format!("seed={seed}; clients={clients}; labellen={label_len}; entropy={entropy}");
+        for v in &victims {
+            spec.push_str(&format!("; victim=zone{v}.example"));
+        }
+        for &(start, len, mult) in &surges {
+            let end = (start + len).min(86_400);
+            spec.push_str(&format!("; surge={start},{end},{mult}"));
+        }
+
+        let plan: AttackPlan = spec.parse().expect("generated spec parses");
+        prop_assert!(!plan.is_empty());
+        let rendered = plan.to_string();
+        let back: AttackPlan = rendered.parse().expect("rendered spec parses");
+        prop_assert_eq!(&back, &plan, "parse(render(p)) == p");
+        prop_assert_eq!(back.to_string(), rendered, "render is stable");
+
+        // Flood generation is deterministic, time-sorted, within the
+        // day, and aimed only at the configured victims.
+        let a = plan.flood_events(3, 0.2);
+        let b = plan.flood_events(3, 0.2);
+        prop_assert_eq!(&a, &b, "flood generation is pure");
+        let day_start = 3 * 86_400;
+        for ev in &a {
+            let t = ev.time.as_secs();
+            prop_assert!(t >= day_start && t < day_start + 86_400);
+            prop_assert!(ev.outcome.is_nxdomain());
+            prop_assert_eq!(ev.zone_tag, dnsnoise_workload::ATTACK_TAG);
+        }
+        prop_assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+}

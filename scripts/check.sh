@@ -36,11 +36,32 @@ trap 'rm -rf "$smoke_dir"' EXIT
     --threads 4 --buckets 8 --metrics "$smoke_dir/m4.json" >/dev/null 2>&1
 diff "$smoke_dir/m1.json" "$smoke_dir/m4.json" >&2
 
+echo "== simulate --attack smoke (admission control, byte-identical across --threads) ==" >&2
+attack='seed=9; victim=flood.example; labellen=16; clients=300; surge=0,86400,25'
+./target/release/dnsnoise simulate --trace "$smoke_dir/day.trace" --members 2 \
+    --attack "$attack" --rrl --queue-depth 16 --service-rate 1 \
+    --threads 1 --buckets 8 --metrics "$smoke_dir/a1.json" >"$smoke_dir/a1.txt" 2>/dev/null
+./target/release/dnsnoise simulate --trace "$smoke_dir/day.trace" --members 2 \
+    --attack "$attack" --rrl --queue-depth 16 --service-rate 1 \
+    --threads 4 --buckets 8 --metrics "$smoke_dir/a4.json" >"$smoke_dir/a4.txt" 2>/dev/null
+diff "$smoke_dir/a1.json" "$smoke_dir/a4.json" >&2
+diff "$smoke_dir/a1.txt" "$smoke_dir/a4.txt" >&2
+grep -q -- '-- overload --' "$smoke_dir/a1.txt" \
+    || { echo "error: overload section missing from attack smoke" >&2; exit 1; }
+grep -Eq 'shed attack/legit: [1-9]' "$smoke_dir/a1.txt" \
+    || { echo "error: attack smoke shed nothing" >&2; exit 1; }
+# The plain-replay export must not grow overload columns: byte-identical
+# output with admission control off is a hard compatibility invariant.
+if grep -q 'queue_backlog' "$smoke_dir/m1.json"; then
+    echo "error: overload metrics leaked into the baseline export" >&2
+    exit 1
+fi
+
 echo "== cargo test ==" >&2
 cargo test -q --offline
 
 echo "== cargo clippy -D warnings ==" >&2
-cargo clippy --offline -- -D warnings
+cargo clippy --workspace --offline -- -D warnings
 
 echo "== cargo fmt --check ==" >&2
 cargo fmt --check

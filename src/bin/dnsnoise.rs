@@ -23,9 +23,9 @@ use std::process::ExitCode;
 use dnsnoise::core::{DailyPipeline, DomainTree, Miner, MinerConfig, TrainingSetBuilder};
 use dnsnoise::dns::{SuffixList, Ttl};
 use dnsnoise::resolver::{
-    FaultPlan, MetricsRegistry, ResolverSim, SimConfig, DEFAULT_TIMELINE_BUCKETS,
+    FaultPlan, MetricsRegistry, OverloadConfig, ResolverSim, SimConfig, DEFAULT_TIMELINE_BUCKETS,
 };
-use dnsnoise::workload::{trace_io, DayTrace, Scenario, ScenarioConfig};
+use dnsnoise::workload::{trace_io, AttackPlan, DayTrace, Scenario, ScenarioConfig};
 
 /// Scenario flags shared by every subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +61,10 @@ struct SimulateOpts {
     stale: Option<u32>,
     metrics: Option<String>,
     buckets: usize,
+    attack: Option<String>,
+    rrl: bool,
+    queue_depth: Option<u64>,
+    service_rate: Option<u64>,
 }
 
 impl Default for SimulateOpts {
@@ -75,6 +79,10 @@ impl Default for SimulateOpts {
             stale: None,
             metrics: None,
             buckets: DEFAULT_TIMELINE_BUCKETS,
+            attack: None,
+            rrl: false,
+            queue_depth: None,
+            service_rate: None,
         }
     }
 }
@@ -215,6 +223,14 @@ fn parse_simulate(args: &[String]) -> Result<ParseOutcome<SimulateOpts>, String>
             "--stale" => opts.stale = Some(parsed(values.take("--stale")?, "--stale")?),
             "--metrics" => opts.metrics = Some(values.take("--metrics")?.to_owned()),
             "--buckets" => opts.buckets = parsed(values.take("--buckets")?, "--buckets")?,
+            "--attack" => opts.attack = Some(values.take("--attack")?.to_owned()),
+            "--rrl" => opts.rrl = true,
+            "--queue-depth" => {
+                opts.queue_depth = Some(parsed(values.take("--queue-depth")?, "--queue-depth")?)
+            }
+            "--service-rate" => {
+                opts.service_rate = Some(parsed(values.take("--service-rate")?, "--service-rate")?)
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -229,6 +245,12 @@ fn parse_simulate(args: &[String]) -> Result<ParseOutcome<SimulateOpts>, String>
         }
         if opts.buckets == 0 {
             return Err("--buckets must be at least 1".into());
+        }
+        if opts.queue_depth == Some(0) {
+            return Err("--queue-depth must be at least 1".into());
+        }
+        if opts.service_rate == Some(0) {
+            return Err("--service-rate must be at least 1".into());
         }
         return Ok(ParseOutcome::Parsed(opts));
     }
@@ -315,26 +337,51 @@ fn cmd_simulate(opts: &SimulateOpts) -> Result<(), String> {
     }
     let mut sim = ResolverSim::new(config);
     let mut registry = MetricsRegistry::with_buckets(opts.buckets);
-    let (trace, gt);
-    // The builder replay is bit-identical for any `--threads` count —
-    // registry exports included.
-    let report = match &opts.trace {
-        Some(path) => {
-            trace = load_trace(path)?;
-            sim.day(&trace).faults(&plan).threads(opts.threads).metrics(&mut registry).run()
-        }
+    let gt;
+    let mut ground_truth = None;
+    let mut trace = match &opts.trace {
+        Some(path) => load_trace(path)?,
         None => {
             let scenario = scenario_of(&opts.common);
-            trace = scenario.generate_day(opts.common.day);
+            let t = scenario.generate_day(opts.common.day);
             gt = scenario.ground_truth().clone();
-            sim.day(&trace)
-                .ground_truth(&gt)
-                .faults(&plan)
-                .threads(opts.threads)
-                .metrics(&mut registry)
-                .run()
+            ground_truth = Some(&gt);
+            t
         }
     };
+    if let Some(spec) = &opts.attack {
+        let attack: AttackPlan =
+            spec.parse().map_err(|e: dnsnoise::workload::AttackSpecError| e.to_string())?;
+        attack.inject(&mut trace);
+    }
+    // Admission control engages as soon as either overload knob is set;
+    // without them the replay (and its metric exports) is byte-identical
+    // to an overload-unaware build.
+    let overload =
+        (opts.rrl || opts.queue_depth.is_some() || opts.service_rate.is_some()).then(|| {
+            let mut cfg = OverloadConfig::default();
+            if let Some(depth) = opts.queue_depth {
+                cfg = cfg.with_queue_depth(depth);
+            }
+            if let Some(rate) = opts.service_rate {
+                cfg = cfg.with_service_rate(rate);
+            }
+            if opts.rrl {
+                let limit = cfg.rrl_limit;
+                cfg = cfg.with_rrl(limit);
+            }
+            cfg
+        });
+    // The builder replay is bit-identical for any `--threads` count —
+    // registry exports included.
+    let mut run = sim.day(&trace).faults(&plan).threads(opts.threads).metrics(&mut registry);
+    if let Some(gt) = ground_truth {
+        run = run.ground_truth(gt);
+    }
+    if let Some(cfg) = &overload {
+        run = run.overload(cfg);
+    }
+    let report = run.run();
     println!("events:            {}", trace.events.len());
     println!("below records:     {}", report.below_total);
     println!("above records:     {}", report.above_total);
@@ -355,6 +402,17 @@ fn cmd_simulate(opts: &SimulateOpts) -> Result<(), String> {
         println!("servfail (below):  {}", r.servfails_below);
         println!("avail disposable:  {:.2}%", r.disposable.fraction() * 100.0);
         println!("avail other:       {:.2}%", r.nondisposable.fraction() * 100.0);
+    }
+    if overload.is_some() {
+        let o = &report.overload;
+        println!("-- overload --");
+        println!("offered:           {}", o.offered);
+        println!("admitted:          {}", o.admitted);
+        println!("dropped:           {}", o.dropped);
+        println!("rate limited:      {}", o.rate_limited);
+        println!("shed attack/legit: {}/{}", o.shed_attack, o.shed_legit);
+        println!("stale (pressure):  {}", o.stale_under_pressure);
+        println!("queue peak:        {}", o.queue_peak);
     }
     if let Some(path) = &opts.metrics {
         // `.csv` selects the timeline table; anything else gets the full
@@ -492,7 +550,13 @@ fn subcommand_usage(cmd: &str) -> String {
              \x20 --stale <secs>     serve-stale window\n\
              \x20 --metrics <file>   export the metrics registry (.csv = timeline table,\n\
              \x20                    anything else = full JSON dump)\n\
-             \x20 --buckets <n>      timeline buckets per day (default: 24)\n"
+             \x20 --buckets <n>      timeline buckets per day (default: 24)\n\
+             \x20 --attack <spec>    inject a random-subdomain flood, e.g. 'seed=9;\n\
+             \x20                    victim=flood.example; labellen=16; clients=300;\n\
+             \x20                    surge=28800,50400,20'\n\
+             \x20 --rrl              enable NXDOMAIN response-rate-limiting\n\
+             \x20 --queue-depth <n>  bound the per-member admission queue\n\
+             \x20 --service-rate <n> queued queries retired per member per second\n"
         }
         "mine" => {
             "  --trace <file>     mine this trace (default: synthetic, self-grading)\n\
@@ -623,6 +687,30 @@ mod tests {
         assert!(simulate("--scale -1").is_err());
         assert!(simulate("--stale lots").is_err());
         assert!(simulate("--epoch").is_err());
+    }
+
+    #[test]
+    fn overload_flags_parse() {
+        let o = simulate("--attack seed=1;victim=v.example;surge=0,3600,4 --rrl --queue-depth 32")
+            .unwrap();
+        assert_eq!(o.attack.as_deref(), Some("seed=1;victim=v.example;surge=0,3600,4"));
+        assert!(o.rrl);
+        assert_eq!(o.queue_depth, Some(32));
+        let plan: AttackPlan = o.attack.unwrap().parse().unwrap();
+        assert!(!plan.is_empty());
+
+        // `--rrl` takes no value: the next token is parsed as its own flag.
+        let o = simulate("--rrl --members 2").unwrap();
+        assert!(o.rrl);
+        assert_eq!(o.members, 2);
+
+        let o = simulate("--service-rate 2").unwrap();
+        assert_eq!(o.service_rate, Some(2));
+
+        assert!(simulate("--queue-depth 0").is_err());
+        assert!(simulate("--service-rate 0").is_err());
+        assert!(simulate("--queue-depth deep").is_err());
+        assert!(simulate("--attack").is_err());
     }
 
     #[test]

@@ -95,6 +95,86 @@ fn subcommands_own_their_flags() {
 }
 
 #[test]
+fn simulate_attack_flags_drive_admission_control() {
+    // A flood plus admission control prints the overload section and
+    // actually sheds; the replay stays bit-identical across --threads.
+    // The tiny synthetic day idles well below 1 qps, so the budget must
+    // be proportionally tight for the surge to saturate it.
+    let spec = "seed=9; victim=flood.example; labellen=16; clients=300; surge=0,86400,25";
+    let mut reports = Vec::new();
+    for threads in ["1", "4"] {
+        let out = bin()
+            .args([
+                "simulate",
+                "--scale",
+                "0.01",
+                "--seed",
+                "5",
+                "--members",
+                "2",
+                "--attack",
+                spec,
+                "--rrl",
+                "--queue-depth",
+                "16",
+                "--service-rate",
+                "1",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("run simulate");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        reports.push(String::from_utf8_lossy(&out.stdout).into_owned());
+    }
+    assert_eq!(reports[0], reports[1], "overload replay must not depend on --threads");
+    let stdout = &reports[0];
+    assert!(stdout.contains("-- overload --"), "{stdout}");
+    let shed = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("shed attack/legit: "))
+        .expect("shed line present");
+    let attack_shed: u64 = shed.split('/').next().unwrap().parse().expect("shed count");
+    assert!(attack_shed > 0, "flood must be shed: {stdout}");
+
+    // Without the admission knobs the overload section stays hidden,
+    // even when a flood is injected.
+    let out = bin()
+        .args(["simulate", "--scale", "0.01", "--seed", "5", "--attack", spec])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("-- overload --"));
+}
+
+#[test]
+fn attack_flags_fail_cleanly() {
+    // A malformed attack spec is a parse error, not a panic.
+    let out = bin()
+        .args(["simulate", "--scale", "0.01", "--attack", "victim="])
+        .output()
+        .expect("run simulate");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("attack"));
+
+    // --queue-depth 0 is rejected up front.
+    let out = bin().args(["simulate", "--queue-depth", "0"]).output().expect("run");
+    assert!(!out.status.success());
+
+    // The overload flags belong to simulate only.
+    let out = bin().args(["mine", "--rrl"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    // And the per-subcommand help documents them.
+    let out = bin().args(["simulate", "--help"]).output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--attack"), "{stdout}");
+    assert!(stdout.contains("--queue-depth"), "{stdout}");
+}
+
+#[test]
 fn simulate_exports_metrics_identically_across_threads() {
     let dir = tempdir();
     let trace = dir.join("metrics-day.trace");

@@ -8,8 +8,11 @@
 use dnsnoise::cache::LoadBalance;
 use dnsnoise::dns::Record;
 use dnsnoise::pdns::FpDnsLog;
-use dnsnoise::resolver::{FaultPlan, Observer, ResolverSim, Served, ShardObserver, SimConfig};
-use dnsnoise::workload::{QueryEvent, Scenario, ScenarioConfig};
+use dnsnoise::resolver::{
+    FaultPlan, MetricsRegistry, Observer, OverloadConfig, ResolverSim, Served, ShardObserver,
+    SimConfig,
+};
+use dnsnoise::workload::{AttackPlan, QueryEvent, Scenario, ScenarioConfig};
 
 fn scenario(seed: u64) -> Scenario {
     Scenario::new(ScenarioConfig::paper_epoch(0.6).with_scale(0.015), seed)
@@ -45,6 +48,56 @@ fn thread_matrix_is_bit_identical() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn overloaded_attack_replay_is_bit_identical_across_threads() {
+    // A random-subdomain flood with admission control active: the shed
+    // outcomes, overload counters, and exported metrics must all stay
+    // bit-identical across thread counts, exactly like the fault matrix.
+    let s = scenario(55);
+    let mut trace = s.generate_day(0);
+    let attack: AttackPlan = "seed=9; victim=victim-zone.example; victim=burst.test; \
+         clients=300; labellen=14; entropy=base32; surge=21600,28800,20; surge=64800,68400,35"
+        .parse()
+        .expect("static attack spec");
+    attack.inject(&mut trace);
+    // The synthetic day is sparse (~0.2 qps baseline), so the simulated
+    // capacity must be tiny for the surges to saturate it.
+    let overload = OverloadConfig::default().with_queue_depth(48).with_service_rate(2).with_rrl(2);
+    let plan = eventful_plan();
+
+    let mut reference = ResolverSim::new(SimConfig::default());
+    let mut reference_metrics = MetricsRegistry::new();
+    let expected = reference
+        .day(&trace)
+        .ground_truth(s.ground_truth())
+        .faults(&plan)
+        .overload(&overload)
+        .metrics(&mut reference_metrics)
+        .run();
+    assert!(expected.overload.shed() > 0, "flood must trigger shedding");
+    assert!(expected.overload.shed_attack > 0, "attack traffic must be shed");
+
+    for threads in [2, 4, 8] {
+        let mut sim = ResolverSim::new(SimConfig::default());
+        let mut metrics = MetricsRegistry::new();
+        let got = sim
+            .day(&trace)
+            .ground_truth(s.ground_truth())
+            .faults(&plan)
+            .overload(&overload)
+            .threads(threads)
+            .metrics(&mut metrics)
+            .run();
+        assert_eq!(got, expected, "threads {threads}");
+        assert_eq!(metrics.to_json(), reference_metrics.to_json(), "json, threads {threads}");
+        assert_eq!(
+            metrics.timeline_csv(),
+            reference_metrics.timeline_csv(),
+            "csv, threads {threads}"
+        );
     }
 }
 
