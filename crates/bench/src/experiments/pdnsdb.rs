@@ -74,8 +74,10 @@ pub fn run(scale_factor: f64) -> PdnsDbResult {
     let gt = s.ground_truth();
     let mut sim = common::default_sim();
     let mut store = RpDns::new();
-    let mut mined_rules: std::collections::HashSet<(dnsnoise_dns::Name, usize)> =
-        std::collections::HashSet::new();
+    // BTreeSet so the mined rules feed the aggregator in name order,
+    // keeping the experiment output reproducible run to run.
+    let mut mined_rules: std::collections::BTreeSet<(dnsnoise_dns::Name, usize)> =
+        std::collections::BTreeSet::new();
     let mut pipeline = DailyPipeline::new(MinerConfig::default());
 
     for day in 0..13 {

@@ -307,6 +307,7 @@ impl TtlLru {
     ///
     /// [`len`]: TtlLru::len
     pub fn purge_expired(&mut self, now: Timestamp) -> usize {
+        // lint:allow(hash-iter): removal set; each key is removed independently, so order is moot
         let dead: Vec<CacheKey> =
             self.map.iter().filter(|(_, e)| e.expires <= now).map(|(k, _)| k.clone()).collect();
         for key in &dead {

@@ -142,14 +142,20 @@ impl CampaignTracker {
                 .partial_cmp(&a.score())
                 .expect("scores are finite")
                 .then_with(|| a.zone.cmp(&b.zone))
+                .then_with(|| a.depth.cmp(&b.depth))
         });
         all
     }
 
     /// Zones seen on at least `min_days` distinct days — the stable core
     /// an operator would act on (e.g. feed to the §VI-C wildcard filter).
+    /// Ordered by `(zone, depth)` so exports built from it are
+    /// reproducible run to run.
     pub fn stable_zones(&self, min_days: u32) -> impl Iterator<Item = &ZoneHistory> {
-        self.zones.values().filter(move |h| h.days_seen >= min_days)
+        let mut picked: Vec<&ZoneHistory> =
+            self.zones.values().filter(|h| h.days_seen >= min_days).collect();
+        picked.sort_by(|a, b| a.zone.cmp(&b.zone).then_with(|| a.depth.cmp(&b.depth)));
+        picked.into_iter()
     }
 }
 
@@ -224,6 +230,48 @@ mod tests {
         let stable: Vec<_> = c.stable_zones(2).collect();
         assert_eq!(stable.len(), 1);
         assert_eq!(stable[0].zone, n("a.x.com"));
+    }
+
+    #[test]
+    fn stable_zones_are_ordered_by_zone_then_depth() {
+        // Regression: `stable_zones` used to expose raw HashMap order.
+        let mut c = CampaignTracker::new();
+        for day in 0..2 {
+            c.ingest(&report(
+                day,
+                vec![
+                    finding("z.last.com", 3, 0.9, 10),
+                    finding("a.first.com", 5, 0.9, 10),
+                    finding("a.first.com", 3, 0.9, 10),
+                    finding("m.mid.com", 4, 0.9, 10),
+                ],
+            ));
+        }
+        let order: Vec<(String, usize)> =
+            c.stable_zones(2).map(|h| (h.zone.to_string(), h.depth)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.first.com".to_string(), 3),
+                ("a.first.com".to_string(), 5),
+                ("m.mid.com".to_string(), 4),
+                ("z.last.com".to_string(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn ranking_breaks_score_ties_by_zone_then_depth() {
+        // Two depths of the same zone with identical scores: the ranking
+        // must still be a total order, not hash order.
+        let mut c = CampaignTracker::new();
+        c.ingest(&report(
+            0,
+            vec![finding("exp.l.google.com", 5, 0.9, 50), finding("exp.l.google.com", 4, 0.9, 50)],
+        ));
+        let ranking = c.ranking();
+        assert_eq!(ranking[0].depth, 4);
+        assert_eq!(ranking[1].depth, 5);
     }
 
     #[test]

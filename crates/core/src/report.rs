@@ -102,6 +102,8 @@ impl MiningReport {
                 .partial_cmp(&a.confidence)
                 .expect("confidence is finite")
                 .then(b.members.cmp(&a.members))
+                .then_with(|| a.zone.cmp(&b.zone))
+                .then_with(|| a.depth.cmp(&b.depth))
         });
 
         let unique_2lds = found

@@ -1,6 +1,6 @@
 //! The domain name tree of §V-A1.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use dnsnoise_dns::{Label, Name, SuffixList};
 use dnsnoise_resolver::RrDayStats;
@@ -20,7 +20,7 @@ pub struct GroupKey {
 #[derive(Debug, Clone, Default)]
 pub struct ZoneGroups {
     /// `depth → (member node ids, adjacent-label set)`.
-    pub groups: HashMap<usize, GroupMembers>,
+    pub groups: BTreeMap<usize, GroupMembers>,
 }
 
 /// One `G_k`: the member nodes plus their `L_k` labels.
@@ -36,7 +36,11 @@ pub struct GroupMembers {
 #[derive(Debug)]
 struct TreeNode {
     label: Option<Label>,
-    children: HashMap<Label, usize>,
+    // Ordered so every traversal (registered-domain walk, group
+    // collection, name reconstruction) visits children in label order —
+    // member vectors and discovery order stay deterministic regardless
+    // of arena insertion order.
+    children: BTreeMap<Label, usize>,
     /// A black node owned at least one RR in the observation window.
     black: bool,
     /// Per-RR `(domain hit rate, miss count)` pairs for RRs owned by this
@@ -81,7 +85,7 @@ impl DomainTree {
         DomainTree {
             arena: vec![TreeNode {
                 label: None,
-                children: HashMap::new(),
+                children: BTreeMap::new(),
                 black: false,
                 rr_chr: Vec::new(),
             }],
@@ -110,7 +114,7 @@ impl DomainTree {
                     let id = self.arena.len();
                     self.arena.push(TreeNode {
                         label: Some(label.clone()),
-                        children: HashMap::new(),
+                        children: BTreeMap::new(),
                         black: false,
                         rr_chr: Vec::new(),
                     });
@@ -221,8 +225,7 @@ impl DomainTree {
     /// [`DomainTree::groups_under`] by node id (`zone_depth` is the
     /// zone's absolute depth).
     pub fn groups_under_id(&self, zone_id: usize, zone_depth: usize) -> ZoneGroups {
-        let mut groups: HashMap<usize, (Vec<usize>, std::collections::HashSet<Label>)> =
-            HashMap::new();
+        let mut groups: BTreeMap<usize, (Vec<usize>, BTreeSet<Label>)> = BTreeMap::new();
         for (adjacent_label, &child) in &self.arena[zone_id].children {
             self.collect(child, zone_depth + 1, adjacent_label, &mut groups);
         }
@@ -230,8 +233,8 @@ impl DomainTree {
             groups: groups
                 .into_iter()
                 .map(|(depth, (members, labels))| {
-                    let mut adjacent_labels: Vec<Label> = labels.into_iter().collect();
-                    adjacent_labels.sort_unstable();
+                    // BTreeSet iterates in label order, so `L_k` is sorted.
+                    let adjacent_labels: Vec<Label> = labels.into_iter().collect();
                     (depth, GroupMembers { members, adjacent_labels })
                 })
                 .collect(),
@@ -243,7 +246,7 @@ impl DomainTree {
         id: usize,
         depth: usize,
         adjacent: &Label,
-        groups: &mut HashMap<usize, (Vec<usize>, std::collections::HashSet<Label>)>,
+        groups: &mut BTreeMap<usize, (Vec<usize>, BTreeSet<Label>)>,
     ) {
         let node = &self.arena[id];
         if node.black {
@@ -388,6 +391,45 @@ mod tests {
         let tree = paper_example_tree();
         let id = tree.node_of(&n("i.1.a.example.com")).unwrap();
         assert_eq!(tree.name_of(id), n("i.1.a.example.com"));
+    }
+
+    #[test]
+    fn traversal_order_is_independent_of_observation_order() {
+        // The tree keeps children ordered, so group member order and the
+        // registered-domain walk are pure functions of the *name set*,
+        // not of arena insertion order. This pins the ordering the
+        // feature extractor and miner consume.
+        let names = [
+            "zz.a.example.com",
+            "aa.a.example.com",
+            "mm.b.example.com",
+            "b.other.net",
+            "a.other.net",
+        ];
+        let mut forward = DomainTree::new();
+        for name in names {
+            forward.observe(&n(name), 0.0, 1);
+        }
+        let mut backward = DomainTree::new();
+        for name in names.iter().rev() {
+            backward.observe(&n(name), 0.0, 1);
+        }
+        let psl = SuffixList::builtin();
+        let walk = |t: &DomainTree| -> Vec<String> {
+            t.registered_domains(&psl).into_iter().map(|(_, name)| name.to_string()).collect()
+        };
+        // Same sequence (not just same set) from both trees.
+        assert_eq!(walk(&forward), walk(&backward));
+        assert_eq!(walk(&forward), vec!["example.com", "other.net"]);
+        let members = |t: &DomainTree| -> Vec<Name> {
+            let groups = t.groups_under(&n("example.com")).unwrap();
+            groups.groups[&4].members.iter().map(|&id| t.name_of(id)).collect()
+        };
+        assert_eq!(members(&forward), members(&backward));
+        assert_eq!(
+            members(&forward),
+            vec![n("aa.a.example.com"), n("zz.a.example.com"), n("mm.b.example.com")]
+        );
     }
 
     #[test]

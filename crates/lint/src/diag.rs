@@ -1,0 +1,102 @@
+//! Diagnostics: the linter's output unit and its text/JSON renderings.
+
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule identifier (e.g. `hash-iter`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: {}: {}", self.file, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// Renders diagnostics as a JSON document:
+/// `{"count": N, "diagnostics": [{"file", "line", "col", "rule", "message"}]}`.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"count\": ");
+    out.push_str(&diags.len().to_string());
+    out.push_str(",\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": \"");
+        escape_into(&d.file, &mut out);
+        out.push_str("\", \"line\": ");
+        out.push_str(&d.line.to_string());
+        out.push_str(", \"col\": ");
+        out.push_str(&d.col.to_string());
+        out.push_str(", \"rule\": \"");
+        escape_into(d.rule, &mut out);
+        out.push_str("\", \"message\": \"");
+        escape_into(&d.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_col_rule_message() {
+        let d = Diagnostic {
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 9,
+            rule: "wall-clock",
+            message: "no".into(),
+        };
+        assert_eq!(d.to_string(), "crates/x/src/a.rs:3:9: wall-clock: no");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let d = Diagnostic {
+            file: "a.rs".into(),
+            line: 1,
+            col: 1,
+            rule: "export-purity",
+            message: "string \"dropped\" leaked".into(),
+        };
+        let json = to_json(&[d]);
+        assert!(json.contains(r#"\"dropped\""#));
+        assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        assert_eq!(to_json(&[]), "{\n  \"count\": 0,\n  \"diagnostics\": []\n}\n");
+    }
+}

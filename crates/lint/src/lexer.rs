@@ -1,0 +1,436 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The linter cannot depend on `syn` (the workspace vendors offline API
+//! stand-ins under `third_party/`, and the lint pass must stay
+//! dependency-free so it can run before anything else builds), so this
+//! module implements just enough of the Rust lexical grammar to make the
+//! token-pattern rules in [`crate::rules`] sound:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments;
+//! * string literals with escapes, byte strings, and raw strings
+//!   (`r"…"`, `r#"…"#`, … with any number of hashes);
+//! * char literals vs. lifetimes (`'a'` vs. `'a`);
+//! * identifiers (including raw `r#ident`), numbers, and punctuation.
+//!
+//! Every token carries a 1-based line and column so diagnostics point at
+//! the exact source location.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `r#type` → `type`).
+    Ident,
+    /// A lifetime such as `'a` (without the quote in `text`).
+    Lifetime,
+    /// A numeric literal.
+    Number,
+    /// A string literal; `text` holds the *contents* (escapes unprocessed).
+    Str,
+    /// A raw string literal; `text` holds the contents.
+    RawStr,
+    /// A char or byte literal; `text` holds the contents.
+    Char,
+    /// A single punctuation character; `text` holds it.
+    Punct,
+}
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what it holds per kind).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// A comment, kept separately from the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the delimiters.
+    pub text: String,
+    /// 1-based line of the first character of the comment.
+    pub line: u32,
+    /// Whether this is a doc comment (`///`, `//!`, `/** … */`).
+    pub doc: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments. Unterminated constructs are
+/// tolerated (the rest of the file becomes the literal/comment): the
+/// linter must never panic on weird-but-compiling input, and files that
+/// do not compile are someone else's problem.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    // Advances over chars[i..j), maintaining line/col.
+    macro_rules! advance_to {
+        ($j:expr) => {{
+            let j = $j;
+            while i < j && i < chars.len() {
+                if chars[i] == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        if c.is_whitespace() {
+            advance_to!(i + 1);
+            continue;
+        }
+
+        // Line comment (doc or plain).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let mut j = i + 2;
+            let mut doc = matches!(chars.get(j), Some('/') | Some('!'));
+            if doc && chars.get(j) == Some(&'/') && chars.get(j + 1) == Some(&'/') {
+                // `////…` is a plain comment, not a doc comment.
+                doc = false;
+                while chars.get(j) == Some(&'/') {
+                    j += 1;
+                }
+            } else if doc {
+                j += 1;
+            }
+            let start = j;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment { text: chars[start..j].iter().collect(), line: tline, doc });
+            advance_to!(j);
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let doc = chars.get(i + 2) == Some(&'*') && chars.get(i + 3) != Some(&'*');
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let inner_end = j.saturating_sub(2).max(i + 2);
+            out.comments.push(Comment {
+                text: chars[i + 2..inner_end].iter().collect(),
+                line: tline,
+                doc,
+            });
+            advance_to!(j);
+            continue;
+        }
+
+        // Raw strings and raw identifiers: r"…", r#"…"#, br#"…"#, r#ident.
+        if (c == 'r' || c == 'b') && raw_string_start(&chars, i).is_some() {
+            let (body_start, hashes) = raw_string_start(&chars, i).expect("checked above");
+            let mut j = body_start;
+            let closer: String =
+                std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+            let closer: Vec<char> = closer.chars().collect();
+            while j < chars.len() && chars[j..].len() >= closer.len() {
+                if chars[j..j + closer.len()] == closer[..] {
+                    break;
+                }
+                j += 1;
+            }
+            if j >= chars.len() || chars[j..].len() < closer.len() {
+                j = chars.len();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::RawStr,
+                text: chars[body_start..j.min(chars.len())].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            advance_to!((j + closer.len()).min(chars.len()));
+            continue;
+        }
+        if c == 'r'
+            && chars.get(i + 1) == Some(&'#')
+            && chars.get(i + 2).is_some_and(|c| is_ident_start(*c))
+        {
+            // Raw identifier: token text is the identifier without `r#`.
+            let mut j = i + 3;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[i + 2..j].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            advance_to!(j);
+            continue;
+        }
+
+        // Identifier or keyword.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            // Byte string/char prefix: `b"…"` / `b'…'` — emit the literal,
+            // not an ident `b`.
+            if j == i + 1 && c == 'b' && matches!(chars.get(j), Some('"') | Some('\'')) {
+                advance_to!(j);
+                continue;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            advance_to!(j);
+            continue;
+        }
+
+        // Number.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() {
+                let d = chars[j];
+                let in_decimal = d == '.'
+                    && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                    && chars.get(j.wrapping_sub(1)) != Some(&'.');
+                if d.is_ascii_alphanumeric() || d == '_' || in_decimal {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text: chars[i..j].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            advance_to!(j);
+            continue;
+        }
+
+        // String literal.
+        if c == '"' {
+            let mut j = i + 1;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '"' => break,
+                    _ => j += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: chars[i + 1..j.min(chars.len())].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            advance_to!((j + 1).min(chars.len()));
+            continue;
+        }
+
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_lifetime = next.is_some_and(is_ident_start) && {
+                // `'a'` is a char, `'a` (no closing quote after one
+                // ident) is a lifetime. Scan the ident run.
+                let mut j = i + 2;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                chars.get(j) != Some(&'\'')
+            };
+            if is_lifetime {
+                let mut j = i + 2;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[i + 1..j].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+                advance_to!(j);
+            } else {
+                let mut j = i + 1;
+                while j < chars.len() {
+                    match chars[j] {
+                        '\\' => j += 2,
+                        '\'' => break,
+                        _ => j += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: chars[i + 1..j.min(chars.len())].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+                advance_to!((j + 1).min(chars.len()));
+            }
+            continue;
+        }
+
+        // Anything else is a single punctuation character.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+        advance_to!(i + 1);
+    }
+
+    out
+}
+
+/// If `chars[i..]` starts a raw (byte) string, returns
+/// `(body_start_index, hash_count)`.
+fn raw_string_start(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        // `r#ident` has hashes but no quote and is handled elsewhere.
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let lexed = lex("fn main() {\n    let x = 1;\n}\n");
+        let x = lexed.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents_from_token_rules() {
+        let lexed = lex(r####"let s = r#"Instant::now() is "quoted" here"#; let t = 1;"####);
+        assert!(!idents(r####"let s = r#"Instant::now()"#;"####).contains(&"Instant".to_string()));
+        let raw = lexed.tokens.iter().find(|t| t.kind == TokenKind::RawStr).unwrap();
+        assert!(raw.text.contains("\"quoted\""));
+        // Lexing continues correctly after the raw string.
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lexed = lex(r#"let s = "a \" b"; let c = '\''; done"#);
+        let s = lexed.tokens.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!(s.text, r#"a \" b"#);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let lexed = lex("/// doc line\n//! inner doc\n// plain\n//// not doc\nfn f() {}");
+        let docs: Vec<_> = lexed.comments.iter().filter(|c| c.doc).collect();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(lexed.comments.len(), 4);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_name() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn byte_strings_lex_as_literals() {
+        let lexed = lex(r##"let b = b"bytes"; let r = br#"raw"#;"##);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Str && t.text == "bytes"));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::RawStr && t.text == "raw"));
+    }
+}

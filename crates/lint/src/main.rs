@@ -1,0 +1,108 @@
+//! CLI for the workspace linter. See `dnsnoise-lint --help`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dnsnoise_lint::{diag, lint_workspace};
+
+const USAGE: &str = "\
+dnsnoise-lint: workspace determinism & invariant linter
+
+USAGE:
+    dnsnoise-lint [--root DIR] [--format text|json]
+
+OPTIONS:
+    --root DIR       Workspace root to lint. Defaults to the nearest
+                     ancestor of the current directory with a Cargo.toml
+                     declaring [workspace].
+    --format FORMAT  Output format: text (default, file:line:col:
+                     rule-id: message per violation) or json.
+    -h, --help       Print this help.
+
+EXIT CODES:
+    0  clean
+    1  violations found
+    2  usage or I/O error
+
+Suppressions: `// lint:allow(rule-id): justification` inline, or
+`rule-id path-prefix` lines in lint-allowlist.txt at the workspace
+root. See DESIGN.md \u{a7}static analysis for the rule catalogue.";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                _ => return usage_error("--format must be `text` or `json`"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("dnsnoise-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = match lint_workspace(&root) {
+        Ok(diags) => diags,
+        Err(err) => {
+            eprintln!("dnsnoise-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        print!("{}", diag::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+    if diags.is_empty() {
+        if format == "text" {
+            eprintln!("dnsnoise-lint: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("dnsnoise-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("dnsnoise-lint: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Ascends from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

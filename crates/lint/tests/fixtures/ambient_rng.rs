@@ -1,0 +1,24 @@
+//! Fixture: ambient (unseeded) randomness sources.
+
+fn thread_local_rng() -> u64 {
+    let mut rng = rand::thread_rng(); // EXPECT ambient-rng
+    rng.gen()
+}
+
+fn entropy_seeded() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy() // EXPECT ambient-rng
+}
+
+fn os_rng() -> u32 {
+    let mut rng = rand::rngs::OsRng; // EXPECT ambient-rng
+    rng.next_u32()
+}
+
+fn bare_random() -> f64 {
+    rand::random::<f64>() // EXPECT ambient-rng
+}
+
+fn seeded_is_fine(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,22 @@
+//! Fixture: malformed suppressions. Every `lint:allow` here is broken in
+//! a different way and must surface as `bad-allow`.
+
+fn missing_justification() -> std::time::Instant {
+    // lint:allow(wall-clock)
+    std::time::Instant::now()
+}
+
+fn unknown_rule() {
+    // lint:allow(made-up-rule): confidently wrong
+    let _ = 1;
+}
+
+fn no_rule_list() {
+    // lint:allow
+    let _ = 2;
+}
+
+fn unclosed_list() {
+    // lint:allow(wall-clock: never closed
+    let _ = 3;
+}

@@ -1,0 +1,27 @@
+//! Fixture: deprecated `run_day_*` entry points (illegal outside
+//! crates/resolver), including the doc-comment form that would become a
+//! compiled doctest.
+
+/// Drives one day the old way:
+///
+/// ```
+/// let report = sim.run_day_sharded(&trace, 4); // EXPECT deprecated-api (doc)
+/// ```
+fn old_style(sim: &mut ResolverSim, trace: &Trace) {
+    let _ = sim.run_day(trace); // EXPECT deprecated-api
+    let _ = sim.run_day_with_faults(trace, &plan()); // EXPECT deprecated-api
+    let _ = sim.run_day_sharded(trace, 4); // EXPECT deprecated-api
+}
+
+fn unrelated_pipeline_api(pipeline: &mut DailyPipeline, scenario: &Scenario) {
+    // `pipeline.run_day` is the DailyPipeline miner API, not the
+    // deprecated resolver entry point.
+    let _ = pipeline.run_day(scenario, 0);
+}
+
+impl DailyPipeline {
+    fn run_twice(&mut self, s: &Scenario) {
+        let _ = self.run_day(s, 0);
+        let _ = self.run_day(s, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: overload fields leaking into baseline export paths.
+
+struct Metrics {
+    overload_enabled: bool,
+    queue_backlog: u64,
+    dropped: u64,
+}
+
+impl Metrics {
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        push_field(&mut out, "queue_backlog"); // EXPECT export-purity (string literal)
+        out.push_str(&self.dropped.to_string()); // EXPECT export-purity (ident)
+        if self.overload_enabled {
+            // Guarded: legal.
+            out.push_str(&self.queue_backlog.to_string());
+        }
+        out
+    }
+
+    fn timeline_csv(&self) -> String {
+        if self.overload_enabled {
+            format!("{}", self.queue_backlog)
+        } else {
+            String::new()
+        }
+    }
+
+    // Overload fields outside export functions are not this rule's
+    // business.
+    fn backlog(&self) -> u64 {
+        self.queue_backlog
+    }
+}

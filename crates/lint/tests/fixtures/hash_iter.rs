@@ -1,0 +1,66 @@
+//! Fixture: every form of unordered hash iteration the rule must catch,
+//! plus the exemptions it must honour. Expected violations are marked
+//! `EXPECT hash-iter` on the offending line.
+
+use std::collections::{HashMap, HashSet};
+
+struct Table {
+    by_name: HashMap<String, u64>,
+}
+
+impl Table {
+    fn export(&self) -> Vec<String> {
+        self.by_name.keys().cloned().collect() // EXPECT hash-iter
+    }
+
+    fn field_for_loop(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (_, v) in &self.by_name {
+            // EXPECT hash-iter (diagnostic lands on the `for` line)
+            out.push(*v);
+        }
+        out
+    }
+}
+
+fn local_binding() -> Vec<u32> {
+    let seen: HashSet<u32> = HashSet::new();
+    seen.iter().copied().collect() // EXPECT hash-iter
+}
+
+fn inferred_binding() -> Vec<u32> {
+    let m = HashMap::new();
+    m.insert(1u32, 2u32);
+    m.into_values().collect() // EXPECT hash-iter
+}
+
+// --- exemptions: none of these may fire ---------------------------------
+
+fn order_free_terminal(m: &HashMap<u32, u32>) -> usize {
+    m.values().count()
+}
+
+fn order_free_sum(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum()
+}
+
+fn sorted_collect(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn btree_is_fine(tree: &std::collections::BTreeMap<u32, u32>) -> Vec<u32> {
+    tree.keys().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_iterate() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let _: Vec<u32> = m.keys().copied().collect();
+    }
+}

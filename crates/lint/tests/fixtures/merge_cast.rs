@@ -1,0 +1,31 @@
+//! Fixture: lossy arithmetic inside shard-merge functions.
+
+struct Stats {
+    total: u64,
+    small: u16,
+    ratio: f64,
+}
+
+impl Stats {
+    fn merge(&mut self, other: &Stats) {
+        self.total += other.total;
+        self.small = other.total as u16; // EXPECT merge-cast (narrowing)
+        self.ratio += other.total as f64; // EXPECT merge-cast (float cast)
+    }
+
+    fn absorb(&mut self, other: Stats) {
+        let x: f64 = other.ratio; // EXPECT merge-cast (float in merge fn)
+        self.ratio = x;
+    }
+
+    // Widening casts and non-merge functions are fine.
+    fn merge_partials(&mut self, parts: &[Stats]) {
+        for p in parts {
+            self.total += p.small as u64;
+        }
+    }
+
+    fn display(&self) -> f64 {
+        self.total as f64
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: real violations, each with a well-formed justification — the
+//! file must lint clean.
+
+use std::collections::HashMap;
+
+fn harness_timing() -> std::time::Instant {
+    // lint:allow(wall-clock): harness-only timing, never exported
+    std::time::Instant::now()
+}
+
+fn order_free_removal(map: &mut HashMap<u32, u32>) {
+    // lint:allow(hash-iter): removal set; each key is removed independently
+    let dead: Vec<u32> =
+        map.iter().filter(|(_, v)| **v == 0).map(|(k, _)| *k).collect();
+    for k in dead {
+        map.remove(&k);
+    }
+}
+
+struct Wire {
+    txid: u16,
+    count: u64,
+}
+
+impl Wire {
+    fn merge(&mut self, other: &Wire) {
+        self.count += other.count;
+        self.txid = other.count as u16; // lint:allow(merge-cast): 16-bit wire field by protocol
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: wall-clock reads. Both `Instant::now()` and
+//! `SystemTime::now()` must fire, fully-qualified or imported.
+
+use std::time::{Instant, SystemTime};
+
+fn imported() -> Instant {
+    Instant::now() // EXPECT wall-clock
+}
+
+fn qualified() -> std::time::SystemTime {
+    std::time::SystemTime::now() // EXPECT wall-clock
+}
+
+fn elapsed_alone_is_fine(start: Instant) -> std::time::Duration {
+    start.elapsed()
+}

@@ -1,0 +1,233 @@
+//! Integration tests: each committed bad fixture must trip exactly its
+//! rule, the clean/suppressed fixtures must pass, and the linter binary
+//! must behave end-to-end (exit codes, JSON output, live workspace).
+//!
+//! Fixtures live in `tests/fixtures/` — a directory cargo never
+//! compiles and the workspace walk never descends into — and are linted
+//! with synthetic non-lint, non-resolver paths so no rule is skipped.
+
+use std::path::Path;
+
+use dnsnoise_lint::{lint_source, lint_workspace, parse_allowlist, Diagnostic};
+
+/// Lints a fixture as if it lived at `crates/fake/src/<name>`.
+fn lint_fixture(name: &str, source: &str) -> Vec<Diagnostic> {
+    lint_source(&format!("crates/fake/src/{name}"), source, &[])
+}
+
+/// Asserts the fixture yields exactly `expected` as its (rule, line)
+/// multiset, using the `EXPECT <rule>` markers for line numbers.
+fn rules_fired(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+/// Every diagnostic must land on a line carrying an `EXPECT <rule>`
+/// marker (or, for `for`-loop diagnostics, the line before one), and
+/// the count must match the number of markers.
+fn check_against_markers(source: &str, rule: &str, diags: &[Diagnostic]) {
+    let marker = format!("EXPECT {rule}");
+    let expected: Vec<u32> = source
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains(&marker))
+        .map(|(i, _)| (i + 1) as u32)
+        .collect();
+    let mut got: Vec<u32> = diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect();
+    got.sort_unstable();
+    assert_eq!(
+        got, expected,
+        "{rule}: diagnostics {got:?} vs EXPECT markers on lines {expected:?}\n{diags:#?}"
+    );
+}
+
+#[test]
+fn hash_iter_fixture_trips_only_hash_iter() {
+    let src = include_str!("fixtures/hash_iter.rs");
+    let diags = lint_fixture("hash_iter.rs", src);
+    assert_eq!(rules_fired(&diags), ["hash-iter"]);
+    // Three method-call sites land on their EXPECT line; the for-loop
+    // diagnostic lands on the `for` line whose marker is one line below.
+    assert_eq!(diags.len(), 4, "{diags:#?}");
+    let for_line = src.lines().position(|l| l.contains("for (_, v)")).unwrap() + 1;
+    assert!(diags.iter().any(|d| d.line == for_line as u32), "{diags:#?}");
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let diags = lint_fixture("wall_clock.rs", src);
+    assert_eq!(rules_fired(&diags), ["wall-clock"]);
+    check_against_markers(src, "wall-clock", &diags);
+}
+
+#[test]
+fn ambient_rng_fixture() {
+    let src = include_str!("fixtures/ambient_rng.rs");
+    let diags = lint_fixture("ambient_rng.rs", src);
+    assert_eq!(rules_fired(&diags), ["ambient-rng"]);
+    check_against_markers(src, "ambient-rng", &diags);
+}
+
+#[test]
+fn merge_cast_fixture() {
+    let src = include_str!("fixtures/merge_cast.rs");
+    let diags = lint_fixture("merge_cast.rs", src);
+    assert_eq!(rules_fired(&diags), ["merge-cast"]);
+    check_against_markers(src, "merge-cast", &diags);
+}
+
+#[test]
+fn export_purity_fixture() {
+    let src = include_str!("fixtures/export_purity.rs");
+    let diags = lint_fixture("export_purity.rs", src);
+    assert_eq!(rules_fired(&diags), ["export-purity"]);
+    check_against_markers(src, "export-purity", &diags);
+}
+
+#[test]
+fn deprecated_api_fixture() {
+    let src = include_str!("fixtures/deprecated_api.rs");
+    let diags = lint_fixture("deprecated_api.rs", src);
+    assert_eq!(rules_fired(&diags), ["deprecated-api"]);
+    check_against_markers(src, "deprecated-api", &diags);
+}
+
+#[test]
+fn deprecated_api_is_legal_inside_resolver() {
+    let src = include_str!("fixtures/deprecated_api.rs");
+    let diags = lint_source("crates/resolver/src/anything.rs", src, &[]);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn bad_allow_fixture() {
+    let src = include_str!("fixtures/bad_allow.rs");
+    let diags = lint_fixture("bad_allow.rs", src);
+    assert_eq!(rules_fired(&diags), ["bad-allow"]);
+    assert_eq!(diags.len(), 4, "{diags:#?}");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let diags = lint_fixture("clean.rs", include_str!("fixtures/clean.rs"));
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn suppressed_fixture_is_clean() {
+    let diags = lint_fixture("suppressed.rs", include_str!("fixtures/suppressed.rs"));
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn allowlist_waives_fixture_violations() {
+    let (entries, bad) = parse_allowlist("wall-clock crates/fake/src/wall_clock.rs\n");
+    assert!(bad.is_empty());
+    let diags = lint_source(
+        "crates/fake/src/wall_clock.rs",
+        include_str!("fixtures/wall_clock.rs"),
+        &entries,
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+// --- lexer edge cases through the full pipeline --------------------------
+
+#[test]
+fn cfg_gated_code_is_still_linted() {
+    // #[cfg(feature = "x")] is not #[cfg(test)]: rules still apply.
+    let src = "#[cfg(feature = \"slow\")]\nfn f() -> std::time::Instant {\n    \
+               std::time::Instant::now()\n}\n";
+    let diags = lint_fixture("gated.rs", src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "wall-clock");
+}
+
+#[test]
+fn cfg_test_module_is_exempt_from_hash_iter() {
+    let src = "use std::collections::HashMap;\n\
+               #[cfg(test)]\nmod tests {\n    use super::*;\n    \
+               fn helper(m: &HashMap<u32, u32>) -> Vec<u32> {\n        \
+               m.keys().copied().collect()\n    }\n}\n";
+    let diags = lint_fixture("test_mod.rs", src);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn violations_inside_raw_strings_and_comments_are_inert() {
+    let src = "fn f() -> &'static str {\n    \
+               // Instant::now() in a comment is prose.\n    \
+               /* nested /* block */ with thread_rng() */\n    \
+               r##\"SystemTime::now() and .run_day_sharded(x)\"##\n}\n";
+    let diags = lint_fixture("inert.rs", src);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn doc_comment_doctests_are_scanned() {
+    let src = "/// ```\n/// let r = sim.run_day_sharded(&trace, 4);\n/// ```\nfn f() {}\n";
+    let diags = lint_fixture("doc.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, "deprecated-api");
+    assert_eq!(diags[0].line, 2);
+}
+
+// --- binary end-to-end ---------------------------------------------------
+
+/// Builds a throwaway mini-workspace, runs the real binary against it,
+/// and checks exit code + diagnostic output.
+#[test]
+fn binary_flags_a_bad_workspace_and_accepts_a_fixed_one() {
+    let dir = std::env::temp_dir().join(format!("dnsnoise-lint-e2e-{}", std::process::id()));
+    let src_dir = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn now() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    )
+    .unwrap();
+
+    let bin = env!("CARGO_BIN_EXE_dnsnoise-lint");
+    let out =
+        std::process::Command::new(bin).args(["--root", dir.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/demo/src/lib.rs:2:16: wall-clock:"), "{stdout}");
+
+    // JSON mode carries the same diagnostic.
+    let json_out = std::process::Command::new(bin)
+        .args(["--root", dir.to_str().unwrap(), "--format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(json_out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&json_out.stdout);
+    assert!(json.contains("\"rule\": \"wall-clock\""), "{json}");
+
+    // An allowlist entry turns the same tree clean (exit 0).
+    std::fs::write(dir.join("lint-allowlist.txt"), "wall-clock crates/demo/\n").unwrap();
+    let ok =
+        std::process::Command::new(bin).args(["--root", dir.to_str().unwrap()]).output().unwrap();
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_rejects_unknown_arguments() {
+    let bin = env!("CARGO_BIN_EXE_dnsnoise-lint");
+    let out = std::process::Command::new(bin).arg("--bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+// --- the workspace holds itself to its own rules --------------------------
+
+#[test]
+fn live_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint_workspace(&root).unwrap();
+    assert!(diags.is_empty(), "workspace must lint clean:\n{diags:#?}");
+}

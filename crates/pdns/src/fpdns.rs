@@ -197,6 +197,7 @@ impl FpDnsLog {
         let room = self.retain.saturating_sub(self.retained.len());
         self.retained.extend(other.retained.into_iter().take(room));
         // Keep the single-threaded invariant txid = roundtrips + 1.
+        // lint:allow(merge-cast): txid is a 16-bit wire field; wrapping is the DNS invariant
         self.next_txid = (self.wire_roundtrips as u16).wrapping_add(1);
     }
 

@@ -89,6 +89,7 @@ impl RpDns {
             slot.repeated_records += theirs.repeated_records;
         }
         self.storage_bytes += other.storage_bytes;
+        // lint:allow(hash-iter): entry-wise union; the merged map is the same whatever the order
         for (key, day) in other.records {
             match self.records.entry(key) {
                 std::collections::hash_map::Entry::Vacant(e) => {
@@ -141,6 +142,7 @@ impl RpDns {
 
     /// Iterates `(record key, first-seen day)`.
     pub fn iter(&self) -> impl Iterator<Item = (&RrKey, u64)> {
+        // lint:allow(hash-iter): documented-unordered view; consumers reduce order-free or sort
         self.records.iter().map(|(k, &d)| (k, d))
     }
 

@@ -54,6 +54,24 @@ pub struct DayRun<'a, O: Observer + ?Sized = ()> {
     metrics: Option<&'a mut MetricsRegistry>,
 }
 
+// Manual impl: the observer type is `?Sized` and need not be `Debug`,
+// so derive can't apply. Shows the replay configuration, not the
+// borrowed simulator state.
+impl<O: Observer + ?Sized> std::fmt::Debug for DayRun<'_, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DayRun")
+            .field("day", &self.trace.day)
+            .field("events", &self.trace.events.len())
+            .field("ground_truth", &self.ground_truth.is_some())
+            .field("faults", &self.plan.is_some())
+            .field("overload", &self.overload.is_some())
+            .field("threads", &self.threads)
+            .field("observer", &self.observer.is_some())
+            .field("metrics", &self.metrics.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl ResolverSim {
     /// Starts building a replay of one day of traffic. See [`DayRun`].
     pub fn day<'a>(&'a mut self, trace: &'a DayTrace) -> DayRun<'a, ()> {
@@ -202,6 +220,7 @@ pub(crate) fn run_serial_impl<Obs: Observer + ?Sized>(
         m.set_overload_enabled(overload.is_some());
         m.begin_day(trace.day, sim.cluster.members());
     }
+    // lint:allow(wall-clock): feeds PhaseTimings, which is excluded from deterministic exports
     let replay_start = std::time::Instant::now();
 
     let mut report = DayReport { day: trace.day, ..DayReport::default() };

@@ -193,6 +193,7 @@ pub(crate) fn run_sharded<O: ShardObserver>(
     // Partition pass: replay the routing decisions (and the member
     // crash schedule they depend on) purely, without touching cache
     // state.
+    // lint:allow(wall-clock): feeds PhaseTimings, which is excluded from deterministic exports
     let partition_start = Instant::now();
     let rr0 = sim.cluster.rr_cursor();
     let drive_members = !plan.member_outages.is_empty() || sim.cluster.any_member_down();
@@ -236,6 +237,7 @@ pub(crate) fn run_sharded<O: ShardObserver>(
         (0..shards).map(|_| metrics.as_deref().map(MetricsRegistry::fork)).collect();
 
     // Run the shard workers; each builds a private partial report.
+    // lint:allow(wall-clock): feeds PhaseTimings, which is excluded from deterministic exports
     let replay_start = Instant::now();
     let partials: Vec<(DayReport, O, Option<MetricsRegistry>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = worker_members
@@ -277,6 +279,7 @@ pub(crate) fn run_sharded<O: ShardObserver>(
 
     // Deterministic merge in shard order: reports through the canonical
     // `DayReport::merge_partials`, observers and registries via absorb.
+    // lint:allow(wall-clock): feeds PhaseTimings, which is excluded from deterministic exports
     let merge_start = Instant::now();
     let mut shard_reports = Vec::with_capacity(partials.len());
     for (partial, fork, metric_fork) in partials {

@@ -124,6 +124,7 @@ impl RrDayStats {
 
     /// Iterates over `(record key, stat)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&RrKey, &RrStat)> {
+        // lint:allow(hash-iter): documented-unordered view; consumers reduce order-free or sort
         self.stats.iter()
     }
 
@@ -175,12 +176,14 @@ impl RrDayStats {
     /// The cache-hit-rate distribution of all records (Eq. 2): each
     /// record's DHR value counted once per cache miss.
     pub fn chr_distribution(&self) -> ChrDistribution {
+        // lint:allow(hash-iter): histogram binning; integer bin counts are order-independent
         ChrDistribution::from_stats(self.stats.values())
     }
 
     /// Merges another day's stats into this table (used by multi-day
     /// aggregates like Fig. 4b).
     pub fn merge(&mut self, other: &RrDayStats) {
+        // lint:allow(hash-iter): entry-wise integer sums and bitwise-or; order cannot matter
         for (k, s) in &other.stats {
             let e = self.stats.entry(k.clone()).or_default();
             e.queries += s.queries;

@@ -5,23 +5,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== deprecated run_day_* call sites ==" >&2
-# Everything in-tree goes through the `ResolverSim::day` builder; the
-# `run_day` / `run_day_with_faults` / `run_day_sharded` wrappers exist
-# for external callers only and may appear solely inside the resolver
-# crate (the wrappers themselves + their equivalence tests). Matches on
-# `pipeline.run_day(` are the unrelated `DailyPipeline::run_day` API.
-if grep -rn --include='*.rs' -E '\.(run_day_with_faults|run_day_sharded)\(' \
-        src tests examples crates/core crates/bench crates/pdns crates/dnssec; then
-    echo "error: deprecated sharded/fault entry points used outside crates/resolver" >&2
-    exit 1
-fi
-if grep -rn --include='*.rs' -E '\.run_day\(' \
-        src tests examples crates/core crates/bench crates/pdns crates/dnssec \
-        | grep -vE '(pipeline|self)\.run_day\('; then
-    echo "error: deprecated ResolverSim::run_day used outside crates/resolver" >&2
-    exit 1
-fi
+echo "== dnsnoise-lint (determinism & invariant linter) ==" >&2
+# Replaces the old grep gates (deprecated run_day_* call sites, overload
+# fields in the baseline export) with named, suppressible rules plus
+# determinism checks no grep could express. See DESIGN.md §static
+# analysis.
+cargo run -q --release --offline -p dnsnoise-lint
 
 echo "== cargo build --release ==" >&2
 cargo build --release --offline
@@ -50,12 +39,6 @@ grep -q -- '-- overload --' "$smoke_dir/a1.txt" \
     || { echo "error: overload section missing from attack smoke" >&2; exit 1; }
 grep -Eq 'shed attack/legit: [1-9]' "$smoke_dir/a1.txt" \
     || { echo "error: attack smoke shed nothing" >&2; exit 1; }
-# The plain-replay export must not grow overload columns: byte-identical
-# output with admission control off is a hard compatibility invariant.
-if grep -q 'queue_backlog' "$smoke_dir/m1.json"; then
-    echo "error: overload metrics leaked into the baseline export" >&2
-    exit 1
-fi
 
 echo "== cargo test ==" >&2
 cargo test -q --offline
