@@ -45,4 +45,4 @@ pub use message::{Message, Opcode, Question, Rcode};
 pub use name::{Name, NameParseError, MAX_NAME_LEN};
 pub use record::{QType, RData, Record, RrKey};
 pub use suffix::SuffixList;
-pub use time::{Timestamp, Ttl};
+pub use time::{Timestamp, Ttl, SECS_PER_DAY};

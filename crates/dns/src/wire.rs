@@ -45,6 +45,11 @@ pub enum WireError {
     Truncated,
     /// A compression pointer chain looped or pointed forward.
     BadPointer,
+    /// A compression pointer chain exceeded [`MAX_POINTER_HOPS`]. Backward
+    /// pointers alone already rule out loops, but a crafted chain can still
+    /// force `O(n)` hops each re-reading `O(n)` labels — quadratic work per
+    /// message. The hop cap turns that into a typed error.
+    PointerChainTooLong(usize),
     /// A label length byte used the reserved `0x40`/`0x80` prefixes.
     BadLabelType(u8),
     /// A decoded label failed validation.
@@ -69,6 +74,9 @@ impl fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "message truncated"),
             WireError::BadPointer => write!(f, "invalid compression pointer"),
+            WireError::PointerChainTooLong(n) => {
+                write!(f, "compression pointer chain of {n} hops exceeds {MAX_POINTER_HOPS}")
+            }
             WireError::BadLabelType(b) => write!(f, "unsupported label type byte {b:#04x}"),
             WireError::BadLabel => write!(f, "label failed validation"),
             WireError::NameTooLong => write!(f, "decoded name exceeds length limit"),
@@ -85,6 +93,13 @@ impl std::error::Error for WireError {}
 
 const CLASS_IN: u16 = 1;
 const POINTER_MASK: u8 = 0xc0;
+
+/// Most compression-pointer hops the decoder follows for one name. A name
+/// has at most 127 labels, and every legitimate hop must land on a label
+/// sequence written earlier, so real messages never chain anywhere near
+/// this deep; hostile ones can (each hop strictly backward but only by a
+/// few bytes), which without a cap costs quadratic work per message.
+pub const MAX_POINTER_HOPS: usize = 127;
 
 /// Encodes a message to wire format, compressing repeated names.
 ///
@@ -313,8 +328,8 @@ impl<'a> Cursor<'a> {
                     return Err(WireError::BadPointer);
                 }
                 hops += 1;
-                if hops > self.bytes.len() {
-                    return Err(WireError::BadPointer);
+                if hops > MAX_POINTER_HOPS {
+                    return Err(WireError::PointerChainTooLong(hops));
                 }
                 if end_after.is_none() {
                     end_after = Some(pos + 2);
@@ -617,6 +632,36 @@ mod tests {
         b.extend_from_slice(&[0xc0, 12]); // pointer to its own position
         b.extend_from_slice(&[0, 1, 0, 1]);
         assert_eq!(decode(&b), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn pointer_chain_over_hop_limit_is_rejected() {
+        // Header: qdcount = 1, ancount = 2.
+        let mut b = vec![0u8; 12];
+        b[4..6].copy_from_slice(&1u16.to_be_bytes());
+        b[6..8].copy_from_slice(&2u16.to_be_bytes());
+        // Question: root name, type A, class IN.
+        b.push(0x00);
+        b.extend_from_slice(&[0, 1, 0, 1]);
+        // Answer 1: an opaque (RRSIG) record whose RDATA is a pointer
+        // ladder — a root byte, then rungs each hopping 2 bytes backward.
+        // Every rung is strictly backward, so only the hop cap stops it.
+        let hops = MAX_POINTER_HOPS + 3;
+        b.push(0x00); // owner: root
+        b.extend_from_slice(&[0, 46, 0, 1, 0, 0, 0, 0]);
+        let rdlen = u16::try_from(1 + 2 * hops).unwrap();
+        b.extend_from_slice(&rdlen.to_be_bytes());
+        let base = b.len();
+        b.push(0x00); // ladder base: a terminating root label
+        for k in 0..hops {
+            let target = if k == 0 { base } else { base + 1 + 2 * (k - 1) };
+            b.extend_from_slice(&(0xc000 | u16::try_from(target).unwrap()).to_be_bytes());
+        }
+        let top = base + 1 + 2 * (hops - 1);
+        // Answer 2: its owner name enters the ladder at the top rung.
+        b.extend_from_slice(&(0xc000 | u16::try_from(top).unwrap()).to_be_bytes());
+        b.extend_from_slice(&[0, 1, 0, 1, 0, 0, 0, 0, 0, 4, 192, 0, 2, 1]);
+        assert!(matches!(decode(&b), Err(WireError::PointerChainTooLong(_))), "{:?}", decode(&b));
     }
 
     #[test]

@@ -125,6 +125,27 @@ proptest! {
         let _ = wire::decode(&bytes);
     }
 
+    /// Pointer-dense garbage — bytes biased toward 0xC0 tags and small
+    /// offsets, the shape that stresses compression-pointer handling —
+    /// never panics the decoder and never runs away: backward-only targets
+    /// plus the hop cap bound the work per name.
+    #[test]
+    fn pointer_heavy_bytes_never_panic(
+        bytes in proptest::collection::vec(
+            prop_oneof![Just(0xc0u8), Just(0xc0u8), 0u8..32, any::<u8>()],
+            12..300,
+        ),
+        qdcount_real in any::<bool>(),
+    ) {
+        let mut bytes = bytes;
+        if qdcount_real {
+            // Forcing qdcount = 1 gets past the header check so the name
+            // parser actually runs on the pointer soup.
+            bytes[4..6].copy_from_slice(&1u16.to_be_bytes());
+        }
+        let _ = wire::decode(&bytes);
+    }
+
     /// Name parse/display roundtrip.
     #[test]
     fn name_roundtrip(name in arb_name()) {

@@ -1,0 +1,392 @@
+//! Fault-tolerant capture ingestion.
+//!
+//! This crate turns on-disk DNS captures — classic libpcap files and
+//! dnstap-style Frame Streams — into the canonical [`DayTrace`] the rest
+//! of the pipeline consumes, under the assumption that real captures are
+//! *hostile*: truncated mid-frame, bit-flipped in bursts, spliced by ring
+//! buffers, and interleaved with traffic that is not DNS at all.
+//!
+//! The design is graceful degradation with receipts:
+//!
+//! 1. **Resync, never abort.** A serial scan delimits frame extents using
+//!    header plausibility plus one-frame lookahead; on garbage it
+//!    skip-scans to the next confirmed boundary instead of giving up on
+//!    the file.
+//! 2. **Quarantine ledger.** Every malformed record is counted under a
+//!    typed class in the [`IngestReport`], with the first few samples
+//!    retained, and the conservation invariant
+//!    `bytes_total = bytes_parsed + bytes_quarantined + bytes_skipped`
+//!    holds on every input.
+//! 3. **Per-source error budget.** When the malformed fraction exceeds
+//!    [`IngestConfig::max_error_rate`], ingestion fails with a diagnostic
+//!    carrying the full ledger rather than silently emitting a sliver of
+//!    a ruined source.
+//! 4. **Deterministic sharding.** Frame extents are fixed serially before
+//!    payload decoding fans out over contiguous chunks, and chunks merge
+//!    in order — so output is bit-identical across thread counts and runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corrupt;
+mod decode;
+pub mod framestream;
+pub mod pcap;
+pub mod report;
+mod scan;
+
+use std::fmt;
+
+use dnsnoise_dns::SECS_PER_DAY;
+use dnsnoise_workload::DayTrace;
+
+pub use report::{
+    ClassStats, IngestReport, QuarantineClass, QuarantineSample, MAX_QUARANTINE_SAMPLES,
+};
+pub use scan::{chunk_ranges, RawFrame, ScanError, Scanned};
+
+use decode::Decoded;
+use report::QuarantineSample as Sample;
+
+/// The capture container formats ingestion understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureFormat {
+    /// Classic libpcap (any of the four magic variants when detected; the
+    /// writer emits little-endian microsecond files).
+    Pcap,
+    /// Frame Streams carrying dnstap-lite data frames.
+    Dnstap,
+}
+
+impl CaptureFormat {
+    /// Stable lowercase identifier, matching the CLI's `--format` values.
+    pub fn id(self) -> &'static str {
+        match self {
+            CaptureFormat::Pcap => "pcap",
+            CaptureFormat::Dnstap => "dnstap",
+        }
+    }
+
+    /// Parses a CLI `--format` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pcap" => Some(CaptureFormat::Pcap),
+            "dnstap" => Some(CaptureFormat::Dnstap),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CaptureFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A trace event that cannot be expressed in the target capture format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureWriteError(pub String);
+
+impl fmt::Display for CaptureWriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot serialize event: {}", self.0)
+    }
+}
+
+impl std::error::Error for CaptureWriteError {}
+
+/// Knobs for one ingestion run.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Capture format; `None` auto-detects from the leading bytes.
+    pub format: Option<CaptureFormat>,
+    /// Decode threads. `1` is fully serial; larger values shard the
+    /// payload-decode phase without changing the output.
+    pub threads: usize,
+    /// Maximum tolerated error rate — the fraction of input bytes that
+    /// were quarantined or skipped — before the source is rejected
+    /// outright.
+    pub max_error_rate: f64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig { format: None, threads: 1, max_error_rate: 0.5 }
+    }
+}
+
+/// Why an ingestion run produced no trace at all.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The capture could not be recognized or scanned in the first place.
+    BadCapture(String),
+    /// The source exceeded the configured error budget. The ledger for
+    /// the full scan rides along for diagnosis.
+    ErrorBudgetExceeded {
+        /// Observed malformed fraction.
+        rate: f64,
+        /// The configured ceiling.
+        limit: f64,
+        /// The complete ledger up to the point of rejection.
+        report: Box<IngestReport>,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::BadCapture(why) => write!(f, "unusable capture: {why}"),
+            IngestError::ErrorBudgetExceeded { rate, limit, .. } => write!(
+                f,
+                "error rate {:.1}% exceeds the {:.1}% budget; refusing to emit a sliver of a ruined source",
+                rate * 100.0,
+                limit * 100.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// A successful (possibly degraded) ingestion: the recovered trace plus
+/// the ledger accounting for everything that did not make it.
+#[derive(Debug)]
+pub struct IngestOutput {
+    /// Recovered events, in capture order, as a canonical day trace.
+    pub trace: DayTrace,
+    /// The quarantine ledger for the source.
+    pub report: IngestReport,
+}
+
+/// Widest plausible deviation between an event's timestamp and the median
+/// of its neighbors: one day. Wider excursions are quarantined as
+/// out-of-order (a flipped timestamp byte in a surviving frame, not a
+/// real gap).
+const MAX_TS_DEVIATION_SECS: u64 = SECS_PER_DAY;
+
+/// Ingests one capture held in memory.
+///
+/// # Errors
+///
+/// Fails only when the capture is structurally unusable
+/// ([`IngestError::BadCapture`]) or worse than the configured error
+/// budget ([`IngestError::ErrorBudgetExceeded`]). Everything else is
+/// degradation, reported in the returned ledger.
+pub fn ingest_bytes(bytes: &[u8], config: &IngestConfig) -> Result<IngestOutput, IngestError> {
+    let format = match config.format {
+        Some(f) => f,
+        None => detect_format(bytes)?,
+    };
+    let mut report = IngestReport { bytes_total: bytes.len() as u64, ..Default::default() };
+    let scanned = match format {
+        CaptureFormat::Pcap => pcap::scan(bytes, &mut report),
+        CaptureFormat::Dnstap => framestream::scan(bytes, &mut report),
+    }
+    .map_err(|ScanError::BadCapture(why)| IngestError::BadCapture(why))?;
+
+    let decoded = decode::decode_frames(bytes, &scanned.frames, format, config.threads.max(1));
+
+    // Serial merge: chunk order equals capture order, so cross-frame state
+    // (the timestamp plausibility filter) sees frames exactly as a serial
+    // decode would.
+    let mut events = Vec::with_capacity(decoded.len());
+    for item in decoded {
+        match item {
+            Decoded::Event { event, frame_bytes, index, offset } => {
+                events.push((event, frame_bytes, index, offset));
+            }
+            Decoded::Quarantine { class, reason, frame_bytes, index, offset } => {
+                report.quarantine(
+                    class,
+                    frame_bytes,
+                    Sample { frame_index: index, offset, reason },
+                );
+            }
+        }
+    }
+
+    let accepted = timestamp_filter(events, &mut report);
+    report.events = accepted.len() as u64;
+
+    debug_assert!(report.conserves(), "ledger must conserve: {report}");
+    let rate = report.error_rate();
+    if rate > config.max_error_rate {
+        return Err(IngestError::ErrorBudgetExceeded {
+            rate,
+            limit: config.max_error_rate,
+            report: Box::new(report),
+        });
+    }
+
+    let day = accepted.first().map(|e| e.time.day()).unwrap_or(0);
+    Ok(IngestOutput { trace: DayTrace { day, events: accepted }, report })
+}
+
+/// Sniffs the container format from the leading bytes.
+pub fn detect_format(bytes: &[u8]) -> Result<CaptureFormat, IngestError> {
+    if pcap::looks_like_pcap(bytes) {
+        Ok(CaptureFormat::Pcap)
+    } else if framestream::looks_like_dnstap(bytes) {
+        Ok(CaptureFormat::Dnstap)
+    } else {
+        Err(IngestError::BadCapture(
+            "neither a pcap magic nor a Frame Streams control escape; pass --format to force"
+                .into(),
+        ))
+    }
+}
+
+type PendingEvent = (dnsnoise_workload::QueryEvent, u64, u64, u64);
+
+/// Drops events whose timestamps fall implausibly far from the stream
+/// around them.
+///
+/// Each event is judged against the *median* timestamp of its up-to-five
+/// nearest neighbors (itself included), so a single flipped timestamp
+/// byte cannot shift the reference, and — unlike a high-water-mark
+/// ratchet — one corrupted-but-plausible forward jump cannot poison the
+/// acceptance of everything after it. Decisions are per-event over the
+/// decoded sequence, independent of each other, hence trivially
+/// deterministic.
+fn timestamp_filter(
+    events: Vec<PendingEvent>,
+    report: &mut IngestReport,
+) -> Vec<dnsnoise_workload::QueryEvent> {
+    let stamps: Vec<u64> = events.iter().map(|(e, ..)| e.time.as_secs()).collect();
+    let mut accepted = Vec::with_capacity(events.len());
+    for (i, (event, frame_bytes, index, offset)) in events.into_iter().enumerate() {
+        let lo = i.saturating_sub(2);
+        let hi = (i + 3).min(stamps.len());
+        let mut window: Vec<u64> = stamps[lo..hi].to_vec();
+        window.sort_unstable();
+        let median = window[window.len() / 2];
+        let ts = stamps[i];
+        if ts + MAX_TS_DEVIATION_SECS < median || ts > median + MAX_TS_DEVIATION_SECS {
+            report.quarantine(
+                QuarantineClass::OutOfOrderTimestamp,
+                frame_bytes,
+                Sample {
+                    frame_index: index,
+                    offset,
+                    reason: format!("timestamp {ts}s deviates from the {median}s around it"),
+                },
+            );
+            continue;
+        }
+        report.bytes_parsed += frame_bytes;
+        accepted.push(event);
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnsnoise_dns::{QType, RData, Record, Timestamp, Ttl};
+    use dnsnoise_workload::{Outcome, QueryEvent};
+    use std::net::Ipv4Addr;
+
+    fn event(secs: u64, client: u64, name: &str) -> QueryEvent {
+        QueryEvent {
+            time: Timestamp::from_secs(secs),
+            client,
+            name: name.parse().unwrap(),
+            qtype: QType::A,
+            outcome: Outcome::Answer(vec![Record::new(
+                name.parse().unwrap(),
+                QType::A,
+                Ttl::from_secs(300),
+                RData::A(Ipv4Addr::new(203, 0, 113, 7)),
+            )]),
+            zone_tag: u32::MAX,
+        }
+    }
+
+    fn sample_trace(n: u64) -> DayTrace {
+        let events = (0..n).map(|i| event(1000 + i, i % 7, &format!("h{i}.example.com"))).collect();
+        DayTrace { day: 0, events }
+    }
+
+    #[test]
+    fn clean_pcap_roundtrips_fully() {
+        let trace = sample_trace(50);
+        let capture = pcap::write_pcap(&trace).unwrap();
+        let out = ingest_bytes(&capture, &IngestConfig::default()).unwrap();
+        assert_eq!(out.trace.events.len(), 50);
+        assert_eq!(out.report.events, 50);
+        assert_eq!(out.report.quarantined_frames(), 0);
+        assert_eq!(out.report.resyncs, 0);
+        assert!(out.report.conserves(), "{}", out.report);
+        assert_eq!(out.report.bytes_parsed, out.report.bytes_total);
+        for (got, want) in out.trace.events.iter().zip(&trace.events) {
+            assert_eq!(got.time, want.time);
+            assert_eq!(got.name, want.name);
+            assert_eq!(got.outcome, want.outcome);
+        }
+    }
+
+    #[test]
+    fn clean_dnstap_roundtrips_fully_with_64bit_clients() {
+        let mut trace = sample_trace(20);
+        trace.events[3].client = u64::MAX - 5; // beyond pcap's IPv4 reach
+        let capture = framestream::write_dnstap(&trace).unwrap();
+        let out = ingest_bytes(&capture, &IngestConfig::default()).unwrap();
+        assert_eq!(out.trace.events.len(), 20);
+        assert_eq!(out.trace.events[3].client, u64::MAX - 5);
+        assert!(out.report.conserves(), "{}", out.report);
+    }
+
+    #[test]
+    fn detection_distinguishes_the_formats() {
+        let trace = sample_trace(3);
+        let pcap_bytes = pcap::write_pcap(&trace).unwrap();
+        let tap_bytes = framestream::write_dnstap(&trace).unwrap();
+        assert_eq!(detect_format(&pcap_bytes).unwrap(), CaptureFormat::Pcap);
+        assert_eq!(detect_format(&tap_bytes).unwrap(), CaptureFormat::Dnstap);
+        assert!(detect_format(b"plainly not a capture").is_err());
+    }
+
+    #[test]
+    fn error_budget_rejects_ruined_sources() {
+        let trace = sample_trace(40);
+        let mut capture = pcap::write_pcap(&trace).unwrap();
+        corrupt::flip_bursts(&mut capture[24..], 0.60, 11);
+        let config = IngestConfig { max_error_rate: 0.10, ..Default::default() };
+        match ingest_bytes(&capture, &config) {
+            Err(IngestError::ErrorBudgetExceeded { rate, limit, report }) => {
+                assert!(rate > limit, "rate {rate} limit {limit}");
+                assert!(report.conserves(), "{report}");
+            }
+            other => panic!("expected budget rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timestamp_filter_survives_a_poisoned_first_timestamp() {
+        let trace = sample_trace(10);
+        let mut capture = framestream::write_dnstap(&trace).unwrap();
+        // Corrupt the first data frame's timestamp field in place: it sits
+        // after the START control frame (12 bytes), the 4-byte length and
+        // the version byte.
+        let ts_at = 12 + 4 + 1;
+        capture[ts_at] = 0xff; // timestamp becomes astronomically large
+        let out = ingest_bytes(&capture, &IngestConfig::default()).unwrap();
+        assert_eq!(out.trace.events.len(), 9, "{}", out.report);
+        assert_eq!(out.report.class(QuarantineClass::OutOfOrderTimestamp).frames, 1);
+        assert!(out.report.conserves(), "{}", out.report);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_output() {
+        let trace = sample_trace(200);
+        let mut capture = pcap::write_pcap(&trace).unwrap();
+        corrupt::flip_bursts(&mut capture[24..], 0.01, 5);
+        let serial = ingest_bytes(&capture, &IngestConfig::default()).unwrap();
+        for threads in [2, 4, 7] {
+            let config = IngestConfig { threads, ..Default::default() };
+            let sharded = ingest_bytes(&capture, &config).unwrap();
+            assert_eq!(sharded.trace.events, serial.trace.events, "threads={threads}");
+            assert_eq!(sharded.report, serial.report, "threads={threads}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Shared fixture builders for the ingest integration tests.
+
+use dnsnoise_dns::{QType, RData, Record, Timestamp, Ttl};
+use dnsnoise_ingest::CaptureFormat;
+use dnsnoise_workload::{DayTrace, Outcome, QueryEvent};
+use std::net::Ipv4Addr;
+
+/// A deterministic event: every field derives from `i` alone.
+pub fn event(i: u64) -> QueryEvent {
+    let name: dnsnoise_dns::Name = format!("h{i}.sub{}.example.com", i % 13).parse().unwrap();
+    let outcome = if i % 9 == 8 {
+        Outcome::NxDomain
+    } else {
+        Outcome::Answer(vec![Record::new(
+            name.clone(),
+            QType::A,
+            Ttl::from_secs(60 + (i % 300) as u32),
+            RData::A(Ipv4Addr::from((0x0a00_0000 + i as u32) & 0x7fff_ffff)),
+        )])
+    };
+    QueryEvent {
+        time: Timestamp::from_secs(1_000 + i / 3),
+        client: i % 41,
+        name,
+        qtype: QType::A,
+        outcome,
+        zone_tag: u32::MAX,
+    }
+}
+
+/// A deterministic `n`-event trace.
+pub fn trace(n: u64) -> DayTrace {
+    DayTrace { day: 0, events: (0..n).map(event).collect() }
+}
+
+/// Serializes `trace` in the given capture format.
+pub fn capture(trace: &DayTrace, format: CaptureFormat) -> Vec<u8> {
+    match format {
+        CaptureFormat::Pcap => dnsnoise_ingest::pcap::write_pcap(trace).unwrap(),
+        CaptureFormat::Dnstap => dnsnoise_ingest::framestream::write_dnstap(trace).unwrap(),
+    }
+}
+
+/// Byte extents `(offset, len)` of every data frame in a clean capture,
+/// recovered by scanning it.
+pub fn frame_extents(bytes: &[u8], format: CaptureFormat) -> Vec<(usize, usize)> {
+    let mut report = dnsnoise_ingest::IngestReport::default();
+    let scanned = match format {
+        CaptureFormat::Pcap => dnsnoise_ingest::pcap::scan(bytes, &mut report),
+        CaptureFormat::Dnstap => dnsnoise_ingest::framestream::scan(bytes, &mut report),
+    }
+    .unwrap();
+    assert_eq!(report.resyncs, 0, "clean capture must scan without resyncs");
+    scanned.frames.iter().map(|f| (f.offset, f.frame_bytes)).collect()
+}
+
+/// Overwrites a frame's header region with 0xFF, destroying its framing.
+pub fn smash_frame(bytes: &mut [u8], extent: (usize, usize)) {
+    let (offset, len) = extent;
+    let smash = len.min(16);
+    for b in &mut bytes[offset..offset + smash] {
+        *b = 0xff;
+    }
+}

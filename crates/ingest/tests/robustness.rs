@@ -1,0 +1,184 @@
+//! The headline robustness guarantees: never panic, recover ≥95% of
+//! events at 1% corruption, conserve the ledger on every input, and emit
+//! bit-identical output across thread counts and runs.
+
+mod common;
+
+use dnsnoise_ingest::{corrupt, ingest_bytes, CaptureFormat, IngestConfig};
+use dnsnoise_workload::trace_io;
+
+const FORMATS: [CaptureFormat; 2] = [CaptureFormat::Pcap, CaptureFormat::Dnstap];
+
+/// ≥95% of events must survive 1% byte corruption, across several seeds,
+/// in both formats, and the ledger must conserve every time.
+#[test]
+fn one_percent_corruption_recovers_95_percent() {
+    const N: u64 = 2_000;
+    for format in FORMATS {
+        let trace = common::trace(N);
+        let clean = common::capture(&trace, format);
+        // Leave the pcap global header alone: format detection is not the
+        // faculty under test.
+        let skip = match format {
+            CaptureFormat::Pcap => dnsnoise_ingest::pcap::GLOBAL_HEADER_LEN,
+            CaptureFormat::Dnstap => 0,
+        };
+        for seed in 0..5u64 {
+            let mut bytes = clean.clone();
+            corrupt::flip_bursts(&mut bytes[skip..], 0.01, seed);
+            let out = ingest_bytes(&bytes, &IngestConfig::default())
+                .expect("1% corruption is far within the default budget");
+            assert!(out.report.conserves(), "{format} seed {seed}: {}", out.report);
+            let recovered = out.trace.events.len() as f64 / N as f64;
+            assert!(
+                recovered >= 0.95,
+                "{format} seed {seed}: only {:.1}% recovered\n{}",
+                recovered * 100.0,
+                out.report
+            );
+        }
+    }
+}
+
+/// Thread count must not change a single output byte, clean or corrupt.
+#[test]
+fn output_is_bit_identical_across_thread_counts_and_runs() {
+    for format in FORMATS {
+        let trace = common::trace(500);
+        let mut bytes = common::capture(&trace, format);
+        corrupt::flip_bursts(&mut bytes, 0.02, 42);
+
+        let render = |threads: usize| -> (String, dnsnoise_ingest::IngestReport) {
+            let config = IngestConfig { threads, format: Some(format), ..Default::default() };
+            let out = ingest_bytes(&bytes, &config).unwrap();
+            let mut buf = Vec::new();
+            trace_io::write_trace(&out.trace, &mut buf).unwrap();
+            (String::from_utf8(buf).unwrap(), out.report)
+        };
+
+        let (serial_text, serial_report) = render(1);
+        for threads in [2, 4, 8] {
+            let (text, report) = render(threads);
+            assert_eq!(text, serial_text, "{format} threads={threads}");
+            assert_eq!(report, serial_report, "{format} threads={threads}");
+        }
+        // Same invocation repeated: identical again.
+        let (again, report_again) = render(4);
+        assert_eq!(again, serial_text, "{format} repeat run");
+        assert_eq!(report_again, serial_report, "{format} repeat run");
+    }
+}
+
+/// Whatever ingestion emits must survive the text trace format losslessly
+/// — the contract that makes `ingest | simulate` a real pipeline.
+#[test]
+fn emitted_events_roundtrip_through_trace_text() {
+    for format in FORMATS {
+        let trace = common::trace(300);
+        let mut bytes = common::capture(&trace, format);
+        corrupt::flip_bursts(&mut bytes, 0.01, 3);
+        let out = ingest_bytes(&bytes, &IngestConfig::default()).unwrap();
+
+        let mut buf = Vec::new();
+        trace_io::write_trace(&out.trace, &mut buf).unwrap();
+        let reread = trace_io::read_trace(&buf[..]).unwrap();
+        assert_eq!(reread.events, out.trace.events, "{format}");
+    }
+}
+
+/// Splice and truncation damage must degrade, not destroy.
+#[test]
+fn splices_and_truncation_degrade_gracefully() {
+    for format in FORMATS {
+        let trace = common::trace(400);
+        let clean = common::capture(&trace, format);
+
+        for (what, mutate) in
+            [("delete", corrupt::SpliceKind::Delete), ("duplicate", corrupt::SpliceKind::Duplicate)]
+        {
+            let mut bytes = clean.clone();
+            corrupt::splice(&mut bytes, mutate, 200, 17);
+            let out = ingest_bytes(&bytes, &IngestConfig::default())
+                .unwrap_or_else(|e| panic!("{format} {what}: {e}"));
+            assert!(out.report.conserves(), "{format} {what}: {}", out.report);
+            assert!(
+                out.trace.events.len() >= 395,
+                "{format} {what}: lost {} events\n{}",
+                400 - out.trace.events.len(),
+                out.report
+            );
+        }
+
+        let mut bytes = clean.clone();
+        corrupt::truncate_tail(&mut bytes, 0.25);
+        let out = ingest_bytes(&bytes, &IngestConfig::default()).unwrap();
+        assert!(out.report.conserves(), "{format} truncate: {}", out.report);
+        assert!(out.trace.events.len() >= 280, "{format} truncate: {}", out.report);
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary bytes never panic the ingester, under any forced
+        /// format or auto-detection, and any Ok ledger conserves.
+        #[test]
+        fn arbitrary_bytes_never_panic(
+            bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+            threads in 1usize..5,
+        ) {
+            for format in [None, Some(CaptureFormat::Pcap), Some(CaptureFormat::Dnstap)] {
+                let config = IngestConfig { format, threads, ..Default::default() };
+                if let Ok(out) = ingest_bytes(&bytes, &config) {
+                    prop_assert!(out.report.conserves(), "{}", out.report);
+                }
+            }
+        }
+
+        /// Mutated real captures never panic, always conserve, and within
+        /// the error budget always emit a re-readable trace.
+        #[test]
+        fn mutated_captures_never_panic(
+            seed in any::<u64>(),
+            fraction in 0.0f64..0.2,
+            n in 1u64..80,
+        ) {
+            for format in super::FORMATS {
+                let trace = common::trace(n);
+                let mut bytes = common::capture(&trace, format);
+                corrupt::flip_bursts(&mut bytes, fraction, seed);
+                let config = IngestConfig { format: Some(format), ..Default::default() };
+                match ingest_bytes(&bytes, &config) {
+                    Ok(out) => {
+                        prop_assert!(out.report.conserves(), "{}", out.report);
+                        let mut buf = Vec::new();
+                        trace_io::write_trace(&out.trace, &mut buf).unwrap();
+                        let reread = trace_io::read_trace(&buf[..]).unwrap();
+                        prop_assert_eq!(reread.events, out.trace.events);
+                    }
+                    Err(dnsnoise_ingest::IngestError::ErrorBudgetExceeded { report, .. }) => {
+                        prop_assert!(report.conserves(), "{}", report);
+                    }
+                    Err(dnsnoise_ingest::IngestError::BadCapture(_)) => {}
+                }
+            }
+        }
+
+        /// Truncating a clean capture at any byte never panics and always
+        /// conserves the ledger.
+        #[test]
+        fn truncation_at_any_point_conserves(cut in 0usize..2000, n in 1u64..30) {
+            for format in super::FORMATS {
+                let trace = common::trace(n);
+                let bytes = common::capture(&trace, format);
+                let cut = cut.min(bytes.len());
+                let config = IngestConfig { format: Some(format), ..Default::default() };
+                if let Ok(out) = ingest_bytes(&bytes[..cut], &config) {
+                    prop_assert!(out.report.conserves(), "{}", out.report);
+                }
+            }
+        }
+    }
+}

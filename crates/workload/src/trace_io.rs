@@ -82,6 +82,48 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
+/// Percent-escapes the bytes that would collide with the trace format's
+/// structure (tab/newline field separators, `;` record and `,` column
+/// separators, `%` itself) plus ASCII control bytes. The inverse is
+/// [`unescape_txt`]; together they make TXT payloads round-trip losslessly
+/// where the format previously flattened them to `_`.
+fn escape_txt(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' | '\t' | '\n' | '\r' | ';' | ',' => {
+                let _ = write!(out, "%{:02x}", c as u32);
+            }
+            c if (c as u32) < 0x20 || (c as u32) == 0x7f => {
+                let _ = write!(out, "%{:02x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_txt(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3).ok_or("truncated %-escape in TXT")?;
+            if !hex.iter().all(u8::is_ascii_hexdigit) {
+                return Err("bad %-escape in TXT".into());
+            }
+            let digits = std::str::from_utf8(hex).expect("hex digits are ascii");
+            out.push(u8::from_str_radix(digits, 16).expect("two hex digits"));
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| "TXT %-escapes decode to invalid utf-8".to_owned())
+}
+
 fn render_rdata(rdata: &RData) -> String {
     match rdata {
         RData::A(a) => format!("A:{a}"),
@@ -89,7 +131,7 @@ fn render_rdata(rdata: &RData) -> String {
         RData::Cname(n) => format!("CNAME:{n}"),
         RData::Ns(n) => format!("NS:{n}"),
         RData::Ptr(n) => format!("PTR:{n}"),
-        RData::Txt(s) => format!("TXT:{}", s.replace(['\t', '\n', ';', ','], "_")),
+        RData::Txt(s) => format!("TXT:{}", escape_txt(s)),
         RData::Mx { preference, exchange } => format!("MX:{preference}:{exchange}"),
         RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
             format!("SOA:{mname}:{rname}:{serial}:{refresh}:{retry}:{expire}:{minimum}")
@@ -112,7 +154,7 @@ fn parse_rdata(s: &str) -> Result<RData, String> {
         "CNAME" => rest.parse::<Name>().map(RData::Cname).map_err(|e| e.to_string()),
         "NS" => rest.parse::<Name>().map(RData::Ns).map_err(|e| e.to_string()),
         "PTR" => rest.parse::<Name>().map(RData::Ptr).map_err(|e| e.to_string()),
-        "TXT" => Ok(RData::Txt(rest.to_owned())),
+        "TXT" => unescape_txt(rest).map(RData::Txt),
         "MX" => {
             let (pref, exch) = rest.split_once(':').ok_or("MX needs preference:exchange")?;
             Ok(RData::Mx {
@@ -405,6 +447,44 @@ mod tests {
         assert!(parse_rdata("BOGUS:x").is_err());
         assert!(parse_rdata("A:not-an-ip").is_err());
         assert!(parse_rdata("OPAQUE:abc").is_err(), "odd hex length");
+    }
+
+    #[test]
+    fn hostile_txt_roundtrips_losslessly() {
+        // Capture-ingested TXT records can contain every byte the text
+        // format uses structurally; the old renderer flattened them all
+        // to `_`, so replaying a written trace changed the data.
+        use dnsnoise_dns::{Record, Ttl};
+        let payloads = ["tab\there", "a;b,c", "pct%09literal", "line\nbreak\r", "\u{1f}ctl\u{7f}"];
+        for p in payloads {
+            let rdata = RData::Txt(p.to_owned());
+            let rendered = render_rdata(&rdata);
+            assert!(
+                !rendered.contains(['\t', '\n', '\r', ';', ',']),
+                "structural byte leaked: {rendered}"
+            );
+            assert_eq!(parse_rdata(&rendered).unwrap(), rdata, "rdata roundtrip of {p:?}");
+
+            // And the full event line round-trips through write/read.
+            let event = QueryEvent {
+                time: Timestamp::from_secs(4242),
+                client: 17,
+                name: "txt.example.com".parse().unwrap(),
+                qtype: QType::Txt,
+                outcome: Outcome::Answer(vec![Record::new(
+                    "txt.example.com".parse().unwrap(),
+                    QType::Txt,
+                    Ttl::from_secs(60),
+                    RData::Txt(p.to_owned()),
+                )]),
+                zone_tag: u32::MAX,
+            };
+            let back = parse_event(&render_event(&event)).unwrap();
+            assert_eq!(back.outcome, event.outcome, "event roundtrip of {p:?}");
+        }
+        assert!(parse_rdata("TXT:bad%zz").is_err());
+        assert!(parse_rdata("TXT:trunc%0").is_err());
+        assert!(parse_rdata("TXT:%ff").is_err(), "escapes must decode to utf-8");
     }
 
     #[test]

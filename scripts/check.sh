@@ -40,6 +40,21 @@ grep -q -- '-- overload --' "$smoke_dir/a1.txt" \
 grep -Eq 'shed attack/legit: [1-9]' "$smoke_dir/a1.txt" \
     || { echo "error: attack smoke shed nothing" >&2; exit 1; }
 
+echo "== ingest corruption smoke (1% damage, byte-identical across --threads) ==" >&2
+./target/release/dnsnoise generate --scale 0.01 --seed 3 --capture pcap \
+    --corrupt 0.01 --corrupt-seed 7 --out "$smoke_dir/day.pcap" 2>/dev/null
+./target/release/dnsnoise ingest "$smoke_dir/day.pcap" --threads 1 \
+    -o "$smoke_dir/i1.trace" 2>"$smoke_dir/ledger.txt"
+./target/release/dnsnoise ingest "$smoke_dir/day.pcap" --threads 4 \
+    -o "$smoke_dir/i4.trace" 2>/dev/null
+diff "$smoke_dir/i1.trace" "$smoke_dir/i4.trace" >&2
+grep -q 'conserved' "$smoke_dir/ledger.txt" \
+    || { echo "error: ingest ledger did not conserve bytes" >&2; exit 1; }
+total=$(./target/release/dnsnoise generate --scale 0.01 --seed 3 --out /dev/stdout 2>/dev/null | grep -cv '^#') || total=0
+kept=$(grep -cv '^#' "$smoke_dir/i1.trace") || kept=0
+[ "$kept" -ge $((total * 95 / 100)) ] \
+    || { echo "error: ingest recovered $kept/$total events (<95%) from 1% corruption" >&2; exit 1; }
+
 echo "== cargo test ==" >&2
 cargo test -q --offline
 

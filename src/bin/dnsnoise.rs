@@ -22,6 +22,7 @@ use std::process::ExitCode;
 
 use dnsnoise::core::{DailyPipeline, DomainTree, Miner, MinerConfig, TrainingSetBuilder};
 use dnsnoise::dns::{SuffixList, Ttl};
+use dnsnoise::ingest::{corrupt, framestream, pcap, CaptureFormat, IngestConfig};
 use dnsnoise::resolver::{
     FaultPlan, MetricsRegistry, OverloadConfig, ResolverSim, SimConfig, DEFAULT_TIMELINE_BUCKETS,
 };
@@ -47,6 +48,34 @@ impl Default for CommonOpts {
 struct GenerateOpts {
     common: CommonOpts,
     out: Option<String>,
+    /// Write a binary capture instead of the text trace format.
+    capture: Option<CaptureFormat>,
+    /// Corrupt the written capture with seeded burst flips (testing aid).
+    corrupt: Option<f64>,
+    corrupt_seed: u64,
+}
+
+/// `dnsnoise ingest` options.
+#[derive(Debug, Clone, PartialEq)]
+struct IngestOpts {
+    capture: Option<String>,
+    format: Option<CaptureFormat>,
+    out: Option<String>,
+    threads: usize,
+    max_error_rate: f64,
+}
+
+impl Default for IngestOpts {
+    fn default() -> Self {
+        let defaults = IngestConfig::default();
+        IngestOpts {
+            capture: None,
+            format: None,
+            out: None,
+            threads: defaults.threads,
+            max_error_rate: defaults.max_error_rate,
+        }
+    }
 }
 
 /// `dnsnoise simulate` options.
@@ -193,21 +222,74 @@ fn parse_flags(
     Ok(ParseOutcome::Parsed(()))
 }
 
+fn parse_format(raw: &str) -> Result<CaptureFormat, String> {
+    CaptureFormat::parse(raw)
+        .ok_or_else(|| format!("bad capture format {raw} (expected pcap or dnstap)"))
+}
+
 fn parse_generate(args: &[String]) -> Result<ParseOutcome<GenerateOpts>, String> {
     let mut opts = GenerateOpts::default();
     let mut common = std::mem::take(&mut opts.common);
     let outcome = parse_flags("generate", args, &mut common, |flag, values| {
         match flag {
             "--out" => opts.out = Some(values.take("--out")?.to_owned()),
+            "--capture" => opts.capture = Some(parse_format(values.take("--capture")?)?),
+            "--corrupt" => opts.corrupt = Some(parsed(values.take("--corrupt")?, "--corrupt")?),
+            "--corrupt-seed" => {
+                opts.corrupt_seed = parsed(values.take("--corrupt-seed")?, "--corrupt-seed")?
+            }
             _ => return Ok(false),
         }
         Ok(true)
     })?;
     opts.common = common;
-    Ok(match outcome {
-        ParseOutcome::Parsed(()) => ParseOutcome::Parsed(opts),
-        ParseOutcome::Help => ParseOutcome::Help,
-    })
+    if let ParseOutcome::Parsed(()) = outcome {
+        if let Some(frac) = opts.corrupt {
+            if opts.capture.is_none() {
+                return Err("--corrupt only applies to --capture output".into());
+            }
+            if !(0.0..=1.0).contains(&frac) {
+                return Err("--corrupt must be in [0, 1]".into());
+            }
+        }
+        return Ok(ParseOutcome::Parsed(opts));
+    }
+    Ok(ParseOutcome::Help)
+}
+
+/// `dnsnoise ingest` has its own flag loop: it takes a positional capture
+/// path and none of the scenario flags.
+fn parse_ingest(args: &[String]) -> Result<ParseOutcome<IngestOpts>, String> {
+    let mut opts = IngestOpts::default();
+    let mut values = FlagValues(args.iter());
+    while let Some(token) = values.0.next() {
+        match token.as_str() {
+            "--help" | "-h" => return Ok(ParseOutcome::Help),
+            "--format" => opts.format = Some(parse_format(values.take("--format")?)?),
+            "-o" | "--out" => opts.out = Some(values.take("--out")?.to_owned()),
+            "--threads" => opts.threads = parsed(values.take("--threads")?, "--threads")?,
+            "--max-error-rate" => {
+                opts.max_error_rate = parsed(values.take("--max-error-rate")?, "--max-error-rate")?
+            }
+            f if f.starts_with('-') => return Err(format!("unknown flag {f} for `ingest`")),
+            path => {
+                if opts.capture.is_some() {
+                    return Err("ingest takes exactly one capture path".into());
+                }
+                opts.capture = Some(path.to_owned());
+            }
+        }
+    }
+    if opts.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&opts.max_error_rate) {
+        return Err("--max-error-rate must be in [0, 1]".into());
+    }
+    if opts.capture.is_none() {
+        return Err("ingest needs a capture path".into());
+    }
+    Ok(ParseOutcome::Parsed(opts))
 }
 
 fn parse_simulate(args: &[String]) -> Result<ParseOutcome<SimulateOpts>, String> {
@@ -308,6 +390,39 @@ fn load_trace(path: &str) -> Result<DayTrace, String> {
 fn cmd_generate(opts: &GenerateOpts) -> Result<(), String> {
     let scenario = scenario_of(&opts.common);
     let trace = scenario.generate_day(opts.common.day);
+    if let Some(format) = opts.capture {
+        let mut bytes = match format {
+            CaptureFormat::Pcap => pcap::write_pcap(&trace),
+            CaptureFormat::Dnstap => framestream::write_dnstap(&trace),
+        }
+        .map_err(|e| e.to_string())?;
+        if let Some(frac) = opts.corrupt {
+            // Leave the pcap global header intact so the file stays
+            // detectable; the scanner is what is under test, not sniffing.
+            let skip = match format {
+                CaptureFormat::Pcap => pcap::GLOBAL_HEADER_LEN.min(bytes.len()),
+                CaptureFormat::Dnstap => 0,
+            };
+            corrupt::flip_bursts(&mut bytes[skip..], frac, opts.corrupt_seed);
+        }
+        match &opts.out {
+            Some(path) => {
+                std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!(
+                    "wrote {} events as a {} byte {format} capture to {path}",
+                    trace.events.len(),
+                    bytes.len()
+                );
+            }
+            None => {
+                std::io::stdout()
+                    .lock()
+                    .write_all(&bytes)
+                    .map_err(|e| format!("cannot write capture to stdout: {e}"))?;
+            }
+        }
+        return Ok(());
+    }
     match &opts.out {
         Some(path) => {
             let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
@@ -317,6 +432,43 @@ fn cmd_generate(opts: &GenerateOpts) -> Result<(), String> {
         None => {
             let stdout = std::io::stdout();
             trace_io::write_trace(&trace, BufWriter::new(stdout.lock()))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_ingest(opts: &IngestOpts) -> Result<(), String> {
+    let path = opts.capture.as_deref().expect("validated by the parser");
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let config = IngestConfig {
+        format: opts.format,
+        threads: opts.threads,
+        max_error_rate: opts.max_error_rate,
+    };
+    let out = match dnsnoise::ingest::ingest_bytes(&bytes, &config) {
+        Ok(out) => out,
+        Err(dnsnoise::ingest::IngestError::ErrorBudgetExceeded { rate, limit, report }) => {
+            eprint!("{report}");
+            return Err(format!(
+                "{path}: error rate {:.1}% exceeds the {:.1}% budget",
+                rate * 100.0,
+                limit * 100.0
+            ));
+        }
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    // The ledger goes to stderr so the trace can stream to stdout.
+    eprint!("{}", out.report);
+    match &opts.out {
+        Some(dest) => {
+            let file = File::create(dest).map_err(|e| format!("cannot create {dest}: {e}"))?;
+            trace_io::write_trace(&out.trace, BufWriter::new(file)).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} events to {dest}", out.trace.events.len());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            trace_io::write_trace(&out.trace, BufWriter::new(stdout.lock()))
                 .map_err(|e| e.to_string())?;
         }
     }
@@ -524,12 +676,13 @@ const COMMON_USAGE: &str = "common flags: --epoch <0..1> --scale <f64> --seed <u
 
 fn usage() -> String {
     format!(
-        "usage: dnsnoise <generate|simulate|mine|train> [flags]\n\
+        "usage: dnsnoise <generate|ingest|simulate|mine|train> [flags]\n\
          \n\
          {COMMON_USAGE}\
          run `dnsnoise <command> --help` for the per-command flags\n\
          \n\
-         generate:  write a synthetic day trace\n\
+         generate:  write a synthetic day trace (or a binary capture)\n\
+         ingest:    parse a pcap/dnstap capture into a day trace\n\
          simulate:  replay a day through the resolver cluster\n\
          mine:      mine a day for disposable zones\n\
          train:     train and persist the classifier\n"
@@ -538,7 +691,24 @@ fn usage() -> String {
 
 fn subcommand_usage(cmd: &str) -> String {
     let specific = match cmd {
-        "generate" => "  --out <file>       trace destination (default: stdout)\n",
+        "generate" => {
+            "  --out <file>       trace destination (default: stdout)\n\
+             \x20 --capture <fmt>    write a binary capture instead: pcap or dnstap\n\
+             \x20 --corrupt <frac>   flip this fraction of capture bytes in seeded bursts\n\
+             \x20 --corrupt-seed <n> corruption seed (default: 0)\n"
+        }
+        "ingest" => {
+            return "usage: dnsnoise ingest <capture> [flags]\n\
+                 \n\
+                 \x20 --format <fmt>         force pcap or dnstap (default: auto-detect)\n\
+                 \x20 -o, --out <file>       trace destination (default: stdout)\n\
+                 \x20 --threads <n>          decode threads, bit-identical results (default: 1)\n\
+                 \x20 --max-error-rate <r>   reject sources losing more than this byte\n\
+                 \x20                        fraction (default: 0.5)\n\
+                 \n\
+                 the quarantine ledger is printed to stderr\n"
+                .to_string();
+        }
         "simulate" => {
             "  --trace <file>     replay this trace (default: synthesize one)\n\
              \x20 --members <n>      cluster size (default: 4)\n\
@@ -585,6 +755,13 @@ fn main() -> ExitCode {
             ParseOutcome::Parsed(opts) => cmd_generate(&opts),
             ParseOutcome::Help => {
                 print!("{}", subcommand_usage("generate"));
+                Ok(())
+            }
+        }),
+        "ingest" => parse_ingest(rest).and_then(|o| match o {
+            ParseOutcome::Parsed(opts) => cmd_ingest(&opts),
+            ParseOutcome::Help => {
+                print!("{}", subcommand_usage("ingest"));
                 Ok(())
             }
         }),
@@ -752,5 +929,61 @@ mod tests {
         assert!(subcommand_usage("simulate").contains("--metrics"));
         assert!(subcommand_usage("mine").contains("--theta"));
         assert!(subcommand_usage("generate").starts_with("usage: dnsnoise generate"));
+        assert!(subcommand_usage("ingest").contains("--max-error-rate"));
+    }
+
+    fn ingest(s: &str) -> Result<IngestOpts, String> {
+        match parse_ingest(&args(s))? {
+            ParseOutcome::Parsed(o) => Ok(o),
+            ParseOutcome::Help => Err("help".into()),
+        }
+    }
+
+    #[test]
+    fn ingest_flags_parse() {
+        let o =
+            ingest("cap.pcap --format pcap -o out.trace --threads 4 --max-error-rate 0.2").unwrap();
+        assert_eq!(o.capture.as_deref(), Some("cap.pcap"));
+        assert_eq!(o.format, Some(CaptureFormat::Pcap));
+        assert_eq!(o.out.as_deref(), Some("out.trace"));
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.max_error_rate, 0.2);
+
+        // The positional path can come after flags, and the format can be
+        // left to auto-detection.
+        let o = ingest("--threads 2 cap.bin").unwrap();
+        assert_eq!(o.capture.as_deref(), Some("cap.bin"));
+        assert_eq!(o.format, None);
+    }
+
+    #[test]
+    fn ingest_rejects_bad_invocations() {
+        assert!(ingest("").is_err(), "needs a capture path");
+        assert!(ingest("a.pcap b.pcap").is_err(), "one path only");
+        assert!(ingest("a.pcap --format pcapng").is_err(), "unknown format");
+        assert!(ingest("a.pcap --threads 0").is_err());
+        assert!(ingest("a.pcap --max-error-rate 1.5").is_err());
+        assert!(ingest("a.pcap --epoch 0.5").is_err(), "no scenario flags");
+        match parse_ingest(&args("--help")) {
+            Ok(ParseOutcome::Help) => {}
+            _ => panic!("--help must short-circuit"),
+        }
+    }
+
+    #[test]
+    fn generate_capture_flags_parse() {
+        let g = match parse_generate(&args("--capture dnstap --corrupt 0.01 --corrupt-seed 9"))
+            .unwrap()
+        {
+            ParseOutcome::Parsed(o) => o,
+            ParseOutcome::Help => panic!("not help"),
+        };
+        assert_eq!(g.capture, Some(CaptureFormat::Dnstap));
+        assert_eq!(g.corrupt, Some(0.01));
+        assert_eq!(g.corrupt_seed, 9);
+
+        assert!(parse_generate(&args("--corrupt 0.01")).is_err(), "corrupt needs capture");
+        assert!(parse_generate(&args("--capture pcap --corrupt 2.0")).is_err());
+        assert!(parse_generate(&args("--capture tcpdump")).is_err());
     }
 }

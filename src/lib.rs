@@ -42,6 +42,9 @@ pub use dnsnoise_cache as cache;
 /// Synthetic ISP workload generation with ground truth.
 pub use dnsnoise_workload as workload;
 
+/// Fault-tolerant pcap/dnstap capture ingestion with a quarantine ledger.
+pub use dnsnoise_ingest as ingest;
+
 /// The recursive-resolver cluster simulation and monitoring taps.
 pub use dnsnoise_resolver as resolver;
 

@@ -8,7 +8,13 @@ fn bin() -> Command {
 }
 
 fn tempdir() -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("dnsnoise-cli-test-{}", std::process::id()));
+    tempdir_named("test")
+}
+
+/// Tests run in parallel threads of one process, so directories need a
+/// per-test discriminator on top of the pid.
+fn tempdir_named(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dnsnoise-cli-{name}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp dir");
     dir
 }
@@ -175,8 +181,125 @@ fn attack_flags_fail_cleanly() {
 }
 
 #[test]
+fn capture_ingest_pipeline_roundtrips() {
+    let dir = tempdir_named("capture-roundtrip");
+    let pcap = dir.join("day.pcap");
+    let dnstap = dir.join("day.dnstap");
+    let from_pcap = dir.join("from-pcap.trace");
+    let from_tap = dir.join("from-dnstap.trace");
+
+    for (fmt, capture, trace) in [("pcap", &pcap, &from_pcap), ("dnstap", &dnstap, &from_tap)] {
+        let out = bin()
+            .args(["generate", "--scale", "0.01", "--seed", "11", "--capture", fmt, "--out"])
+            .arg(capture)
+            .output()
+            .expect("run generate --capture");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+        let out = bin()
+            .args(["ingest"])
+            .arg(capture)
+            .args(["-o"])
+            .arg(trace)
+            .output()
+            .expect("run ingest");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("conserved"), "ledger on stderr: {stderr}");
+        assert!(stderr.contains("0 quarantined"), "clean capture: {stderr}");
+    }
+
+    // Both captures came from the same scenario day, so both roundtrips
+    // must recover the identical event stream.
+    let a = std::fs::read_to_string(&from_pcap).expect("pcap trace");
+    let b = std::fs::read_to_string(&from_tap).expect("dnstap trace");
+    assert_eq!(a, b, "pcap and dnstap roundtrips must agree");
+
+    // The ingested trace feeds the rest of the pipeline.
+    let out = bin().args(["simulate", "--trace"]).arg(&from_pcap).output().expect("simulate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cache hit rate:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_survives_corruption_and_stays_thread_invariant() {
+    let dir = tempdir_named("ingest-corrupt");
+    let capture = dir.join("bad.pcap");
+    let out = bin()
+        .args([
+            "generate",
+            "--scale",
+            "0.01",
+            "--seed",
+            "4",
+            "--capture",
+            "pcap",
+            "--corrupt",
+            "0.01",
+            "--corrupt-seed",
+            "2",
+            "--out",
+        ])
+        .arg(&capture)
+        .output()
+        .expect("run generate --corrupt");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let mut traces = Vec::new();
+    for threads in ["1", "4"] {
+        let path = dir.join(format!("t{threads}.trace"));
+        let out = bin()
+            .args(["ingest"])
+            .arg(&capture)
+            .args(["--threads", threads, "-o"])
+            .arg(&path)
+            .output()
+            .expect("run ingest");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("conserved"), "{stderr}");
+        traces.push(std::fs::read(&path).expect("trace written"));
+    }
+    assert_eq!(traces[0], traces[1], "ingest output must not depend on --threads");
+
+    // A ruined capture is rejected with the ledger, not half-emitted.
+    let out = bin()
+        .args(["ingest"])
+        .arg(&capture)
+        .args(["--max-error-rate", "0.0001"])
+        .output()
+        .expect("run ingest");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("exceeds"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_rejects_garbage_cleanly() {
+    let dir = tempdir_named("ingest-garbage");
+    let junk = dir.join("junk.bin");
+    std::fs::write(&junk, b"this is not a capture of any kind").expect("write junk");
+    let out = bin().args(["ingest"]).arg(&junk).output().expect("run ingest");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--format"), "suggests forcing a format: {stderr}");
+
+    let out = bin().args(["ingest", "--help"]).output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: dnsnoise ingest"), "{stdout}");
+    assert!(stdout.contains("--max-error-rate"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn simulate_exports_metrics_identically_across_threads() {
-    let dir = tempdir();
+    let dir = tempdir_named("metrics");
     let trace = dir.join("metrics-day.trace");
     let out = bin()
         .args(["generate", "--scale", "0.01", "--seed", "3", "--out"])
