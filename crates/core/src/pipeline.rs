@@ -58,6 +58,14 @@ impl DailyPipeline {
         self.miner.as_ref()
     }
 
+    /// Consumes the pipeline and hands over the trained classifier — the
+    /// train-once-offline, deploy-streaming handoff: train on seed days
+    /// with the batch pipeline, then drive `dnsnoise-stream` with the
+    /// resulting model.
+    pub fn into_miner(self) -> Option<Miner> {
+        self.miner
+    }
+
     /// Processes one scenario day end to end and returns the evaluated
     /// mining report.
     pub fn run_day(&mut self, scenario: &Scenario, day: u64) -> MiningReport {

@@ -118,82 +118,137 @@ fn confirmed_boundary(bytes: &[u8], pos: usize) -> bool {
     !matches!(boundary_at(bytes, end), Boundary::No)
 }
 
+/// A resumable frame-at-a-time scanner over a Frame Streams byte stream:
+/// the iterator form of [`scan`], for consumers (like the streaming
+/// miner) that want one frame per call instead of a materialised extent
+/// list. [`scan`] is implemented on top of it, so the two agree exactly —
+/// same frames, same ledger accounting — a property the regression tests
+/// pin.
+#[derive(Debug)]
+pub struct FrameScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    done: bool,
+}
+
+impl<'a> FrameScanner<'a> {
+    /// Positions a scanner at the start of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty capture — the one condition with no degraded
+    /// reading.
+    pub fn new(bytes: &'a [u8]) -> Result<FrameScanner<'a>, ScanError> {
+        if bytes.is_empty() {
+            return Err(ScanError::BadCapture("empty capture".into()));
+        }
+        Ok(FrameScanner { bytes, pos: 0, done: false })
+    }
+
+    /// The byte offset the scanner will examine next.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the scanner has reached the end of the capture (cleanly or
+    /// via a terminal quarantine).
+    pub fn is_done(&self) -> bool {
+        self.done || self.pos >= self.bytes.len()
+    }
+
+    /// Advances to and returns the next data frame, accounting control
+    /// frames, resyncs, and tail quarantines in `report` along the way.
+    /// Returns `None` at end of capture; subsequent calls keep returning
+    /// `None` without touching the report again.
+    pub fn next_frame(&mut self, report: &mut IngestReport) -> Option<RawFrame> {
+        if self.done {
+            return None;
+        }
+        while self.pos < self.bytes.len() {
+            let remaining = self.bytes.len() - self.pos;
+            if remaining < 4 {
+                report.quarantine(
+                    QuarantineClass::TruncatedFrame,
+                    remaining as u64,
+                    QuarantineSample {
+                        frame_index: report.frames_scanned,
+                        offset: self.pos as u64,
+                        reason: format!("{remaining} trailing bytes, shorter than a frame length"),
+                    },
+                );
+                self.done = true;
+                return None;
+            }
+            match boundary_at(self.bytes, self.pos) {
+                Boundary::Control(total) => {
+                    report.bytes_parsed += total as u64;
+                    self.pos += total;
+                }
+                Boundary::Data { total, ts_secs, client } => {
+                    let payload_start = self.pos + 4 + DATA_HEADER_LEN;
+                    let frame = RawFrame {
+                        index: report.frames_scanned,
+                        offset: self.pos,
+                        frame_bytes: total,
+                        ts_secs,
+                        client: Some(client),
+                        payload: payload_start..self.pos + total,
+                    };
+                    report.frames_scanned += 1;
+                    self.pos += total;
+                    return Some(frame);
+                }
+                Boundary::No => {
+                    // Distinguish "frame promises more bytes than remain"
+                    // (a truncated tail) from mid-stream garbage (resync).
+                    if let Some(flen) = be_u32(self.bytes, self.pos) {
+                        let flen = flen as usize;
+                        if (DATA_HEADER_LEN..=MAX_DATA_LEN).contains(&flen)
+                            && self.pos + 4 + flen > self.bytes.len()
+                        {
+                            report.quarantine(
+                                QuarantineClass::TruncatedFrame,
+                                remaining as u64,
+                                QuarantineSample {
+                                    frame_index: report.frames_scanned,
+                                    offset: self.pos as u64,
+                                    reason: format!(
+                                        "frame promises {flen} bytes but only {} remain",
+                                        remaining - 4
+                                    ),
+                                },
+                            );
+                            report.frames_scanned += 1;
+                            self.done = true;
+                            return None;
+                        }
+                    }
+                    let mut probe = self.pos + 1;
+                    while probe + 4 <= self.bytes.len() && !confirmed_boundary(self.bytes, probe) {
+                        probe += 1;
+                    }
+                    let landing =
+                        if probe + 4 <= self.bytes.len() { probe } else { self.bytes.len() };
+                    report.record_resync(
+                        self.pos as u64,
+                        (landing - self.pos) as u64,
+                        format!("implausible frame, skipped {} bytes", landing - self.pos),
+                    );
+                    self.pos = landing;
+                }
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
 /// Scans a Frame Streams byte stream into data-frame extents.
 pub fn scan(bytes: &[u8], report: &mut IngestReport) -> Result<Scanned, ScanError> {
-    if bytes.is_empty() {
-        return Err(ScanError::BadCapture("empty capture".into()));
-    }
+    let mut scanner = FrameScanner::new(bytes)?;
     let mut frames = Vec::new();
-    let mut pos = 0usize;
-    while pos < bytes.len() {
-        let remaining = bytes.len() - pos;
-        if remaining < 4 {
-            report.quarantine(
-                QuarantineClass::TruncatedFrame,
-                remaining as u64,
-                QuarantineSample {
-                    frame_index: report.frames_scanned,
-                    offset: pos as u64,
-                    reason: format!("{remaining} trailing bytes, shorter than a frame length"),
-                },
-            );
-            return Ok(Scanned { frames });
-        }
-        match boundary_at(bytes, pos) {
-            Boundary::Control(total) => {
-                report.bytes_parsed += total as u64;
-                pos += total;
-            }
-            Boundary::Data { total, ts_secs, client } => {
-                let payload_start = pos + 4 + DATA_HEADER_LEN;
-                frames.push(RawFrame {
-                    index: report.frames_scanned,
-                    offset: pos,
-                    frame_bytes: total,
-                    ts_secs,
-                    client: Some(client),
-                    payload: payload_start..pos + total,
-                });
-                report.frames_scanned += 1;
-                pos += total;
-            }
-            Boundary::No => {
-                // Distinguish "frame promises more bytes than remain"
-                // (a truncated tail) from mid-stream garbage (resync).
-                if let Some(flen) = be_u32(bytes, pos) {
-                    let flen = flen as usize;
-                    if (DATA_HEADER_LEN..=MAX_DATA_LEN).contains(&flen)
-                        && pos + 4 + flen > bytes.len()
-                    {
-                        report.quarantine(
-                            QuarantineClass::TruncatedFrame,
-                            remaining as u64,
-                            QuarantineSample {
-                                frame_index: report.frames_scanned,
-                                offset: pos as u64,
-                                reason: format!(
-                                    "frame promises {flen} bytes but only {} remain",
-                                    remaining - 4
-                                ),
-                            },
-                        );
-                        report.frames_scanned += 1;
-                        return Ok(Scanned { frames });
-                    }
-                }
-                let mut probe = pos + 1;
-                while probe + 4 <= bytes.len() && !confirmed_boundary(bytes, probe) {
-                    probe += 1;
-                }
-                let landing = if probe + 4 <= bytes.len() { probe } else { bytes.len() };
-                report.record_resync(
-                    pos as u64,
-                    (landing - pos) as u64,
-                    format!("implausible frame, skipped {} bytes", landing - pos),
-                );
-                pos = landing;
-            }
-        }
+    while let Some(frame) = scanner.next_frame(report) {
+        frames.push(frame);
     }
     Ok(Scanned { frames })
 }

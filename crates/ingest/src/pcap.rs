@@ -125,112 +125,171 @@ fn confirmed_boundary(bytes: &[u8], pos: usize, snaplen: u32, layout: Layout) ->
     }
 }
 
-/// Scans a pcap byte stream into frame extents, performing resync
-/// skip-scans over corrupt regions. Serial and cheap: it reads only
-/// record headers, leaving payload decoding to the sharded phase.
-pub fn scan(bytes: &[u8], report: &mut IngestReport) -> Result<Scanned, ScanError> {
-    let mut pos;
-    let layout = match Layout::from_magic(bytes) {
-        Some(layout) => {
-            if bytes.len() < GLOBAL_HEADER_LEN {
+/// A resumable record-at-a-time scanner over a pcap byte stream: the
+/// iterator form of [`scan`]. Construction consumes the global header
+/// (accounting it in the report); each [`PcapScanner::next_frame`] call
+/// yields one record extent, resyncing over garbage as it goes. [`scan`]
+/// is implemented on top of it, so the two agree exactly.
+#[derive(Debug)]
+pub struct PcapScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    layout: Layout,
+    snaplen: u32,
+    done: bool,
+}
+
+impl<'a> PcapScanner<'a> {
+    /// Reads the global header and positions the scanner at the first
+    /// record. The header's bytes are accounted in `report` immediately,
+    /// exactly as the batch scan does.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the capture is shorter than a global header — with a
+    /// recognizable magic ("truncated") or without one ("not a pcap").
+    pub fn new(bytes: &'a [u8], report: &mut IngestReport) -> Result<PcapScanner<'a>, ScanError> {
+        let pos;
+        let layout = match Layout::from_magic(bytes) {
+            Some(layout) => {
+                if bytes.len() < GLOBAL_HEADER_LEN {
+                    return Err(ScanError::BadCapture(format!(
+                        "pcap global header truncated at {} bytes",
+                        bytes.len()
+                    )));
+                }
+                report.bytes_parsed += GLOBAL_HEADER_LEN as u64;
+                pos = GLOBAL_HEADER_LEN;
+                layout
+            }
+            None if bytes.len() < GLOBAL_HEADER_LEN => {
                 return Err(ScanError::BadCapture(format!(
-                    "pcap global header truncated at {} bytes",
+                    "not a pcap capture ({} bytes, no magic)",
                     bytes.len()
                 )));
             }
-            report.bytes_parsed += GLOBAL_HEADER_LEN as u64;
-            pos = GLOBAL_HEADER_LEN;
-            layout
-        }
-        None if bytes.len() < GLOBAL_HEADER_LEN => {
-            return Err(ScanError::BadCapture(format!(
-                "not a pcap capture ({} bytes, no magic)",
-                bytes.len()
-            )));
-        }
-        None => {
-            // Forced-format path: the global header itself is corrupt.
-            // Assume the writer's layout and resync from the top; the
-            // mangled header bytes are accounted as skipped.
-            pos = 0;
-            Layout { big_endian: false, nanos: false }
-        }
-    };
-    // Trust the capture's own snap length when it is sane; a corrupt
-    // header must not let one field disable resync entirely.
-    let snaplen = if pos == 0 {
-        WRITER_SNAPLEN
-    } else {
-        let snap = layout.u32(&bytes[16..20]);
-        if (64..=MAX_ORIG_LEN).contains(&snap) {
-            snap
-        } else {
+            None => {
+                // Forced-format path: the global header itself is corrupt.
+                // Assume the writer's layout and resync from the top; the
+                // mangled header bytes are accounted as skipped.
+                pos = 0;
+                Layout { big_endian: false, nanos: false }
+            }
+        };
+        // Trust the capture's own snap length when it is sane; a corrupt
+        // header must not let one field disable resync entirely.
+        let snaplen = if pos == 0 {
             WRITER_SNAPLEN
-        }
-    };
+        } else {
+            let snap = layout.u32(&bytes[16..20]);
+            if (64..=MAX_ORIG_LEN).contains(&snap) {
+                snap
+            } else {
+                WRITER_SNAPLEN
+            }
+        };
+        Ok(PcapScanner { bytes, pos, layout, snaplen, done: false })
+    }
 
-    let mut frames = Vec::new();
-    while pos < bytes.len() {
-        let remaining = bytes.len() - pos;
-        if remaining < RECORD_HEADER_LEN {
-            report.quarantine(
-                QuarantineClass::TruncatedFrame,
-                remaining as u64,
-                QuarantineSample {
-                    frame_index: report.frames_scanned,
-                    offset: pos as u64,
-                    reason: format!("{remaining} trailing bytes, shorter than a record header"),
-                },
-            );
-            return Ok(Scanned { frames });
+    /// The byte offset the scanner will examine next.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the scanner has reached the end of the capture.
+    pub fn is_done(&self) -> bool {
+        self.done || self.pos >= self.bytes.len()
+    }
+
+    /// Advances to and returns the next record extent, accounting resyncs
+    /// and tail quarantines in `report` along the way. Returns `None` at
+    /// end of capture; subsequent calls keep returning `None` without
+    /// touching the report again.
+    pub fn next_frame(&mut self, report: &mut IngestReport) -> Option<RawFrame> {
+        if self.done {
+            return None;
         }
-        let h = header_at(bytes, pos, layout).expect("length checked");
-        if plausible_header(&h, snaplen, layout) {
-            let body = h.incl_len as usize;
-            if body > remaining - RECORD_HEADER_LEN {
-                // Plausible header, absent bytes: the classic chopped tail.
+        while self.pos < self.bytes.len() {
+            let remaining = self.bytes.len() - self.pos;
+            if remaining < RECORD_HEADER_LEN {
                 report.quarantine(
                     QuarantineClass::TruncatedFrame,
                     remaining as u64,
                     QuarantineSample {
                         frame_index: report.frames_scanned,
-                        offset: pos as u64,
-                        reason: format!(
-                            "record promises {body} bytes but only {} remain",
-                            remaining - RECORD_HEADER_LEN
-                        ),
+                        offset: self.pos as u64,
+                        reason: format!("{remaining} trailing bytes, shorter than a record header"),
                     },
                 );
-                report.frames_scanned += 1;
-                return Ok(Scanned { frames });
+                self.done = true;
+                return None;
             }
-            let payload_start = pos + RECORD_HEADER_LEN;
-            frames.push(RawFrame {
-                index: report.frames_scanned,
-                offset: pos,
-                frame_bytes: RECORD_HEADER_LEN + body,
-                ts_secs: u64::from(h.ts_sec),
-                client: None,
-                payload: payload_start..payload_start + body,
-            });
-            report.frames_scanned += 1;
-            pos = payload_start + body;
-            continue;
+            let h = header_at(self.bytes, self.pos, self.layout).expect("length checked");
+            if plausible_header(&h, self.snaplen, self.layout) {
+                let body = h.incl_len as usize;
+                if body > remaining - RECORD_HEADER_LEN {
+                    // Plausible header, absent bytes: the classic chopped tail.
+                    report.quarantine(
+                        QuarantineClass::TruncatedFrame,
+                        remaining as u64,
+                        QuarantineSample {
+                            frame_index: report.frames_scanned,
+                            offset: self.pos as u64,
+                            reason: format!(
+                                "record promises {body} bytes but only {} remain",
+                                remaining - RECORD_HEADER_LEN
+                            ),
+                        },
+                    );
+                    report.frames_scanned += 1;
+                    self.done = true;
+                    return None;
+                }
+                let payload_start = self.pos + RECORD_HEADER_LEN;
+                let frame = RawFrame {
+                    index: report.frames_scanned,
+                    offset: self.pos,
+                    frame_bytes: RECORD_HEADER_LEN + body,
+                    ts_secs: u64::from(h.ts_sec),
+                    client: None,
+                    payload: payload_start..payload_start + body,
+                };
+                report.frames_scanned += 1;
+                self.pos = payload_start + body;
+                return Some(frame);
+            }
+            // Lost framing: skip-scan for the next confirmed boundary.
+            let mut probe = self.pos + 1;
+            while probe + RECORD_HEADER_LEN <= self.bytes.len()
+                && !confirmed_boundary(self.bytes, probe, self.snaplen, self.layout)
+            {
+                probe += 1;
+            }
+            let landing = if probe + RECORD_HEADER_LEN <= self.bytes.len() {
+                probe
+            } else {
+                self.bytes.len()
+            };
+            report.record_resync(
+                self.pos as u64,
+                (landing - self.pos) as u64,
+                format!("implausible record header, skipped {} bytes", landing - self.pos),
+            );
+            self.pos = landing;
         }
-        // Lost framing: skip-scan for the next confirmed boundary.
-        let mut probe = pos + 1;
-        while probe + RECORD_HEADER_LEN <= bytes.len()
-            && !confirmed_boundary(bytes, probe, snaplen, layout)
-        {
-            probe += 1;
-        }
-        let landing = if probe + RECORD_HEADER_LEN <= bytes.len() { probe } else { bytes.len() };
-        report.record_resync(
-            pos as u64,
-            (landing - pos) as u64,
-            format!("implausible record header, skipped {} bytes", landing - pos),
-        );
-        pos = landing;
+        self.done = true;
+        None
+    }
+}
+
+/// Scans a pcap byte stream into frame extents, performing resync
+/// skip-scans over corrupt regions. Serial and cheap: it reads only
+/// record headers, leaving payload decoding to the sharded phase.
+pub fn scan(bytes: &[u8], report: &mut IngestReport) -> Result<Scanned, ScanError> {
+    let mut scanner = PcapScanner::new(bytes, report)?;
+    let mut frames = Vec::new();
+    while let Some(frame) = scanner.next_frame(report) {
+        frames.push(frame);
     }
     Ok(Scanned { frames })
 }

@@ -117,6 +117,103 @@ fn splices_and_truncation_degrade_gracefully() {
     }
 }
 
+/// The resumable frame scanners must agree with the whole-buffer scan
+/// frame for frame and ledger entry for ledger entry — on clean captures,
+/// on burst-corrupted ones, and on chopped tails. This is the regression
+/// gate for the iterator refactor: `scan()` is now a thin loop over the
+/// scanner, so any divergence here means resumable consumption (the
+/// streaming path) sees different data than batch ingestion.
+#[test]
+fn resumable_scanners_match_whole_buffer_scan() {
+    use dnsnoise_ingest::framestream::FrameScanner;
+    use dnsnoise_ingest::pcap::PcapScanner;
+    use dnsnoise_ingest::IngestReport;
+
+    for format in FORMATS {
+        let trace = common::trace(300);
+        let clean = common::capture(&trace, format);
+        let mut variants = vec![("clean", clean.clone())];
+        for seed in [3u64, 11, 29] {
+            let mut bytes = clean.clone();
+            corrupt::flip_bursts(&mut bytes, 0.02, seed);
+            variants.push(("flipped", bytes));
+        }
+        let mut chopped = clean.clone();
+        corrupt::truncate_tail(&mut chopped, 0.3);
+        variants.push(("chopped", chopped));
+
+        for (what, bytes) in &variants {
+            let mut batch_report =
+                IngestReport { bytes_total: bytes.len() as u64, ..Default::default() };
+            let batch = match format {
+                CaptureFormat::Pcap => dnsnoise_ingest::pcap::scan(bytes, &mut batch_report),
+                CaptureFormat::Dnstap => {
+                    dnsnoise_ingest::framestream::scan(bytes, &mut batch_report)
+                }
+            }
+            .unwrap_or_else(|e| panic!("{format} {what}: {e}"));
+
+            let mut iter_report =
+                IngestReport { bytes_total: bytes.len() as u64, ..Default::default() };
+            let mut iter_frames = Vec::new();
+            match format {
+                CaptureFormat::Pcap => {
+                    let mut scanner = PcapScanner::new(bytes, &mut iter_report).unwrap();
+                    // One frame per call, interleaved with is_done probes:
+                    // the consumption pattern a streaming caller uses.
+                    while let Some(frame) = scanner.next_frame(&mut iter_report) {
+                        iter_frames.push(frame);
+                    }
+                    assert!(scanner.is_done(), "{format} {what}");
+                    assert!(scanner.next_frame(&mut iter_report).is_none());
+                }
+                CaptureFormat::Dnstap => {
+                    let mut scanner = FrameScanner::new(bytes).unwrap();
+                    while let Some(frame) = scanner.next_frame(&mut iter_report) {
+                        iter_frames.push(frame);
+                    }
+                    assert!(scanner.is_done(), "{format} {what}");
+                    assert!(scanner.next_frame(&mut iter_report).is_none());
+                }
+            }
+            assert_eq!(iter_frames, batch.frames, "{format} {what}: frames diverge");
+            assert_eq!(iter_report, batch_report, "{format} {what}: ledgers diverge");
+        }
+    }
+}
+
+/// The resumable trace reader must agree with `read_trace` event for
+/// event, and report the same line-numbered error on malformed input.
+#[test]
+fn event_reader_matches_read_trace() {
+    use dnsnoise_workload::trace_io::EventReader;
+
+    let trace = common::trace(200);
+    let mut buf = Vec::new();
+    trace_io::write_trace(&trace, &mut buf).unwrap();
+    // Sprinkle comments and blanks through the text form.
+    let text =
+        format!("# leading comment\n\n{}# trailing comment\n", String::from_utf8(buf).unwrap());
+
+    let batch = trace_io::read_trace(text.as_bytes()).unwrap();
+    let streamed: Vec<_> = EventReader::new(text.as_bytes()).collect::<Result<_, _>>().unwrap();
+    assert_eq!(streamed, batch.events);
+
+    // A malformed line mid-stream: same error text, and the reader stops.
+    let poisoned = format!("{text}garbage line\n10\t7\twww.example.com\tA\tNXDOMAIN\n");
+    let batch_err = trace_io::read_trace(poisoned.as_bytes()).unwrap_err().to_string();
+    let mut reader = EventReader::new(poisoned.as_bytes());
+    let mut iter_err = None;
+    for item in &mut reader {
+        if let Err(e) = item {
+            iter_err = Some(e.to_string());
+            break;
+        }
+    }
+    assert_eq!(iter_err.as_deref(), Some(batch_err.as_str()));
+    assert!(reader.next().is_none(), "reader must not resume past an error");
+}
+
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -39,6 +39,7 @@ mod engine;
 mod faults;
 mod metrics;
 mod observer;
+mod session;
 mod sim;
 mod stats;
 mod traffic;
@@ -56,6 +57,7 @@ pub use metrics::{
     LATENCY_BOUNDS_MS, QUEUE_BOUNDS, RETRY_BOUNDS, SERVED_KINDS, SERVED_LABELS,
 };
 pub use observer::{Observer, Served};
+pub use session::EventSession;
 pub use sim::{
     Availability, DayReport, PriorityPredicate, ResilienceStats, ResolverSim, SimConfig,
 };

@@ -1,0 +1,205 @@
+//! Incremental event-at-a-time replay: the streaming counterpart of the
+//! [`ResolverSim::day`](crate::ResolverSim::day) builder.
+//!
+//! An [`EventSession`] owns a [`ResolverSim`] and feeds it one
+//! [`QueryEvent`] per [`EventSession::push`] call, running the *same*
+//! per-event logic (`process_event`) as the single-threaded reference
+//! replay. Because every push goes through the identical routing, cache,
+//! and accounting code path, a session fed the events of a [`DayTrace`]
+//! in order produces a [`DayReport`] bit-identical to
+//! `sim.day(&trace).run()` for the fault-free, overload-free
+//! configuration the streaming miner uses.
+//!
+//! The session is deliberately narrower than the batch builder: no fault
+//! plan, no admission control, no metrics registry. Those knobs model
+//! infrastructure failure drills, which are batch-replay experiments;
+//! the streaming path models the steady-state deployment of the paper's
+//! miner at a production monitoring point.
+//!
+//! # Examples
+//!
+//! ```
+//! use dnsnoise_resolver::{EventSession, ResolverSim, SimConfig};
+//! use dnsnoise_workload::{Scenario, ScenarioConfig};
+//!
+//! let s = Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.02), 7);
+//! let trace = s.generate_day(0);
+//!
+//! let mut session = EventSession::new(ResolverSim::new(SimConfig::default()), trace.day);
+//! for event in &trace.events {
+//!     session.push(event, Some(s.ground_truth()), &mut ());
+//! }
+//! let (report, _sim) = session.finish();
+//!
+//! let mut batch = ResolverSim::new(SimConfig::default());
+//! let expected = batch.day(&trace).ground_truth(s.ground_truth()).run();
+//! assert_eq!(report, expected);
+//! ```
+
+use dnsnoise_cache::{CacheKey, CacheStats};
+use dnsnoise_dns::Ttl;
+use dnsnoise_workload::{GroundTruth, QueryEvent};
+
+use crate::faults::FaultPlan;
+use crate::observer::Observer;
+use crate::sim::{diff_stats, process_event, DayReport, EventCtx, ResolverSim};
+
+/// An in-progress incremental replay of one day of traffic.
+///
+/// Create with [`EventSession::new`], feed events with
+/// [`EventSession::push`], and call [`EventSession::finish`] to obtain
+/// the [`DayReport`] and recover the simulator (whose caches carry over
+/// to the next day, exactly as in batch multi-day replays).
+#[derive(Debug)]
+pub struct EventSession {
+    sim: ResolverSim,
+    /// The always-empty plan: streaming replays are fault-free, and an
+    /// empty plan makes `process_event` behave exactly like the batch
+    /// default-plan fallback.
+    plan: FaultPlan,
+    report: DayReport,
+    stats_before: CacheStats,
+    index: u64,
+}
+
+impl EventSession {
+    /// Starts a session for simulated day `day` over `sim`, snapshotting
+    /// the cluster's cache counters so [`EventSession::finish`] can report
+    /// this day's deltas.
+    pub fn new(sim: ResolverSim, day: u64) -> EventSession {
+        let stats_before = sim.cluster.total_stats();
+        EventSession {
+            sim,
+            plan: FaultPlan::default(),
+            report: DayReport { day, ..DayReport::default() },
+            stats_before,
+            index: 0,
+        }
+    }
+
+    /// Serves one event, updating the cluster caches and the running
+    /// report, and invoking `observer` with the response exactly as the
+    /// batch replay would. `ground_truth` (when available) attributes
+    /// traffic to the Fig. 2 operator series; it never influences cache
+    /// behaviour or per-record statistics.
+    pub fn push<Obs: Observer + ?Sized>(
+        &mut self,
+        event: &QueryEvent,
+        ground_truth: Option<&GroundTruth>,
+        observer: &mut Obs,
+    ) {
+        let ctx = EventCtx {
+            plan: &self.plan,
+            day: self.report.day,
+            stale_window: self.sim.config.stale_window.unwrap_or(Ttl::ZERO),
+            low_priority: self.sim.config.low_priority.clone(),
+            faults_active: false,
+            overload: None,
+        };
+        let member =
+            self.sim.cluster.route(event.client, &CacheKey::new(event.name.clone(), event.qtype));
+        let shard = self.sim.cluster.member_mut(member);
+        process_event(
+            &ctx,
+            self.index,
+            member,
+            event,
+            ground_truth,
+            shard.cache,
+            shard.negative,
+            &mut self.report,
+            observer,
+            None,
+            None,
+        );
+        self.index += 1;
+    }
+
+    /// Re-labels the simulated day. Only meaningful before the first
+    /// push: callers that learn the day from the stream itself (e.g. a
+    /// miner fed from stdin) set it when the first event arrives.
+    pub fn set_day(&mut self, day: u64) {
+        self.report.day = day;
+    }
+
+    /// Events pushed so far.
+    pub fn events_pushed(&self) -> u64 {
+        self.index
+    }
+
+    /// Read-only view of the running report. The `cache` delta is only
+    /// folded in by [`EventSession::finish`]; every other counter is
+    /// current as of the last push.
+    pub fn report_so_far(&self) -> &DayReport {
+        &self.report
+    }
+
+    /// Closes the day: folds the cache-counter delta into the report and
+    /// returns it together with the simulator for reuse on the next day.
+    pub fn finish(self) -> (DayReport, ResolverSim) {
+        let EventSession { sim, plan: _, mut report, stats_before, index: _ } = self;
+        let stats_after = sim.cluster.total_stats();
+        report.cache = diff_stats(&stats_before, &stats_after);
+        (report, sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimConfig;
+    use dnsnoise_workload::{Scenario, ScenarioConfig};
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::new(ScenarioConfig::paper_epoch(0.6).with_scale(0.02), seed)
+    }
+
+    #[test]
+    fn incremental_replay_matches_batch_exactly() {
+        for seed in [7, 301] {
+            let s = scenario(seed);
+            let trace = s.generate_day(0);
+
+            let mut batch = ResolverSim::new(SimConfig::default());
+            let expected = batch.day(&trace).ground_truth(s.ground_truth()).run();
+
+            let mut session = EventSession::new(ResolverSim::new(SimConfig::default()), trace.day);
+            for event in &trace.events {
+                session.push(event, Some(s.ground_truth()), &mut ());
+            }
+            let (report, _) = session.finish();
+            assert_eq!(report, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sessions_carry_cache_state_across_days() {
+        let s = scenario(40);
+        let mut batch = ResolverSim::new(SimConfig::default());
+        let mut streamed = ResolverSim::new(SimConfig::default());
+        for day in 0..2 {
+            let trace = s.generate_day(day);
+            let expected = batch.day(&trace).ground_truth(s.ground_truth()).run();
+            let mut session = EventSession::new(streamed, trace.day);
+            for event in &trace.events {
+                session.push(event, Some(s.ground_truth()), &mut ());
+            }
+            let (report, sim) = session.finish();
+            streamed = sim;
+            assert_eq!(report, expected, "day {day}");
+        }
+    }
+
+    #[test]
+    fn report_so_far_tracks_pushes() {
+        let s = scenario(9);
+        let trace = s.generate_day(0);
+        let mut session = EventSession::new(ResolverSim::new(SimConfig::default()), trace.day);
+        assert_eq!(session.events_pushed(), 0);
+        for event in trace.events.iter().take(100) {
+            session.push(event, None, &mut ());
+        }
+        assert_eq!(session.events_pushed(), 100);
+        assert!(session.report_so_far().below_total > 0);
+    }
+}

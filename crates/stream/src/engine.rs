@@ -1,0 +1,686 @@
+//! The incremental miner: one event in, bounded state, classifications
+//! out at every epoch close.
+//!
+//! A [`StreamMiner`] drives three online structures from a single
+//! [`EventSession`] replay:
+//!
+//! * the **name registry** — a `BTreeMap` from each observed owner name
+//!   to the 8-byte fingerprints of its resource records. This is the only
+//!   per-name state; unlike the batch path's `HashMap<RrKey, RrStat>`,
+//!   each name is stored once instead of once per `(name, qtype, rdata)`
+//!   triple, and per-record counters live in the fixed-size sketches;
+//! * two **count-min sketches** — below-the-recursives query counts and
+//!   above-the-recursives miss counts per record fingerprint, from which
+//!   the paper's domain hit rate (Eq. 1) is recovered at epoch close;
+//! * two **HyperLogLogs** — distinct clients and distinct owner names.
+//!
+//! At each epoch boundary (and at [`StreamMiner::finish`]) the registry
+//! and sketches are folded into a fresh [`DomainTree`] snapshot and the
+//! trained classifier runs Algorithm 1 over it. Snapshots are
+//! non-destructive: closing an epoch mid-stream and resuming is
+//! indistinguishable from an uninterrupted run.
+
+use std::collections::BTreeMap;
+
+use dnsnoise_core::{DomainTree, Finding, Miner, MiningReport};
+use dnsnoise_dns::{Name, Record, SuffixList};
+use dnsnoise_pdns::FpDnsLog;
+use dnsnoise_resolver::{DayReport, EventSession, Observer, ResolverSim, Served, SimConfig};
+use dnsnoise_workload::{GroundTruth, QueryEvent};
+
+use crate::sketch::{fnv1a, CountMinSketch, HyperLogLog};
+
+/// How many fpDNS records the streaming collector retains as samples.
+/// Aggregate pDNS counters are exact regardless.
+pub const PDNS_RETAIN: usize = 512;
+
+/// Modeled per-name overhead of one registry entry beyond the name text
+/// and its fingerprint vector: tree-map node bookkeeping plus the vector
+/// header.
+const REGISTRY_NODE_BYTES: usize = 72;
+
+/// Streaming miner knobs. All sketch parameters trade memory for
+/// accuracy; the defaults keep the seeded reference day collision-free
+/// (see DESIGN.md §streaming-miner).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Seconds per classification epoch (default 21 600 — four mid-day
+    /// closes per day).
+    pub epoch_secs: u64,
+    /// Count-min row width (default 16 384 counters).
+    pub cm_width: usize,
+    /// Count-min rows (default 4).
+    pub cm_depth: usize,
+    /// HyperLogLog precision `p`; `2^p` registers (default 12).
+    pub hll_precision: u8,
+    /// Hash seed for every sketch.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            epoch_secs: 21_600,
+            cm_width: 16_384,
+            cm_depth: 4,
+            hll_precision: 12,
+            seed: 7,
+        }
+    }
+}
+
+/// One epoch-close classification snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSummary {
+    /// Zero-based epoch index within the day.
+    pub epoch: u64,
+    /// Second-of-day this epoch ends at (exclusive).
+    pub end_secs: u64,
+    /// Cumulative events pushed when the epoch closed.
+    pub events: u64,
+    /// Algorithm 1 findings over the day-so-far tree.
+    pub findings: Vec<Finding>,
+    /// Exact distinct owner names in the registry.
+    pub distinct_names: u64,
+    /// HyperLogLog estimate of distinct owner names.
+    pub distinct_names_est: u64,
+    /// HyperLogLog estimate of distinct clients.
+    pub distinct_clients_est: u64,
+    /// Resident streaming state at close, in bytes.
+    pub state_bytes: usize,
+}
+
+/// Aggregate pDNS counters collected online.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PdnsSummary {
+    /// Responses collected (answers and NXDOMAINs).
+    pub total_responses: u64,
+    /// Resource records across those responses.
+    pub total_records: u64,
+    /// NXDOMAIN responses.
+    pub nx_responses: u64,
+    /// Modeled storage the full fpDNS log would occupy.
+    pub storage_bytes: u64,
+}
+
+/// The end-of-day output of a [`StreamMiner`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Zero-based day.
+    pub day: u64,
+    /// Epoch length used.
+    pub epoch_secs: u64,
+    /// Count-min geometry, for the report header.
+    pub cm_width: usize,
+    /// Count-min rows.
+    pub cm_depth: usize,
+    /// HyperLogLog precision.
+    pub hll_precision: u8,
+    /// Mid-day classification snapshots, in close order.
+    pub epochs: Vec<EpochSummary>,
+    /// End-of-day Algorithm 1 findings.
+    pub final_findings: Vec<Finding>,
+    /// The resolver-side day report (traffic, cache, per-RR exact stats
+    /// are *not* kept — that is the point of the sketches).
+    pub day_report: DayReport,
+    /// Ground-truth evaluation of the final findings, when ground truth
+    /// was attached.
+    pub mining: Option<MiningReport>,
+    /// Online pDNS counters.
+    pub pdns: PdnsSummary,
+    /// Events pushed into the session.
+    pub events_pushed: u64,
+    /// Events answered with records.
+    pub events_answered: u64,
+    /// NXDOMAIN responses.
+    pub events_nxdomain: u64,
+    /// SERVFAIL responses.
+    pub events_failed: u64,
+    /// Queries shed by admission control (always 0: the streaming
+    /// session runs without an overload stage).
+    pub events_shed: u64,
+    /// Exact distinct owner names at end of day.
+    pub distinct_names: u64,
+    /// HLL estimate of distinct owner names.
+    pub distinct_names_est: u64,
+    /// HLL estimate of distinct clients.
+    pub distinct_clients_est: u64,
+    /// Largest resident state observed at any point of the day.
+    pub peak_state_bytes: usize,
+}
+
+impl StreamReport {
+    /// The event-conservation invariant: every pushed event was answered,
+    /// NXDOMAIN'd, SERVFAIL'd, or shed — none silently vanished.
+    pub fn conserves(&self) -> bool {
+        self.events_pushed
+            == self.events_answered + self.events_nxdomain + self.events_failed + self.events_shed
+    }
+
+    /// The conservation line, in the same spirit as the ingest ledger's
+    /// byte-conservation line.
+    pub fn conservation_line(&self) -> String {
+        format!(
+            "events: {} pushed = {} answered + {} nxdomain + {} servfail + {} shed ({})",
+            self.events_pushed,
+            self.events_answered,
+            self.events_nxdomain,
+            self.events_failed,
+            self.events_shed,
+            if self.conserves() { "conserved" } else { "NOT CONSERVED" },
+        )
+    }
+
+    /// Renders the whole report as deterministic `key = value` text: the
+    /// golden-snapshot and CLI format. Byte-identical across runs for the
+    /// same trace and configuration.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line(format!("day = {}", self.day));
+        line(format!("epoch_secs = {}", self.epoch_secs));
+        line(format!("cm = {}x{}", self.cm_width, self.cm_depth));
+        line(format!("hll_precision = {}", self.hll_precision));
+        for e in &self.epochs {
+            line(format!("-- epoch {} (close @ {}s, {} events) --", e.epoch, e.end_secs, e.events));
+            line(format!("state_bytes = {}", e.state_bytes));
+            line(format!("distinct_names = {} (hll {})", e.distinct_names, e.distinct_names_est));
+            line(format!("distinct_clients_hll = {}", e.distinct_clients_est));
+            line(format!("findings = {}", e.findings.len()));
+            for f in &e.findings {
+                line(render_finding(f));
+            }
+        }
+        line("-- final --".to_string());
+        line(format!("events = {}", self.events_pushed));
+        line(format!("distinct_names = {} (hll {})", self.distinct_names, self.distinct_names_est));
+        line(format!("distinct_clients_hll = {}", self.distinct_clients_est));
+        line(format!("peak_state_bytes = {}", self.peak_state_bytes));
+        line(format!(
+            "pdns = {} responses / {} records / {} nx / {} bytes",
+            self.pdns.total_responses,
+            self.pdns.total_records,
+            self.pdns.nx_responses,
+            self.pdns.storage_bytes
+        ));
+        line(format!("below_total = {}", self.day_report.below_total));
+        line(format!("above_total = {}", self.day_report.above_total));
+        line(format!("cache.hits = {}", self.day_report.cache.hits));
+        line(format!("cache.misses = {}", self.day_report.cache.misses));
+        line(format!("findings = {}", self.final_findings.len()));
+        for f in &self.final_findings {
+            line(render_finding(f));
+        }
+        let _ = write!(out, "{}", self.conservation_line());
+        out.push('\n');
+        out
+    }
+
+    /// The final findings as the same TSV body `dnsnoise mine` prints,
+    /// sorted by confidence descending (ties by zone), so batch and
+    /// stream outputs can be diffed directly.
+    pub fn findings_tsv(&self) -> String {
+        let mut rows: Vec<&Finding> = self.final_findings.iter().collect();
+        rows.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .expect("confidence is finite")
+                .then_with(|| a.zone.cmp(&b.zone))
+                .then(a.depth.cmp(&b.depth))
+        });
+        let mut out = String::new();
+        for f in rows {
+            out.push_str(&format!("{}\t{}\t{:.4}\t{}\n", f.zone, f.depth, f.confidence, f.members));
+        }
+        out
+    }
+}
+
+fn render_finding(f: &Finding) -> String {
+    format!(
+        "finding = {} depth={} confidence={:.6} members={}",
+        f.zone, f.depth, f.confidence, f.members
+    )
+}
+
+/// The online statistics the observer accumulates: name registry,
+/// sketches, pDNS counters, and the served-class tallies behind the
+/// conservation line.
+#[derive(Debug)]
+struct StreamState {
+    /// Owner name → fingerprints of its records, in first-seen order.
+    names: BTreeMap<Name, Vec<u64>>,
+    cm_queries: CountMinSketch,
+    cm_misses: CountMinSketch,
+    hll_clients: HyperLogLog,
+    hll_names: HyperLogLog,
+    pdns: FpDnsLog,
+    answered: u64,
+    nxdomain: u64,
+    failed: u64,
+    shed: u64,
+    /// Incrementally-maintained registry footprint (names + overhead +
+    /// fingerprints), excluding the fixed-size sketches.
+    registry_bytes: usize,
+}
+
+impl StreamState {
+    fn new(config: &StreamConfig) -> StreamState {
+        StreamState {
+            names: BTreeMap::new(),
+            cm_queries: CountMinSketch::new(config.cm_width, config.cm_depth, config.seed),
+            cm_misses: CountMinSketch::new(
+                config.cm_width,
+                config.cm_depth,
+                config.seed ^ 0x517c_c1b7_2722_0a95,
+            ),
+            hll_clients: HyperLogLog::new(config.hll_precision, config.seed),
+            hll_names: HyperLogLog::new(config.hll_precision, config.seed ^ 0x2545_f491_4f6c_dd1d),
+            pdns: FpDnsLog::new(PDNS_RETAIN, false),
+            answered: 0,
+            nxdomain: 0,
+            failed: 0,
+            shed: 0,
+            registry_bytes: 0,
+        }
+    }
+
+    /// Total resident streaming state in bytes: registry + all sketches.
+    fn state_bytes(&self) -> usize {
+        self.registry_bytes
+            + self.cm_queries.state_bytes()
+            + self.cm_misses.state_bytes()
+            + self.hll_clients.state_bytes()
+            + self.hll_names.state_bytes()
+    }
+
+    /// Folds the registry and sketches into a fresh domain tree — the
+    /// streaming stand-in for `DomainTree::from_day_stats`. With sketches
+    /// sized above the distinct-record count the estimates are exact and
+    /// the resulting classifications equal the batch miner's.
+    fn build_tree(&self) -> DomainTree {
+        let mut tree = DomainTree::new();
+        for (name, fps) in &self.names {
+            for &fp in fps {
+                let q = self.cm_queries.estimate(fp).max(1);
+                // Both counters overestimate independently; a record is
+                // never seen above more often than below, so clamp.
+                let m = self.cm_misses.estimate(fp).min(q);
+                let dhr = (q - m) as f64 / q as f64;
+                tree.observe(name, dhr, u32::try_from(m).unwrap_or(u32::MAX));
+            }
+        }
+        tree
+    }
+}
+
+impl Observer for StreamState {
+    fn observe(&mut self, event: &QueryEvent, served: Served, answers: &[Record]) {
+        if served.is_shed() {
+            self.shed += 1;
+            return;
+        }
+        if served.is_failure() {
+            self.failed += 1;
+            return;
+        }
+        self.hll_clients.insert(event.client);
+        if served.is_nxdomain() {
+            self.nxdomain += 1;
+            // Empty answer section marks the response NXDOMAIN in fpDNS.
+            self.pdns.collect(event.time, event.client, &event.name, event.qtype, &[]);
+            return;
+        }
+        self.answered += 1;
+        self.pdns.collect(event.time, event.client, &event.name, event.qtype, answers);
+        let above = served.went_above();
+        for rr in answers {
+            let fp = fnv1a(rr.key().to_string().as_bytes());
+            let fps = match self.names.get_mut(&rr.name) {
+                Some(fps) => fps,
+                None => {
+                    self.registry_bytes += rr.name.presentation_len() + REGISTRY_NODE_BYTES;
+                    self.hll_names.insert(fnv1a(rr.name.to_string().as_bytes()));
+                    self.names.entry(rr.name.clone()).or_default()
+                }
+            };
+            if !fps.contains(&fp) {
+                fps.push(fp);
+                self.registry_bytes += std::mem::size_of::<u64>();
+            }
+            self.cm_queries.add(fp, 1);
+            if above {
+                self.cm_misses.add(fp, 1);
+            }
+        }
+    }
+}
+
+/// The streaming online miner: feed it one [`QueryEvent`] at a time with
+/// [`StreamMiner::push`]; epochs close automatically as event timestamps
+/// cross epoch boundaries, and [`StreamMiner::finish`] produces the
+/// end-of-day [`StreamReport`].
+///
+/// The classifier is trained *before* deployment (the paper trains once
+/// on seed days, then mines daily), so the miner borrows an
+/// already-trained [`Miner`].
+#[derive(Debug)]
+pub struct StreamMiner<'m> {
+    config: StreamConfig,
+    miner: &'m Miner,
+    psl: SuffixList,
+    ground_truth: Option<&'m GroundTruth>,
+    session: EventSession,
+    state: StreamState,
+    current_epoch: Option<u64>,
+    epochs: Vec<EpochSummary>,
+    peak_state_bytes: usize,
+    pushed: u64,
+}
+
+impl<'m> StreamMiner<'m> {
+    /// Creates a miner over a fresh default cluster, streaming day 0.
+    pub fn new(config: StreamConfig, miner: &'m Miner) -> StreamMiner<'m> {
+        StreamMiner::with_sim(config, miner, ResolverSim::new(SimConfig::default()), 0)
+    }
+
+    /// Creates a miner over an existing cluster (whose caches carry prior
+    /// days' state) for simulated day `day`.
+    pub fn with_sim(
+        config: StreamConfig,
+        miner: &'m Miner,
+        sim: ResolverSim,
+        day: u64,
+    ) -> StreamMiner<'m> {
+        assert!(config.epoch_secs > 0, "epoch length must be positive");
+        let state = StreamState::new(&config);
+        let peak = state.state_bytes();
+        StreamMiner {
+            config,
+            miner,
+            psl: SuffixList::builtin(),
+            ground_truth: None,
+            session: EventSession::new(sim, day),
+            state,
+            current_epoch: None,
+            epochs: Vec::new(),
+            peak_state_bytes: peak,
+            pushed: 0,
+        }
+    }
+
+    /// Attaches ground truth: enables operator attribution in the day
+    /// report and ground-truth evaluation of the final findings. Never
+    /// visible to the classifier.
+    pub fn ground_truth(mut self, gt: &'m GroundTruth) -> StreamMiner<'m> {
+        self.ground_truth = Some(gt);
+        self
+    }
+
+    /// Streams one event: closes any epoch the event's timestamp has
+    /// moved past, then replays the event through the cluster and folds
+    /// the response into the online state.
+    pub fn push(&mut self, event: &QueryEvent) {
+        if self.pushed == 0 {
+            // The stream itself names the day (a stdin-fed miner cannot
+            // know it up front); for well-formed traces this agrees with
+            // the day passed to `with_sim`.
+            self.session.set_day(event.time.day());
+        }
+        let epoch = event.time.second_of_day() / self.config.epoch_secs;
+        if let Some(current) = self.current_epoch {
+            if epoch > current {
+                self.close_epoch(current);
+            }
+        }
+        self.current_epoch = Some(epoch.max(self.current_epoch.unwrap_or(0)));
+        self.pushed += 1;
+        self.session.push(event, self.ground_truth, &mut self.state);
+        let resident = self.state.state_bytes();
+        if resident > self.peak_state_bytes {
+            self.peak_state_bytes = resident;
+        }
+    }
+
+    /// Events streamed so far.
+    pub fn events_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Current resident streaming state in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.state.state_bytes()
+    }
+
+    /// Largest resident state observed so far.
+    pub fn peak_state_bytes(&self) -> usize {
+        self.peak_state_bytes
+    }
+
+    /// Forces an epoch close now, mid-stream: snapshots the day-so-far
+    /// tree and classifies it. Non-destructive — pushing more events and
+    /// finishing yields exactly the report an uninterrupted run produces,
+    /// with this one extra epoch entry.
+    pub fn close_epoch_now(&mut self) {
+        let epoch = self.current_epoch.unwrap_or(0);
+        self.close_epoch(epoch);
+    }
+
+    fn close_epoch(&mut self, epoch: u64) {
+        let mut tree = self.state.build_tree();
+        let findings = self.miner.mine(&mut tree, &self.psl);
+        self.epochs.push(EpochSummary {
+            epoch,
+            end_secs: (epoch + 1) * self.config.epoch_secs,
+            events: self.pushed,
+            findings,
+            distinct_names: self.state.names.len() as u64,
+            distinct_names_est: self.state.hll_names.estimate_rounded(),
+            distinct_clients_est: self.state.hll_clients.estimate_rounded(),
+            state_bytes: self.state.state_bytes(),
+        });
+    }
+
+    /// Closes the day: runs the final end-of-day classification, folds
+    /// the cache deltas into the day report, and returns the report
+    /// together with the simulator for the next day.
+    pub fn finish(self) -> (StreamReport, ResolverSim) {
+        let StreamMiner {
+            config,
+            miner,
+            psl,
+            ground_truth,
+            session,
+            state,
+            current_epoch: _,
+            epochs,
+            peak_state_bytes,
+            pushed,
+        } = self;
+        let mut tree = state.build_tree();
+        let final_findings = miner.mine(&mut tree, &psl);
+        let (day_report, sim) = session.finish();
+        let mining = ground_truth.map(|gt| {
+            // Eligibility bookkeeping needs the pristine (un-decolored)
+            // tree, exactly as the batch pipeline rebuilds one.
+            let eval_tree = state.build_tree();
+            MiningReport::evaluate(
+                day_report.day,
+                final_findings.clone(),
+                &eval_tree,
+                gt,
+                &psl,
+                miner.config().min_group_size,
+            )
+        });
+        let report = StreamReport {
+            day: day_report.day,
+            epoch_secs: config.epoch_secs,
+            cm_width: config.cm_width,
+            cm_depth: config.cm_depth,
+            hll_precision: config.hll_precision,
+            epochs,
+            final_findings,
+            mining,
+            pdns: PdnsSummary {
+                total_responses: state.pdns.total_responses(),
+                total_records: state.pdns.total_records(),
+                nx_responses: state.pdns.nx_responses(),
+                storage_bytes: state.pdns.storage_bytes(),
+            },
+            events_pushed: pushed,
+            events_answered: state.answered,
+            events_nxdomain: state.nxdomain,
+            events_failed: state.failed,
+            events_shed: state.shed,
+            distinct_names: state.names.len() as u64,
+            distinct_names_est: state.hll_names.estimate_rounded(),
+            distinct_clients_est: state.hll_clients.estimate_rounded(),
+            peak_state_bytes,
+            day_report,
+        };
+        (report, sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnsnoise_core::{DailyPipeline, MinerConfig};
+    use dnsnoise_workload::{Scenario, ScenarioConfig};
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.05), seed)
+    }
+
+    fn trained_miner(scenario: &Scenario) -> Miner {
+        let mut pipeline = DailyPipeline::new(MinerConfig::default());
+        let _ = pipeline.run_day(scenario, 0);
+        pipeline.into_miner().expect("day 0 trains the model")
+    }
+
+    #[test]
+    fn stream_day_report_matches_batch_and_conserves() {
+        let s = scenario(21);
+        let miner = trained_miner(&s);
+        let trace = s.generate_day(0);
+
+        let mut stream =
+            StreamMiner::new(StreamConfig::default(), &miner).ground_truth(s.ground_truth());
+        for event in &trace.events {
+            stream.push(event);
+        }
+        let (report, _) = stream.finish();
+
+        let mut batch = ResolverSim::new(SimConfig::default());
+        let expected = batch.day(&trace).ground_truth(s.ground_truth()).run();
+        assert_eq!(report.day_report, expected);
+        assert!(report.conserves(), "{}", report.conservation_line());
+        assert_eq!(report.events_pushed, trace.events.len() as u64);
+        assert!(report.events_shed == 0);
+        assert!(!report.epochs.is_empty(), "a full day must close epochs");
+        assert!(report.pdns.total_responses > 0);
+    }
+
+    #[test]
+    fn oversized_sketches_reproduce_batch_findings_exactly() {
+        let s = scenario(21);
+        let miner = trained_miner(&s);
+        let trace = s.generate_day(1);
+
+        // Batch reference for the same day-1 trace on a fresh cluster.
+        let mut sim = ResolverSim::new(SimConfig::default());
+        let batch_report = sim.day(&trace).ground_truth(s.ground_truth()).run();
+        let mut batch_tree = DomainTree::from_day_stats(&batch_report.rr_stats);
+        let batch_findings = miner.mine(&mut batch_tree, &SuffixList::builtin());
+
+        // Width far above the distinct-record count: estimates are exact.
+        let config = StreamConfig { cm_width: 1 << 20, ..StreamConfig::default() };
+        let mut stream = StreamMiner::new(config, &miner).ground_truth(s.ground_truth());
+        for event in &trace.events {
+            stream.push(event);
+        }
+        let (report, _) = stream.finish();
+
+        let mut batch_sorted = batch_findings;
+        let mut stream_sorted = report.final_findings.clone();
+        let by_zone = |a: &Finding, b: &Finding| a.zone.cmp(&b.zone).then(a.depth.cmp(&b.depth));
+        batch_sorted.sort_by(by_zone);
+        stream_sorted.sort_by(by_zone);
+        assert_eq!(stream_sorted, batch_sorted);
+    }
+
+    #[test]
+    fn mid_stream_close_does_not_perturb_the_final_report() {
+        let s = scenario(33);
+        let miner = trained_miner(&s);
+        let trace = s.generate_day(0);
+
+        let run = |force_close: bool| {
+            let mut stream =
+                StreamMiner::new(StreamConfig::default(), &miner).ground_truth(s.ground_truth());
+            for (i, event) in trace.events.iter().enumerate() {
+                if force_close && i == trace.events.len() / 2 {
+                    stream.close_epoch_now();
+                }
+                stream.push(event);
+            }
+            stream.finish().0
+        };
+        let uninterrupted = run(false);
+        let resumed = run(true);
+        assert_eq!(resumed.final_findings, uninterrupted.final_findings);
+        assert_eq!(resumed.day_report, uninterrupted.day_report);
+        assert_eq!(resumed.conservation_line(), uninterrupted.conservation_line());
+        // The forced close adds exactly one epoch entry and nothing else.
+        assert_eq!(resumed.epochs.len(), uninterrupted.epochs.len() + 1);
+    }
+
+    #[test]
+    fn render_is_stable_across_runs() {
+        let s = scenario(5);
+        let miner = trained_miner(&s);
+        let trace = s.generate_day(0);
+        let render = || {
+            let mut stream = StreamMiner::new(
+                StreamConfig { epoch_secs: 7200, ..StreamConfig::default() },
+                &miner,
+            );
+            for event in &trace.events {
+                stream.push(event);
+            }
+            stream.finish().0.render()
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn state_stays_bounded_by_sketches_plus_registry() {
+        let s = scenario(9);
+        let miner = trained_miner(&s);
+        let trace = s.generate_day(0);
+        let config = StreamConfig {
+            cm_width: 1024,
+            cm_depth: 3,
+            hll_precision: 8,
+            seed: 7,
+            epoch_secs: 21_600,
+        };
+        let fixed = 2 * (1024 * 3 * 8) + 2 * 256;
+        let mut stream = StreamMiner::new(config, &miner);
+        for event in &trace.events {
+            stream.push(event);
+        }
+        let per_name_ceiling = 300; // name text + node overhead + a few fingerprints
+        assert!(
+            stream.peak_state_bytes() <= fixed + stream.state.names.len() * per_name_ceiling,
+            "peak {} for {} names",
+            stream.peak_state_bytes(),
+            stream.state.names.len()
+        );
+    }
+}

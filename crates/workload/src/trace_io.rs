@@ -299,58 +299,140 @@ pub fn write_trace<W: Write>(trace: &DayTrace, mut out: W) -> Result<(), TraceIo
     Ok(())
 }
 
-/// Reads a trace from `input`, inferring the day from the first event.
-/// Blank lines and `#` comments are skipped.
+/// A resumable event-at-a-time trace reader: the iterator form of
+/// [`read_trace`], for consumers (like the streaming miner) that feed
+/// events forward one by one instead of materialising a whole
+/// [`DayTrace`]. [`read_trace`] is implemented on top of it, so the two
+/// agree exactly — same events, same skip rules, same line-numbered
+/// errors.
 ///
-/// Hostile input is bounded: each line is read through a
+/// Hostile input stays bounded: each line is read through a
 /// [`MAX_LINE_BYTES`]-byte window, so a newline-free stream fails fast
 /// with a line-numbered error instead of buffering without limit; bytes
 /// that are not UTF-8 are likewise a line-numbered parse error.
+///
+/// # Examples
+///
+/// ```
+/// use dnsnoise_workload::trace_io::EventReader;
+///
+/// let text = "# header\n10\t7\twww.example.com\tA\tNXDOMAIN\n";
+/// let mut reader = EventReader::new(text.as_bytes());
+/// let event = reader.next().unwrap().unwrap();
+/// assert_eq!(event.client, 7);
+/// assert!(reader.next().is_none());
+/// assert_eq!(reader.lines_read(), 3); // the EOF probe counts a line too
+/// ```
+#[derive(Debug)]
+pub struct EventReader<R: BufRead> {
+    input: R,
+    buf: Vec<u8>,
+    lineno: usize,
+    done: bool,
+}
+
+impl<R: BufRead> EventReader<R> {
+    /// Wraps a buffered reader positioned at the start of (or anywhere
+    /// within) a trace stream.
+    pub fn new(input: R) -> EventReader<R> {
+        EventReader { input, buf: Vec::with_capacity(256), lineno: 0, done: false }
+    }
+
+    /// 1-based count of lines consumed so far (including skipped blanks
+    /// and comments, and the final empty read that detected EOF).
+    pub fn lines_read(&self) -> usize {
+        self.lineno
+    }
+
+    /// Reads forward to the next event. Returns `None` at end of input or
+    /// after a previously-returned error (a trace is invalid past its
+    /// first malformed line; resuming mid-garbage would desynchronize
+    /// line numbers).
+    #[allow(clippy::should_implement_trait)] // also exposed via Iterator
+    pub fn next(&mut self) -> Option<Result<QueryEvent, TraceIoError>> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.lineno += 1;
+            self.buf.clear();
+            // Read at most one byte past the cap: seeing the extra byte
+            // distinguishes "line exactly at the cap" from "line too long".
+            let read = self
+                .input
+                .by_ref()
+                .take(MAX_LINE_BYTES as u64 + 1)
+                .read_until(b'\n', &mut self.buf);
+            let n = match read {
+                Ok(n) => n,
+                Err(source) => {
+                    self.done = true;
+                    return Some(Err(TraceIoError::Io { line: Some(self.lineno), source }));
+                }
+            };
+            if n == 0 {
+                self.done = true;
+                return None;
+            }
+            if self.buf.last() == Some(&b'\n') {
+                self.buf.pop();
+                if self.buf.last() == Some(&b'\r') {
+                    self.buf.pop();
+                }
+            } else if self.buf.len() > MAX_LINE_BYTES {
+                self.done = true;
+                return Some(Err(TraceIoError::Parse {
+                    line: self.lineno,
+                    message: format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                }));
+            }
+            let line = match std::str::from_utf8(&self.buf) {
+                Ok(line) => line,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(TraceIoError::Parse {
+                        line: self.lineno,
+                        message: format!("line is not utf-8: {e}"),
+                    }));
+                }
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(match parse_event(trimmed) {
+                Ok(event) => Ok(event),
+                Err(message) => {
+                    self.done = true;
+                    Err(TraceIoError::Parse { line: self.lineno, message })
+                }
+            });
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for EventReader<R> {
+    type Item = Result<QueryEvent, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        EventReader::next(self)
+    }
+}
+
+/// Reads a trace from `input`, inferring the day from the first event.
+/// Blank lines and `#` comments are skipped.
+///
+/// Implemented over [`EventReader`]; see there for the bounded-input
+/// guarantees.
 ///
 /// # Errors
 ///
 /// Fails on I/O errors or the first malformed line; every error carries
 /// the 1-based number of the offending line.
-pub fn read_trace<R: BufRead>(mut input: R) -> Result<DayTrace, TraceIoError> {
+pub fn read_trace<R: BufRead>(input: R) -> Result<DayTrace, TraceIoError> {
     let mut events = Vec::new();
-    let mut buf = Vec::with_capacity(256);
-    let mut lineno = 0usize;
-    loop {
-        lineno += 1;
-        buf.clear();
-        // Read at most one byte past the cap: seeing the extra byte
-        // distinguishes "line exactly at the cap" from "line too long".
-        let n = input
-            .by_ref()
-            .take(MAX_LINE_BYTES as u64 + 1)
-            .read_until(b'\n', &mut buf)
-            .map_err(|source| TraceIoError::Io { line: Some(lineno), source })?;
-        if n == 0 {
-            break;
-        }
-        if buf.last() == Some(&b'\n') {
-            buf.pop();
-            if buf.last() == Some(&b'\r') {
-                buf.pop();
-            }
-        } else if buf.len() > MAX_LINE_BYTES {
-            return Err(TraceIoError::Parse {
-                line: lineno,
-                message: format!("line exceeds {MAX_LINE_BYTES} bytes"),
-            });
-        }
-        let line = std::str::from_utf8(&buf).map_err(|e| TraceIoError::Parse {
-            line: lineno,
-            message: format!("line is not utf-8: {e}"),
-        })?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        events.push(
-            parse_event(trimmed)
-                .map_err(|message| TraceIoError::Parse { line: lineno, message })?,
-        );
+    for event in EventReader::new(input) {
+        events.push(event?);
     }
     let day = events.first().map_or(0, |e| e.time.day());
     Ok(DayTrace { day, events })

@@ -55,6 +55,31 @@ kept=$(grep -cv '^#' "$smoke_dir/i1.trace") || kept=0
 [ "$kept" -ge $((total * 95 / 100)) ] \
     || { echo "error: ingest recovered $kept/$total events (<95%) from 1% corruption" >&2; exit 1; }
 
+echo "== stream smoke (batch-vs-stream agreement, conservation, determinism) ==" >&2
+./target/release/dnsnoise train --scale 0.02 --seed 3 --out "$smoke_dir/model.txt" 2>/dev/null
+./target/release/dnsnoise generate --scale 0.02 --seed 3 --day 1 \
+    --out "$smoke_dir/day1.trace" 2>/dev/null
+# Oversized sketches: the streaming findings must match batch mining
+# zone for zone on the same trace and model.
+./target/release/dnsnoise stream --trace "$smoke_dir/day1.trace" \
+    --model "$smoke_dir/model.txt" --cm-width 1048576 >"$smoke_dir/s1.txt"
+./target/release/dnsnoise stream --trace "$smoke_dir/day1.trace" \
+    --model "$smoke_dir/model.txt" --cm-width 1048576 >"$smoke_dir/s2.txt"
+diff "$smoke_dir/s1.txt" "$smoke_dir/s2.txt" >&2
+grep -q '(conserved)' "$smoke_dir/s1.txt" \
+    || { echo "error: stream smoke did not conserve events" >&2; exit 1; }
+./target/release/dnsnoise mine --trace "$smoke_dir/day1.trace" \
+    --model "$smoke_dir/model.txt" >"$smoke_dir/mine.tsv" 2>/dev/null
+awk -F'\t' 'NR>1 {print $1, "depth="$2}' "$smoke_dir/mine.tsv" | sort >"$smoke_dir/zones.batch"
+awk '/^-- final --/{f=1} f && /^finding = /{print $3, $4}' "$smoke_dir/s1.txt" \
+    | sort >"$smoke_dir/zones.stream"
+diff "$smoke_dir/zones.batch" "$smoke_dir/zones.stream" >&2 \
+    || { echo "error: stream findings diverge from batch mining" >&2; exit 1; }
+[ -s "$smoke_dir/zones.batch" ] \
+    || { echo "error: stream smoke found no zones to compare" >&2; exit 1; }
+grep -q 'conserved' BENCH_stream.json \
+    || { echo "error: BENCH_stream.json missing its conservation line" >&2; exit 1; }
+
 echo "== cargo test ==" >&2
 cargo test -q --offline
 

@@ -138,6 +138,40 @@ impl Default for MineOpts {
     }
 }
 
+/// `dnsnoise stream` options.
+#[derive(Debug, Clone, PartialEq)]
+struct StreamOpts {
+    common: CommonOpts,
+    /// Trace file to stream; `None` reads the trace from stdin, so
+    /// `dnsnoise generate | dnsnoise stream` (or `... | dnsnoise ingest |
+    /// dnsnoise stream`) pipelines work.
+    trace: Option<String>,
+    model: Option<String>,
+    theta: f64,
+    min_group: usize,
+    epoch_secs: u64,
+    cm_width: usize,
+    cm_depth: usize,
+    hll_precision: u8,
+}
+
+impl Default for StreamOpts {
+    fn default() -> Self {
+        let defaults = dnsnoise::stream::StreamConfig::default();
+        StreamOpts {
+            common: CommonOpts::default(),
+            trace: None,
+            model: None,
+            theta: 0.9,
+            min_group: 10,
+            epoch_secs: defaults.epoch_secs,
+            cm_width: defaults.cm_width,
+            cm_depth: defaults.cm_depth,
+            hll_precision: defaults.hll_precision,
+        }
+    }
+}
+
 /// `dnsnoise train` options.
 #[derive(Debug, Clone, PartialEq)]
 struct TrainOpts {
@@ -357,6 +391,47 @@ fn parse_mine(args: &[String]) -> Result<ParseOutcome<MineOpts>, String> {
         ParseOutcome::Parsed(()) => ParseOutcome::Parsed(opts),
         ParseOutcome::Help => ParseOutcome::Help,
     })
+}
+
+fn parse_stream(args: &[String]) -> Result<ParseOutcome<StreamOpts>, String> {
+    let mut opts = StreamOpts::default();
+    let mut common = std::mem::take(&mut opts.common);
+    let outcome = parse_flags("stream", args, &mut common, |flag, values| {
+        match flag {
+            "--trace" => opts.trace = Some(values.take("--trace")?.to_owned()),
+            "--model" => opts.model = Some(values.take("--model")?.to_owned()),
+            "--theta" => opts.theta = parsed(values.take("--theta")?, "--theta")?,
+            "--min-group" => opts.min_group = parsed(values.take("--min-group")?, "--min-group")?,
+            "--epoch-secs" => {
+                opts.epoch_secs = parsed(values.take("--epoch-secs")?, "--epoch-secs")?
+            }
+            "--cm-width" => opts.cm_width = parsed(values.take("--cm-width")?, "--cm-width")?,
+            "--cm-depth" => opts.cm_depth = parsed(values.take("--cm-depth")?, "--cm-depth")?,
+            "--hll-precision" => {
+                opts.hll_precision = parsed(values.take("--hll-precision")?, "--hll-precision")?
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    opts.common = common;
+    if let ParseOutcome::Parsed(()) = outcome {
+        if opts.epoch_secs == 0 {
+            return Err("--epoch-secs must be at least 1".into());
+        }
+        if opts.cm_width == 0 || opts.cm_depth == 0 {
+            return Err("--cm-width and --cm-depth must be at least 1".into());
+        }
+        let (lo, hi) = (
+            dnsnoise::stream::HyperLogLog::MIN_PRECISION,
+            dnsnoise::stream::HyperLogLog::MAX_PRECISION,
+        );
+        if !(lo..=hi).contains(&opts.hll_precision) {
+            return Err(format!("--hll-precision must be in {lo}..={hi}"));
+        }
+        return Ok(ParseOutcome::Parsed(opts));
+    }
+    Ok(ParseOutcome::Help)
 }
 
 fn parse_train(args: &[String]) -> Result<ParseOutcome<TrainOpts>, String> {
@@ -613,8 +688,12 @@ fn cmd_train(opts: &TrainOpts) -> Result<(), String> {
     Ok(())
 }
 
-fn load_or_train_miner(opts: &MineOpts, miner_config: MinerConfig) -> Result<Miner, String> {
-    match &opts.model {
+fn load_or_train_miner(
+    model: Option<&str>,
+    common: &CommonOpts,
+    miner_config: MinerConfig,
+) -> Result<Miner, String> {
+    match model {
         Some(path) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -624,7 +703,7 @@ fn load_or_train_miner(opts: &MineOpts, miner_config: MinerConfig) -> Result<Min
         None => {
             // No persisted model: train the classifier on a synthetic
             // labeled day.
-            let labeled = synthetic_labeled(&opts.common);
+            let labeled = synthetic_labeled(common);
             Ok(Miner::train(&labeled, miner_config))
         }
     }
@@ -636,7 +715,7 @@ fn cmd_mine(opts: &MineOpts) -> Result<(), String> {
     match &opts.trace {
         Some(path) => {
             let trace = load_trace(path)?;
-            let miner = load_or_train_miner(opts, miner_config)?;
+            let miner = load_or_train_miner(opts.model.as_deref(), &opts.common, miner_config)?;
 
             let mut sim = ResolverSim::new(SimConfig::default());
             let report = sim.day(&trace).run();
@@ -672,11 +751,52 @@ fn cmd_mine(opts: &MineOpts) -> Result<(), String> {
     }
 }
 
+fn cmd_stream(opts: &StreamOpts) -> Result<(), String> {
+    let miner_config =
+        MinerConfig { theta: opts.theta, min_group_size: opts.min_group, ..Default::default() };
+    let miner = load_or_train_miner(opts.model.as_deref(), &opts.common, miner_config)?;
+    let config = dnsnoise::stream::StreamConfig {
+        epoch_secs: opts.epoch_secs,
+        cm_width: opts.cm_width,
+        cm_depth: opts.cm_depth,
+        hll_precision: opts.hll_precision,
+        seed: opts.common.seed,
+    };
+    let mut stream = dnsnoise::stream::StreamMiner::new(config, &miner);
+    // Feed events one at a time straight off the reader — the trace is
+    // never materialised, which is the point of the streaming path.
+    let mut push_all = |reader: &mut dyn Iterator<
+        Item = Result<dnsnoise::workload::QueryEvent, trace_io::TraceIoError>,
+    >|
+     -> Result<(), String> {
+        for event in reader {
+            stream.push(&event.map_err(|e| e.to_string())?);
+        }
+        Ok(())
+    };
+    match &opts.trace {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            push_all(&mut trace_io::EventReader::new(BufReader::new(file)))?;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            push_all(&mut trace_io::EventReader::new(stdin.lock()))?;
+        }
+    }
+    let (report, _sim) = stream.finish();
+    print!("{}", report.render());
+    if !report.conserves() {
+        return Err(report.conservation_line());
+    }
+    Ok(())
+}
+
 const COMMON_USAGE: &str = "common flags: --epoch <0..1> --scale <f64> --seed <u64> --day <u64>\n";
 
 fn usage() -> String {
     format!(
-        "usage: dnsnoise <generate|ingest|simulate|mine|train> [flags]\n\
+        "usage: dnsnoise <generate|ingest|simulate|mine|stream|train> [flags]\n\
          \n\
          {COMMON_USAGE}\
          run `dnsnoise <command> --help` for the per-command flags\n\
@@ -685,6 +805,7 @@ fn usage() -> String {
          ingest:    parse a pcap/dnstap capture into a day trace\n\
          simulate:  replay a day through the resolver cluster\n\
          mine:      mine a day for disposable zones\n\
+         stream:    mine a day incrementally with bounded-memory sketches\n\
          train:     train and persist the classifier\n"
     )
 }
@@ -734,6 +855,17 @@ fn subcommand_usage(cmd: &str) -> String {
              \x20 --theta <f64>      confidence threshold (default: 0.9)\n\
              \x20 --min-group <n>    minimal group size (default: 10)\n"
         }
+        "stream" => {
+            "  --trace <file>       stream this trace (default: read stdin, so\n\
+             \x20                      `dnsnoise ingest ... | dnsnoise stream` pipelines)\n\
+             \x20 --model <file>       load a persisted classifier instead of training\n\
+             \x20 --theta <f64>        confidence threshold (default: 0.9)\n\
+             \x20 --min-group <n>      minimal group size (default: 10)\n\
+             \x20 --epoch-secs <n>     seconds per classification epoch (default: 21600)\n\
+             \x20 --cm-width <n>       count-min row width (default: 16384)\n\
+             \x20 --cm-depth <n>       count-min rows (default: 4)\n\
+             \x20 --hll-precision <p>  HyperLogLog precision, 4..=16 (default: 12)\n"
+        }
         "train" => {
             "  --out <file>       model destination (default: stdout)\n\
              \x20 --theta <f64>      confidence threshold (default: 0.9)\n\
@@ -776,6 +908,13 @@ fn main() -> ExitCode {
             ParseOutcome::Parsed(opts) => cmd_mine(&opts),
             ParseOutcome::Help => {
                 print!("{}", subcommand_usage("mine"));
+                Ok(())
+            }
+        }),
+        "stream" => parse_stream(rest).and_then(|o| match o {
+            ParseOutcome::Parsed(opts) => cmd_stream(&opts),
+            ParseOutcome::Help => {
+                print!("{}", subcommand_usage("stream"));
                 Ok(())
             }
         }),
@@ -930,6 +1069,47 @@ mod tests {
         assert!(subcommand_usage("mine").contains("--theta"));
         assert!(subcommand_usage("generate").starts_with("usage: dnsnoise generate"));
         assert!(subcommand_usage("ingest").contains("--max-error-rate"));
+    }
+
+    fn stream(s: &str) -> Result<StreamOpts, String> {
+        match parse_stream(&args(s))? {
+            ParseOutcome::Parsed(o) => Ok(o),
+            ParseOutcome::Help => Err("help".into()),
+        }
+    }
+
+    #[test]
+    fn stream_flags_parse() {
+        assert_eq!(stream("").unwrap(), StreamOpts::default());
+        let o = stream(
+            "--trace t.txt --model m.txt --epoch-secs 3600 --cm-width 1024 --cm-depth 2 \
+             --hll-precision 8 --theta 0.8 --min-group 5 --seed 11",
+        )
+        .unwrap();
+        assert_eq!(o.trace.as_deref(), Some("t.txt"));
+        assert_eq!(o.model.as_deref(), Some("m.txt"));
+        assert_eq!(o.epoch_secs, 3600);
+        assert_eq!(o.cm_width, 1024);
+        assert_eq!(o.cm_depth, 2);
+        assert_eq!(o.hll_precision, 8);
+        assert_eq!(o.theta, 0.8);
+        assert_eq!(o.min_group, 5);
+        assert_eq!(o.common.seed, 11);
+    }
+
+    #[test]
+    fn stream_rejects_degenerate_values() {
+        assert!(stream("--epoch-secs 0").is_err());
+        assert!(stream("--cm-width 0").is_err());
+        assert!(stream("--cm-depth 0").is_err());
+        assert!(stream("--hll-precision 3").is_err());
+        assert!(stream("--hll-precision 17").is_err());
+        assert!(stream("--members 4").is_err(), "no simulate flags");
+        assert!(subcommand_usage("stream").contains("--epoch-secs"));
+        match parse_stream(&args("--help")) {
+            Ok(ParseOutcome::Help) => {}
+            _ => panic!("--help must short-circuit"),
+        }
     }
 
     fn ingest(s: &str) -> Result<IngestOpts, String> {

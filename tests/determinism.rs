@@ -6,13 +6,16 @@
 //! collection counts.
 
 use dnsnoise::cache::LoadBalance;
+use dnsnoise::core::{DailyPipeline, Miner, MinerConfig};
 use dnsnoise::dns::Record;
+use dnsnoise::ingest::{framestream, ingest_bytes, IngestConfig};
 use dnsnoise::pdns::FpDnsLog;
 use dnsnoise::resolver::{
     FaultPlan, MetricsRegistry, Observer, OverloadConfig, ResolverSim, Served, ShardObserver,
     SimConfig,
 };
-use dnsnoise::workload::{AttackPlan, QueryEvent, Scenario, ScenarioConfig};
+use dnsnoise::stream::{StreamConfig, StreamMiner};
+use dnsnoise::workload::{AttackPlan, DayTrace, QueryEvent, Scenario, ScenarioConfig};
 
 fn scenario(seed: u64) -> Scenario {
     Scenario::new(ScenarioConfig::paper_epoch(0.6).with_scale(0.015), seed)
@@ -156,6 +159,87 @@ impl ShardObserver for Collector {
 
     fn absorb(&mut self, shard: Self) {
         self.log.merge(shard.log);
+    }
+}
+
+fn stream_scenario(seed: u64) -> Scenario {
+    Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.02), seed)
+}
+
+fn stream_trained_miner(s: &Scenario) -> Miner {
+    let mut pipeline = DailyPipeline::new(MinerConfig::default());
+    let _ = pipeline.run_day(s, 0);
+    pipeline.into_miner().expect("day 0 trains the model")
+}
+
+fn stream_render(trace: &DayTrace, miner: &Miner, epoch_secs: u64) -> String {
+    let config = StreamConfig { epoch_secs, ..StreamConfig::default() };
+    let mut stream = StreamMiner::new(config, miner);
+    for event in &trace.events {
+        stream.push(event);
+    }
+    stream.finish().0.render()
+}
+
+/// The streaming matrix: for every epoch size and seed, feeding the
+/// miner from the generated trace and from a dnstap capture pushed
+/// through the ingester must render byte-identical reports — and so
+/// must a repeat of either run.
+#[test]
+fn streaming_matrix_is_byte_identical_across_sources_and_runs() {
+    for seed in [11, 3021] {
+        let s = stream_scenario(seed);
+        let miner = stream_trained_miner(&s);
+        let trace = s.generate_day(1);
+
+        // The piped path: serialize the day as a dnstap capture and
+        // recover the events through the fault-tolerant ingester, as
+        // `dnsnoise ingest | dnsnoise stream` does.
+        let capture = framestream::write_dnstap(&trace).expect("serialize capture");
+        let ingested = ingest_bytes(&capture, &IngestConfig::default()).expect("clean capture");
+        assert!(ingested.report.conserves(), "{}", ingested.report);
+
+        for epoch_secs in [3_600, 21_600, 86_400] {
+            let direct = stream_render(&trace, &miner, epoch_secs);
+            let piped = stream_render(&ingested.trace, &miner, epoch_secs);
+            assert_eq!(direct, piped, "seed {seed}, epoch {epoch_secs}: sources diverge");
+            let again = stream_render(&trace, &miner, epoch_secs);
+            assert_eq!(direct, again, "seed {seed}, epoch {epoch_secs}: repeat run diverges");
+        }
+    }
+}
+
+/// A forced mid-stream epoch close followed by resumed pushing must
+/// leave the end-of-day answer untouched: same findings, same day
+/// report, same conservation line — only one extra epoch snapshot.
+#[test]
+fn mid_stream_epoch_close_and_resume_equals_uninterrupted_run() {
+    let s = stream_scenario(11);
+    let miner = stream_trained_miner(&s);
+    let trace = s.generate_day(1);
+
+    let run = |close_at: Option<usize>| {
+        let mut stream =
+            StreamMiner::new(StreamConfig::default(), &miner).ground_truth(s.ground_truth());
+        for (i, event) in trace.events.iter().enumerate() {
+            if close_at == Some(i) {
+                stream.close_epoch_now();
+            }
+            stream.push(event);
+        }
+        stream.finish().0
+    };
+
+    let uninterrupted = run(None);
+    for fraction in [4, 2] {
+        let resumed = run(Some(trace.events.len() / fraction));
+        assert_eq!(resumed.final_findings, uninterrupted.final_findings, "1/{fraction}");
+        assert_eq!(resumed.day_report, uninterrupted.day_report, "1/{fraction}");
+        assert_eq!(resumed.mining, uninterrupted.mining, "1/{fraction}");
+        assert_eq!(resumed.pdns, uninterrupted.pdns, "1/{fraction}");
+        assert_eq!(resumed.conservation_line(), uninterrupted.conservation_line(), "1/{fraction}");
+        assert_eq!(resumed.findings_tsv(), uninterrupted.findings_tsv(), "1/{fraction}");
+        assert_eq!(resumed.epochs.len(), uninterrupted.epochs.len() + 1, "1/{fraction}");
     }
 }
 

@@ -1,0 +1,63 @@
+//! Golden-snapshot regression harness for the streaming miner: a fixed
+//! seed's day 0, trained on with the batch pipeline and then replayed
+//! through the streaming miner, must render to exactly the committed
+//! snapshot.
+//!
+//! The snapshot pins the full `StreamReport::render()` text — every
+//! epoch close, sketch estimate, finding line, pDNS counter, and the
+//! conservation line — so any drift in the sketches, the epoch
+//! schedule, or the event accounting shows up as a line diff. To
+//! intentionally rebless after a semantic change:
+//! `UPDATE_GOLDEN=1 cargo test --test golden_stream`.
+
+use dnsnoise::core::{DailyPipeline, MinerConfig};
+use dnsnoise::stream::{StreamConfig, StreamMiner};
+use dnsnoise::workload::{Scenario, ScenarioConfig};
+
+const SNAPSHOT_PATH: &str = "tests/golden/stream_day0.snapshot";
+
+fn scenario() -> Scenario {
+    Scenario::new(ScenarioConfig::paper_epoch(0.5).with_scale(0.02), 20140622)
+}
+
+fn rendered() -> String {
+    let s = scenario();
+    let mut pipeline = DailyPipeline::new(MinerConfig::default());
+    let _ = pipeline.run_day(&s, 0);
+    let miner = pipeline.into_miner().expect("day 0 trains the model");
+
+    let trace = s.generate_day(0);
+    let mut stream =
+        StreamMiner::new(StreamConfig::default(), &miner).ground_truth(s.ground_truth());
+    for event in &trace.events {
+        stream.push(event);
+    }
+    let (report, _) = stream.finish();
+    assert!(report.conserves(), "{}", report.conservation_line());
+    report.render()
+}
+
+#[test]
+fn stream_report_matches_committed_snapshot() {
+    let text = rendered();
+    // Sanity: the fixture must exercise the interesting machinery.
+    assert!(text.contains("-- epoch"), "fixture must close at least one epoch");
+    assert!(text.contains("(conserved)"), "fixture must conserve");
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(SNAPSHOT_PATH, &text).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(SNAPSHOT_PATH)
+        .expect("snapshot missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        text, expected,
+        "stream report drifted from the golden snapshot; if the change is \
+         intentional, rebless with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn repeat_run_matches_the_same_snapshot() {
+    assert_eq!(rendered(), rendered());
+}

@@ -1,0 +1,145 @@
+//! Batch-vs-stream fidelity harness: the same seeded day replayed
+//! through the batch pipeline and the streaming miner.
+//!
+//! Two regimes are pinned:
+//!
+//! * **Default sketches** (16 Ki counters × 4 rows, HLL p=12): the
+//!   streamed TPR and FPR must sit within [`TOLERANCE`] — an absolute
+//!   two-percentage-point band, the committed figure quoted in
+//!   `EXPERIMENTS.md` — of the batch pipeline's, on every seed tested.
+//! * **Oversized sketches** (width far above the distinct-record count):
+//!   every count-min estimate is exact, so the streamed findings and the
+//!   evaluated TPR/FPR must equal batch *bit for bit*.
+
+use dnsnoise::core::{DailyPipeline, DomainTree, Finding, Miner, MinerConfig, MiningReport};
+use dnsnoise::dns::SuffixList;
+use dnsnoise::resolver::{ResolverSim, SimConfig};
+use dnsnoise::stream::{StreamConfig, StreamMiner};
+use dnsnoise::workload::{Scenario, ScenarioConfig};
+
+/// Committed absolute tolerance on TPR and FPR between the streaming
+/// miner (default sketch geometry) and the batch pipeline.
+const TOLERANCE: f64 = 0.02;
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::new(ScenarioConfig::paper_epoch(1.0).with_scale(0.05), seed)
+}
+
+/// Trains on day 0 with the batch pipeline, then hands the model over —
+/// the train-once-offline, deploy-streaming flow.
+fn trained_miner(s: &Scenario) -> Miner {
+    let mut pipeline = DailyPipeline::new(MinerConfig::default());
+    let _ = pipeline.run_day(s, 0);
+    pipeline.into_miner().expect("day 0 trains the model")
+}
+
+/// Batch reference for one trace on a fresh cluster: replay, build the
+/// exact tree, mine, evaluate against ground truth.
+fn batch_reference(s: &Scenario, miner: &Miner, day: u64) -> MiningReport {
+    let trace = s.generate_day(day);
+    let mut sim = ResolverSim::new(SimConfig::default());
+    let report = sim.day(&trace).ground_truth(s.ground_truth()).run();
+    let mut tree = DomainTree::from_day_stats(&report.rr_stats);
+    let found = miner.mine(&mut tree, &SuffixList::builtin());
+    let eval_tree = DomainTree::from_day_stats(&report.rr_stats);
+    MiningReport::evaluate(
+        day,
+        found,
+        &eval_tree,
+        s.ground_truth(),
+        &SuffixList::builtin(),
+        MinerConfig::default().min_group_size,
+    )
+}
+
+fn stream_mining(s: &Scenario, miner: &Miner, day: u64, config: StreamConfig) -> MiningReport {
+    let trace = s.generate_day(day);
+    let mut stream = StreamMiner::new(config, miner).ground_truth(s.ground_truth());
+    for event in &trace.events {
+        stream.push(event);
+    }
+    let (report, _) = stream.finish();
+    assert!(report.conserves(), "{}", report.conservation_line());
+    report.mining.expect("ground truth was attached")
+}
+
+fn sorted(mut findings: Vec<Finding>) -> Vec<Finding> {
+    findings.sort_by(|a, b| a.zone.cmp(&b.zone).then(a.depth.cmp(&b.depth)));
+    findings
+}
+
+/// Default sketch geometry: TPR/FPR within the committed tolerance of
+/// batch, across seeds, on a day the model never trained on.
+#[test]
+fn default_sketches_hold_tpr_fpr_within_committed_tolerance() {
+    for seed in [21, 87, 1009] {
+        let s = scenario(seed);
+        let miner = trained_miner(&s);
+        let batch = batch_reference(&s, &miner, 1);
+        // The fixture must be non-vacuous: disposable zones exist and the
+        // batch miner actually finds things.
+        assert!(batch.eligible_disposable > 0, "seed {seed}: no eligible zones");
+        assert!(!batch.found.is_empty(), "seed {seed}: batch found nothing");
+
+        let streamed = stream_mining(&s, &miner, 1, StreamConfig::default());
+        assert!(
+            (streamed.tpr() - batch.tpr()).abs() <= TOLERANCE,
+            "seed {seed}: streamed TPR {:.4} vs batch {:.4} exceeds {TOLERANCE}",
+            streamed.tpr(),
+            batch.tpr()
+        );
+        assert!(
+            (streamed.fpr() - batch.fpr()).abs() <= TOLERANCE,
+            "seed {seed}: streamed FPR {:.4} vs batch {:.4} exceeds {TOLERANCE}",
+            streamed.fpr(),
+            batch.fpr()
+        );
+    }
+}
+
+/// Sketches sized above the distinct-key count make every estimate
+/// exact: findings and evaluation must agree with batch bit for bit.
+#[test]
+fn oversized_sketches_agree_with_batch_exactly() {
+    for seed in [21, 87] {
+        let s = scenario(seed);
+        let miner = trained_miner(&s);
+        let batch = batch_reference(&s, &miner, 1);
+
+        let config = StreamConfig { cm_width: 1 << 20, ..StreamConfig::default() };
+        let streamed = stream_mining(&s, &miner, 1, config);
+
+        assert_eq!(
+            sorted(streamed.found.clone()),
+            sorted(batch.found.clone()),
+            "seed {seed}: findings diverge"
+        );
+        assert_eq!(streamed.detected_disposable, batch.detected_disposable, "seed {seed}");
+        assert_eq!(streamed.eligible_disposable, batch.eligible_disposable, "seed {seed}");
+        assert_eq!(streamed.false_disposable, batch.false_disposable, "seed {seed}");
+        assert_eq!(streamed.unmatched_findings, batch.unmatched_findings, "seed {seed}");
+        assert!((streamed.tpr() - batch.tpr()).abs() == 0.0, "seed {seed}");
+        assert!((streamed.fpr() - batch.fpr()).abs() == 0.0, "seed {seed}");
+    }
+}
+
+/// Shrinking the sketches far below the distinct-key count must degrade
+/// detection, not crash or silently fabricate perfect numbers — the
+/// sanity check that the tolerance test above is actually measuring
+/// sketch error and not a code path that ignores the sketches.
+#[test]
+fn undersized_sketches_still_conserve_and_evaluate() {
+    let s = scenario(21);
+    let miner = trained_miner(&s);
+    let config =
+        StreamConfig { cm_width: 64, cm_depth: 2, hll_precision: 4, ..StreamConfig::default() };
+    let trace = s.generate_day(1);
+    let mut stream = StreamMiner::new(config, &miner).ground_truth(s.ground_truth());
+    for event in &trace.events {
+        stream.push(event);
+    }
+    let (report, _) = stream.finish();
+    assert!(report.conserves(), "{}", report.conservation_line());
+    assert!(report.mining.is_some());
+    assert_eq!(report.events_pushed, trace.events.len() as u64);
+}
