@@ -3,23 +3,31 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--scale <f64>] [--threads <n>] [<id> ...]
+//! experiments [--scale <f64>] [--threads <n>] [--store memory|disk]
+//!             [--store-path <dir>] [<id> ...]
 //! ```
 //!
 //! With no ids, every experiment runs in paper order. `--scale` multiplies
 //! the workload size (1.0 = report scale used for EXPERIMENTS.md; smaller
 //! values run faster with noisier numbers). `--threads` runs the
 //! day-simulation loops on the sharded engine; reports are bit-identical
-//! to `--threads 1`, only faster.
+//! to `--threads 1`, only faster. `--store` picks the pDNS backend for the
+//! storage-bound experiments (fig5, fig15, pdnsdb); reports are
+//! bit-identical across backends, and `--store-path` mirrors the disk
+//! backend's sorted runs under a directory.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use dnsnoise_bench::{run_experiment_threaded, ExperimentId};
+use dnsnoise_bench::{run_experiment_with_store, ExperimentId};
+use dnsnoise_pdns::BackendKind;
 
 fn main() -> ExitCode {
     let mut scale = 1.0f64;
     let mut threads = 1usize;
+    let mut store = BackendKind::default();
+    let mut store_path: Option<PathBuf> = None;
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,8 +58,31 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--store" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--store needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<BackendKind>() {
+                    Ok(kind) => store = kind,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--store-path" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--store-path needs a value");
+                    return ExitCode::FAILURE;
+                };
+                store_path = Some(PathBuf::from(value));
+            }
             "--help" | "-h" => {
-                println!("usage: experiments [--scale <f64>] [--threads <n>] [<id> ...]");
+                println!(
+                    "usage: experiments [--scale <f64>] [--threads <n>] \
+                     [--store memory|disk] [--store-path <dir>] [<id> ...]"
+                );
                 println!(
                     "ids: {}",
                     ExperimentId::all()
@@ -82,10 +113,14 @@ fn main() -> ExitCode {
     if ids.is_empty() {
         ids = ExperimentId::all().to_vec();
     }
+    if store_path.is_some() && store != BackendKind::Disk {
+        eprintln!("--store-path requires --store disk");
+        return ExitCode::FAILURE;
+    }
 
     for id in ids {
         let start = Instant::now();
-        let report = run_experiment_threaded(id, scale, threads);
+        let report = run_experiment_with_store(id, scale, threads, store, store_path.as_deref());
         println!("{report}");
         println!(
             "[{id} completed in {:.1?} at scale {scale}, {threads} thread{}]\n",

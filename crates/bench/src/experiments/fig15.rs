@@ -7,7 +7,7 @@
 //! new records climbs from ≈68% to ≈94%, and ≈88% of all stored records
 //! end up disposable.
 
-use dnsnoise_pdns::RpDns;
+use dnsnoise_pdns::{PdnsStore, RpDns};
 
 use crate::experiments::common;
 use crate::util::{pct, scenario, Table};
@@ -52,12 +52,17 @@ impl Fig15Result {
     }
 }
 
-/// Runs the 13-day bootstrap.
+/// Runs the 13-day bootstrap on the default in-memory store.
 pub fn run(scale_factor: f64) -> Fig15Result {
+    run_with_store(scale_factor, &mut RpDns::new())
+}
+
+/// Runs the 13-day bootstrap against any [`PdnsStore`] backend; the
+/// result is bit-identical across backends.
+pub fn run_with_store<S: PdnsStore>(scale_factor: f64, store: &mut S) -> Fig15Result {
     let s = scenario(0.85, 0.2 * scale_factor, 40.0, 101);
     let gt = s.ground_truth();
     let mut sim = common::default_sim();
-    let mut store = RpDns::new();
     let mut result = Fig15Result::default();
 
     for day in 0..13 {
@@ -82,7 +87,11 @@ pub fn run(scale_factor: f64) -> Fig15Result {
     }
 
     result.total_records = store.len() as u64;
-    let disposable_total = store.count_matching(|k| gt.is_disposable_name(&k.name)) as u64;
+    let disposable_total = store
+        .scan_prefix(&dnsnoise_dns::Name::root())
+        .iter()
+        .filter(|(k, _)| gt.is_disposable_name(&k.name))
+        .count() as u64;
     result.disposable_store_share = disposable_total as f64 / result.total_records.max(1) as f64;
     result
 }

@@ -5,7 +5,7 @@
 //! Akamai declines sharply, Google *grows* (≈+25%) and ends up operating
 //! the majority of all stored records (≈58%).
 
-use dnsnoise_pdns::RpDns;
+use dnsnoise_pdns::{PdnsStore, RpDns};
 use dnsnoise_workload::Operator;
 
 use crate::experiments::common;
@@ -73,12 +73,17 @@ impl Fig5Result {
     }
 }
 
-/// Runs the 13-day dedup experiment.
+/// Runs the 13-day dedup experiment on the default in-memory store.
 pub fn run(scale_factor: f64) -> Fig5Result {
+    run_with_store(scale_factor, &mut RpDns::new())
+}
+
+/// Runs the 13-day dedup experiment against any [`PdnsStore`] backend;
+/// the result is bit-identical across backends.
+pub fn run_with_store<S: PdnsStore>(scale_factor: f64, store: &mut S) -> Fig5Result {
     let s = scenario(0.85, 0.2 * scale_factor, 40.0, 51);
     let gt = s.ground_truth();
     let mut sim = common::default_sim();
-    let mut store = RpDns::new();
     let mut result = Fig5Result::default();
 
     for day in 0..13 {
@@ -105,8 +110,11 @@ pub fn run(scale_factor: f64) -> Fig5Result {
     }
 
     result.total_records = store.len() as u64;
-    result.google_records =
-        store.count_matching(|k| gt.operator_of(&k.name) == Some(Operator::Google)) as u64;
+    result.google_records = store
+        .scan_prefix(&dnsnoise_dns::Name::root())
+        .iter()
+        .filter(|(k, _)| gt.operator_of(&k.name) == Some(Operator::Google))
+        .count() as u64;
     result
 }
 

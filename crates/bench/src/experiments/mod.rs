@@ -147,23 +147,39 @@ pub fn run_experiment(id: ExperimentId, scale_factor: f64) -> String {
 /// bit-identical to `threads = 1`; experiments whose cost is not
 /// dominated by day replay simply ignore the knob.
 pub fn run_experiment_threaded(id: ExperimentId, scale_factor: f64, threads: usize) -> String {
+    run_experiment_with_store(id, scale_factor, threads, dnsnoise_pdns::BackendKind::Memory, None)
+}
+
+/// [`run_experiment_threaded`] with the pDNS-backed experiments (Fig. 5,
+/// Fig. 15, §VI-C) collecting into the chosen [`BackendKind`]
+/// (`--store`); reports are bit-identical across backends. `store_path`
+/// mirrors the disk backend's runs under the given directory.
+/// Experiments that build no pDNS database ignore both knobs.
+pub fn run_experiment_with_store(
+    id: ExperimentId,
+    scale_factor: f64,
+    threads: usize,
+    store: dnsnoise_pdns::BackendKind,
+    store_path: Option<&std::path::Path>,
+) -> String {
+    let mut backend = dnsnoise_pdns::PdnsBackend::create(store, store_path);
     match id {
         ExperimentId::Fig2 => fig2::run(scale_factor).render(),
         ExperimentId::Fig3a => fig3::run_3a(scale_factor).render(),
         ExperimentId::Fig3b => fig3::run_3b(scale_factor).render(),
         ExperimentId::Fig4 => fig4::run(scale_factor).render(),
-        ExperimentId::Fig5 => fig5::run(scale_factor).render(),
+        ExperimentId::Fig5 => fig5::run_with_store(scale_factor, &mut backend).render(),
         ExperimentId::Fig7 => fig7::run(scale_factor).render(),
         ExperimentId::Fig11 => fig11::run(scale_factor).render(),
         ExperimentId::Fig12 => fig12::run(scale_factor).render(),
         ExperimentId::Fig13 => fig13::run_threaded(scale_factor, threads).render(),
         ExperimentId::Fig14 => fig14::run(scale_factor).render(),
-        ExperimentId::Fig15 => fig15::run(scale_factor).render(),
+        ExperimentId::Fig15 => fig15::run_with_store(scale_factor, &mut backend).render(),
         ExperimentId::Tab1 => tables::run_tab1(scale_factor).render(),
         ExperimentId::Tab2 => tables::run_tab2(scale_factor).render(),
         ExperimentId::Cache => cache_pressure::run(scale_factor).render(),
         ExperimentId::Dnssec => dnssec_cost::run(scale_factor).render(),
-        ExperimentId::PdnsDb => pdnsdb::run(scale_factor).render(),
+        ExperimentId::PdnsDb => pdnsdb::run_with_store(scale_factor, &mut backend).render(),
         ExperimentId::Phases => phases::run_threaded(scale_factor, threads).render(),
         ExperimentId::Ablation => ablation::run(scale_factor).render(),
         ExperimentId::Resilience => resilience::run_threaded(scale_factor, threads).render(),
@@ -174,6 +190,16 @@ pub fn run_experiment_threaded(id: ExperimentId, scale_factor: f64, threads: usi
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pdns_experiments_render_identically_across_backends() {
+        use dnsnoise_pdns::BackendKind;
+        for id in [ExperimentId::Fig15, ExperimentId::PdnsDb] {
+            let memory = run_experiment_with_store(id, 0.1, 1, BackendKind::Memory, None);
+            let disk = run_experiment_with_store(id, 0.1, 1, BackendKind::Disk, None);
+            assert_eq!(memory, disk, "{id} diverges across store backends");
+        }
+    }
 
     #[test]
     fn ids_roundtrip() {

@@ -6,7 +6,7 @@
 //! size (the paper reports 0.7%: 129,674,213 → 945,065).
 
 use dnsnoise_core::{DailyPipeline, MinerConfig};
-use dnsnoise_pdns::{RpDns, WildcardAggregator};
+use dnsnoise_pdns::{PdnsStore, RpDns, WildcardAggregator};
 
 use crate::experiments::common;
 use crate::util::{pct, scenario, Table};
@@ -68,12 +68,18 @@ impl PdnsDbResult {
     }
 }
 
-/// Runs the 13-day bootstrap plus both aggregation variants.
+/// Runs the 13-day bootstrap plus both aggregation variants on the
+/// default in-memory store.
 pub fn run(scale_factor: f64) -> PdnsDbResult {
+    run_with_store(scale_factor, &mut RpDns::new())
+}
+
+/// Runs the storage experiment against any [`PdnsStore`] backend; the
+/// result is bit-identical across backends.
+pub fn run_with_store<S: PdnsStore>(scale_factor: f64, store: &mut S) -> PdnsDbResult {
     let s = scenario(0.9, 0.15 * scale_factor, 40.0, 151);
     let gt = s.ground_truth();
     let mut sim = common::default_sim();
-    let mut store = RpDns::new();
     // BTreeSet so the mined rules feed the aggregator in name order,
     // keeping the experiment output reproducible run to run.
     let mut mined_rules: std::collections::BTreeSet<(dnsnoise_dns::Name, usize)> =
@@ -112,13 +118,16 @@ pub fn run(scale_factor: f64) -> PdnsDbResult {
         mined_agg.add_rule(zone.clone(), *depth);
     }
 
-    let keys: Vec<&dnsnoise_dns::RrKey> = store.iter().map(|(k, _)| k).collect();
+    // scan_prefix(root) walks the whole store in canonical key order, so
+    // the aggregation sees the same sequence on every backend.
+    let scanned = store.scan_prefix(&dnsnoise_dns::Name::root());
+    let keys: Vec<&dnsnoise_dns::RrKey> = scanned.iter().map(|(k, _)| k).collect();
     let outcome_gt = gt_agg.aggregate(keys.iter().copied());
     let outcome_mined = mined_agg.aggregate(keys.iter().copied());
 
     PdnsDbResult {
         total_records: store.len() as u64,
-        disposable_records: store.count_matching(|k| gt.is_disposable_name(&k.name)) as u64,
+        disposable_records: keys.iter().filter(|k| gt.is_disposable_name(&k.name)).count() as u64,
         storage_bytes: store.storage_bytes(),
         aggregated_entries_gt: outcome_gt.stored_entries(),
         disposable_reduction_gt: outcome_gt.disposable_reduction_ratio(),

@@ -43,6 +43,8 @@ impl PhasesResult {
             c.nx_misses,
             c.stale_serves,
             c.servfails,
+            c.dropped,
+            c.rate_limited,
         ]) {
             t.row([(*label).to_owned(), value.to_string()]);
         }

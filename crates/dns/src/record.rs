@@ -238,9 +238,11 @@ impl Record {
     }
 
     /// Approximate storage footprint in bytes for the pDNS storage model:
-    /// presentation name + fixed type/TTL overhead + RDATA.
+    /// presentation name + fixed type/TTL overhead + RDATA. Identical to
+    /// [`RrKey::storage_bytes`] for this record's key — TTL is folded
+    /// into the fixed overhead, not billed per distinct value.
     pub fn storage_bytes(&self) -> usize {
-        self.name.presentation_len() + 8 + self.rdata.storage_bytes()
+        RrKey::storage_bytes_of(&self.name, &self.rdata)
     }
 }
 
@@ -260,6 +262,24 @@ pub struct RrKey {
     pub qtype: QType,
     /// The record data.
     pub rdata: RData,
+}
+
+impl RrKey {
+    /// Storage footprint of one deduplicated record: presentation name +
+    /// fixed type/TTL overhead (8 bytes) + RDATA. This is the *single*
+    /// definition every pDNS accounting path shares — `RpDns` charges it
+    /// on first sight and refunds it on merge-duplicates, and the fpDNS
+    /// tuple builds on it — so the accountings cannot drift.
+    pub fn storage_bytes(&self) -> usize {
+        RrKey::storage_bytes_of(&self.name, &self.rdata)
+    }
+
+    /// [`RrKey::storage_bytes`] without materialising a key, for callers
+    /// that hold the name and RDATA by reference (e.g. a borrowed
+    /// [`Record`]).
+    pub fn storage_bytes_of(name: &Name, rdata: &RData) -> usize {
+        name.presentation_len() + 8 + rdata.storage_bytes()
+    }
 }
 
 impl fmt::Display for RrKey {

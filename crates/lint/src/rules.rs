@@ -21,9 +21,10 @@
 //! * `ambient-rng` — `thread_rng`, `from_entropy`, `OsRng`,
 //!   `rand::random`: randomness that does not come from a seed.
 //! * `merge-cast` — inside `fn merge` / `fn absorb` /
-//!   `fn merge_partials`: casts to narrow integer or float types, or
-//!   `f32`/`f64` accumulation. Shard merges must be exact; floats and
-//!   narrowing casts silently break the bit-identical invariant.
+//!   `fn merge_partials` / `fn merge_runs`: casts to narrow integer or
+//!   float types, or `f32`/`f64` accumulation. Shard merges and pDNS run
+//!   compactions must be exact; floats and narrowing casts silently
+//!   break the bit-identical invariant.
 //! * `export-purity` — inside `fn to_json` / `fn timeline_csv`: the
 //!   overload field names (`queue_backlog`, `dropped`, `rate_limited`)
 //!   must be under an `if … overload_enabled …` guard so the baseline
@@ -75,7 +76,7 @@ const ORDER_FREE: &[&str] = &[
     "product",
 ];
 
-const MERGE_FNS: &[&str] = &["merge", "absorb", "merge_partials"];
+const MERGE_FNS: &[&str] = &["merge", "absorb", "merge_partials", "merge_runs"];
 const EXPORT_FNS: &[&str] = &["to_json", "timeline_csv"];
 const OVERLOAD_FIELDS: &[&str] = &["queue_backlog", "dropped", "rate_limited"];
 /// Cast targets that can lose information (narrow integers and floats).

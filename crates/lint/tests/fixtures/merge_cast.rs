@@ -25,6 +25,13 @@ impl Stats {
         }
     }
 
+    // Run compaction merges are covered like shard merges.
+    fn merge_runs(&mut self, parts: &[Stats]) {
+        for p in parts {
+            self.small = p.total as u16; // EXPECT merge-cast (narrowing)
+        }
+    }
+
     fn display(&self) -> f64 {
         self.total as f64
     }

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dnsnoise_dns::{wire, Message, QType, Question, RData, Rcode, Record, Timestamp, Ttl};
+use dnsnoise_dns::{wire, Message, QType, Question, RData, Rcode, Record, RrKey, Timestamp, Ttl};
 
 /// One fpDNS tuple (§III-A): "the timestamp of the DNS resolution event
 /// (in the granularity of seconds), an anonymized client ID, the queried
@@ -28,8 +28,10 @@ impl FpDnsRecord {
     /// Approximate storage footprint in bytes (name + fixed fields +
     /// rdata), used by the §VI-C storage model.
     pub fn storage_bytes(&self) -> usize {
-        // timestamp (8) + client (8) + type/ttl (8)
-        self.name.presentation_len() + 24 + self.rdata.storage_bytes()
+        // The shared per-record accounting (name + type/ttl + rdata, see
+        // `RrKey::storage_bytes`) plus the fpDNS-only timestamp (8) and
+        // client id (8).
+        RrKey::storage_bytes_of(&self.name, &self.rdata) + 16
     }
 }
 

@@ -20,8 +20,10 @@
 
 mod fpdns;
 mod rpdns;
+pub mod store;
 mod wildcard;
 
 pub use fpdns::{FpDnsLog, FpDnsRecord};
 pub use rpdns::{DailyNewRrs, RpDns};
+pub use store::{BackendKind, PdnsBackend, PdnsStore, RunStore, StoreConfig, StoreStats};
 pub use wildcard::{AggregationOutcome, WildcardAggregator};

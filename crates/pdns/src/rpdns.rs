@@ -100,8 +100,7 @@ impl RpDns {
                     if day < *e.get() {
                         e.insert(day);
                     }
-                    let bytes = e.key().name.presentation_len() + 8 + e.key().rdata.storage_bytes();
-                    self.storage_bytes -= bytes as u64;
+                    self.storage_bytes -= e.key().storage_bytes() as u64;
                     let d = &mut self.per_day[dup_day as usize];
                     d.new_records -= 1;
                     d.repeated_records += 1;

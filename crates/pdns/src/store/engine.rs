@@ -1,0 +1,505 @@
+//! The run-store engine: an append-friendly memtable over immutable
+//! sorted runs with deterministic size-tiered compaction.
+//!
+//! Writes land in a `BTreeMap` memtable; at `memtable_cap` keys it
+//! flushes to an immutable columnar [`Run`]. Runs are grouped into size
+//! tiers (`tier t` holds runs of at least `memtable_cap · fanoutᵗ`
+//! entries); whenever a tier accumulates `fanout` runs, *all* runs in
+//! that tier merge into one — a rule driven purely by entry counts, so
+//! the run layout after any observation sequence is a deterministic
+//! function of that sequence.
+//!
+//! The engine maintains the same aggregate accounting as
+//! [`RpDns`](crate::RpDns) — per-day new/repeated counters and modelled
+//! storage bytes — and its [`merge`](RunStore::merge) applies the exact
+//! earliest-first-seen-wins counter adjustments of `RpDns::merge`, so
+//! the two backends are interchangeable and bit-identical in output.
+//!
+//! With a spill directory configured, every live run is mirrored to
+//! `run-<id>.bin` ([`Run::to_bytes`] images); compaction replaces the
+//! merged-away files with the new run's. The in-memory byte buffers
+//! remain the serving copy (the mmap-style design from the roadmap);
+//! the spill is the on-disk image of exactly the live run set.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use dnsnoise_dns::{Name, Record, RrKey};
+
+use super::index::DEFAULT_EPSILON;
+use super::keys::{self, CompositeKey};
+use super::run::Run;
+use crate::rpdns::DailyNewRrs;
+
+/// Tuning and placement knobs for a [`RunStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreConfig {
+    /// Memtable flush threshold, in keys.
+    pub memtable_cap: usize,
+    /// Size-tier growth factor and per-tier run budget.
+    pub fanout: usize,
+    /// Learned-index error bound.
+    pub epsilon: u32,
+    /// Directory to mirror run files into (`None` = memory only).
+    pub spill: Option<PathBuf>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { memtable_cap: 4096, fanout: 4, epsilon: DEFAULT_EPSILON, spill: None }
+    }
+}
+
+impl StoreConfig {
+    /// This configuration with runs mirrored under `dir`.
+    pub fn with_spill(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill = Some(dir.into());
+        self
+    }
+}
+
+/// Counters describing the engine's internal shape, for benchmarks and
+/// diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live sorted runs.
+    pub runs: usize,
+    /// Keys currently buffered in the memtable.
+    pub memtable_keys: usize,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compaction merges performed.
+    pub compactions: u64,
+    /// Live runs indexed by a learned model (the rest use the classic
+    /// fallback).
+    pub learned_runs: usize,
+}
+
+/// The learned-index run store. See the module docs for the design; see
+/// [`PdnsStore`](super::PdnsStore) for the API it shares with
+/// [`RpDns`](crate::RpDns).
+#[derive(Debug)]
+pub struct RunStore {
+    config: StoreConfig,
+    memtable: BTreeMap<CompositeKey, u64>,
+    runs: Vec<Run>,
+    /// Spill file of each run in `runs`, when mirroring is on.
+    run_paths: Vec<Option<PathBuf>>,
+    next_run_id: u64,
+    per_day: Vec<DailyNewRrs>,
+    storage_bytes: u64,
+    flushes: u64,
+    compactions: u64,
+}
+
+impl RunStore {
+    /// An empty store with default tuning and no spill directory.
+    pub fn new() -> RunStore {
+        RunStore::with_config(StoreConfig::default())
+    }
+
+    /// An empty store with explicit tuning. Creates the spill directory
+    /// eagerly so misconfiguration fails at construction, not mid-run.
+    pub fn with_config(config: StoreConfig) -> RunStore {
+        if let Some(dir) = &config.spill {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                panic!("cannot create pDNS spill directory {}: {e}", dir.display())
+            });
+        }
+        RunStore {
+            config,
+            memtable: BTreeMap::new(),
+            runs: Vec::new(),
+            run_paths: Vec::new(),
+            next_run_id: 0,
+            per_day: Vec::new(),
+            storage_bytes: 0,
+            flushes: 0,
+            compactions: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Internal-shape counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            runs: self.runs.len(),
+            memtable_keys: self.memtable.len(),
+            flushes: self.flushes,
+            compactions: self.compactions,
+            learned_runs: self.runs.iter().filter(|r| r.index_is_learned()).count(),
+        }
+    }
+
+    /// Number of distinct records stored.
+    pub fn len(&self) -> usize {
+        self.memtable.len() + self.runs.iter().map(Run::len).sum::<usize>()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The daily new/repeated counters (index = day).
+    pub fn per_day(&self) -> &[DailyNewRrs] {
+        &self.per_day
+    }
+
+    /// Modelled storage footprint in bytes.
+    pub fn storage_bytes(&self) -> u64 {
+        self.storage_bytes
+    }
+
+    fn ensure_day(&mut self, day: u64) {
+        let needed = day as usize + 1;
+        if self.per_day.len() < needed {
+            self.per_day.resize(needed, DailyNewRrs::default());
+        }
+    }
+
+    fn get_encoded(&self, key: &CompositeKey) -> Option<u64> {
+        // Every key lives in exactly one place (observe dedups before
+        // inserting), so probe order is immaterial; memtable first is
+        // simply cheapest. After `optimize` the memtable is empty and
+        // lookups go straight to the single run.
+        if !self.memtable.is_empty() {
+            if let Some(&day) = self.memtable.get(key) {
+                return Some(day);
+            }
+        }
+        self.runs.iter().find_map(|run| run.get(key))
+    }
+
+    /// Records one observation of `record` on `day`. Returns `true` when
+    /// the record is new to the store.
+    pub fn observe(&mut self, record: &Record, day: u64) -> bool {
+        self.ensure_day(day);
+        let key = keys::encode_key(&record.name, record.qtype, &record.rdata);
+        if self.get_encoded(&key).is_some() {
+            self.per_day[day as usize].repeated_records += 1;
+            return false;
+        }
+        self.storage_bytes += RrKey::storage_bytes_of(&record.name, &record.rdata) as u64;
+        self.per_day[day as usize].new_records += 1;
+        self.memtable.insert(key, day);
+        if self.memtable.len() >= self.config.memtable_cap {
+            self.flush();
+        }
+        true
+    }
+
+    /// The day `key` was first seen, if stored.
+    pub fn first_seen(&self, key: &RrKey) -> Option<u64> {
+        self.get_encoded(&keys::encode_key(&key.name, key.qtype, &key.rdata))
+    }
+
+    /// Flushes the memtable into a new immutable run and compacts.
+    fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let entries: Vec<(CompositeKey, u64)> =
+            std::mem::take(&mut self.memtable).into_iter().collect();
+        let run = Run::build(entries, self.config.epsilon);
+        self.flushes += 1;
+        self.push_run(run);
+        self.compact();
+    }
+
+    fn push_run(&mut self, run: Run) {
+        let path = self.spill_run(&run);
+        self.runs.push(run);
+        self.run_paths.push(path);
+    }
+
+    fn spill_run(&mut self, run: &Run) -> Option<PathBuf> {
+        let dir = self.config.spill.as_ref()?;
+        let path = dir.join(format!("run-{:08}.bin", self.next_run_id));
+        self.next_run_id += 1;
+        std::fs::write(&path, run.to_bytes())
+            .unwrap_or_else(|e| panic!("cannot spill pDNS run to {}: {e}", path.display()));
+        Some(path)
+    }
+
+    fn remove_runs(&mut self, indices: &[usize]) -> Vec<Run> {
+        // Indices arrive ascending; remove back-to-front to keep them
+        // valid, then restore first-added-first order.
+        let mut removed = Vec::with_capacity(indices.len());
+        for &i in indices.iter().rev() {
+            removed.push(self.runs.remove(i));
+            if let Some(path) = self.run_paths.remove(i) {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        removed.reverse();
+        removed
+    }
+
+    /// The size tier of a run: the largest `t` with
+    /// `len ≥ memtable_cap · fanoutᵗ`.
+    fn tier_of(&self, len: usize) -> u32 {
+        let cap = self.config.memtable_cap.max(1);
+        let fanout = self.config.fanout.max(2);
+        let mut t = 0u32;
+        let mut bound = cap.saturating_mul(fanout);
+        while len >= bound {
+            t += 1;
+            bound = bound.saturating_mul(fanout);
+        }
+        t
+    }
+
+    /// Deterministic size-tiered compaction: while any tier holds at
+    /// least `fanout` runs, merge the lowest such tier entirely.
+    fn compact(&mut self) {
+        let fanout = self.config.fanout.max(2);
+        loop {
+            let tiers: Vec<u32> = self.runs.iter().map(|r| self.tier_of(r.len())).collect();
+            let Some(&lowest) = tiers
+                .iter()
+                .filter(|&&t| tiers.iter().filter(|&&u| u == t).count() >= fanout)
+                .min()
+            else {
+                return;
+            };
+            let victims: Vec<usize> = (0..tiers.len()).filter(|&i| tiers[i] == lowest).collect();
+            let runs = self.remove_runs(&victims);
+            let merged = merge_runs(runs, self.config.epsilon);
+            self.compactions += 1;
+            self.push_run(merged);
+        }
+    }
+
+    /// Flushes pending writes and merges every run into a single one —
+    /// the read-optimised shape used before sustained lookup phases.
+    pub fn optimize(&mut self) {
+        self.flush();
+        if self.runs.len() > 1 {
+            let all: Vec<usize> = (0..self.runs.len()).collect();
+            let runs = self.remove_runs(&all);
+            let merged = merge_runs(runs, self.config.epsilon);
+            self.compactions += 1;
+            self.push_run(merged);
+        }
+    }
+
+    /// Every stored `(key, first-seen day)` with `name` in `zone`'s
+    /// subtree (the zone itself included), in canonical composite-key
+    /// order.
+    pub fn scan_prefix(&self, zone: &Name) -> Vec<(RrKey, u64)> {
+        let prefix = keys::encode_name(zone);
+        // Borrowed columns only: hits reference the memtable's keys and
+        // the runs' byte buffers, so a scan clones nothing until the
+        // final decode.
+        let mut hits: Vec<(&[u8], u16, &[u8], u64)> = Vec::new();
+        for (key, &day) in self.memtable.range((prefix.clone(), 0, Vec::new())..) {
+            if !key.0.starts_with(&prefix) {
+                break;
+            }
+            hits.push((key.0.as_slice(), key.1, key.2.as_slice(), day));
+        }
+        for run in &self.runs {
+            let (lo, hi) = run.prefix_range(&prefix);
+            for i in lo..hi {
+                hits.push((run.name_at(i), run.qtype_at(i), run.rdata_at(i), run.day_at(i)));
+            }
+        }
+        // Sources are individually sorted and mutually disjoint; one
+        // sort yields the canonical global order.
+        hits.sort_unstable();
+        hits.iter()
+            .map(|&(name, qtype, rdata, day)| (keys::decode_key_parts(name, qtype, rdata), day))
+            .collect()
+    }
+
+    /// Every stored entry in canonical order, drained for rebuilds.
+    fn drain_entries(&mut self) -> Vec<(CompositeKey, u64)> {
+        let mut entries: Vec<(CompositeKey, u64)> =
+            std::mem::take(&mut self.memtable).into_iter().collect();
+        let old: Vec<usize> = (0..self.runs.len()).collect();
+        for run in self.remove_runs(&old) {
+            entries.extend(run.entries());
+        }
+        entries.sort_unstable();
+        entries
+    }
+
+    /// Merges another run store into this one with the exact
+    /// earliest-first-seen-wins semantics of
+    /// [`RpDns::merge`](crate::RpDns::merge): per-day counters add, a
+    /// record present on both sides keeps its earliest day, its later
+    /// sighting is re-classified as repeated on the later day, and the
+    /// duplicate's storage is refunded. The merged store is rebuilt as a
+    /// single run.
+    pub fn merge(&mut self, other: RunStore) {
+        let mut other = other;
+        if self.per_day.len() < other.per_day.len() {
+            self.per_day.resize(other.per_day.len(), DailyNewRrs::default());
+        }
+        for (slot, theirs) in self.per_day.iter_mut().zip(&other.per_day) {
+            slot.new_records += theirs.new_records;
+            slot.repeated_records += theirs.repeated_records;
+        }
+        self.storage_bytes += other.storage_bytes;
+
+        let mine = self.drain_entries();
+        let theirs = other.drain_entries();
+        let mut merged: Vec<(CompositeKey, u64)> = Vec::with_capacity(mine.len() + theirs.len());
+        let mut a = mine.into_iter().peekable();
+        let mut b = theirs.into_iter().peekable();
+        loop {
+            let take_from_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.0 == y.0 {
+                        // Cross-store duplicate: earliest first-seen
+                        // wins, the later sighting becomes a repeat and
+                        // its storage is refunded.
+                        let (key, day_a) = a.next().expect("peeked");
+                        let (_, day_b) = b.next().expect("peeked");
+                        let dup_day = day_a.max(day_b);
+                        let d = &mut self.per_day[dup_day as usize];
+                        d.new_records -= 1;
+                        d.repeated_records += 1;
+                        self.storage_bytes -= keys::decode_key(&key).storage_bytes() as u64;
+                        merged.push((key, day_a.min(day_b)));
+                        continue;
+                    }
+                    x.0 < y.0
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let next = if take_from_a { a.next() } else { b.next() };
+            merged.push(next.expect("peeked side is non-empty"));
+        }
+        if !merged.is_empty() {
+            let run = build_run(merged, self.config.epsilon);
+            self.compactions += 1;
+            self.push_run(run);
+        }
+    }
+
+    /// An empty store with this store's tuning, for per-shard
+    /// collection. The fork never spills — shard-local state is merged
+    /// back into the (spilling) parent, so only the parent owns files.
+    pub fn fork(&self) -> RunStore {
+        RunStore::with_config(StoreConfig { spill: None, ..self.config.clone() })
+    }
+}
+
+impl Default for RunStore {
+    fn default() -> Self {
+        RunStore::new()
+    }
+}
+
+/// Builds one run from sorted distinct entries (a free function so the
+/// cast-free body of [`RunStore::merge`] stays within the merge-cast
+/// lint's remit while the columnar packing lives elsewhere).
+fn build_run(entries: Vec<(CompositeKey, u64)>, epsilon: u32) -> Run {
+    Run::build(entries, epsilon)
+}
+
+/// K-way merge of same-store runs into one. Keys are disjoint across a
+/// single store's runs (observe dedups against the whole store before
+/// inserting), so this is a pure interleave; the debug assertion in
+/// [`Run::build`] would catch any violation.
+fn merge_runs(runs: Vec<Run>, epsilon: u32) -> Run {
+    let mut entries: Vec<(CompositeKey, u64)> = Vec::with_capacity(runs.iter().map(Run::len).sum());
+    for run in &runs {
+        entries.extend(run.entries());
+    }
+    entries.sort_unstable();
+    build_run(entries, epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnsnoise_dns::{QType, RData, Ttl};
+    use std::net::Ipv4Addr;
+
+    fn rr(name: &str, ip: u8) -> Record {
+        Record::new(
+            name.parse().unwrap(),
+            QType::A,
+            Ttl::from_secs(60),
+            RData::A(Ipv4Addr::new(192, 0, 2, ip)),
+        )
+    }
+
+    fn tiny_config() -> StoreConfig {
+        StoreConfig { memtable_cap: 8, fanout: 2, ..StoreConfig::default() }
+    }
+
+    #[test]
+    fn observe_dedups_across_memtable_and_runs() {
+        let mut store = RunStore::with_config(tiny_config());
+        for i in 0..100u8 {
+            assert!(store.observe(&rr(&format!("h{i}.example"), i), 0));
+        }
+        assert!(store.stats().runs > 0, "tiny cap must have flushed");
+        for i in 0..100u8 {
+            assert!(!store.observe(&rr(&format!("h{i}.example"), i), 1), "repeat {i}");
+        }
+        assert_eq!(store.len(), 100);
+        assert_eq!(store.per_day()[0].new_records, 100);
+        assert_eq!(store.per_day()[1].repeated_records, 100);
+    }
+
+    #[test]
+    fn compaction_is_driven_by_counts_alone() {
+        let mut a = RunStore::with_config(tiny_config());
+        let mut b = RunStore::with_config(tiny_config());
+        for i in 0..300u16 {
+            let r = rr(&format!("c{i}.example"), (i % 251) as u8);
+            a.observe(&r, 0);
+            b.observe(&r, 0);
+        }
+        assert_eq!(a.stats(), b.stats(), "same inputs, same shape");
+        assert!(a.stats().compactions > 0, "tiny tiers must have compacted");
+        // Tiered layout: strictly fewer runs than flushes.
+        assert!(a.stats().runs < a.stats().flushes as usize);
+    }
+
+    #[test]
+    fn optimize_collapses_to_one_run_and_keeps_answers() {
+        let mut store = RunStore::with_config(tiny_config());
+        for i in 0..200u8 {
+            store.observe(&rr(&format!("o{i}.example"), i), u64::from(i % 5));
+        }
+        let before: Vec<_> = store.scan_prefix(&Name::root());
+        store.optimize();
+        assert_eq!(store.stats().runs, 1);
+        assert_eq!(store.stats().memtable_keys, 0);
+        assert_eq!(store.scan_prefix(&Name::root()), before);
+    }
+
+    #[test]
+    fn spill_mirrors_exactly_the_live_runs() {
+        let dir = std::env::temp_dir().join(format!("dnsnoise-store-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = RunStore::with_config(
+            StoreConfig { memtable_cap: 8, fanout: 2, ..Default::default() }.with_spill(&dir),
+        );
+        for i in 0..200u8 {
+            store.observe(&rr(&format!("s{i}.example"), i), 0);
+        }
+        store.optimize();
+        let mut files: Vec<PathBuf> =
+            std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+        files.sort();
+        assert_eq!(files.len(), store.stats().runs, "one file per live run");
+        // The spilled image round-trips into the identical run.
+        let bytes = std::fs::read(&files[0]).unwrap();
+        let reloaded = Run::from_bytes(&bytes, store.config().epsilon).unwrap();
+        assert_eq!(reloaded.len(), store.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

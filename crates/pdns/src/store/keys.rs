@@ -1,0 +1,277 @@
+//! Canonical byte encoding of rpDNS keys for the run store.
+//!
+//! The composite sort key is the tuple `(name, qtype, rdata)` with each
+//! component encoded so plain lexicographic byte order gives the order
+//! the engine needs:
+//!
+//! * **name** — labels in *reverse* order (TLD first), each label's
+//!   lowercase bytes followed by a `0x00` separator. Labels are printable
+//!   ASCII (`0x21..=0x7e`, no `.`), so the separator can never collide
+//!   with label bytes, and a zone's entire subtree — the zone apex and
+//!   every descendant — is exactly the contiguous range of encodings
+//!   starting with the zone's own encoding.
+//! * **qtype** — the 16-bit RR type code, compared numerically.
+//! * **rdata** — a one-byte variant tag followed by a fixed payload
+//!   layout per variant; the order is arbitrary but total and
+//!   deterministic, which is all deduplication and canonical output
+//!   order require.
+//!
+//! Every encoding round-trips losslessly (names are case-normalised at
+//! construction, so re-encoding a decoded key is byte-identical).
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use dnsnoise_dns::{Label, Name, QType, RData, RrKey};
+
+/// The composite key the memtable sorts on. Rust's derived tuple `Ord`
+/// is component-lexicographic, which matches the run layout's
+/// `(name column, qtype column, rdata column)` comparison exactly.
+pub type CompositeKey = (Vec<u8>, u16, Vec<u8>);
+
+/// Encodes an owner name in reverse-label order with `0x00` separators.
+pub fn encode_name(name: &Name) -> Vec<u8> {
+    let mut out = Vec::with_capacity(name.presentation_len() + 1);
+    for label in name.labels().iter().rev() {
+        out.extend_from_slice(label.as_str().as_bytes());
+        out.push(0);
+    }
+    out
+}
+
+/// Decodes [`encode_name`] output. Panics on bytes the encoder cannot
+/// produce — run buffers are trusted once their header validates.
+pub fn decode_name(bytes: &[u8]) -> Name {
+    if bytes.is_empty() {
+        return Name::root();
+    }
+    debug_assert_eq!(bytes.last(), Some(&0), "name encoding ends with a separator");
+    let mut labels: Vec<Label> = bytes[..bytes.len() - 1]
+        .split(|&b| b == 0)
+        .map(|seg| {
+            Label::new(std::str::from_utf8(seg).expect("labels are ASCII"))
+                .expect("encoded labels are valid")
+        })
+        .collect();
+    labels.reverse();
+    Name::from_labels(labels)
+}
+
+/// The half-open upper bound of `prefix`'s subtree range: the prefix with
+/// its final separator bumped from `0x00` to `0x01` (no label byte sorts
+/// between them). `None` means "unbounded" — the root's subtree is the
+/// whole store.
+pub fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut upper = prefix.to_vec();
+    let last = upper.last_mut()?;
+    debug_assert_eq!(*last, 0);
+    *last = 1;
+    Some(upper)
+}
+
+const TAG_A: u8 = 1;
+const TAG_AAAA: u8 = 2;
+const TAG_CNAME: u8 = 3;
+const TAG_NS: u8 = 4;
+const TAG_PTR: u8 = 5;
+const TAG_TXT: u8 = 6;
+const TAG_MX: u8 = 7;
+const TAG_SOA: u8 = 8;
+const TAG_OPAQUE: u8 = 9;
+
+fn push_prefixed_name(out: &mut Vec<u8>, name: &Name) {
+    let enc = encode_name(name);
+    let len = u16::try_from(enc.len()).expect("names are under 64 KiB");
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(&enc);
+}
+
+fn take_prefixed_name(bytes: &[u8]) -> (Name, &[u8]) {
+    let len = usize::from(u16::from_be_bytes([bytes[0], bytes[1]]));
+    (decode_name(&bytes[2..2 + len]), &bytes[2 + len..])
+}
+
+/// Encodes RDATA as a tag byte plus a deterministic payload.
+pub fn encode_rdata(rdata: &RData) -> Vec<u8> {
+    let mut out = Vec::new();
+    match rdata {
+        RData::A(a) => {
+            out.push(TAG_A);
+            out.extend_from_slice(&a.octets());
+        }
+        RData::Aaaa(a) => {
+            out.push(TAG_AAAA);
+            out.extend_from_slice(&a.octets());
+        }
+        RData::Cname(n) => {
+            out.push(TAG_CNAME);
+            out.extend_from_slice(&encode_name(n));
+        }
+        RData::Ns(n) => {
+            out.push(TAG_NS);
+            out.extend_from_slice(&encode_name(n));
+        }
+        RData::Ptr(n) => {
+            out.push(TAG_PTR);
+            out.extend_from_slice(&encode_name(n));
+        }
+        RData::Txt(s) => {
+            out.push(TAG_TXT);
+            out.extend_from_slice(s.as_bytes());
+        }
+        RData::Mx { preference, exchange } => {
+            out.push(TAG_MX);
+            out.extend_from_slice(&preference.to_be_bytes());
+            out.extend_from_slice(&encode_name(exchange));
+        }
+        RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
+            out.push(TAG_SOA);
+            push_prefixed_name(&mut out, mname);
+            push_prefixed_name(&mut out, rname);
+            for v in [serial, refresh, retry, expire, minimum] {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+        RData::Opaque(b) => {
+            out.push(TAG_OPAQUE);
+            out.extend_from_slice(b);
+        }
+    }
+    out
+}
+
+/// Decodes [`encode_rdata`] output.
+pub fn decode_rdata(bytes: &[u8]) -> RData {
+    let (tag, rest) = bytes.split_first().expect("rdata encoding is non-empty");
+    match *tag {
+        TAG_A => {
+            let octets: [u8; 4] = rest.try_into().expect("A payload is 4 bytes");
+            RData::A(Ipv4Addr::from(octets))
+        }
+        TAG_AAAA => {
+            let octets: [u8; 16] = rest.try_into().expect("AAAA payload is 16 bytes");
+            RData::Aaaa(Ipv6Addr::from(octets))
+        }
+        TAG_CNAME => RData::Cname(decode_name(rest)),
+        TAG_NS => RData::Ns(decode_name(rest)),
+        TAG_PTR => RData::Ptr(decode_name(rest)),
+        TAG_TXT => RData::Txt(std::str::from_utf8(rest).expect("TXT is UTF-8").to_string()),
+        TAG_MX => RData::Mx {
+            preference: u16::from_be_bytes([rest[0], rest[1]]),
+            exchange: decode_name(&rest[2..]),
+        },
+        TAG_SOA => {
+            let (mname, rest) = take_prefixed_name(rest);
+            let (rname, rest) = take_prefixed_name(rest);
+            let word = |i: usize| {
+                u32::from_be_bytes([rest[4 * i], rest[4 * i + 1], rest[4 * i + 2], rest[4 * i + 3]])
+            };
+            RData::Soa {
+                mname,
+                rname,
+                serial: word(0),
+                refresh: word(1),
+                retry: word(2),
+                expire: word(3),
+                minimum: word(4),
+            }
+        }
+        TAG_OPAQUE => RData::Opaque(rest.to_vec()),
+        other => panic!("unknown rdata tag {other}"),
+    }
+}
+
+/// Encodes a full deduplication key.
+pub fn encode_key(name: &Name, qtype: QType, rdata: &RData) -> CompositeKey {
+    (encode_name(name), qtype.code(), encode_rdata(rdata))
+}
+
+/// Decodes a composite key back into an [`RrKey`].
+pub fn decode_key(key: &CompositeKey) -> RrKey {
+    decode_key_parts(&key.0, key.1, &key.2)
+}
+
+/// [`decode_key`] over borrowed columns — scans decode straight out of a
+/// run's byte buffers without materialising an owned composite key.
+pub fn decode_key_parts(name: &[u8], qtype: u16, rdata: &[u8]) -> RrKey {
+    RrKey {
+        name: decode_name(name),
+        qtype: QType::from_code(qtype).expect("stored qtype codes are valid"),
+        rdata: decode_rdata(rdata),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn name_roundtrip_and_reverse_label_order() {
+        for s in ["com", "vendor.com", "a.b.vendor.com", "."] {
+            let n = name(s);
+            assert_eq!(decode_name(&encode_name(&n)), n, "{s}");
+        }
+        // Reverse-label order: a zone's children sort inside its range,
+        // siblings outside it.
+        let zone = encode_name(&name("vendor.com"));
+        let child = encode_name(&name("x.vendor.com"));
+        let sibling = encode_name(&name("vendorx.com"));
+        assert!(child.starts_with(&zone));
+        assert!(!sibling.starts_with(&zone));
+        let upper = prefix_upper_bound(&zone).unwrap();
+        assert!(child < upper);
+        assert!(zone < upper);
+    }
+
+    #[test]
+    fn subtree_range_matches_is_subdomain_of() {
+        let zone = name("ads.vendor.com");
+        let zenc = encode_name(&zone);
+        for s in ["ads.vendor.com", "x.ads.vendor.com", "vendor.com", "bds.vendor.com", "com"] {
+            let n = name(s);
+            assert_eq!(encode_name(&n).starts_with(&zenc), n.is_subdomain_of(&zone), "{s} vs zone");
+        }
+    }
+
+    #[test]
+    fn rdata_roundtrips_every_variant() {
+        let variants = vec![
+            RData::A(Ipv4Addr::new(192, 0, 2, 7)),
+            RData::Aaaa(Ipv6Addr::LOCALHOST),
+            RData::Cname(name("edge.cdn.example.net")),
+            RData::Ns(name("ns1.example.net")),
+            RData::Ptr(name("host.example.com")),
+            RData::Txt("v=spf1 -all".to_string()),
+            RData::Mx { preference: 10, exchange: name("mx.example.com") },
+            RData::Soa {
+                mname: name("ns1.example.com"),
+                rname: name("hostmaster.example.com"),
+                serial: 2026,
+                refresh: 7200,
+                retry: 900,
+                expire: 1209600,
+                minimum: 300,
+            },
+            RData::Opaque(vec![1, 2, 3, 0, 255]),
+        ];
+        for rdata in variants {
+            assert_eq!(decode_rdata(&encode_rdata(&rdata)), rdata, "{rdata:?}");
+        }
+    }
+
+    #[test]
+    fn key_roundtrip_preserves_storage_accounting() {
+        let key = RrKey {
+            name: name("d1234.dns.xx.fbcdn.example"),
+            qtype: QType::A,
+            rdata: RData::A(Ipv4Addr::new(203, 0, 113, 9)),
+        };
+        let enc = encode_key(&key.name, key.qtype, &key.rdata);
+        let back = decode_key(&enc);
+        assert_eq!(back, key);
+        assert_eq!(back.storage_bytes(), key.storage_bytes());
+    }
+}

@@ -1,0 +1,382 @@
+//! The unified pDNS storage API and the learned-index run-store engine.
+//!
+//! [`PdnsStore`] is the contract every rpDNS backend honours: observe
+//! deduplicated records with first-seen days, answer point lookups and
+//! zone-subtree scans, expose the daily new/repeated counters and the
+//! modelled storage footprint, and merge shard-local stores with
+//! earliest-first-seen-wins semantics. Two backends implement it:
+//!
+//! * [`RpDns`](crate::RpDns) — the original hash-map store (`memory`);
+//! * [`RunStore`] — memtable + immutable columnar sorted runs with
+//!   size-tiered compaction and a per-run hybrid learned/classic index
+//!   (`disk`), optionally mirroring runs to files.
+//!
+//! The two are interchangeable and bit-identical in every counter,
+//! lookup, and scan — pinned by the backend-equivalence property tests —
+//! so pipelines select a backend at run time via [`PdnsBackend`] without
+//! touching results.
+
+pub mod engine;
+pub mod index;
+pub mod keys;
+pub mod run;
+
+use std::path::Path;
+
+use dnsnoise_dns::{Name, Record, RrKey};
+
+pub use engine::{RunStore, StoreConfig, StoreStats};
+
+use crate::rpdns::{DailyNewRrs, RpDns};
+use keys::CompositeKey;
+
+/// The storage contract shared by every rpDNS backend.
+pub trait PdnsStore {
+    /// Records one observation of `record` on `day`; returns `true` when
+    /// the record is new to the store.
+    fn observe(&mut self, record: &Record, day: u64) -> bool;
+
+    /// The day `key` was first seen, if stored.
+    fn first_seen(&self, key: &RrKey) -> Option<u64>;
+
+    /// Number of distinct records stored.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The daily new/repeated counters (index = day).
+    fn daily_stats(&self) -> &[DailyNewRrs];
+
+    /// Modelled storage footprint in bytes.
+    fn storage_bytes(&self) -> u64;
+
+    /// Every stored `(key, first-seen day)` whose name lies in `zone`'s
+    /// subtree (the zone apex included), in canonical reverse-label key
+    /// order — identical across backends. `Name::root()` scans the whole
+    /// store.
+    fn scan_prefix(&self, zone: &Name) -> Vec<(RrKey, u64)>;
+
+    /// Merges a shard-local store collected from disjoint traffic:
+    /// per-day counters add; a record seen by both sides keeps the
+    /// earliest first-seen day, has its later sighting re-classified as
+    /// repeated on the later day, and its duplicate storage refunded.
+    fn merge(&mut self, other: Self)
+    where
+        Self: Sized;
+
+    /// An empty store configured like this one, for per-shard
+    /// collection ahead of [`merge`](PdnsStore::merge).
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+}
+
+impl PdnsStore for RpDns {
+    fn observe(&mut self, record: &Record, day: u64) -> bool {
+        RpDns::observe(self, record, day)
+    }
+
+    fn first_seen(&self, key: &RrKey) -> Option<u64> {
+        RpDns::first_seen(self, key)
+    }
+
+    fn len(&self) -> usize {
+        RpDns::len(self)
+    }
+
+    fn daily_stats(&self) -> &[DailyNewRrs] {
+        self.per_day()
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        RpDns::storage_bytes(self)
+    }
+
+    fn scan_prefix(&self, zone: &Name) -> Vec<(RrKey, u64)> {
+        let mut hits: Vec<(CompositeKey, RrKey, u64)> = self
+            .iter()
+            .filter(|(key, _)| key.name.is_subdomain_of(zone))
+            .map(|(key, day)| {
+                (keys::encode_key(&key.name, key.qtype, &key.rdata), key.clone(), day)
+            })
+            .collect();
+        hits.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        hits.into_iter().map(|(_, key, day)| (key, day)).collect()
+    }
+
+    fn merge(&mut self, other: Self) {
+        RpDns::merge(self, other)
+    }
+
+    fn fork(&self) -> Self {
+        RpDns::new()
+    }
+}
+
+impl PdnsStore for RunStore {
+    fn observe(&mut self, record: &Record, day: u64) -> bool {
+        RunStore::observe(self, record, day)
+    }
+
+    fn first_seen(&self, key: &RrKey) -> Option<u64> {
+        RunStore::first_seen(self, key)
+    }
+
+    fn len(&self) -> usize {
+        RunStore::len(self)
+    }
+
+    fn daily_stats(&self) -> &[DailyNewRrs] {
+        self.per_day()
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        RunStore::storage_bytes(self)
+    }
+
+    fn scan_prefix(&self, zone: &Name) -> Vec<(RrKey, u64)> {
+        RunStore::scan_prefix(self, zone)
+    }
+
+    fn merge(&mut self, other: Self) {
+        RunStore::merge(self, other)
+    }
+
+    fn fork(&self) -> Self {
+        RunStore::fork(self)
+    }
+}
+
+/// Which [`PdnsBackend`] variant to build — the value of the CLI's
+/// `--store` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The in-memory hash-map store ([`RpDns`]); the default, keeping
+    /// existing invocations byte-identical.
+    #[default]
+    Memory,
+    /// The learned-index run store ([`RunStore`]).
+    Disk,
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "memory" => Ok(BackendKind::Memory),
+            "disk" => Ok(BackendKind::Disk),
+            other => Err(format!("unknown store backend `{other}` (expected memory|disk)")),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::Memory => "memory",
+            BackendKind::Disk => "disk",
+        })
+    }
+}
+
+/// A run-time-selected rpDNS backend. Both variants honour
+/// [`PdnsStore`] bit-identically; pipelines hold this enum so `--store`
+/// can pick the engine without generics leaking into every layer.
+#[derive(Debug)]
+pub enum PdnsBackend {
+    /// The in-memory hash-map store.
+    Memory(RpDns),
+    /// The learned-index run store.
+    Disk(RunStore),
+}
+
+impl PdnsBackend {
+    /// Builds a backend of `kind`; `path` mirrors the disk backend's
+    /// runs under the given directory (ignored for `memory`).
+    pub fn create(kind: BackendKind, path: Option<&Path>) -> PdnsBackend {
+        match kind {
+            BackendKind::Memory => PdnsBackend::Memory(RpDns::new()),
+            BackendKind::Disk => {
+                let mut config = StoreConfig::default();
+                if let Some(dir) = path {
+                    config = config.with_spill(dir);
+                }
+                PdnsBackend::Disk(RunStore::with_config(config))
+            }
+        }
+    }
+
+    /// The backend kind in force.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            PdnsBackend::Memory(_) => BackendKind::Memory,
+            PdnsBackend::Disk(_) => BackendKind::Disk,
+        }
+    }
+}
+
+impl Default for PdnsBackend {
+    fn default() -> Self {
+        PdnsBackend::Memory(RpDns::new())
+    }
+}
+
+impl PdnsStore for PdnsBackend {
+    fn observe(&mut self, record: &Record, day: u64) -> bool {
+        match self {
+            PdnsBackend::Memory(s) => s.observe(record, day),
+            PdnsBackend::Disk(s) => s.observe(record, day),
+        }
+    }
+
+    fn first_seen(&self, key: &RrKey) -> Option<u64> {
+        match self {
+            PdnsBackend::Memory(s) => s.first_seen(key),
+            PdnsBackend::Disk(s) => s.first_seen(key),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            PdnsBackend::Memory(s) => s.len(),
+            PdnsBackend::Disk(s) => s.len(),
+        }
+    }
+
+    fn daily_stats(&self) -> &[DailyNewRrs] {
+        match self {
+            PdnsBackend::Memory(s) => s.per_day(),
+            PdnsBackend::Disk(s) => s.per_day(),
+        }
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        match self {
+            PdnsBackend::Memory(s) => s.storage_bytes(),
+            PdnsBackend::Disk(s) => s.storage_bytes(),
+        }
+    }
+
+    fn scan_prefix(&self, zone: &Name) -> Vec<(RrKey, u64)> {
+        match self {
+            PdnsBackend::Memory(s) => PdnsStore::scan_prefix(s, zone),
+            PdnsBackend::Disk(s) => s.scan_prefix(zone),
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        match (self, other) {
+            (PdnsBackend::Memory(mine), PdnsBackend::Memory(theirs)) => mine.merge(theirs),
+            (PdnsBackend::Disk(mine), PdnsBackend::Disk(theirs)) => mine.merge(theirs),
+            (mine, theirs) => panic!(
+                "cannot merge pDNS backends of different kinds ({} vs {})",
+                mine.kind(),
+                theirs.kind()
+            ),
+        }
+    }
+
+    fn fork(&self) -> Self {
+        match self {
+            PdnsBackend::Memory(s) => PdnsBackend::Memory(PdnsStore::fork(s)),
+            PdnsBackend::Disk(s) => PdnsBackend::Disk(s.fork()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnsnoise_dns::{QType, RData, Ttl};
+    use std::net::Ipv4Addr;
+
+    fn rr(name: &str, ip: u8) -> Record {
+        Record::new(
+            name.parse().unwrap(),
+            QType::A,
+            Ttl::from_secs(60),
+            RData::A(Ipv4Addr::new(192, 0, 2, ip)),
+        )
+    }
+
+    fn backends() -> Vec<PdnsBackend> {
+        vec![
+            PdnsBackend::create(BackendKind::Memory, None),
+            PdnsBackend::create(BackendKind::Disk, None),
+        ]
+    }
+
+    #[test]
+    fn backend_kind_parses_and_prints() {
+        assert_eq!("memory".parse::<BackendKind>().unwrap(), BackendKind::Memory);
+        assert_eq!("disk".parse::<BackendKind>().unwrap(), BackendKind::Disk);
+        assert!("floppy".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Disk.to_string(), "disk");
+    }
+
+    #[test]
+    fn both_backends_agree_through_the_trait() {
+        let records: Vec<Record> =
+            (0..50u8).map(|i| rr(&format!("r{i}.zone{}.example", i % 3), i)).collect();
+        let mut summaries = Vec::new();
+        for mut store in backends() {
+            for (i, r) in records.iter().enumerate() {
+                store.observe(r, (i % 4) as u64);
+                store.observe(r, 3);
+            }
+            let zone: Name = "zone1.example".parse().unwrap();
+            summaries.push((
+                store.len(),
+                store.storage_bytes(),
+                store.daily_stats().to_vec(),
+                store.scan_prefix(&zone),
+                store.first_seen(&records[7].key()),
+            ));
+        }
+        assert_eq!(summaries[0], summaries[1], "memory and disk disagree");
+        assert!(!summaries[0].3.is_empty(), "zone scan found nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn mixed_backend_merge_panics() {
+        let mut memory = PdnsBackend::create(BackendKind::Memory, None);
+        let disk = PdnsBackend::create(BackendKind::Disk, None);
+        memory.merge(disk);
+    }
+
+    #[test]
+    fn fork_and_merge_match_sequential_observation() {
+        for kind in [BackendKind::Memory, BackendKind::Disk] {
+            let mut sequential = PdnsBackend::create(kind, None);
+            let mut parent = PdnsBackend::create(kind, None);
+            let mut shard = parent.fork();
+            for i in 0..40u8 {
+                let r = rr(&format!("f{i}.example"), i);
+                sequential.observe(&r, 0);
+                if i % 2 == 0 {
+                    parent.observe(&r, 0)
+                } else {
+                    shard.observe(&r, 0)
+                };
+            }
+            // One record seen by both shards: merge must dedup it.
+            let dup = rr("f0.example", 0);
+            sequential.observe(&dup, 1);
+            shard.observe(&dup, 1);
+            parent.merge(shard);
+            assert_eq!(parent.len(), sequential.len(), "{kind}");
+            assert_eq!(parent.storage_bytes(), sequential.storage_bytes(), "{kind}");
+            assert_eq!(parent.daily_stats(), sequential.daily_stats(), "{kind}");
+            assert_eq!(
+                parent.scan_prefix(&Name::root()),
+                sequential.scan_prefix(&Name::root()),
+                "{kind}"
+            );
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Immutable sorted runs in a columnar byte-buffer layout.
+//!
+//! A run holds `n` deduplicated records sorted by composite key, split
+//! into four columns: the name byte-buffer (reverse-label encodings,
+//! offset-indexed), the qtype column, the rdata byte-buffer
+//! (offset-indexed) and the first-seen-day column. Runs are built once —
+//! from a flushed memtable or a compaction merge — and never mutated;
+//! point lookups go through the per-run hybrid index
+//! ([`RunIndex`](super::index::RunIndex)), range scans binary-search the
+//! name column directly.
+//!
+//! [`Run::to_bytes`]/[`Run::from_bytes`] define the on-disk image the
+//! disk backend spills: a fixed header plus the raw columns. The index
+//! is *not* serialised — it is a pure function of the sorted keys and is
+//! rebuilt on load, so a run file can never carry a stale or corrupt
+//! model.
+
+use dnsnoise_dns::RrKey;
+
+use super::index::{feature, RunIndex};
+use super::keys::{self, CompositeKey};
+
+/// Magic + version tag leading every serialised run.
+const RUN_MAGIC: &[u8; 8] = b"dnrun01\n";
+
+/// One immutable sorted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Run {
+    /// `n + 1` offsets into `name_bytes`.
+    name_offsets: Vec<u32>,
+    /// Concatenated reverse-label name encodings.
+    name_bytes: Vec<u8>,
+    /// RR type codes, one per entry.
+    qtypes: Vec<u16>,
+    /// `n + 1` offsets into `rdata_bytes`.
+    rdata_offsets: Vec<u32>,
+    /// Concatenated rdata encodings.
+    rdata_bytes: Vec<u8>,
+    /// First-seen day, one per entry.
+    days: Vec<u64>,
+    /// The hybrid learned/classic index over the name column.
+    index: RunIndex,
+}
+
+impl Run {
+    /// Builds a run from entries already in composite-key order with no
+    /// duplicate keys.
+    pub fn build(entries: Vec<(CompositeKey, u64)>, epsilon: u32) -> Run {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries sorted and distinct");
+        let n = entries.len();
+        let mut name_offsets = Vec::with_capacity(n + 1);
+        let mut name_bytes = Vec::new();
+        let mut qtypes = Vec::with_capacity(n);
+        let mut rdata_offsets = Vec::with_capacity(n + 1);
+        let mut rdata_bytes = Vec::new();
+        let mut days = Vec::with_capacity(n);
+        name_offsets.push(0);
+        rdata_offsets.push(0);
+        for ((name, qtype, rdata), day) in entries {
+            name_bytes.extend_from_slice(&name);
+            name_offsets.push(u32::try_from(name_bytes.len()).expect("name column < 4 GiB"));
+            qtypes.push(qtype);
+            rdata_bytes.extend_from_slice(&rdata);
+            rdata_offsets.push(u32::try_from(rdata_bytes.len()).expect("rdata column < 4 GiB"));
+            days.push(day);
+        }
+        let names: Vec<&[u8]> = (0..n)
+            .map(|i| &name_bytes[name_offsets[i] as usize..name_offsets[i + 1] as usize])
+            .collect();
+        let index = RunIndex::build(&names, epsilon);
+        Run { name_offsets, name_bytes, qtypes, rdata_offsets, rdata_bytes, days, index }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.qtypes.len()
+    }
+
+    /// Whether the run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.qtypes.is_empty()
+    }
+
+    /// Whether the learned model (vs the classic fallback) indexes this
+    /// run.
+    pub fn index_is_learned(&self) -> bool {
+        self.index.is_learned()
+    }
+
+    /// The encoded name of entry `i`.
+    pub fn name_at(&self, i: usize) -> &[u8] {
+        &self.name_bytes[self.name_offsets[i] as usize..self.name_offsets[i + 1] as usize]
+    }
+
+    /// The RR type code of entry `i`.
+    pub fn qtype_at(&self, i: usize) -> u16 {
+        self.qtypes[i]
+    }
+
+    /// The encoded rdata of entry `i`.
+    pub fn rdata_at(&self, i: usize) -> &[u8] {
+        &self.rdata_bytes[self.rdata_offsets[i] as usize..self.rdata_offsets[i + 1] as usize]
+    }
+
+    /// The first-seen day of entry `i`.
+    pub fn day_at(&self, i: usize) -> u64 {
+        self.days[i]
+    }
+
+    /// Composite-key comparison of entry `i` against a probe key,
+    /// column by column — no per-entry allocation.
+    fn cmp_entry(&self, i: usize, key: &CompositeKey) -> std::cmp::Ordering {
+        self.name_at(i)
+            .cmp(key.0.as_slice())
+            .then_with(|| self.qtypes[i].cmp(&key.1))
+            .then_with(|| self.rdata_at(i).cmp(key.2.as_slice()))
+    }
+
+    /// Point lookup: the first-seen day of `key`, if stored. Uses the
+    /// hybrid index for a bounded candidate window, then exact binary
+    /// search — never a miss for a stored key, whatever the index kind.
+    pub fn get(&self, key: &CompositeKey) -> Option<u64> {
+        let n = self.len();
+        if n == 0 {
+            return None;
+        }
+        let x = feature(&key.0, self.index.lcp());
+        let (win_lo, win_hi) = self.index.window(x, n);
+        // The window is promised to contain the *first* entry of feature
+        // group `x` (when the group exists), so a stored key can never
+        // sort before it — binary-search the window by full composite
+        // comparison, and gallop past `win_hi` only when a fat group (a
+        // single owner name with many RDATAs) overflows the window.
+        let mut pos = win_lo
+            + partition_point_idx(win_hi - win_lo, |i| {
+                self.cmp_entry(win_lo + i, key) == std::cmp::Ordering::Less
+            });
+        if pos == win_hi && win_hi < n {
+            pos += gallop_point(n - win_hi, |i| {
+                self.cmp_entry(win_hi + i, key) == std::cmp::Ordering::Less
+            });
+        }
+        (pos < n && self.cmp_entry(pos, key) == std::cmp::Ordering::Equal).then(|| self.days[pos])
+    }
+
+    /// The contiguous entry range `[lo, hi)` of names starting with
+    /// `prefix` (a zone's subtree).
+    pub fn prefix_range(&self, prefix: &[u8]) -> (usize, usize) {
+        let n = self.len();
+        let lo = partition_point_idx(n, |i| self.name_at(i) < prefix);
+        let hi = match keys::prefix_upper_bound(prefix) {
+            Some(upper) => partition_point_idx(n, |i| self.name_at(i) < upper.as_slice()),
+            None => n,
+        };
+        (lo, hi)
+    }
+
+    /// Decodes entry `i` into its owned composite key.
+    pub fn key_at(&self, i: usize) -> CompositeKey {
+        (self.name_at(i).to_vec(), self.qtypes[i], self.rdata_at(i).to_vec())
+    }
+
+    /// Decodes entry `i` into an [`RrKey`].
+    pub fn rr_key_at(&self, i: usize) -> RrKey {
+        keys::decode_key(&self.key_at(i))
+    }
+
+    /// Iterates every entry as `(owned composite key, day)` in key order.
+    pub fn entries(&self) -> impl Iterator<Item = (CompositeKey, u64)> + '_ {
+        (0..self.len()).map(|i| (self.key_at(i), self.days[i]))
+    }
+
+    /// Serialises the run into its on-disk image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(RUN_MAGIC);
+        let push_u64 =
+            |out: &mut Vec<u8>, v: usize| out.extend_from_slice(&(v as u64).to_be_bytes());
+        push_u64(&mut out, self.len());
+        push_u64(&mut out, self.name_bytes.len());
+        push_u64(&mut out, self.rdata_bytes.len());
+        for off in &self.name_offsets {
+            out.extend_from_slice(&off.to_be_bytes());
+        }
+        out.extend_from_slice(&self.name_bytes);
+        for qt in &self.qtypes {
+            out.extend_from_slice(&qt.to_be_bytes());
+        }
+        for off in &self.rdata_offsets {
+            out.extend_from_slice(&off.to_be_bytes());
+        }
+        out.extend_from_slice(&self.rdata_bytes);
+        for day in &self.days {
+            out.extend_from_slice(&day.to_be_bytes());
+        }
+        out
+    }
+
+    /// Deserialises a [`Run::to_bytes`] image, rebuilding the index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the header or lengths do not describe a
+    /// well-formed run.
+    pub fn from_bytes(bytes: &[u8], epsilon: u32) -> Result<Run, String> {
+        let rest = bytes.strip_prefix(RUN_MAGIC.as_slice()).ok_or("bad run magic")?;
+        if rest.len() < 24 {
+            return Err("truncated run header".to_string());
+        }
+        let read_u64 =
+            |chunk: &[u8]| u64::from_be_bytes(chunk.try_into().expect("8-byte chunk")) as usize;
+        let n = read_u64(&rest[0..8]);
+        let name_len = read_u64(&rest[8..16]);
+        let rdata_len = read_u64(&rest[16..24]);
+        let body = &rest[24..];
+        let expect = (n + 1) * 4 + name_len + n * 2 + (n + 1) * 4 + rdata_len + n * 8;
+        if body.len() != expect {
+            return Err(format!("run body is {} bytes, expected {expect}", body.len()));
+        }
+        let mut at = 0usize;
+        let mut take = |len: usize| {
+            let s = &body[at..at + len];
+            at += len;
+            s
+        };
+        let name_offsets: Vec<u32> = take((n + 1) * 4)
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes(c.try_into().expect("4-byte chunk")))
+            .collect();
+        let name_bytes = take(name_len).to_vec();
+        let qtypes: Vec<u16> = take(n * 2)
+            .chunks_exact(2)
+            .map(|c| u16::from_be_bytes(c.try_into().expect("2-byte chunk")))
+            .collect();
+        let rdata_offsets: Vec<u32> = take((n + 1) * 4)
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes(c.try_into().expect("4-byte chunk")))
+            .collect();
+        let rdata_bytes = take(rdata_len).to_vec();
+        let days: Vec<u64> = take(n * 8)
+            .chunks_exact(8)
+            .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        if name_offsets.first() != Some(&0)
+            || name_offsets.last().copied() != u32::try_from(name_len).ok()
+            || rdata_offsets.first() != Some(&0)
+            || rdata_offsets.last().copied() != u32::try_from(rdata_len).ok()
+            || name_offsets.windows(2).any(|w| w[0] > w[1])
+            || rdata_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("inconsistent run offsets".to_string());
+        }
+        let names: Vec<&[u8]> = (0..n)
+            .map(|i| &name_bytes[name_offsets[i] as usize..name_offsets[i + 1] as usize])
+            .collect();
+        let index = RunIndex::build(&names, epsilon);
+        Ok(Run { name_offsets, name_bytes, qtypes, rdata_offsets, rdata_bytes, days, index })
+    }
+}
+
+/// `partition_point` over `0..n` by index predicate (the columns are not
+/// slices of one element type, so the stdlib slice helper does not
+/// apply).
+fn partition_point_idx(n: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// [`partition_point_idx`] by exponential search: doubles a probe step
+/// from the front until the predicate flips, then binary-searches the
+/// last gap. `O(log k)` for an answer at position `k`, independent of
+/// `n` — the right shape when the answer is expected near the start.
+fn gallop_point(n: usize, pred: impl Fn(usize) -> bool) -> usize {
+    if n == 0 || !pred(0) {
+        return 0;
+    }
+    let mut step = 1usize;
+    while step < n && pred(step) {
+        step *= 2;
+    }
+    let lo = step / 2 + 1;
+    let hi = step.min(n);
+    lo + partition_point_idx(hi - lo, |i| pred(lo + i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::index::DEFAULT_EPSILON;
+    use super::super::keys::encode_key;
+    use super::*;
+    use dnsnoise_dns::{Name, QType, RData};
+    use std::net::Ipv4Addr;
+
+    fn entries(n: u32) -> Vec<(CompositeKey, u64)> {
+        let mut out: Vec<(CompositeKey, u64)> = (0..n)
+            .map(|i| {
+                let name: Name = format!("d{i:06}.zone{}.example", i % 7).parse().unwrap();
+                let rdata = RData::A(Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8));
+                (encode_key(&name, QType::A, &rdata), u64::from(i % 13))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn get_finds_every_stored_key_and_rejects_absent_ones() {
+        let e = entries(3000);
+        let run = Run::build(e.clone(), DEFAULT_EPSILON);
+        for (key, day) in &e {
+            assert_eq!(run.get(key), Some(*day));
+        }
+        let absent = encode_key(
+            &"nope.zone9.example".parse().unwrap(),
+            QType::A,
+            &RData::A(Ipv4Addr::LOCALHOST),
+        );
+        assert_eq!(run.get(&absent), None);
+    }
+
+    #[test]
+    fn prefix_range_is_exactly_the_subtree() {
+        let e = entries(500);
+        let run = Run::build(e, DEFAULT_EPSILON);
+        let zone: Name = "zone3.example".parse().unwrap();
+        let prefix = super::super::keys::encode_name(&zone);
+        let (lo, hi) = run.prefix_range(&prefix);
+        assert!(lo < hi);
+        for i in 0..run.len() {
+            let inside = lo <= i && i < hi;
+            assert_eq!(run.rr_key_at(i).name.is_subdomain_of(&zone), inside, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn serialisation_roundtrips_bit_exactly() {
+        let run = Run::build(entries(700), DEFAULT_EPSILON);
+        let bytes = run.to_bytes();
+        let back = Run::from_bytes(&bytes, DEFAULT_EPSILON).expect("well-formed image");
+        assert_eq!(back, run, "columns and rebuilt index match");
+        assert_eq!(back.to_bytes(), bytes, "re-serialisation is bit-identical");
+        assert!(Run::from_bytes(&bytes[..40], DEFAULT_EPSILON).is_err());
+        assert!(Run::from_bytes(b"junk", DEFAULT_EPSILON).is_err());
+    }
+
+    #[test]
+    fn empty_run_is_well_behaved() {
+        let run = Run::build(Vec::new(), DEFAULT_EPSILON);
+        assert!(run.is_empty());
+        let probe =
+            encode_key(&"x.example".parse().unwrap(), QType::A, &RData::A(Ipv4Addr::LOCALHOST));
+        assert_eq!(run.get(&probe), None);
+        assert_eq!(run.prefix_range(b"\0"), (0, 0));
+        let back = Run::from_bytes(&run.to_bytes(), DEFAULT_EPSILON).unwrap();
+        assert!(back.is_empty());
+    }
+}

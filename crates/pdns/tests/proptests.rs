@@ -1,7 +1,7 @@
 //! Property-based tests for passive-DNS invariants.
 
 use dnsnoise_dns::{Name, QType, RData, Record, RrKey, Timestamp, Ttl};
-use dnsnoise_pdns::{FpDnsLog, RpDns, WildcardAggregator};
+use dnsnoise_pdns::{FpDnsLog, PdnsStore, RpDns, RunStore, StoreConfig, WildcardAggregator};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
@@ -21,7 +21,124 @@ fn arb_record() -> impl Strategy<Value = Record> {
         })
 }
 
+/// A tiny engine configuration so even small proptest inputs exercise
+/// memtable flushes and size-tiered compactions, not just the memtable.
+fn tiny_config() -> StoreConfig {
+    StoreConfig { memtable_cap: 8, fanout: 2, ..StoreConfig::default() }
+}
+
+/// Asserts the two backends are observationally identical through every
+/// read surface of the [`PdnsStore`] trait.
+fn assert_stores_agree(mem: &RpDns, disk: &RunStore, records: &[Record]) {
+    assert_eq!(PdnsStore::len(mem), PdnsStore::len(disk), "len diverged");
+    assert_eq!(
+        PdnsStore::storage_bytes(mem),
+        PdnsStore::storage_bytes(disk),
+        "storage_bytes diverged"
+    );
+    assert_eq!(
+        PdnsStore::daily_stats(mem),
+        PdnsStore::daily_stats(disk),
+        "per-day new/repeated counters diverged"
+    );
+    let root = Name::root();
+    assert_eq!(
+        PdnsStore::scan_prefix(mem, &root),
+        PdnsStore::scan_prefix(disk, &root),
+        "full scan order diverged"
+    );
+    for record in records {
+        let key = record.key();
+        assert_eq!(
+            PdnsStore::first_seen(mem, &key),
+            PdnsStore::first_seen(disk, &key),
+            "first_seen diverged for {key}"
+        );
+        if let Some(zone) = key.name.parent() {
+            assert_eq!(
+                PdnsStore::scan_prefix(mem, &zone),
+                PdnsStore::scan_prefix(disk, &zone),
+                "zone scan diverged under {zone}"
+            );
+        }
+    }
+}
+
 proptest! {
+    /// The learned-index engine behind `--store disk` is observationally
+    /// identical to the in-memory `RpDns` under random interleavings of
+    /// observes (with duplicate keys across days) and shard merges:
+    /// identical `first_seen`, per-day new/repeated counters, storage
+    /// bytes, and `scan_prefix` order.
+    #[test]
+    fn backends_equivalent_under_observe_merge_scan(
+        records in proptest::collection::vec(arb_record(), 1..48),
+        splits in proptest::collection::vec(0usize..4, 1..48),
+        days in proptest::collection::vec(0u64..5, 1..48),
+    ) {
+        let mut mem = RpDns::new();
+        let mut disk = RunStore::with_config(tiny_config());
+        // Shard the observation stream into up to four forks, replay each
+        // record into its shard (duplicates land in different shards), and
+        // merge the forks back in shard order — the resolver's fork/absorb
+        // discipline.
+        let mut mem_shards: Vec<RpDns> = (0..4).map(|_| PdnsStore::fork(&mem)).collect();
+        let mut disk_shards: Vec<RunStore> = (0..4).map(|_| PdnsStore::fork(&disk)).collect();
+        for (i, record) in records.iter().enumerate() {
+            let shard = splits[i % splits.len()];
+            let day = days[i % days.len()];
+            let mem_new = mem_shards[shard].observe(record, day);
+            let disk_new = disk_shards[shard].observe(record, day);
+            prop_assert_eq!(mem_new, disk_new, "observe novelty diverged at event {}", i);
+        }
+        for (m, d) in mem_shards.into_iter().zip(disk_shards) {
+            PdnsStore::merge(&mut mem, m);
+            PdnsStore::merge(&mut disk, d);
+        }
+        assert_stores_agree(&mem, &disk, &records);
+        // Replaying every record on a later day only reclassifies: counts
+        // and storage stay fixed, repeated counters still match.
+        for record in &records {
+            mem.observe(record, 6);
+            disk.observe(record, 6);
+        }
+        assert_stores_agree(&mem, &disk, &records);
+    }
+
+    /// Bounded-epsilon guarantee: whatever the key distribution — clumped,
+    /// adversarial, or degenerate — every stored key is found after runs
+    /// are built, and every lookup agrees with the memory backend. This
+    /// pins that a learned segment's error window never causes a miss and
+    /// that the classic fallback engages transparently.
+    #[test]
+    fn learned_index_lookups_never_miss(
+        records in proptest::collection::vec(arb_record(), 1..64),
+        epsilon in 1u32..32,
+    ) {
+        let config = StoreConfig { memtable_cap: 4, fanout: 2, epsilon, ..StoreConfig::default() };
+        let mut mem = RpDns::new();
+        let mut disk = RunStore::with_config(config);
+        for (i, record) in records.iter().enumerate() {
+            mem.observe(record, (i % 3) as u64);
+            disk.observe(record, (i % 3) as u64);
+        }
+        disk.optimize();
+        for record in &records {
+            let key = record.key();
+            let expected = mem.first_seen(&key);
+            prop_assert!(expected.is_some());
+            prop_assert_eq!(disk.first_seen(&key), expected, "lookup missed {}", key);
+        }
+        // A name observed under no record must stay absent.
+        let absent: Name = "definitely.not.observed.invalid".parse().unwrap();
+        let absent_key = RrKey {
+            name: absent,
+            qtype: QType::A,
+            rdata: RData::A(Ipv4Addr::new(203, 0, 113, 7)),
+        };
+        prop_assert_eq!(disk.first_seen(&absent_key), None);
+    }
+
     /// rpDNS dedup is idempotent: replaying the same records never grows
     /// the store, and per-day counters conserve total observations.
     #[test]

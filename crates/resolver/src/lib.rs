@@ -35,6 +35,7 @@
 
 mod admission;
 mod builder;
+mod collector;
 mod engine;
 mod faults;
 mod metrics;
@@ -46,6 +47,7 @@ mod traffic;
 
 pub use admission::{AdmissionState, OverloadConfig, OverloadStats};
 pub use builder::DayRun;
+pub use collector::PdnsCollector;
 pub use engine::ShardObserver;
 pub use faults::{
     FaultKind, FaultPlan, FaultSpecError, MemberOutage, OutageScope, OutageWindow, RetryPolicy,

@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 
 use dnsnoise_core::{DomainTree, Finding, Miner, MiningReport};
 use dnsnoise_dns::{Name, Record, SuffixList};
-use dnsnoise_pdns::FpDnsLog;
+use dnsnoise_pdns::{BackendKind, FpDnsLog, PdnsBackend, PdnsStore};
 use dnsnoise_resolver::{DayReport, EventSession, Observer, ResolverSim, Served, SimConfig};
 use dnsnoise_workload::{GroundTruth, QueryEvent};
 
@@ -90,6 +90,24 @@ pub struct EpochSummary {
     pub state_bytes: usize,
 }
 
+/// End-of-day summary of the deduplicating rpDNS backend the stream fed
+/// (the `--store` engine). Not part of the rendered golden report — the
+/// report format predates the pluggable store — but surfaced so the CLI
+/// can print it out of band and smoke tests can compare backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpdnsStoreSummary {
+    /// Which backend collected the reduced pDNS dataset.
+    pub backend: BackendKind,
+    /// Distinct records stored.
+    pub records: u64,
+    /// Modeled rpDNS storage bytes.
+    pub storage_bytes: u64,
+    /// Sorted runs at end of day (0 for the memory backend).
+    pub runs: u64,
+    /// Runs served by a learned (PLA) index.
+    pub learned_runs: u64,
+}
+
 /// Aggregate pDNS counters collected online.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PdnsSummary {
@@ -128,6 +146,8 @@ pub struct StreamReport {
     pub mining: Option<MiningReport>,
     /// Online pDNS counters.
     pub pdns: PdnsSummary,
+    /// The deduplicating rpDNS backend's end-of-day summary.
+    pub rpdns_store: RpdnsStoreSummary,
     /// Events pushed into the session.
     pub events_pushed: u64,
     /// Events answered with records.
@@ -259,6 +279,11 @@ struct StreamState {
     hll_clients: HyperLogLog,
     hll_names: HyperLogLog,
     pdns: FpDnsLog,
+    /// The deduplicating rpDNS store behind the `--store` flag. Excluded
+    /// from [`StreamState::state_bytes`]: the paper's streaming-state
+    /// budget covers the registry and sketches, and the store's own
+    /// footprint is reported separately as rpDNS storage bytes.
+    rpdns: PdnsBackend,
     answered: u64,
     nxdomain: u64,
     failed: u64,
@@ -281,6 +306,7 @@ impl StreamState {
             hll_clients: HyperLogLog::new(config.hll_precision, config.seed),
             hll_names: HyperLogLog::new(config.hll_precision, config.seed ^ 0x2545_f491_4f6c_dd1d),
             pdns: FpDnsLog::new(PDNS_RETAIN, false),
+            rpdns: PdnsBackend::default(),
             answered: 0,
             nxdomain: 0,
             failed: 0,
@@ -337,8 +363,10 @@ impl Observer for StreamState {
         }
         self.answered += 1;
         self.pdns.collect(event.time, event.client, &event.name, event.qtype, answers);
+        let day = event.time.day();
         let above = served.went_above();
         for rr in answers {
+            self.rpdns.observe(rr, day);
             let fp = fnv1a(rr.key().to_string().as_bytes());
             let fps = match self.names.get_mut(&rr.name) {
                 Some(fps) => fps,
@@ -421,6 +449,16 @@ impl<'m> StreamMiner<'m> {
         self
     }
 
+    /// Selects the rpDNS backend the stream deduplicates answers into
+    /// (the CLI's `--store` flag). Call before pushing events: the
+    /// previous backend is replaced along with anything it collected.
+    /// Findings and the rendered report are bit-identical across
+    /// backends; only [`StreamReport::rpdns_store`] reflects the choice.
+    pub fn with_store(mut self, backend: PdnsBackend) -> StreamMiner<'m> {
+        self.state.rpdns = backend;
+        self
+    }
+
     /// Streams one event: closes any epoch the event's timestamp has
     /// moved past, then replays the event through the cluster and folds
     /// the response into the online state.
@@ -495,12 +533,33 @@ impl<'m> StreamMiner<'m> {
             psl,
             ground_truth,
             session,
-            state,
+            mut state,
             current_epoch: _,
             epochs,
             peak_state_bytes,
             pushed,
         } = self;
+        // Close out the run store: flush and collapse to one optimized
+        // run so a spill directory holds the complete, final day image.
+        if let PdnsBackend::Disk(ref mut s) = state.rpdns {
+            s.optimize();
+        }
+        let rpdns_store = {
+            let (runs, learned_runs) = match &state.rpdns {
+                PdnsBackend::Disk(s) => {
+                    let st = s.stats();
+                    (st.runs as u64, st.learned_runs as u64)
+                }
+                PdnsBackend::Memory(_) => (0, 0),
+            };
+            RpdnsStoreSummary {
+                backend: state.rpdns.kind(),
+                records: state.rpdns.len() as u64,
+                storage_bytes: PdnsStore::storage_bytes(&state.rpdns),
+                runs,
+                learned_runs,
+            }
+        };
         let mut tree = state.build_tree();
         let final_findings = miner.mine(&mut tree, &psl);
         let (day_report, sim) = session.finish();
@@ -532,6 +591,7 @@ impl<'m> StreamMiner<'m> {
                 nx_responses: state.pdns.nx_responses(),
                 storage_bytes: state.pdns.storage_bytes(),
             },
+            rpdns_store,
             events_pushed: pushed,
             events_answered: state.answered,
             events_nxdomain: state.nxdomain,
@@ -584,6 +644,33 @@ mod tests {
         assert!(report.events_shed == 0);
         assert!(!report.epochs.is_empty(), "a full day must close epochs");
         assert!(report.pdns.total_responses > 0);
+    }
+
+    #[test]
+    fn disk_store_backend_reproduces_the_memory_report() {
+        let s = scenario(21);
+        let miner = trained_miner(&s);
+        let trace = s.generate_day(1);
+        let mut reports = Vec::new();
+        for kind in [BackendKind::Memory, BackendKind::Disk] {
+            let mut stream = StreamMiner::new(StreamConfig::default(), &miner)
+                .ground_truth(s.ground_truth())
+                .with_store(PdnsBackend::create(kind, None));
+            for event in &trace.events {
+                stream.push(event);
+            }
+            let (report, _) = stream.finish();
+            reports.push(report);
+        }
+        // The rendered report and findings never depend on the backend…
+        assert_eq!(reports[0].render(), reports[1].render());
+        assert_eq!(reports[0].findings_tsv(), reports[1].findings_tsv());
+        // …and the stores themselves agree on the dedup counters.
+        assert_eq!(reports[0].rpdns_store.records, reports[1].rpdns_store.records);
+        assert_eq!(reports[0].rpdns_store.storage_bytes, reports[1].rpdns_store.storage_bytes);
+        assert_eq!(reports[1].rpdns_store.backend, BackendKind::Disk);
+        assert_eq!(reports[1].rpdns_store.runs, 1, "finish() optimizes to one run");
+        assert!(reports[0].rpdns_store.records > 0);
     }
 
     #[test]

@@ -40,6 +40,9 @@ mod engine;
 mod pipeline;
 mod sketch;
 
-pub use engine::{EpochSummary, PdnsSummary, StreamConfig, StreamMiner, StreamReport, PDNS_RETAIN};
+pub use engine::{
+    EpochSummary, PdnsSummary, RpdnsStoreSummary, StreamConfig, StreamMiner, StreamReport,
+    PDNS_RETAIN,
+};
 pub use pipeline::StreamPipeline;
 pub use sketch::{CountMinSketch, HyperLogLog};

@@ -2,7 +2,10 @@
 //! streaming counterpart of `dnsnoise_core::DailyPipeline` for the
 //! deploy phase, once a classifier has been trained offline.
 
+use std::path::PathBuf;
+
 use dnsnoise_core::Miner;
+use dnsnoise_pdns::{BackendKind, PdnsBackend};
 use dnsnoise_resolver::{ResolverSim, SimConfig};
 use dnsnoise_workload::{DayTrace, GroundTruth, QueryEvent};
 
@@ -34,6 +37,8 @@ pub struct StreamPipeline {
     config: StreamConfig,
     miner: Miner,
     sim: Option<ResolverSim>,
+    store: BackendKind,
+    store_path: Option<PathBuf>,
 }
 
 impl StreamPipeline {
@@ -46,7 +51,23 @@ impl StreamPipeline {
     /// Creates a pipeline over an existing cluster whose caches carry
     /// prior state.
     pub fn with_sim(config: StreamConfig, miner: Miner, sim: ResolverSim) -> StreamPipeline {
-        StreamPipeline { config, miner, sim: Some(sim) }
+        StreamPipeline {
+            config,
+            miner,
+            sim: Some(sim),
+            store: BackendKind::default(),
+            store_path: None,
+        }
+    }
+
+    /// Selects the rpDNS backend each day's miner deduplicates into (the
+    /// CLI's `--store`/`--store-path` flags). A fresh store is opened per
+    /// day; with a path, the disk backend mirrors day `d`'s runs under
+    /// `<path>/day<d>`. Reports stay bit-identical across backends.
+    pub fn with_store(mut self, store: BackendKind, store_path: Option<PathBuf>) -> StreamPipeline {
+        self.store = store;
+        self.store_path = store_path;
+        self
     }
 
     /// The streaming configuration in effect.
@@ -76,7 +97,10 @@ impl StreamPipeline {
         gt: Option<&GroundTruth>,
     ) -> StreamReport {
         let sim = self.sim.take().expect("simulator is always restored");
-        let mut stream = StreamMiner::with_sim(self.config, &self.miner, sim, day);
+        let day_spill = self.store_path.as_ref().map(|base| base.join(format!("day{day}")));
+        let backend = PdnsBackend::create(self.store, day_spill.as_deref());
+        let mut stream =
+            StreamMiner::with_sim(self.config, &self.miner, sim, day).with_store(backend);
         if let Some(gt) = gt {
             stream = stream.ground_truth(gt);
         }

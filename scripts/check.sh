@@ -80,6 +80,26 @@ diff "$smoke_dir/zones.batch" "$smoke_dir/zones.stream" >&2 \
 grep -q 'conserved' BENCH_stream.json \
     || { echo "error: BENCH_stream.json missing its conservation line" >&2; exit 1; }
 
+echo "== pdns store smoke (miner output identical across --store memory|disk) ==" >&2
+# Same day-1 trace and model as the stream smoke: stdout must be
+# byte-identical whichever rpDNS backend dedups behind the miner, and the
+# disk backend's summary (stderr) must report its learned-index runs.
+./target/release/dnsnoise stream --trace "$smoke_dir/day1.trace" \
+    --model "$smoke_dir/model.txt" --cm-width 1048576 \
+    --store memory >"$smoke_dir/sm.txt" 2>/dev/null
+./target/release/dnsnoise stream --trace "$smoke_dir/day1.trace" \
+    --model "$smoke_dir/model.txt" --cm-width 1048576 \
+    --store disk --store-path "$smoke_dir/pdns" \
+    >"$smoke_dir/sd.txt" 2>"$smoke_dir/sd.log"
+diff "$smoke_dir/s1.txt" "$smoke_dir/sm.txt" >&2
+diff "$smoke_dir/s1.txt" "$smoke_dir/sd.txt" >&2
+grep -q 'rpdns store: backend=disk' "$smoke_dir/sd.log" \
+    || { echo "error: disk store summary missing from stream stderr" >&2; exit 1; }
+ls "$smoke_dir/pdns" | grep -q 'run-.*\.bin' \
+    || { echo "error: disk store spilled no run files" >&2; exit 1; }
+grep -q '"bench": "pdns"' BENCH_pdns.json \
+    || { echo "error: BENCH_pdns.json missing or malformed" >&2; exit 1; }
+
 echo "== cargo test ==" >&2
 cargo test -q --offline
 

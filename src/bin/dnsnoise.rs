@@ -23,8 +23,10 @@ use std::process::ExitCode;
 use dnsnoise::core::{DailyPipeline, DomainTree, Miner, MinerConfig, TrainingSetBuilder};
 use dnsnoise::dns::{SuffixList, Ttl};
 use dnsnoise::ingest::{corrupt, framestream, pcap, CaptureFormat, IngestConfig};
+use dnsnoise::pdns::{BackendKind, PdnsBackend, PdnsStore};
 use dnsnoise::resolver::{
-    FaultPlan, MetricsRegistry, OverloadConfig, ResolverSim, SimConfig, DEFAULT_TIMELINE_BUCKETS,
+    FaultPlan, MetricsRegistry, OverloadConfig, PdnsCollector, ResolverSim, SimConfig,
+    DEFAULT_TIMELINE_BUCKETS,
 };
 use dnsnoise::workload::{trace_io, AttackPlan, DayTrace, Scenario, ScenarioConfig};
 
@@ -94,6 +96,10 @@ struct SimulateOpts {
     rrl: bool,
     queue_depth: Option<u64>,
     service_rate: Option<u64>,
+    /// `None` = the default memory backend with no summary printed, so
+    /// pre-`--store` invocations stay byte-identical on both streams.
+    store: Option<BackendKind>,
+    store_path: Option<String>,
 }
 
 impl Default for SimulateOpts {
@@ -112,6 +118,8 @@ impl Default for SimulateOpts {
             rrl: false,
             queue_depth: None,
             service_rate: None,
+            store: None,
+            store_path: None,
         }
     }
 }
@@ -153,6 +161,9 @@ struct StreamOpts {
     cm_width: usize,
     cm_depth: usize,
     hll_precision: u8,
+    /// `None` = the default memory backend with no summary printed.
+    store: Option<BackendKind>,
+    store_path: Option<String>,
 }
 
 impl Default for StreamOpts {
@@ -168,6 +179,8 @@ impl Default for StreamOpts {
             cm_width: defaults.cm_width,
             cm_depth: defaults.cm_depth,
             hll_precision: defaults.hll_precision,
+            store: None,
+            store_path: None,
         }
     }
 }
@@ -254,6 +267,15 @@ fn parse_flags(
     }
     common.validate()?;
     Ok(ParseOutcome::Parsed(()))
+}
+
+/// Shared validation for the `--store`/`--store-path` pair: the spill
+/// directory only means something to the disk engine.
+fn validate_store(store: Option<BackendKind>, store_path: &Option<String>) -> Result<(), String> {
+    if store_path.is_some() && store != Some(BackendKind::Disk) {
+        return Err("--store-path requires --store disk".into());
+    }
+    Ok(())
 }
 
 fn parse_format(raw: &str) -> Result<CaptureFormat, String> {
@@ -347,12 +369,15 @@ fn parse_simulate(args: &[String]) -> Result<ParseOutcome<SimulateOpts>, String>
             "--service-rate" => {
                 opts.service_rate = Some(parsed(values.take("--service-rate")?, "--service-rate")?)
             }
+            "--store" => opts.store = Some(values.take("--store")?.parse()?),
+            "--store-path" => opts.store_path = Some(values.take("--store-path")?.to_owned()),
             _ => return Ok(false),
         }
         Ok(true)
     })?;
     opts.common = common;
     if let ParseOutcome::Parsed(()) = outcome {
+        validate_store(opts.store, &opts.store_path)?;
         if opts.threads == 0 {
             return Err("--threads must be at least 1".into());
         }
@@ -410,12 +435,15 @@ fn parse_stream(args: &[String]) -> Result<ParseOutcome<StreamOpts>, String> {
             "--hll-precision" => {
                 opts.hll_precision = parsed(values.take("--hll-precision")?, "--hll-precision")?
             }
+            "--store" => opts.store = Some(values.take("--store")?.parse()?),
+            "--store-path" => opts.store_path = Some(values.take("--store-path")?.to_owned()),
             _ => return Ok(false),
         }
         Ok(true)
     })?;
     opts.common = common;
     if let ParseOutcome::Parsed(()) = outcome {
+        validate_store(opts.store, &opts.store_path)?;
         if opts.epoch_secs == 0 {
             return Err("--epoch-secs must be at least 1".into());
         }
@@ -599,9 +627,23 @@ fn cmd_simulate(opts: &SimulateOpts) -> Result<(), String> {
             }
             cfg
         });
+    // The pDNS collector rides along on every replay; without the store
+    // flags it stays on the silent in-memory backend, keeping stdout and
+    // stderr byte-identical to pre-`--store` builds.
+    let report_store = opts.store.is_some() || opts.store_path.is_some();
+    let backend = PdnsBackend::create(
+        opts.store.unwrap_or_default(),
+        opts.store_path.as_deref().map(std::path::Path::new),
+    );
+    let mut collector = PdnsCollector::new(backend);
     // The builder replay is bit-identical for any `--threads` count —
     // registry exports included.
-    let mut run = sim.day(&trace).faults(&plan).threads(opts.threads).metrics(&mut registry);
+    let mut run = sim
+        .day(&trace)
+        .faults(&plan)
+        .threads(opts.threads)
+        .metrics(&mut registry)
+        .observer(&mut collector);
     if let Some(gt) = ground_truth {
         run = run.ground_truth(gt);
     }
@@ -609,6 +651,15 @@ fn cmd_simulate(opts: &SimulateOpts) -> Result<(), String> {
         run = run.overload(cfg);
     }
     let report = run.run();
+    if report_store {
+        let mut store = collector.into_store();
+        if let PdnsBackend::Disk(ref mut s) = store {
+            // Flush and collapse so a spill directory holds the final
+            // single-run image of the day.
+            s.optimize();
+        }
+        eprintln!("{}", store_summary_line(&store));
+    }
     println!("events:            {}", trace.events.len());
     println!("below records:     {}", report.below_total);
     println!("above records:     {}", report.above_total);
@@ -651,6 +702,31 @@ fn cmd_simulate(opts: &SimulateOpts) -> Result<(), String> {
         eprint!("{}", registry.phases().render_table());
     }
     Ok(())
+}
+
+/// One-line `--store` summary. Goes to stderr so stdout stays
+/// byte-identical across backends (and across thread counts).
+fn store_summary_line(store: &PdnsBackend) -> String {
+    match store {
+        PdnsBackend::Memory(_) => format!(
+            "rpdns store: backend=memory records={} storage_bytes={}",
+            store.len(),
+            store.storage_bytes()
+        ),
+        PdnsBackend::Disk(s) => {
+            let st = s.stats();
+            format!(
+                "rpdns store: backend=disk records={} storage_bytes={} runs={} \
+                 learned_runs={} flushes={} compactions={}",
+                s.len(),
+                s.storage_bytes(),
+                st.runs,
+                st.learned_runs,
+                st.flushes,
+                st.compactions
+            )
+        }
+    }
 }
 
 /// Builds a labeled training set from a synthetic day.
@@ -762,7 +838,12 @@ fn cmd_stream(opts: &StreamOpts) -> Result<(), String> {
         hll_precision: opts.hll_precision,
         seed: opts.common.seed,
     };
-    let mut stream = dnsnoise::stream::StreamMiner::new(config, &miner);
+    let report_store = opts.store.is_some() || opts.store_path.is_some();
+    let backend = PdnsBackend::create(
+        opts.store.unwrap_or_default(),
+        opts.store_path.as_deref().map(std::path::Path::new),
+    );
+    let mut stream = dnsnoise::stream::StreamMiner::new(config, &miner).with_store(backend);
     // Feed events one at a time straight off the reader — the trace is
     // never materialised, which is the point of the streaming path.
     let mut push_all = |reader: &mut dyn Iterator<
@@ -785,6 +866,13 @@ fn cmd_stream(opts: &StreamOpts) -> Result<(), String> {
         }
     }
     let (report, _sim) = stream.finish();
+    if report_store {
+        let s = &report.rpdns_store;
+        eprintln!(
+            "rpdns store: backend={} records={} storage_bytes={} runs={} learned_runs={}",
+            s.backend, s.records, s.storage_bytes, s.runs, s.learned_runs
+        );
+    }
     print!("{}", report.render());
     if !report.conserves() {
         return Err(report.conservation_line());
@@ -847,7 +935,10 @@ fn subcommand_usage(cmd: &str) -> String {
              \x20                    surge=28800,50400,20'\n\
              \x20 --rrl              enable NXDOMAIN response-rate-limiting\n\
              \x20 --queue-depth <n>  bound the per-member admission queue\n\
-             \x20 --service-rate <n> queued queries retired per member per second\n"
+             \x20 --service-rate <n> queued queries retired per member per second\n\
+             \x20 --store <kind>     pDNS collector backend: memory or disk (default: memory;\n\
+             \x20                    results are bit-identical, a summary goes to stderr)\n\
+             \x20 --store-path <dir> mirror the disk backend's sorted runs under this directory\n"
         }
         "mine" => {
             "  --trace <file>     mine this trace (default: synthetic, self-grading)\n\
@@ -864,7 +955,11 @@ fn subcommand_usage(cmd: &str) -> String {
              \x20 --epoch-secs <n>     seconds per classification epoch (default: 21600)\n\
              \x20 --cm-width <n>       count-min row width (default: 16384)\n\
              \x20 --cm-depth <n>       count-min rows (default: 4)\n\
-             \x20 --hll-precision <p>  HyperLogLog precision, 4..=16 (default: 12)\n"
+             \x20 --hll-precision <p>  HyperLogLog precision, 4..=16 (default: 12)\n\
+             \x20 --store <kind>       pDNS collector backend: memory or disk (default:\n\
+             \x20                      memory; the report is bit-identical either way)\n\
+             \x20 --store-path <dir>   mirror the disk backend's sorted runs under this\n\
+             \x20                      directory\n"
         }
         "train" => {
             "  --out <file>       model destination (default: stdout)\n\
@@ -1095,6 +1190,35 @@ mod tests {
         assert_eq!(o.theta, 0.8);
         assert_eq!(o.min_group, 5);
         assert_eq!(o.common.seed, 11);
+    }
+
+    #[test]
+    fn store_flags_parse_on_simulate_and_stream_only() {
+        let o = simulate("--store disk --store-path /tmp/pdns").unwrap();
+        assert_eq!(o.store, Some(BackendKind::Disk));
+        assert_eq!(o.store_path.as_deref(), Some("/tmp/pdns"));
+        let o = simulate("--store memory").unwrap();
+        assert_eq!(o.store, Some(BackendKind::Memory));
+        let o = stream("--store disk --store-path /tmp/pdns").unwrap();
+        assert_eq!(o.store, Some(BackendKind::Disk));
+        assert_eq!(o.store_path.as_deref(), Some("/tmp/pdns"));
+        // Default invocations keep the silent memory backend.
+        assert_eq!(simulate("").unwrap().store, None);
+        assert_eq!(stream("").unwrap().store, None);
+        // Bad values and misuse are rejected...
+        assert!(simulate("--store floppy").is_err());
+        assert!(simulate("--store-path /tmp/x").is_err(), "spill needs --store disk");
+        assert!(stream("--store memory --store-path /tmp/x").is_err());
+        // ...and the flags stay foreign to subcommands without a pDNS
+        // collector, per the per-subcommand flag-ownership convention.
+        for cmd_args in ["--store disk", "--store-path /tmp/x"] {
+            let err = mine(cmd_args).unwrap_err();
+            assert!(err.contains("unknown flag"), "{err}");
+            assert!(parse_train(&args(cmd_args)).is_err());
+            assert!(parse_generate(&args(cmd_args)).is_err());
+        }
+        assert!(subcommand_usage("simulate").contains("--store"));
+        assert!(subcommand_usage("stream").contains("--store-path"));
     }
 
     #[test]
