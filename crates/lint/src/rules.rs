@@ -34,18 +34,35 @@
 //!   examples). Everything goes through the `ResolverSim::day` builder;
 //!   `pipeline.run_day(…)` / `self.run_day(…)` are the unrelated
 //!   `DailyPipeline` API and stay legal.
+//! * `fs-direct-write` — direct filesystem *mutation* (`fs::write`,
+//!   `fs::rename`, `fs::remove_file`, `File::create`,
+//!   `OpenOptions::new`, …) on a persistence path
+//!   (`crates/pdns/src/store/`, `crates/stream/src/`) outside the one
+//!   sanctioned module, `crates/pdns/src/store/io.rs`. Durable
+//!   artifacts must go through the atomic write→fsync→rename→dir-fsync
+//!   protocol (and its fault injector); a bare `fs::write` to a final
+//!   name is a torn-write crash bug. Reads stay legal — recovery scans
+//!   and parsers consume bytes, they do not publish them.
 //!
-//! `hash-iter` and `export-purity` skip test code (`tests/` files and
-//! `#[cfg(test)]` modules): test-local iteration cannot leak into replay
-//! or export output, and purity tests must be able to name the very
-//! fields they assert absent.
+//! `hash-iter`, `export-purity`, and `fs-direct-write` skip test code
+//! (`tests/` files and `#[cfg(test)]` modules): test-local iteration
+//! cannot leak into replay or export output, purity tests must be able
+//! to name the very fields they assert absent, and corruption tests
+//! must be able to shred files directly.
 
 use crate::diag::Diagnostic;
 use crate::lexer::{Comment, Lexed, Token, TokenKind};
 
 /// Every rule id the linter knows (excluding the meta `bad-allow`).
-pub const RULES: &[&str] =
-    &["hash-iter", "wall-clock", "ambient-rng", "merge-cast", "export-purity", "deprecated-api"];
+pub const RULES: &[&str] = &[
+    "hash-iter",
+    "wall-clock",
+    "ambient-rng",
+    "merge-cast",
+    "export-purity",
+    "deprecated-api",
+    "fs-direct-write",
+];
 
 const ITER_METHODS: &[&str] = &[
     "iter",
@@ -82,6 +99,29 @@ const OVERLOAD_FIELDS: &[&str] = &["queue_backlog", "dropped", "rate_limited"];
 /// Cast targets that can lose information (narrow integers and floats).
 const NARROW_CASTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32", "f64"];
 
+/// `std::fs` functions that mutate the filesystem. Read-side calls
+/// (`read`, `read_dir`, `metadata`, `File::open`) stay legal on
+/// persistence paths.
+const FS_MUTATORS: &[&str] = &[
+    "write",
+    "rename",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "create_dir",
+    "create_dir_all",
+    "copy",
+    "hard_link",
+];
+
+/// Directory prefixes where every durable write must go through the
+/// atomic writer in [`FS_WRITE_HOME`].
+const PERSISTENCE_PATHS: &[&str] = &["crates/pdns/src/store/", "crates/stream/src/"];
+
+/// The one module allowed to touch the filesystem directly: the atomic
+/// write→fsync→rename protocol and its fault injector.
+const FS_WRITE_HOME: &str = "crates/pdns/src/store/io.rs";
+
 /// Runs every rule over one file. `rel_path` is workspace-relative and
 /// drives path-scoped rules (`deprecated-api`, test-file detection).
 /// Inline `lint:allow` suppression is applied by the caller
@@ -91,6 +131,8 @@ pub fn analyze(rel_path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
     let in_resolver = rel_path.starts_with("crates/resolver/");
     let in_lint = rel_path.starts_with("crates/lint/");
     let is_test_file = rel_path.starts_with("tests/") || rel_path.contains("/tests/");
+    let on_persistence_path =
+        rel_path != FS_WRITE_HOME && PERSISTENCE_PATHS.iter().any(|p| rel_path.starts_with(p));
 
     let hash_idents = collect_hash_idents(t);
     let test_regions = cfg_test_regions(t);
@@ -213,6 +255,44 @@ pub fn analyze(rel_path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
                  explicit seed"
                     .to_string(),
             );
+        }
+
+        // --- fs-direct-write ---------------------------------------------
+        if on_persistence_path && !in_test(i) {
+            // `[std ::] <recv> :: <name> (` with a mutating callee.
+            let path_call = |set: &[&str]| -> Option<&Token> {
+                if matches!(t.get(i + 1), Some(c) if c.is_punct(':'))
+                    && matches!(t.get(i + 2), Some(c) if c.is_punct(':'))
+                {
+                    let name = t.get(i + 3)?;
+                    if set.contains(&name.text.as_str()) && call_opens_at(t, i + 4) {
+                        return Some(name);
+                    }
+                }
+                None
+            };
+            let offender = if tok.is_ident("fs") {
+                path_call(FS_MUTATORS)
+            } else if tok.is_ident("File") {
+                path_call(&["create", "create_new", "options"])
+            } else if tok.is_ident("OpenOptions") {
+                path_call(&["new"])
+            } else {
+                None
+            };
+            if let Some(name) = offender {
+                push(
+                    name,
+                    "fs-direct-write",
+                    format!(
+                        "direct filesystem mutation `{}::{}` on a persistence path; durable \
+                         artifacts must go through the atomic writer in {} (write → fsync → \
+                         rename → dir-fsync, fault-injectable) or justify with \
+                         `lint:allow(fs-direct-write)`",
+                        tok.text, name.text, FS_WRITE_HOME
+                    ),
+                );
+            }
         }
 
         // --- deprecated-api (code) ---------------------------------------

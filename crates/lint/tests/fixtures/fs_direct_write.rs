@@ -1,0 +1,33 @@
+//! Fixture: direct filesystem mutation on a persistence path. Every
+//! durable artifact must go through the atomic write→fsync→rename
+//! protocol in `crates/pdns/src/store/io.rs`; a bare `fs::write` to a
+//! final name is a torn-write crash bug waiting for a power cut.
+
+use std::fs;
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+
+fn persist(dir: &Path, bytes: &[u8]) {
+    std::fs::write(dir.join("MANIFEST"), bytes).unwrap(); // EXPECT fs-direct-write
+    fs::rename(dir.join("a.tmp"), dir.join("a.bin")).unwrap(); // EXPECT fs-direct-write
+    fs::remove_file(dir.join("stale.bin")).unwrap(); // EXPECT fs-direct-write
+    fs::create_dir_all(dir).unwrap(); // EXPECT fs-direct-write
+    let _file = File::create(dir.join("run.bin")).unwrap(); // EXPECT fs-direct-write
+    let _opts = OpenOptions::new(); // EXPECT fs-direct-write
+}
+
+// Reads stay legal: recovery scans and parsers consume bytes, they do
+// not publish them.
+fn read_side(dir: &Path) -> Vec<u8> {
+    let _meta = std::fs::metadata(dir).ok();
+    let _open = File::open(dir.join("run.bin")).ok();
+    std::fs::read(dir.join("MANIFEST")).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may shred files directly to stage corruption.
+    pub fn corrupt(path: &std::path::Path) {
+        std::fs::write(path, b"garbage").unwrap();
+    }
+}

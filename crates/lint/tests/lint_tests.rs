@@ -103,6 +103,24 @@ fn deprecated_api_is_legal_inside_resolver() {
 }
 
 #[test]
+fn fs_direct_write_fixture() {
+    let src = include_str!("fixtures/fs_direct_write.rs");
+    // On a persistence path every mutation fires…
+    let diags = lint_source("crates/pdns/src/store/fake.rs", src, &[]);
+    assert_eq!(rules_fired(&diags), ["fs-direct-write"]);
+    check_against_markers(src, "fs-direct-write", &diags);
+    let diags = lint_source("crates/stream/src/fake.rs", src, &[]);
+    assert_eq!(rules_fired(&diags), ["fs-direct-write"]);
+    check_against_markers(src, "fs-direct-write", &diags);
+    // …the atomic writer itself is the one sanctioned home…
+    let diags = lint_source("crates/pdns/src/store/io.rs", src, &[]);
+    assert!(diags.is_empty(), "{diags:#?}");
+    // …and non-persistence paths are out of scope.
+    let diags = lint_fixture("fs_direct_write.rs", src);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
 fn bad_allow_fixture() {
     let src = include_str!("fixtures/bad_allow.rs");
     let diags = lint_fixture("bad_allow.rs", src);

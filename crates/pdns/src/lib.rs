@@ -23,7 +23,10 @@ mod rpdns;
 pub mod store;
 mod wildcard;
 
-pub use fpdns::{FpDnsLog, FpDnsRecord};
+pub use fpdns::{FpDnsLog, FpDnsLogParts, FpDnsRecord};
 pub use rpdns::{DailyNewRrs, RpDns};
-pub use store::{BackendKind, PdnsBackend, PdnsStore, RunStore, StoreConfig, StoreStats};
+pub use store::{
+    fsck, BackendKind, PdnsBackend, PdnsStore, RecoveryReport, Run, RunStore, StoreConfig,
+    StoreError, StoreStats,
+};
 pub use wildcard::{AggregationOutcome, WildcardAggregator};

@@ -1,0 +1,70 @@
+//! Typed errors for the persistent store.
+//!
+//! Every failure the durability layer can hit is one of three shapes: an
+//! IO operation failed, persisted bytes failed validation, or a store was
+//! opened with tuning that contradicts what its manifest records. All
+//! variants carry owned strings so errors can be latched inside the
+//! engine (the store degrades to memory-only on the first spill failure
+//! rather than corrupting its on-disk state) and surfaced later as CLI
+//! exit codes.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// What went wrong in the persistence layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system IO operation failed.
+    Io {
+        /// The operation (`write`, `fsync`, `rename`, …).
+        op: &'static str,
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The OS error text.
+        message: String,
+    },
+    /// Persisted bytes exist but fail validation (checksum, magic,
+    /// layout, or ordering).
+    Corrupt {
+        /// The artifact that failed validation.
+        path: PathBuf,
+        /// What exactly did not validate.
+        detail: String,
+    },
+    /// A store directory's manifest records tuning incompatible with the
+    /// configuration it is being opened under.
+    ConfigMismatch {
+        /// The disagreement, field by field.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Builds the IO variant from an [`std::io::Error`].
+    pub fn io(op: &'static str, path: &Path, err: &std::io::Error) -> StoreError {
+        StoreError::Io { op, path: path.to_path_buf(), message: err.to_string() }
+    }
+
+    /// Builds the corruption variant.
+    pub fn corrupt(path: &Path, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt { path: path.to_path_buf(), detail: detail.into() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, message } => {
+                write!(f, "io error: {op} {}: {message}", path.display())
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt store artifact {}: {detail}", path.display())
+            }
+            StoreError::ConfigMismatch { detail } => {
+                write!(f, "store config mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -16,9 +16,14 @@
 //! so pipelines select a backend at run time via [`PdnsBackend`] without
 //! touching results.
 
+pub mod crc;
 pub mod engine;
+pub mod error;
 pub mod index;
+pub mod io;
 pub mod keys;
+pub mod manifest;
+pub mod recovery;
 pub mod run;
 
 use std::path::Path;
@@ -26,6 +31,9 @@ use std::path::Path;
 use dnsnoise_dns::{Name, Record, RrKey};
 
 pub use engine::{RunStore, StoreConfig, StoreStats};
+pub use error::StoreError;
+pub use recovery::{fsck, RecoveryReport};
+pub use run::Run;
 
 use crate::rpdns::{DailyNewRrs, RpDns};
 use keys::CompositeKey;
@@ -187,6 +195,7 @@ impl std::fmt::Display for BackendKind {
 /// [`PdnsStore`] bit-identically; pipelines hold this enum so `--store`
 /// can pick the engine without generics leaking into every layer.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one long-lived value per pipeline; boxing would cost a deref on the hot observe path
 pub enum PdnsBackend {
     /// The in-memory hash-map store.
     Memory(RpDns),
@@ -215,6 +224,17 @@ impl PdnsBackend {
         match self {
             PdnsBackend::Memory(_) => BackendKind::Memory,
             PdnsBackend::Disk(_) => BackendKind::Disk,
+        }
+    }
+
+    /// The first persistence failure the backend latched, if any (always
+    /// `None` for the memory backend). A latched store has degraded to
+    /// memory-only: results stay exact, the on-disk mirror is stale —
+    /// callers surface this as a non-zero exit.
+    pub fn io_error(&self) -> Option<&StoreError> {
+        match self {
+            PdnsBackend::Memory(_) => None,
+            PdnsBackend::Disk(s) => s.io_error(),
         }
     }
 }

@@ -1,0 +1,446 @@
+//! Recovery scan, typed quarantine ledger, and `fsck`.
+//!
+//! Opening a store directory and checking one (`dnsnoise fsck`) share a
+//! single scan: load the manifest, verify every run it names (existence,
+//! exact length, whole-file CRC, and a full parse — which itself checks
+//! the section checksums and composite-key ordering), and account for
+//! every other file in the directory. Nothing is silently dropped: each
+//! rejected file lands in a typed quarantine class with exact counts and
+//! a bounded set of samples, and the byte totals obey a conservation
+//! invariant —
+//!
+//! ```text
+//! bytes_scanned = bytes_live + bytes_quarantined + bytes_orphaned
+//! ```
+//!
+//! — mirroring the capture-ingestion quarantine ledger, so "how much did
+//! recovery discard" is always an exact number, never a guess.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use super::error::StoreError;
+use super::io;
+use super::manifest::{Manifest, RunFileMeta, MANIFEST_NAME};
+use super::run::Run;
+
+/// Advisory plain-text ledger of quarantine events, appended on lossy
+/// opens and repairs. Diagnostics only — never recovery input.
+pub const QUARANTINE_LEDGER: &str = "quarantine.log";
+
+/// Cap on retained samples per quarantine class; counts are always
+/// exact, samples are illustrative.
+pub const MAX_QUARANTINE_SAMPLES: usize = 5;
+
+/// Why a file was quarantined or flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineClass {
+    /// The manifest names a run file that does not exist on disk.
+    MissingRun,
+    /// A manifest-listed run file fails a length or checksum gate
+    /// (whole-file CRC, footer CRC, or a section CRC).
+    BadRunChecksum,
+    /// A manifest-listed run file checksums correctly but its decoded
+    /// layout is invalid (bad magic, inconsistent offsets, entries out
+    /// of composite-key order).
+    BadRunLayout,
+    /// A file in the store directory that the manifest does not account
+    /// for (`*.tmp` staging leftovers, runs superseded before a crash).
+    OrphanFile,
+    /// A `*.quarantined` file preserved by an earlier lossy open.
+    PriorQuarantine,
+}
+
+impl QuarantineClass {
+    /// Stable identifier used in ledger lines and reports.
+    pub fn id(&self) -> &'static str {
+        match self {
+            QuarantineClass::MissingRun => "missing-run",
+            QuarantineClass::BadRunChecksum => "bad-run-checksum",
+            QuarantineClass::BadRunLayout => "bad-run-layout",
+            QuarantineClass::OrphanFile => "orphan-file",
+            QuarantineClass::PriorQuarantine => "prior-quarantine",
+        }
+    }
+}
+
+/// Exact per-class accounting with bounded samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Files in this class (exact).
+    pub files: u64,
+    /// Bytes in this class (exact; missing files contribute zero).
+    pub bytes: u64,
+    /// Up to [`MAX_QUARANTINE_SAMPLES`] `file: reason` samples.
+    pub samples: Vec<String>,
+}
+
+impl ClassStats {
+    fn record(&mut self, bytes: u64, sample: String) {
+        self.files += 1;
+        self.bytes += bytes;
+        if self.samples.len() < MAX_QUARANTINE_SAMPLES {
+            self.samples.push(sample);
+        }
+    }
+}
+
+/// What a recovery scan found: manifest health, live-set size, and the
+/// typed quarantine ledger with byte conservation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// A `MANIFEST` file exists in the directory.
+    pub manifest_present: bool,
+    /// The manifest parsed and checksummed correctly (vacuously true
+    /// when absent — a fresh store).
+    pub manifest_ok: bool,
+    /// Sequence number of the loaded manifest (0 when absent/corrupt).
+    pub manifest_seq: u64,
+    /// Runs verified end to end and admitted to the live set.
+    pub runs_live: u64,
+    /// Total bytes of every scanned file (manifest and ledger excluded).
+    pub bytes_scanned: u64,
+    /// Bytes in verified live runs.
+    pub bytes_live: u64,
+    /// Bytes in quarantined files (corrupt runs + prior quarantine).
+    pub bytes_quarantined: u64,
+    /// Bytes in orphaned files.
+    pub bytes_orphaned: u64,
+    /// Manifest-listed runs missing from disk.
+    pub missing: ClassStats,
+    /// Manifest-listed runs failing a length/checksum gate.
+    pub bad_checksum: ClassStats,
+    /// Manifest-listed runs with invalid decoded layout.
+    pub bad_layout: ClassStats,
+    /// Files the manifest does not account for.
+    pub orphans: ClassStats,
+    /// `*.quarantined` leftovers from earlier lossy opens.
+    pub prior_quarantine: ClassStats,
+}
+
+impl RecoveryReport {
+    fn class_mut(&mut self, class: QuarantineClass) -> &mut ClassStats {
+        match class {
+            QuarantineClass::MissingRun => &mut self.missing,
+            QuarantineClass::BadRunChecksum => &mut self.bad_checksum,
+            QuarantineClass::BadRunLayout => &mut self.bad_layout,
+            QuarantineClass::OrphanFile => &mut self.orphans,
+            QuarantineClass::PriorQuarantine => &mut self.prior_quarantine,
+        }
+    }
+
+    /// Every `(class, stats)` pair, in report order.
+    pub fn classes(&self) -> [(QuarantineClass, &ClassStats); 5] {
+        [
+            (QuarantineClass::MissingRun, &self.missing),
+            (QuarantineClass::BadRunChecksum, &self.bad_checksum),
+            (QuarantineClass::BadRunLayout, &self.bad_layout),
+            (QuarantineClass::OrphanFile, &self.orphans),
+            (QuarantineClass::PriorQuarantine, &self.prior_quarantine),
+        ]
+    }
+
+    /// Total problems found: flagged files plus a corrupt manifest.
+    pub fn problems(&self) -> u64 {
+        let flagged: u64 = self.classes().iter().map(|(_, s)| s.files).sum();
+        flagged + u64::from(self.manifest_present && !self.manifest_ok)
+    }
+
+    /// No problems at all.
+    pub fn is_clean(&self) -> bool {
+        self.problems() == 0
+    }
+
+    /// The byte-conservation invariant: every scanned byte is accounted
+    /// live, quarantined, or orphaned.
+    pub fn conserves(&self) -> bool {
+        self.bytes_scanned == self.bytes_live + self.bytes_quarantined + self.bytes_orphaned
+    }
+
+    /// The conservation line, mirroring the ingest ledger's shape.
+    pub fn conservation_line(&self) -> String {
+        format!(
+            "bytes {} scanned = {} live + {} quarantined + {} orphaned ({})",
+            self.bytes_scanned,
+            self.bytes_live,
+            self.bytes_quarantined,
+            self.bytes_orphaned,
+            if self.conserves() { "conserved" } else { "VIOLATED" },
+        )
+    }
+
+    /// Multi-line human-readable report (the `fsck` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let manifest_state = match (self.manifest_present, self.manifest_ok) {
+            (false, _) => "absent (fresh store)".to_string(),
+            (true, false) => "CORRUPT".to_string(),
+            (true, true) => format!("seq={} (ok)", self.manifest_seq),
+        };
+        out.push_str(&format!("manifest: {manifest_state}\n"));
+        out.push_str(&format!("live: {} runs / {} bytes\n", self.runs_live, self.bytes_live));
+        for (class, stats) in self.classes() {
+            if stats.files == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "quarantine[{}]: {} files / {} bytes\n",
+                class.id(),
+                stats.files,
+                stats.bytes
+            ));
+            for sample in &stats.samples {
+                out.push_str(&format!("  sample {sample}\n"));
+            }
+        }
+        out.push_str(&self.conservation_line());
+        out.push('\n');
+        if self.is_clean() {
+            out.push_str("status: clean\n");
+        } else {
+            out.push_str(&format!("status: {} problems\n", self.problems()));
+        }
+        out
+    }
+}
+
+/// A manifest-listed run that survived every verification gate.
+pub(super) struct ScannedRun {
+    /// Its manifest entry.
+    pub meta: RunFileMeta,
+    /// The decoded run.
+    pub run: Run,
+}
+
+/// Everything a directory scan learns, for `open` and `fsck` to act on.
+pub(super) struct Scan {
+    /// The loaded manifest, when present and valid.
+    pub manifest: Option<Manifest>,
+    /// Verified live runs, in manifest (engine) order.
+    pub live: Vec<ScannedRun>,
+    /// Manifest-listed files that exist but failed verification.
+    pub corrupt_paths: Vec<PathBuf>,
+    /// Files the manifest does not account for.
+    pub orphan_paths: Vec<PathBuf>,
+    /// The typed ledger.
+    pub report: RecoveryReport,
+}
+
+/// Scans `dir`: loads the manifest, verifies every listed run, and
+/// classifies every other file. Read-only. With `tolerate_bad_manifest`
+/// (the `fsck` mode) a corrupt manifest is reported instead of returned
+/// as an error; files are then left unclassified-as-orphans since the
+/// live set is unknowable.
+pub(super) fn scan(dir: &Path, tolerate_bad_manifest: bool) -> Result<Scan, StoreError> {
+    let mut report = RecoveryReport { manifest_ok: true, ..RecoveryReport::default() };
+    let manifest_path = dir.join(MANIFEST_NAME);
+    report.manifest_present = manifest_path.exists();
+    let manifest = match Manifest::load(dir) {
+        Ok(m) => m,
+        Err(e) => {
+            if !tolerate_bad_manifest {
+                return Err(e);
+            }
+            report.manifest_ok = false;
+            None
+        }
+    };
+    if let Some(m) = &manifest {
+        report.manifest_seq = m.seq;
+    }
+
+    let mut listed = BTreeSet::new();
+    let mut live = Vec::new();
+    let mut corrupt_paths = Vec::new();
+    if let Some(m) = &manifest {
+        for meta in &m.runs {
+            listed.insert(meta.name.clone());
+            let path = dir.join(&meta.name);
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    report
+                        .class_mut(QuarantineClass::MissingRun)
+                        .record(0, format!("{}: listed in manifest, not on disk", meta.name));
+                    continue;
+                }
+                Err(e) => return Err(StoreError::io("read", &path, &e)),
+            };
+            report.bytes_scanned += bytes.len() as u64;
+            let verdict = verify_run(meta, &bytes, m.epsilon);
+            match verdict {
+                Ok(run) => {
+                    report.runs_live += 1;
+                    report.bytes_live += bytes.len() as u64;
+                    live.push(ScannedRun { meta: meta.clone(), run });
+                }
+                Err((class, reason)) => {
+                    report.bytes_quarantined += bytes.len() as u64;
+                    report
+                        .class_mut(class)
+                        .record(bytes.len() as u64, format!("{}: {reason}", meta.name));
+                    corrupt_paths.push(path);
+                }
+            }
+        }
+    }
+
+    let mut orphan_paths = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io("read_dir", dir, &e))?;
+    let mut names: Vec<(String, u64)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io("read_dir", dir, &e))?;
+        let meta = entry.metadata().map_err(|e| StoreError::io("stat", &entry.path(), &e))?;
+        if !meta.is_file() {
+            continue;
+        }
+        names.push((entry.file_name().to_string_lossy().into_owned(), meta.len()));
+    }
+    names.sort();
+    for (name, len) in names {
+        if name == MANIFEST_NAME || name == QUARANTINE_LEDGER || listed.contains(&name) {
+            continue;
+        }
+        report.bytes_scanned += len;
+        if name.ends_with(".quarantined") {
+            report.bytes_quarantined += len;
+            report
+                .class_mut(QuarantineClass::PriorQuarantine)
+                .record(len, format!("{name}: preserved by an earlier lossy open"));
+        } else {
+            report.bytes_orphaned += len;
+            report
+                .class_mut(QuarantineClass::OrphanFile)
+                .record(len, format!("{name}: not in manifest"));
+            orphan_paths.push(dir.join(name));
+        }
+    }
+
+    Ok(Scan { manifest, live, corrupt_paths, orphan_paths, report })
+}
+
+/// Verifies one manifest-listed run image: exact length, whole-file CRC,
+/// then a full parse (which checks footer/section CRCs, layout, and
+/// composite-key order internally).
+fn verify_run(
+    meta: &RunFileMeta,
+    bytes: &[u8],
+    epsilon: u32,
+) -> Result<Run, (QuarantineClass, String)> {
+    if bytes.len() as u64 != meta.len {
+        return Err((
+            QuarantineClass::BadRunChecksum,
+            format!("length {} != manifest length {}", bytes.len(), meta.len),
+        ));
+    }
+    if super::crc::crc32(bytes) != meta.crc {
+        return Err((QuarantineClass::BadRunChecksum, "file CRC != manifest CRC".to_string()));
+    }
+    Run::from_bytes(bytes, epsilon).map_err(|reason| {
+        let class = if reason.contains("checksum") {
+            QuarantineClass::BadRunChecksum
+        } else {
+            QuarantineClass::BadRunLayout
+        };
+        (class, reason)
+    })
+}
+
+/// Appends one ledger line per quarantined file to `quarantine.log`.
+/// Best-effort: the ledger is advisory, so append failures are ignored.
+pub(super) fn append_ledger(dir: &Path, report: &RecoveryReport) {
+    let path = dir.join(QUARANTINE_LEDGER);
+    for (class, stats) in report.classes() {
+        for sample in &stats.samples {
+            let _ = io::append_line(&path, &format!("{}: {sample}", class.id()));
+        }
+    }
+}
+
+/// Checks a store directory and returns the typed report. With `repair`,
+/// additionally drops every flagged file and republishes the manifest so
+/// a subsequent check is clean: corrupt manifest-listed runs and
+/// `*.quarantined` leftovers are deleted, orphans are deleted, and a new
+/// manifest (sequence + 1) naming only the verified live runs is
+/// atomically swapped in. Repair is lossy by design — the ledger records
+/// exactly what was dropped — and refuses to run when the manifest
+/// itself is corrupt, since the live set is then unknowable.
+///
+/// # Errors
+///
+/// IO failures, and `repair` on a corrupt manifest.
+pub fn fsck(dir: &Path, repair: bool) -> Result<RecoveryReport, StoreError> {
+    if !dir.is_dir() {
+        let e = std::io::Error::new(std::io::ErrorKind::NotFound, "no such store directory");
+        return Err(StoreError::io("open", dir, &e));
+    }
+    let scan = scan(dir, true)?;
+    if !repair || scan.report.is_clean() {
+        return Ok(scan.report);
+    }
+    if !scan.report.manifest_ok {
+        return Err(StoreError::corrupt(
+            &dir.join(MANIFEST_NAME),
+            "manifest corrupt; repair cannot determine the live set",
+        ));
+    }
+    append_ledger(dir, &scan.report);
+    for path in scan.corrupt_paths.iter().chain(&scan.orphan_paths) {
+        io::remove_file(path)?;
+    }
+    // Prior-quarantine leftovers are not in corrupt/orphan path lists;
+    // sweep them directly.
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io("read_dir", dir, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io("read_dir", dir, &e))?;
+        if entry.file_name().to_string_lossy().ends_with(".quarantined") {
+            io::remove_file(&entry.path())?;
+        }
+    }
+    if let Some(m) = scan.manifest {
+        let dropped = m.runs.len() != scan.live.len();
+        if dropped || !scan.report.missing.samples.is_empty() {
+            let mut next = m;
+            next.seq += 1;
+            next.runs = scan.live.iter().map(|r| r.meta.clone()).collect();
+            next.publish(dir)?;
+        }
+    }
+    Ok(scan.report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_clean_and_conserves() {
+        let report = RecoveryReport { manifest_ok: true, ..RecoveryReport::default() };
+        assert!(report.is_clean());
+        assert!(report.conserves());
+        assert!(report.render().contains("status: clean"));
+        assert!(report.conservation_line().contains("(conserved)"));
+    }
+
+    #[test]
+    fn class_stats_cap_samples_but_count_exactly() {
+        let mut report = RecoveryReport { manifest_ok: true, ..RecoveryReport::default() };
+        for i in 0..9 {
+            report.bytes_scanned += 10;
+            report.bytes_orphaned += 10;
+            report.class_mut(QuarantineClass::OrphanFile).record(10, format!("f{i}: orphan"));
+        }
+        assert_eq!(report.orphans.files, 9);
+        assert_eq!(report.orphans.bytes, 90);
+        assert_eq!(report.orphans.samples.len(), MAX_QUARANTINE_SAMPLES);
+        assert_eq!(report.problems(), 9);
+        assert!(report.conserves());
+        assert!(report.render().contains("quarantine[orphan-file]: 9 files / 90 bytes"));
+    }
+
+    #[test]
+    fn fsck_on_a_missing_directory_is_an_io_error() {
+        let dir = std::path::Path::new("/nonexistent/dnsnoise-fsck-test");
+        assert!(matches!(fsck(dir, false), Err(StoreError::Io { .. })));
+    }
+}

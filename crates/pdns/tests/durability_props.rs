@@ -1,0 +1,142 @@
+//! Total-parser properties for the durable file formats: run images and
+//! manifests must round-trip bit-exactly, and every truncation, bit
+//! flip, or arbitrary byte string must come back as `Err` — never a
+//! panic, never a silently wrong value.
+
+use dnsnoise_dns::{Name, QType, RData};
+use dnsnoise_pdns::store::keys::{encode_key, CompositeKey};
+use dnsnoise_pdns::store::manifest::{Manifest, RunFileMeta};
+use dnsnoise_pdns::store::run::Run;
+use dnsnoise_pdns::DailyNewRrs;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const EPSILON: u32 = 16;
+
+/// Sorted, deduplicated composite-key entries — the invariant the engine
+/// upholds before any run is built.
+fn arb_entries() -> impl Strategy<Value = Vec<(CompositeKey, u64)>> {
+    proptest::collection::vec(
+        (
+            proptest::string::string_regex("[a-z0-9]{1,6}(\\.[a-z0-9]{1,6}){1,3}").unwrap(),
+            any::<[u8; 4]>(),
+            0u64..7,
+        ),
+        1..24,
+    )
+    .prop_map(|raw| {
+        let mut entries: Vec<(CompositeKey, u64)> = raw
+            .into_iter()
+            .map(|(name, ip, day)| {
+                let name: Name = name.parse().unwrap();
+                (encode_key(&name, QType::A, &RData::A(Ipv4Addr::from(ip))), day)
+            })
+            .collect();
+        entries.sort();
+        entries.dedup_by(|a, b| a.0 == b.0);
+        entries
+    })
+}
+
+fn arb_manifest() -> impl Strategy<Value = Manifest> {
+    (
+        proptest::collection::vec(any::<u64>(), 9..10),
+        proptest::collection::vec((any::<u64>(), any::<u64>()), 0..5),
+        proptest::collection::vec(
+            (
+                proptest::string::string_regex("run-[0-9a-f]{8}\\.bin").unwrap(),
+                any::<u64>(),
+                any::<u32>(),
+            ),
+            0..5,
+        ),
+    )
+        .prop_map(|(f, per_day, runs)| Manifest {
+            seq: f[0],
+            memtable_cap: f[1],
+            fanout: f[2],
+            epsilon: f[3] as u32,
+            next_run_id: f[4],
+            observed: f[5],
+            storage_bytes: f[6],
+            flushes: f[7],
+            compactions: f[8],
+            per_day: per_day
+                .into_iter()
+                .map(|(n, r)| DailyNewRrs { new_records: n, repeated_records: r })
+                .collect(),
+            runs: runs.into_iter().map(|(name, len, crc)| RunFileMeta { name, len, crc }).collect(),
+        })
+}
+
+proptest! {
+    /// `Run::to_bytes` → `Run::from_bytes` is the identity on the wire
+    /// image, and no mutation of the image survives the checksum gates:
+    /// every truncation and every sampled bit flip is rejected.
+    #[test]
+    fn run_image_roundtrips_and_rejects_every_mutation(entries in arb_entries()) {
+        let run = Run::build(entries, EPSILON);
+        let bytes = run.to_bytes();
+        let reparsed = Run::from_bytes(&bytes, EPSILON).expect("pristine image parses");
+        prop_assert_eq!(reparsed.to_bytes(), bytes.clone(), "round-trip is bit-exact");
+        prop_assert_eq!(reparsed.len(), run.len());
+
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Run::from_bytes(&bytes[..cut], EPSILON).is_err(),
+                "truncation to {} bytes must be rejected", cut
+            );
+        }
+        for at in (0..bytes.len()).step_by(3) {
+            let mut flipped = bytes.clone();
+            flipped[at] ^= 0x10;
+            prop_assert!(
+                Run::from_bytes(&flipped, EPSILON).is_err(),
+                "bit flip at byte {} must be rejected", at
+            );
+        }
+    }
+
+    /// The same totality properties for the manifest format.
+    #[test]
+    fn manifest_roundtrips_and_rejects_every_mutation(manifest in arb_manifest()) {
+        let bytes = manifest.to_bytes();
+        let reparsed = Manifest::from_bytes(&bytes).expect("pristine manifest parses");
+        prop_assert_eq!(reparsed, manifest, "round-trip is field-exact");
+
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Manifest::from_bytes(&bytes[..cut]).is_err(),
+                "truncation to {} bytes must be rejected", cut
+            );
+        }
+        for at in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[at] ^= 0x01;
+            prop_assert!(
+                Manifest::from_bytes(&flipped).is_err(),
+                "bit flip at byte {} must be rejected", at
+            );
+        }
+    }
+
+    /// Arbitrary byte strings — including ones that start with the right
+    /// magic — never panic either parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        mut bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        with_run_magic in any::<bool>(),
+        with_manifest_magic in any::<bool>(),
+    ) {
+        let _ = Run::from_bytes(&bytes, EPSILON);
+        let _ = Manifest::from_bytes(&bytes);
+        if with_run_magic && bytes.len() >= 8 {
+            bytes[..8].copy_from_slice(b"dnrun02\n");
+            let _ = Run::from_bytes(&bytes, EPSILON);
+        }
+        if with_manifest_magic && bytes.len() >= 8 {
+            bytes[..8].copy_from_slice(b"dnman01\n");
+            let _ = Manifest::from_bytes(&bytes);
+        }
+    }
+}

@@ -1,0 +1,850 @@
+//! Process-level stream checkpointing: serialise the complete
+//! [`StreamMiner`](crate::StreamMiner) state at epoch boundaries so a
+//! killed-and-restarted process resumes mid-day and produces a report
+//! byte-identical to an uninterrupted run.
+//!
+//! A [`Checkpoint`] captures everything the miner owns — the name
+//! registry, both count-min sketches, both HyperLogLogs, the fpDNS and
+//! rpDNS datasets (including the disk backend's exact memtable and run
+//! layout, so its subsequent compaction decisions are identical), the
+//! epoch summaries closed so far, and the served-class tallies. What it
+//! deliberately does *not* capture is the resolver session: its caches
+//! are a pure function of the event prefix, so
+//! [`StreamMiner::resume`](crate::StreamMiner::resume) rebuilds them by
+//! replaying the first [`Checkpoint::pushed`] trace events through a
+//! fresh session with a unit observer.
+//!
+//! The on-disk format follows the store's durability conventions
+//! (DESIGN.md §9): a magic + version header, big-endian fixed-width
+//! fields, length-prefixed sequences, and a CRC-32 footer over the whole
+//! image, written via the same atomic staged-rename writer the run
+//! store uses. Parsing is total on arbitrary bytes — truncation, bit
+//! flips, and forged lengths surface as errors, never panics — with the
+//! footer checksum verified before any field is trusted; decoded keys
+//! behind a valid checksum are trusted, as in the run format.
+
+use std::path::Path;
+
+use dnsnoise_core::Finding;
+use dnsnoise_dns::{Name, QType, Timestamp, Ttl};
+use dnsnoise_pdns::store::crc::crc32;
+use dnsnoise_pdns::store::keys::{self, CompositeKey};
+use dnsnoise_pdns::store::{io, PdnsStore};
+use dnsnoise_pdns::{
+    BackendKind, DailyNewRrs, FpDnsLog, FpDnsLogParts, FpDnsRecord, PdnsBackend, RpDns, Run,
+    RunStore, StoreError,
+};
+
+use crate::engine::{
+    EpochSummary, StreamConfig, StreamState, CM_MISSES_SEED_XOR, HLL_NAMES_SEED_XOR,
+};
+use crate::sketch::{CountMinSketch, HyperLogLog};
+
+/// Magic + format version leading every serialised checkpoint.
+const CHECKPOINT_MAGIC: &[u8; 8] = b"dnckpt1\n";
+
+/// The checkpoint's file name inside a checkpoint directory.
+pub const CHECKPOINT_NAME: &str = "checkpoint.bin";
+
+/// A serialisable snapshot of a [`StreamMiner`](crate::StreamMiner) at
+/// one point of the event stream (normally an epoch boundary). See the
+/// module docs for what it contains and the resume contract.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    // -- configuration echo, verified on resume --
+    pub(crate) epoch_secs: u64,
+    pub(crate) cm_width: usize,
+    pub(crate) cm_depth: usize,
+    pub(crate) hll_precision: u8,
+    pub(crate) seed: u64,
+    pub(crate) backend: BackendKind,
+    // -- stream position --
+    /// The simulated day being streamed.
+    pub day: u64,
+    /// Events consumed when the checkpoint was written: a resumed miner
+    /// replays exactly this prefix of the trace as warmup and re-pushes
+    /// the rest.
+    pub pushed: u64,
+    pub(crate) current_epoch: Option<u64>,
+    pub(crate) peak_state_bytes: usize,
+    pub(crate) epochs: Vec<EpochSummary>,
+    // -- name registry --
+    pub(crate) names: Vec<(Name, Vec<u64>)>,
+    pub(crate) registry_bytes: u64,
+    // -- sketches --
+    pub(crate) cm_queries_rows: Vec<u64>,
+    pub(crate) cm_queries_total: u64,
+    pub(crate) cm_misses_rows: Vec<u64>,
+    pub(crate) cm_misses_total: u64,
+    pub(crate) hll_clients_regs: Vec<u8>,
+    pub(crate) hll_names_regs: Vec<u8>,
+    // -- pDNS datasets --
+    pub(crate) fpdns: FpDnsLogParts,
+    pub(crate) rpdns_per_day: Vec<DailyNewRrs>,
+    pub(crate) rpdns_storage_bytes: u64,
+    /// Memory backend: every `(composite key, first-seen day)`, sorted
+    /// by key so serialisation is deterministic.
+    pub(crate) rpdns_memory: Vec<(CompositeKey, u64)>,
+    /// Disk backend: the exact memtable, in key order.
+    pub(crate) rpdns_memtable: Vec<(CompositeKey, u64)>,
+    /// Disk backend: the exact live runs, oldest first, as serialised
+    /// run images.
+    pub(crate) rpdns_runs: Vec<Vec<u8>>,
+    pub(crate) rpdns_flushes: u64,
+    pub(crate) rpdns_compactions: u64,
+    // -- served-class tallies --
+    pub(crate) answered: u64,
+    pub(crate) nxdomain: u64,
+    pub(crate) failed: u64,
+    pub(crate) shed: u64,
+}
+
+impl Checkpoint {
+    /// Snapshots the miner's state. Pure observation: nothing is
+    /// mutated, nothing touches disk.
+    pub(crate) fn capture(
+        config: &StreamConfig,
+        day: u64,
+        pushed: u64,
+        current_epoch: Option<u64>,
+        peak_state_bytes: usize,
+        epochs: &[EpochSummary],
+        state: &StreamState,
+    ) -> Checkpoint {
+        let (rpdns_memory, rpdns_memtable, rpdns_runs, rpdns_flushes, rpdns_compactions) =
+            match &state.rpdns {
+                PdnsBackend::Memory(s) => {
+                    let mut records: Vec<(CompositeKey, u64)> = s
+                        .iter()
+                        .map(|(key, d)| (keys::encode_key(&key.name, key.qtype, &key.rdata), d))
+                        .collect();
+                    records.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    (records, Vec::new(), Vec::new(), 0, 0)
+                }
+                PdnsBackend::Disk(s) => {
+                    let memtable = s.memtable_entries().map(|(k, d)| (k.clone(), d)).collect();
+                    let runs = s.runs().iter().map(Run::to_bytes).collect();
+                    let stats = s.stats();
+                    (Vec::new(), memtable, runs, stats.flushes, stats.compactions)
+                }
+            };
+        Checkpoint {
+            epoch_secs: config.epoch_secs,
+            cm_width: config.cm_width,
+            cm_depth: config.cm_depth,
+            hll_precision: config.hll_precision,
+            seed: config.seed,
+            backend: state.rpdns.kind(),
+            day,
+            pushed,
+            current_epoch,
+            peak_state_bytes,
+            epochs: epochs.to_vec(),
+            names: state.names.iter().map(|(n, fps)| (n.clone(), fps.clone())).collect(),
+            registry_bytes: state.registry_bytes as u64,
+            cm_queries_rows: state.cm_queries.rows().to_vec(),
+            cm_queries_total: state.cm_queries.total(),
+            cm_misses_rows: state.cm_misses.rows().to_vec(),
+            cm_misses_total: state.cm_misses.total(),
+            hll_clients_regs: state.hll_clients.registers().to_vec(),
+            hll_names_regs: state.hll_names.registers().to_vec(),
+            fpdns: state.pdns.to_parts(),
+            rpdns_per_day: state.rpdns.daily_stats().to_vec(),
+            rpdns_storage_bytes: PdnsStore::storage_bytes(&state.rpdns),
+            rpdns_memory,
+            rpdns_memtable,
+            rpdns_runs,
+            rpdns_flushes,
+            rpdns_compactions,
+            answered: state.answered,
+            nxdomain: state.nxdomain,
+            failed: state.failed,
+            shed: state.shed,
+        }
+    }
+
+    /// Checks the checkpoint's configuration echo against the resuming
+    /// miner's configuration and store backend.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ConfigMismatch`] naming every disagreeing field.
+    pub fn verify(&self, config: &StreamConfig, backend: BackendKind) -> Result<(), StoreError> {
+        let echo = [
+            ("epoch_secs", self.epoch_secs, config.epoch_secs),
+            ("cm_width", self.cm_width as u64, config.cm_width as u64),
+            ("cm_depth", self.cm_depth as u64, config.cm_depth as u64),
+            ("hll_precision", u64::from(self.hll_precision), u64::from(config.hll_precision)),
+            ("seed", self.seed, config.seed),
+        ];
+        let mut diffs: Vec<String> = echo
+            .iter()
+            .filter(|(_, ckpt, ours)| ckpt != ours)
+            .map(|(field, ckpt, ours)| format!("{field}: checkpoint={ckpt} config={ours}"))
+            .collect();
+        if self.backend != backend {
+            diffs.push(format!("store backend: checkpoint={} config={}", self.backend, backend));
+        }
+        if diffs.is_empty() {
+            Ok(())
+        } else {
+            Err(StoreError::ConfigMismatch { detail: diffs.join(", ") })
+        }
+    }
+
+    /// Rebuilds the online state this checkpoint captured. `backend` is
+    /// the resuming miner's (still empty) store, consulted for the disk
+    /// engine's tuning and spill directory; the restored store replaces
+    /// it wholesale.
+    pub(crate) fn restore_state(
+        &self,
+        config: &StreamConfig,
+        backend: &PdnsBackend,
+    ) -> Result<StreamState, StoreError> {
+        let corrupt = |detail: String| StoreError::corrupt(Path::new(CHECKPOINT_NAME), detail);
+        let cm_queries = CountMinSketch::from_parts(
+            config.cm_width,
+            config.cm_depth,
+            config.seed,
+            self.cm_queries_rows.clone(),
+            self.cm_queries_total,
+        )
+        .ok_or_else(|| corrupt("query-sketch cell count does not match geometry".to_string()))?;
+        let cm_misses = CountMinSketch::from_parts(
+            config.cm_width,
+            config.cm_depth,
+            config.seed ^ CM_MISSES_SEED_XOR,
+            self.cm_misses_rows.clone(),
+            self.cm_misses_total,
+        )
+        .ok_or_else(|| corrupt("miss-sketch cell count does not match geometry".to_string()))?;
+        let hll_clients = HyperLogLog::from_parts(
+            config.hll_precision,
+            config.seed,
+            self.hll_clients_regs.clone(),
+        )
+        .ok_or_else(|| corrupt("client-HLL register count does not match precision".to_string()))?;
+        let hll_names = HyperLogLog::from_parts(
+            config.hll_precision,
+            config.seed ^ HLL_NAMES_SEED_XOR,
+            self.hll_names_regs.clone(),
+        )
+        .ok_or_else(|| corrupt("name-HLL register count does not match precision".to_string()))?;
+        let rpdns = match backend {
+            PdnsBackend::Memory(_) => {
+                let records =
+                    self.rpdns_memory.iter().map(|(key, d)| (keys::decode_key(key), *d)).collect();
+                PdnsBackend::Memory(RpDns::from_parts(
+                    records,
+                    self.rpdns_per_day.clone(),
+                    self.rpdns_storage_bytes,
+                ))
+            }
+            PdnsBackend::Disk(s) => {
+                let epsilon = s.config().epsilon;
+                let mut runs = Vec::with_capacity(self.rpdns_runs.len());
+                for image in &self.rpdns_runs {
+                    runs.push(
+                        Run::from_bytes(image, epsilon)
+                            .map_err(|detail| corrupt(format!("checkpointed run: {detail}")))?,
+                    );
+                }
+                PdnsBackend::Disk(RunStore::from_parts(
+                    s.config().clone(),
+                    self.rpdns_memtable.clone(),
+                    runs,
+                    self.rpdns_per_day.clone(),
+                    self.rpdns_storage_bytes,
+                    self.rpdns_flushes,
+                    self.rpdns_compactions,
+                ))
+            }
+        };
+        Ok(StreamState {
+            names: self.names.iter().cloned().collect(),
+            cm_queries,
+            cm_misses,
+            hll_clients,
+            hll_names,
+            pdns: FpDnsLog::from_parts(self.fpdns.clone()),
+            rpdns,
+            answered: self.answered,
+            nxdomain: self.nxdomain,
+            failed: self.failed,
+            shed: self.shed,
+            registry_bytes: self.registry_bytes as usize,
+        })
+    }
+
+    /// Serialises the checkpoint: magic, fields, CRC-32 footer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CHECKPOINT_MAGIC);
+        put_u64(&mut out, self.epoch_secs);
+        put_u64(&mut out, self.cm_width as u64);
+        put_u64(&mut out, self.cm_depth as u64);
+        out.push(self.hll_precision);
+        put_u64(&mut out, self.seed);
+        out.push(match self.backend {
+            BackendKind::Memory => 0,
+            BackendKind::Disk => 1,
+        });
+        put_u64(&mut out, self.day);
+        put_u64(&mut out, self.pushed);
+        out.push(u8::from(self.current_epoch.is_some()));
+        put_u64(&mut out, self.current_epoch.unwrap_or(0));
+        put_u64(&mut out, self.peak_state_bytes as u64);
+        put_u64(&mut out, self.epochs.len() as u64);
+        for e in &self.epochs {
+            put_u64(&mut out, e.epoch);
+            put_u64(&mut out, e.end_secs);
+            put_u64(&mut out, e.events);
+            put_u64(&mut out, e.distinct_names);
+            put_u64(&mut out, e.distinct_names_est);
+            put_u64(&mut out, e.distinct_clients_est);
+            put_u64(&mut out, e.state_bytes as u64);
+            put_u64(&mut out, e.findings.len() as u64);
+            for f in &e.findings {
+                put_finding(&mut out, f);
+            }
+        }
+        put_u64(&mut out, self.names.len() as u64);
+        for (name, fps) in &self.names {
+            put_name(&mut out, name);
+            put_u64(&mut out, fps.len() as u64);
+            for &fp in fps {
+                put_u64(&mut out, fp);
+            }
+        }
+        put_u64(&mut out, self.registry_bytes);
+        for rows in [&self.cm_queries_rows, &self.cm_misses_rows] {
+            put_u64(&mut out, rows.len() as u64);
+            for &cell in rows {
+                put_u64(&mut out, cell);
+            }
+        }
+        put_u64(&mut out, self.cm_queries_total);
+        put_u64(&mut out, self.cm_misses_total);
+        for regs in [&self.hll_clients_regs, &self.hll_names_regs] {
+            put_u64(&mut out, regs.len() as u64);
+            out.extend_from_slice(regs);
+        }
+        put_u64(&mut out, self.fpdns.retain as u64);
+        out.push(u8::from(self.fpdns.exercise_wire));
+        put_u64(&mut out, self.fpdns.total_records);
+        put_u64(&mut out, self.fpdns.total_responses);
+        put_u64(&mut out, self.fpdns.nx_responses);
+        put_u64(&mut out, self.fpdns.storage_bytes);
+        put_u64(&mut out, self.fpdns.wire_roundtrips);
+        put_u64(&mut out, self.fpdns.wire_parse_failures);
+        out.extend_from_slice(&self.fpdns.next_txid.to_be_bytes());
+        for hour in self.fpdns.hourly_records.iter().chain(&self.fpdns.hourly_storage_bytes) {
+            put_u64(&mut out, *hour);
+        }
+        put_u64(&mut out, self.fpdns.retained.len() as u64);
+        for r in &self.fpdns.retained {
+            put_u64(&mut out, r.timestamp.as_secs());
+            put_u64(&mut out, r.client);
+            put_name(&mut out, &r.name);
+            out.extend_from_slice(&r.qtype.code().to_be_bytes());
+            out.extend_from_slice(&r.ttl.as_secs().to_be_bytes());
+            put_blob16(&mut out, &keys::encode_rdata(&r.rdata));
+        }
+        put_u64(&mut out, self.rpdns_per_day.len() as u64);
+        for day in &self.rpdns_per_day {
+            put_u64(&mut out, day.new_records);
+            put_u64(&mut out, day.repeated_records);
+        }
+        put_u64(&mut out, self.rpdns_storage_bytes);
+        put_u64(&mut out, self.rpdns_flushes);
+        put_u64(&mut out, self.rpdns_compactions);
+        for entries in [&self.rpdns_memory, &self.rpdns_memtable] {
+            put_u64(&mut out, entries.len() as u64);
+            for ((name, qtype, rdata), day) in entries {
+                put_blob16(&mut out, name);
+                out.extend_from_slice(&qtype.to_be_bytes());
+                put_blob16(&mut out, rdata);
+                put_u64(&mut out, *day);
+            }
+        }
+        put_u64(&mut out, self.rpdns_runs.len() as u64);
+        for image in &self.rpdns_runs {
+            put_u64(&mut out, image.len() as u64);
+            out.extend_from_slice(image);
+        }
+        put_u64(&mut out, self.answered);
+        put_u64(&mut out, self.nxdomain);
+        put_u64(&mut out, self.failed);
+        put_u64(&mut out, self.shed);
+        let footer = crc32(&out);
+        out.extend_from_slice(&footer.to_be_bytes());
+        out
+    }
+
+    /// Deserialises a checkpoint image. Total on arbitrary input: any
+    /// truncation, bit flip, or forged length is an error, never a
+    /// panic — the footer CRC is checked before any field is trusted.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, String> {
+        if bytes.len() < CHECKPOINT_MAGIC.len() + 4 {
+            return Err("checkpoint shorter than magic + footer".to_string());
+        }
+        let (body, footer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_be_bytes(footer.try_into().expect("4-byte footer"));
+        if crc32(body) != stored {
+            return Err("checkpoint checksum mismatch".to_string());
+        }
+        let rest = body.strip_prefix(CHECKPOINT_MAGIC.as_slice()).ok_or("bad checkpoint magic")?;
+        let mut cur = Cursor { bytes: rest, at: 0 };
+        let epoch_secs = cur.u64()?;
+        let cm_width = cur.usize()?;
+        let cm_depth = cur.usize()?;
+        let hll_precision = cur.u8()?;
+        let seed = cur.u64()?;
+        let backend = match cur.u8()? {
+            0 => BackendKind::Memory,
+            1 => BackendKind::Disk,
+            other => return Err(format!("unknown store backend tag {other}")),
+        };
+        let day = cur.u64()?;
+        let pushed = cur.u64()?;
+        let has_current = cur.u8()?;
+        let current_raw = cur.u64()?;
+        let current_epoch = match has_current {
+            0 => None,
+            1 => Some(current_raw),
+            other => return Err(format!("bad current-epoch flag {other}")),
+        };
+        let peak_state_bytes = cur.usize()?;
+        let epoch_count = cur.count()?;
+        let mut epochs = Vec::with_capacity(epoch_count);
+        for _ in 0..epoch_count {
+            let epoch = cur.u64()?;
+            let end_secs = cur.u64()?;
+            let events = cur.u64()?;
+            let distinct_names = cur.u64()?;
+            let distinct_names_est = cur.u64()?;
+            let distinct_clients_est = cur.u64()?;
+            let state_bytes = cur.usize()?;
+            let finding_count = cur.count()?;
+            let mut findings = Vec::with_capacity(finding_count);
+            for _ in 0..finding_count {
+                findings.push(cur.finding()?);
+            }
+            epochs.push(EpochSummary {
+                epoch,
+                end_secs,
+                events,
+                findings,
+                distinct_names,
+                distinct_names_est,
+                distinct_clients_est,
+                state_bytes,
+            });
+        }
+        let name_count = cur.count()?;
+        let mut names = Vec::with_capacity(name_count);
+        for _ in 0..name_count {
+            let name = cur.name()?;
+            let fp_count = cur.count()?;
+            let mut fps = Vec::with_capacity(fp_count);
+            for _ in 0..fp_count {
+                fps.push(cur.u64()?);
+            }
+            names.push((name, fps));
+        }
+        let registry_bytes = cur.u64()?;
+        let mut cm_rows = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let cells = cur.count()?;
+            let mut rows = Vec::with_capacity(cells);
+            for _ in 0..cells {
+                rows.push(cur.u64()?);
+            }
+            cm_rows.push(rows);
+        }
+        let cm_misses_rows = cm_rows.pop().expect("two sketches");
+        let cm_queries_rows = cm_rows.pop().expect("two sketches");
+        let cm_queries_total = cur.u64()?;
+        let cm_misses_total = cur.u64()?;
+        let regs = cur.count()?;
+        let hll_clients_regs = cur.take(regs)?.to_vec();
+        let regs = cur.count()?;
+        let hll_names_regs = cur.take(regs)?.to_vec();
+        let retain = cur.usize()?;
+        let exercise_wire = cur.bool()?;
+        let total_records = cur.u64()?;
+        let total_responses = cur.u64()?;
+        let nx_responses = cur.u64()?;
+        let storage_bytes = cur.u64()?;
+        let wire_roundtrips = cur.u64()?;
+        let wire_parse_failures = cur.u64()?;
+        let next_txid = cur.u16()?;
+        let mut hourly = [[0u64; 24]; 2];
+        for half in &mut hourly {
+            for slot in half.iter_mut() {
+                *slot = cur.u64()?;
+            }
+        }
+        let retained_count = cur.count()?;
+        let mut retained = Vec::with_capacity(retained_count);
+        for _ in 0..retained_count {
+            let timestamp = Timestamp::from_secs(cur.u64()?);
+            let client = cur.u64()?;
+            let name = cur.name()?;
+            let qtype_code = cur.u16()?;
+            let qtype = QType::from_code(qtype_code)
+                .ok_or_else(|| format!("unknown qtype code {qtype_code}"))?;
+            let ttl = Ttl::from_secs(cur.u32()?);
+            let rdata_bytes = cur.blob16()?;
+            if rdata_bytes.is_empty() {
+                return Err("empty rdata encoding".to_string());
+            }
+            let rdata = keys::decode_rdata(rdata_bytes);
+            retained.push(FpDnsRecord { timestamp, client, name, qtype, ttl, rdata });
+        }
+        let fpdns = FpDnsLogParts {
+            retain,
+            exercise_wire,
+            retained,
+            total_records,
+            total_responses,
+            nx_responses,
+            storage_bytes,
+            wire_roundtrips,
+            wire_parse_failures,
+            next_txid,
+            hourly_records: hourly[0],
+            hourly_storage_bytes: hourly[1],
+        };
+        let day_count = cur.count()?;
+        let mut rpdns_per_day = Vec::with_capacity(day_count);
+        for _ in 0..day_count {
+            let new_records = cur.u64()?;
+            let repeated_records = cur.u64()?;
+            rpdns_per_day.push(DailyNewRrs { new_records, repeated_records });
+        }
+        let rpdns_storage_bytes = cur.u64()?;
+        let rpdns_flushes = cur.u64()?;
+        let rpdns_compactions = cur.u64()?;
+        let mut keyed = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let entry_count = cur.count()?;
+            let mut entries: Vec<(CompositeKey, u64)> = Vec::with_capacity(entry_count);
+            for _ in 0..entry_count {
+                let name = cur.blob16()?.to_vec();
+                let qtype = cur.u16()?;
+                let rdata = cur.blob16()?.to_vec();
+                let entry_day = cur.u64()?;
+                entries.push(((name, qtype, rdata), entry_day));
+            }
+            keyed.push(entries);
+        }
+        let rpdns_memtable = keyed.pop().expect("two keyed sets");
+        let rpdns_memory = keyed.pop().expect("two keyed sets");
+        let run_count = cur.count()?;
+        let mut rpdns_runs = Vec::with_capacity(run_count);
+        for _ in 0..run_count {
+            let len = cur.count()?;
+            rpdns_runs.push(cur.take(len)?.to_vec());
+        }
+        let answered = cur.u64()?;
+        let nxdomain = cur.u64()?;
+        let failed = cur.u64()?;
+        let shed = cur.u64()?;
+        if cur.at != cur.bytes.len() {
+            return Err(format!("{} trailing checkpoint bytes", cur.bytes.len() - cur.at));
+        }
+        Ok(Checkpoint {
+            epoch_secs,
+            cm_width,
+            cm_depth,
+            hll_precision,
+            seed,
+            backend,
+            day,
+            pushed,
+            current_epoch,
+            peak_state_bytes,
+            epochs,
+            names,
+            registry_bytes,
+            cm_queries_rows,
+            cm_queries_total,
+            cm_misses_rows,
+            cm_misses_total,
+            hll_clients_regs,
+            hll_names_regs,
+            fpdns,
+            rpdns_per_day,
+            rpdns_storage_bytes,
+            rpdns_memory,
+            rpdns_memtable,
+            rpdns_runs,
+            rpdns_flushes,
+            rpdns_compactions,
+            answered,
+            nxdomain,
+            failed,
+            shed,
+        })
+    }
+
+    /// Atomically publishes this checkpoint as `dir/checkpoint.bin`
+    /// (staged `.tmp`, fsync, rename, directory fsync — a crash leaves
+    /// either the previous checkpoint or this one, never a torn mix).
+    pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
+        io::atomic_write(dir, CHECKPOINT_NAME, &self.to_bytes())
+    }
+
+    /// Loads `dir/checkpoint.bin`. `Ok(None)` when the file does not
+    /// exist (a fresh start); corruption is an error, not a silent
+    /// restart from zero.
+    pub fn load(dir: &Path) -> Result<Option<Checkpoint>, StoreError> {
+        let path = dir.join(CHECKPOINT_NAME);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io("read", &path, &e)),
+        };
+        Checkpoint::from_bytes(&bytes)
+            .map(Some)
+            .map_err(|detail| StoreError::corrupt(&path, detail))
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// A `u16`-length-prefixed short blob (names, keys, rdata — all bounded
+/// well below 64 KiB by the DNS wire format).
+fn put_blob16(out: &mut Vec<u8>, bytes: &[u8]) {
+    debug_assert!(bytes.len() <= usize::from(u16::MAX));
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn put_name(out: &mut Vec<u8>, name: &Name) {
+    put_blob16(out, name.to_string().as_bytes());
+}
+
+fn put_finding(out: &mut Vec<u8>, f: &Finding) {
+    put_name(out, &f.zone);
+    put_u64(out, f.depth as u64);
+    put_u64(out, f.confidence.to_bits());
+    put_u64(out, f.members as u64);
+}
+
+/// A bounds-checked reader over the checkpoint body — every `take` is
+/// validated, so malformed input surfaces as `Err`, never as a slice
+/// panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
+        let end = self.at.checked_add(len).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err("truncated checkpoint".to_string());
+        };
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("bad boolean byte {other}")),
+        }
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2-byte chunk")))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4-byte chunk")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8-byte chunk")))
+    }
+
+    fn usize(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| "value out of range".to_string())
+    }
+
+    /// A count field, sanity-bounded by the bytes actually remaining so
+    /// a forged count cannot drive a huge up-front allocation.
+    fn count(&mut self) -> Result<usize, String> {
+        let n = self.usize()?;
+        if n > self.bytes.len() - self.at.min(self.bytes.len()) {
+            return Err("count exceeds remaining bytes".to_string());
+        }
+        Ok(n)
+    }
+
+    fn blob16(&mut self) -> Result<&'a [u8], String> {
+        let len = usize::from(self.u16()?);
+        self.take(len)
+    }
+
+    fn name(&mut self) -> Result<Name, String> {
+        let text =
+            std::str::from_utf8(self.blob16()?).map_err(|_| "name is not UTF-8".to_string())?;
+        text.parse::<Name>().map_err(|e| format!("bad name `{text}`: {e}"))
+    }
+
+    fn finding(&mut self) -> Result<Finding, String> {
+        let zone = self.name()?;
+        let depth = self.usize()?;
+        let confidence = f64::from_bits(self.u64()?);
+        let members = self.usize()?;
+        if !confidence.is_finite() {
+            return Err("finding confidence is not finite".to_string());
+        }
+        Ok(Finding { zone, depth, confidence, members })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            epoch_secs: 21_600,
+            cm_width: 8,
+            cm_depth: 2,
+            hll_precision: 4,
+            seed: 7,
+            backend: BackendKind::Memory,
+            day: 3,
+            pushed: 1234,
+            current_epoch: Some(2),
+            peak_state_bytes: 4096,
+            epochs: vec![EpochSummary {
+                epoch: 0,
+                end_secs: 21_600,
+                events: 600,
+                findings: vec![Finding {
+                    zone: "dyn.example.com".parse().unwrap(),
+                    depth: 1,
+                    confidence: 0.9375,
+                    members: 40,
+                }],
+                distinct_names: 17,
+                distinct_names_est: 17,
+                distinct_clients_est: 9,
+                state_bytes: 2048,
+            }],
+            names: vec![
+                ("a.example.com".parse().unwrap(), vec![11, 22]),
+                ("b.example.com".parse().unwrap(), vec![33]),
+            ],
+            registry_bytes: 321,
+            cm_queries_rows: (0..16).collect(),
+            cm_queries_total: 120,
+            cm_misses_rows: (100..116).collect(),
+            cm_misses_total: 55,
+            hll_clients_regs: vec![1; 16],
+            hll_names_regs: vec![2; 16],
+            fpdns: FpDnsLogParts {
+                retain: 4,
+                exercise_wire: false,
+                retained: vec![FpDnsRecord {
+                    timestamp: Timestamp::from_secs(86_400 * 3 + 42),
+                    client: 77,
+                    name: "a.example.com".parse().unwrap(),
+                    qtype: QType::A,
+                    ttl: Ttl::from_secs(60),
+                    rdata: keys::decode_rdata(&keys::encode_rdata(&dnsnoise_dns::RData::A(
+                        std::net::Ipv4Addr::new(192, 0, 2, 1),
+                    ))),
+                }],
+                total_records: 9,
+                total_responses: 8,
+                nx_responses: 1,
+                storage_bytes: 512,
+                wire_roundtrips: 0,
+                wire_parse_failures: 0,
+                next_txid: 10,
+                hourly_records: [3; 24],
+                hourly_storage_bytes: [7; 24],
+            },
+            rpdns_per_day: vec![DailyNewRrs { new_records: 5, repeated_records: 2 }],
+            rpdns_storage_bytes: 640,
+            rpdns_memory: vec![((vec![1, 2, 0], 1, vec![9, 9]), 0)],
+            rpdns_memtable: Vec::new(),
+            rpdns_runs: Vec::new(),
+            rpdns_flushes: 0,
+            rpdns_compactions: 0,
+            answered: 500,
+            nxdomain: 80,
+            failed: 20,
+            shed: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_exactly() {
+        let ckpt = sample();
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn every_truncation_and_bit_flip_is_detected() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        for byte in (0..bytes.len()).step_by(3) {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 0x20;
+            assert!(Checkpoint::from_bytes(&flipped).is_err(), "flip at {byte} accepted");
+        }
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dnsnoise-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Checkpoint::load(&dir).unwrap().is_none(), "fresh dir has no checkpoint");
+        let ckpt = sample();
+        ckpt.save(&dir).unwrap();
+        let back = Checkpoint::load(&dir).unwrap().expect("checkpoint exists");
+        assert_eq!(back.to_bytes(), ckpt.to_bytes());
+        std::fs::write(dir.join(CHECKPOINT_NAME), b"garbage").unwrap();
+        assert!(matches!(Checkpoint::load(&dir), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_rejects_mismatched_tuning_and_backend() {
+        let ckpt = sample();
+        let good = StreamConfig {
+            epoch_secs: 21_600,
+            cm_width: 8,
+            cm_depth: 2,
+            hll_precision: 4,
+            seed: 7,
+        };
+        ckpt.verify(&good, BackendKind::Memory).unwrap();
+        let err = ckpt.verify(&StreamConfig { seed: 8, ..good }, BackendKind::Disk).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("seed"), "{text}");
+        assert!(text.contains("store backend"), "{text}");
+        assert!(ckpt.verify(&good, BackendKind::Disk).is_err());
+    }
+}

@@ -21,13 +21,16 @@
 //! indistinguishable from an uninterrupted run.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use dnsnoise_core::{DomainTree, Finding, Miner, MiningReport};
 use dnsnoise_dns::{Name, Record, SuffixList};
-use dnsnoise_pdns::{BackendKind, FpDnsLog, PdnsBackend, PdnsStore};
+use dnsnoise_pdns::store::io;
+use dnsnoise_pdns::{BackendKind, FpDnsLog, PdnsBackend, PdnsStore, StoreError};
 use dnsnoise_resolver::{DayReport, EventSession, Observer, ResolverSim, Served, SimConfig};
 use dnsnoise_workload::{GroundTruth, QueryEvent};
 
+use crate::checkpoint::Checkpoint;
 use crate::sketch::{fnv1a, CountMinSketch, HyperLogLog};
 
 /// How many fpDNS records the streaming collector retains as samples.
@@ -38,6 +41,12 @@ pub const PDNS_RETAIN: usize = 512;
 /// and its fingerprint vector: tree-map node bookkeeping plus the vector
 /// header.
 const REGISTRY_NODE_BYTES: usize = 72;
+
+/// Seed decorrelators for the second count-min sketch and the name HLL;
+/// shared with checkpoint restore so a resumed miner rebuilds the exact
+/// sketches.
+pub(crate) const CM_MISSES_SEED_XOR: u64 = 0x517c_c1b7_2722_0a95;
+pub(crate) const HLL_NAMES_SEED_XOR: u64 = 0x2545_f491_4f6c_dd1d;
 
 /// Streaming miner knobs. All sketch parameters trade memory for
 /// accuracy; the defaults keep the seeded reference day collision-free
@@ -148,6 +157,12 @@ pub struct StreamReport {
     pub pdns: PdnsSummary,
     /// The deduplicating rpDNS backend's end-of-day summary.
     pub rpdns_store: RpdnsStoreSummary,
+    /// The first persistence failure the rpDNS backend latched, if any
+    /// (rendered message). The backend degraded to memory-only — counters
+    /// stay exact, the on-disk mirror is stale — and the CLI surfaces
+    /// this as a non-zero exit. Not part of [`StreamReport::render`],
+    /// which stays byte-identical across healthy backends.
+    pub rpdns_store_error: Option<String>,
     /// Events pushed into the session.
     pub events_pushed: u64,
     /// Events answered with records.
@@ -271,26 +286,26 @@ fn render_finding(f: &Finding) -> String {
 /// sketches, pDNS counters, and the served-class tallies behind the
 /// conservation line.
 #[derive(Debug)]
-struct StreamState {
+pub(crate) struct StreamState {
     /// Owner name → fingerprints of its records, in first-seen order.
-    names: BTreeMap<Name, Vec<u64>>,
-    cm_queries: CountMinSketch,
-    cm_misses: CountMinSketch,
-    hll_clients: HyperLogLog,
-    hll_names: HyperLogLog,
-    pdns: FpDnsLog,
+    pub(crate) names: BTreeMap<Name, Vec<u64>>,
+    pub(crate) cm_queries: CountMinSketch,
+    pub(crate) cm_misses: CountMinSketch,
+    pub(crate) hll_clients: HyperLogLog,
+    pub(crate) hll_names: HyperLogLog,
+    pub(crate) pdns: FpDnsLog,
     /// The deduplicating rpDNS store behind the `--store` flag. Excluded
     /// from [`StreamState::state_bytes`]: the paper's streaming-state
     /// budget covers the registry and sketches, and the store's own
     /// footprint is reported separately as rpDNS storage bytes.
-    rpdns: PdnsBackend,
-    answered: u64,
-    nxdomain: u64,
-    failed: u64,
-    shed: u64,
+    pub(crate) rpdns: PdnsBackend,
+    pub(crate) answered: u64,
+    pub(crate) nxdomain: u64,
+    pub(crate) failed: u64,
+    pub(crate) shed: u64,
     /// Incrementally-maintained registry footprint (names + overhead +
     /// fingerprints), excluding the fixed-size sketches.
-    registry_bytes: usize,
+    pub(crate) registry_bytes: usize,
 }
 
 impl StreamState {
@@ -301,10 +316,10 @@ impl StreamState {
             cm_misses: CountMinSketch::new(
                 config.cm_width,
                 config.cm_depth,
-                config.seed ^ 0x517c_c1b7_2722_0a95,
+                config.seed ^ CM_MISSES_SEED_XOR,
             ),
             hll_clients: HyperLogLog::new(config.hll_precision, config.seed),
-            hll_names: HyperLogLog::new(config.hll_precision, config.seed ^ 0x2545_f491_4f6c_dd1d),
+            hll_names: HyperLogLog::new(config.hll_precision, config.seed ^ HLL_NAMES_SEED_XOR),
             pdns: FpDnsLog::new(PDNS_RETAIN, false),
             rpdns: PdnsBackend::default(),
             answered: 0,
@@ -316,7 +331,7 @@ impl StreamState {
     }
 
     /// Total resident streaming state in bytes: registry + all sketches.
-    fn state_bytes(&self) -> usize {
+    pub(crate) fn state_bytes(&self) -> usize {
         self.registry_bytes
             + self.cm_queries.state_bytes()
             + self.cm_misses.state_bytes()
@@ -408,6 +423,16 @@ pub struct StreamMiner<'m> {
     epochs: Vec<EpochSummary>,
     peak_state_bytes: usize,
     pushed: u64,
+    /// The day the session streams; updated from the first event.
+    day: u64,
+    /// Whether the first event has named the day yet ([`StreamMiner::push`]
+    /// for a fresh session, [`StreamMiner::resume`] for a restored one).
+    session_started: bool,
+    /// Where epoch-boundary checkpoints are written, when enabled.
+    checkpoint_dir: Option<PathBuf>,
+    /// First checkpoint-write failure, latched; checkpointing stops but
+    /// the in-memory stream continues exactly.
+    checkpoint_error: Option<StoreError>,
 }
 
 impl<'m> StreamMiner<'m> {
@@ -438,6 +463,10 @@ impl<'m> StreamMiner<'m> {
             epochs: Vec::new(),
             peak_state_bytes: peak,
             pushed: 0,
+            day,
+            session_started: false,
+            checkpoint_dir: None,
+            checkpoint_error: None,
         }
     }
 
@@ -459,20 +488,44 @@ impl<'m> StreamMiner<'m> {
         self
     }
 
+    /// Enables epoch-boundary checkpointing under `dir` (the CLI's
+    /// `stream --checkpoint` flag): each time an epoch closes, the full
+    /// miner state is serialised and atomically swapped into
+    /// `dir/checkpoint.bin`, so a killed process can [`StreamMiner::resume`]
+    /// from the last boundary instead of the start of the day. Write
+    /// failures latch into [`StreamMiner::checkpoint_error`]; the stream
+    /// itself is never perturbed.
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>) -> StreamMiner<'m> {
+        let dir = dir.into();
+        if let Err(e) = io::create_dir_all(&dir) {
+            self.checkpoint_error = Some(e);
+        }
+        self.checkpoint_dir = Some(dir);
+        self
+    }
+
     /// Streams one event: closes any epoch the event's timestamp has
     /// moved past, then replays the event through the cluster and folds
     /// the response into the online state.
     pub fn push(&mut self, event: &QueryEvent) {
-        if self.pushed == 0 {
+        if !self.session_started {
             // The stream itself names the day (a stdin-fed miner cannot
             // know it up front); for well-formed traces this agrees with
             // the day passed to `with_sim`.
-            self.session.set_day(event.time.day());
+            self.session_started = true;
+            self.day = event.time.day();
+            self.session.set_day(self.day);
         }
         let epoch = event.time.second_of_day() / self.config.epoch_secs;
         if let Some(current) = self.current_epoch {
             if epoch > current {
                 self.close_epoch(current);
+                // Checkpoint at the boundary, before this event counts:
+                // a resumed process replays the first `pushed` events as
+                // warmup and re-pushes everything after, this event
+                // included.
+                self.current_epoch = Some(epoch);
+                self.write_checkpoint();
             }
         }
         self.current_epoch = Some(epoch.max(self.current_epoch.unwrap_or(0)));
@@ -497,6 +550,89 @@ impl<'m> StreamMiner<'m> {
     /// Largest resident state observed so far.
     pub fn peak_state_bytes(&self) -> usize {
         self.peak_state_bytes
+    }
+
+    /// The first checkpoint-write failure, if any. Once set, no further
+    /// checkpoints are attempted; the in-memory stream stays exact.
+    pub fn checkpoint_error(&self) -> Option<&StoreError> {
+        self.checkpoint_error.as_ref()
+    }
+
+    /// Forces a checkpoint write now, mid-epoch (a checkpointing miner
+    /// also writes one automatically at every epoch boundary). A no-op
+    /// without [`StreamMiner::with_checkpoint`].
+    pub fn checkpoint_now(&mut self) {
+        self.write_checkpoint();
+    }
+
+    fn write_checkpoint(&mut self) {
+        if self.checkpoint_error.is_some() {
+            return;
+        }
+        let Some(dir) = self.checkpoint_dir.clone() else { return };
+        let ckpt = Checkpoint::capture(
+            &self.config,
+            self.day,
+            self.pushed,
+            self.current_epoch,
+            self.peak_state_bytes,
+            &self.epochs,
+            &self.state,
+        );
+        if let Err(e) = ckpt.save(&dir) {
+            self.checkpoint_error = Some(e);
+        }
+    }
+
+    /// Restores a freshly-built miner to the exact point `ckpt` was
+    /// written: the first `ckpt.pushed` events of the day's trace
+    /// (`warmup`) are replayed through the resolver session to rebuild
+    /// its caches, and every online structure — registry, sketches, pDNS
+    /// logs, epoch summaries, the rpDNS backend — is restored from the
+    /// checkpoint. Pushing the remaining events and finishing then
+    /// produces a report byte-identical to an uninterrupted run.
+    ///
+    /// Call on a miner built with the same configuration, store backend,
+    /// and (for fresh-day streams) the same simulator seed as the
+    /// interrupted process, before any events are pushed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ConfigMismatch`] when the checkpoint's configuration
+    /// echo contradicts this miner's configuration or backend kind, or
+    /// when `warmup` does not cover exactly the checkpointed prefix;
+    /// [`StoreError::Corrupt`] when the checkpoint's payload is
+    /// internally inconsistent.
+    pub fn resume(
+        mut self,
+        ckpt: &Checkpoint,
+        warmup: &[QueryEvent],
+    ) -> Result<StreamMiner<'m>, StoreError> {
+        ckpt.verify(&self.config, self.state.rpdns.kind())?;
+        if warmup.len() as u64 != ckpt.pushed {
+            return Err(StoreError::ConfigMismatch {
+                detail: format!(
+                    "checkpoint replay prefix: checkpoint consumed {} events but {} were supplied",
+                    ckpt.pushed,
+                    warmup.len()
+                ),
+            });
+        }
+        self.state = ckpt.restore_state(&self.config, &self.state.rpdns)?;
+        self.day = ckpt.day;
+        self.session_started = true;
+        self.session.set_day(ckpt.day);
+        // Rebuild the resolver session's caches exactly as the
+        // interrupted process built them; the unit observer keeps the
+        // restored online state untouched.
+        for event in warmup {
+            self.session.push(event, self.ground_truth, &mut ());
+        }
+        self.epochs = ckpt.epochs.clone();
+        self.pushed = ckpt.pushed;
+        self.current_epoch = ckpt.current_epoch;
+        self.peak_state_bytes = ckpt.peak_state_bytes;
+        Ok(self)
     }
 
     /// Forces an epoch close now, mid-stream: snapshots the day-so-far
@@ -538,12 +674,17 @@ impl<'m> StreamMiner<'m> {
             epochs,
             peak_state_bytes,
             pushed,
+            day: _,
+            session_started: _,
+            checkpoint_dir: _,
+            checkpoint_error: _,
         } = self;
         // Close out the run store: flush and collapse to one optimized
         // run so a spill directory holds the complete, final day image.
         if let PdnsBackend::Disk(ref mut s) = state.rpdns {
             s.optimize();
         }
+        let rpdns_store_error = state.rpdns.io_error().map(StoreError::to_string);
         let rpdns_store = {
             let (runs, learned_runs) = match &state.rpdns {
                 PdnsBackend::Disk(s) => {
@@ -592,6 +733,7 @@ impl<'m> StreamMiner<'m> {
                 storage_bytes: state.pdns.storage_bytes(),
             },
             rpdns_store,
+            rpdns_store_error,
             events_pushed: pushed,
             events_answered: state.answered,
             events_nxdomain: state.nxdomain,

@@ -36,10 +36,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod engine;
 mod pipeline;
 mod sketch;
 
+pub use checkpoint::{Checkpoint, CHECKPOINT_NAME};
 pub use engine::{
     EpochSummary, PdnsSummary, RpdnsStoreSummary, StreamConfig, StreamMiner, StreamReport,
     PDNS_RETAIN,

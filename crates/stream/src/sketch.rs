@@ -123,6 +123,26 @@ impl CountMinSketch {
     pub fn state_bytes(&self) -> usize {
         self.rows.len() * std::mem::size_of::<u64>()
     }
+
+    /// The raw row-major counter cells, for checkpoint serialisation.
+    pub(crate) fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// Rebuilds a sketch from checkpointed parts. Returns `None` when
+    /// the cell count does not match `width × depth`.
+    pub(crate) fn from_parts(
+        width: usize,
+        depth: usize,
+        seed: u64,
+        rows: Vec<u64>,
+        total: u64,
+    ) -> Option<CountMinSketch> {
+        if width == 0 || depth == 0 || rows.len() != width * depth {
+            return None;
+        }
+        Some(CountMinSketch { width, depth, seed, rows, total })
+    }
 }
 
 /// A seeded HyperLogLog cardinality estimator over `u64` keys.
@@ -226,6 +246,23 @@ impl HyperLogLog {
     /// Resident register storage in bytes.
     pub fn state_bytes(&self) -> usize {
         self.registers.len()
+    }
+
+    /// The raw max-rank registers, for checkpoint serialisation.
+    pub(crate) fn registers(&self) -> &[u8] {
+        &self.registers
+    }
+
+    /// Rebuilds an estimator from checkpointed parts. Returns `None`
+    /// when the register count does not match `2^precision` or the
+    /// precision is out of range.
+    pub(crate) fn from_parts(precision: u8, seed: u64, registers: Vec<u8>) -> Option<HyperLogLog> {
+        if !(Self::MIN_PRECISION..=Self::MAX_PRECISION).contains(&precision)
+            || registers.len() != 1usize << precision
+        {
+            return None;
+        }
+        Some(HyperLogLog { precision, seed, registers })
     }
 }
 

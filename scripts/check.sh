@@ -100,6 +100,33 @@ ls "$smoke_dir/pdns" | grep -q 'run-.*\.bin' \
 grep -q '"bench": "pdns"' BENCH_pdns.json \
     || { echo "error: BENCH_pdns.json missing or malformed" >&2; exit 1; }
 
+echo "== crash/resume smoke (kill mid-day, resume from checkpoint, fsck) ==" >&2
+# A stream killed mid-day by --die-after (simulating SIGKILL) and resumed
+# from its on-disk checkpoint must print the exact bytes of the
+# uninterrupted run, and the crashed spill directory must heal to a clean
+# fsck — the CLI face of the crash-at-every-IO-point recovery tests.
+events=$(grep -cv '^#' "$smoke_dir/day1.trace")
+if ./target/release/dnsnoise stream --trace "$smoke_dir/day1.trace" \
+    --model "$smoke_dir/model.txt" --cm-width 1048576 \
+    --store disk --store-path "$smoke_dir/pdns-crash" \
+    --checkpoint "$smoke_dir/ckpt" --die-after $((events / 2)) \
+    >/dev/null 2>/dev/null; then
+    echo "error: --die-after $((events / 2)) did not kill the stream" >&2; exit 1
+fi
+./target/release/dnsnoise stream --trace "$smoke_dir/day1.trace" \
+    --model "$smoke_dir/model.txt" --cm-width 1048576 \
+    --store disk --store-path "$smoke_dir/pdns-crash" \
+    --checkpoint "$smoke_dir/ckpt" >"$smoke_dir/sr.txt" 2>"$smoke_dir/sr.log"
+grep -q 'resuming from checkpoint' "$smoke_dir/sr.log" \
+    || { echo "error: resumed stream did not load the checkpoint" >&2; exit 1; }
+diff "$smoke_dir/s1.txt" "$smoke_dir/sr.txt" >&2 \
+    || { echo "error: resumed stream diverged from the uninterrupted run" >&2; exit 1; }
+./target/release/dnsnoise fsck "$smoke_dir/pdns-crash" >"$smoke_dir/fsck.txt" \
+    || { echo "error: fsck found problems after crash+resume" >&2
+         cat "$smoke_dir/fsck.txt" >&2; exit 1; }
+grep -q '"bench": "recovery"' BENCH_recovery.json \
+    || { echo "error: BENCH_recovery.json missing or malformed" >&2; exit 1; }
+
 echo "== cargo test ==" >&2
 cargo test -q --offline
 

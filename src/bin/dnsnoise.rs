@@ -164,6 +164,12 @@ struct StreamOpts {
     /// `None` = the default memory backend with no summary printed.
     store: Option<BackendKind>,
     store_path: Option<String>,
+    /// Crash-checkpoint directory: resume from it when a checkpoint
+    /// exists, write boundary checkpoints into it either way.
+    checkpoint: Option<String>,
+    /// Abort the process after pushing this many events (testing aid for
+    /// the kill/resume smoke — leaves exactly what a SIGKILL would).
+    die_after: Option<u64>,
 }
 
 impl Default for StreamOpts {
@@ -181,8 +187,17 @@ impl Default for StreamOpts {
             hll_precision: defaults.hll_precision,
             store: None,
             store_path: None,
+            checkpoint: None,
+            die_after: None,
         }
     }
+}
+
+/// `dnsnoise fsck` options.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct FsckOpts {
+    dir: Option<String>,
+    repair: bool,
 }
 
 /// `dnsnoise train` options.
@@ -348,6 +363,29 @@ fn parse_ingest(args: &[String]) -> Result<ParseOutcome<IngestOpts>, String> {
     Ok(ParseOutcome::Parsed(opts))
 }
 
+/// `dnsnoise fsck` has its own flag loop like `ingest`: it takes a
+/// positional store directory and none of the scenario flags.
+fn parse_fsck(args: &[String]) -> Result<ParseOutcome<FsckOpts>, String> {
+    let mut opts = FsckOpts::default();
+    for token in args {
+        match token.as_str() {
+            "--help" | "-h" => return Ok(ParseOutcome::Help),
+            "--repair" => opts.repair = true,
+            f if f.starts_with('-') => return Err(format!("unknown flag {f} for `fsck`")),
+            path => {
+                if opts.dir.is_some() {
+                    return Err("fsck takes exactly one store directory".into());
+                }
+                opts.dir = Some(path.to_owned());
+            }
+        }
+    }
+    if opts.dir.is_none() {
+        return Err("fsck needs a store directory".into());
+    }
+    Ok(ParseOutcome::Parsed(opts))
+}
+
 fn parse_simulate(args: &[String]) -> Result<ParseOutcome<SimulateOpts>, String> {
     let mut opts = SimulateOpts::default();
     let mut common = std::mem::take(&mut opts.common);
@@ -437,6 +475,10 @@ fn parse_stream(args: &[String]) -> Result<ParseOutcome<StreamOpts>, String> {
             }
             "--store" => opts.store = Some(values.take("--store")?.parse()?),
             "--store-path" => opts.store_path = Some(values.take("--store-path")?.to_owned()),
+            "--checkpoint" => opts.checkpoint = Some(values.take("--checkpoint")?.to_owned()),
+            "--die-after" => {
+                opts.die_after = Some(parsed(values.take("--die-after")?, "--die-after")?)
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -446,6 +488,9 @@ fn parse_stream(args: &[String]) -> Result<ParseOutcome<StreamOpts>, String> {
         validate_store(opts.store, &opts.store_path)?;
         if opts.epoch_secs == 0 {
             return Err("--epoch-secs must be at least 1".into());
+        }
+        if opts.die_after == Some(0) {
+            return Err("--die-after must be at least 1".into());
         }
         if opts.cm_width == 0 || opts.cm_depth == 0 {
             return Err("--cm-width and --cm-depth must be at least 1".into());
@@ -844,27 +889,101 @@ fn cmd_stream(opts: &StreamOpts) -> Result<(), String> {
         opts.store_path.as_deref().map(std::path::Path::new),
     );
     let mut stream = dnsnoise::stream::StreamMiner::new(config, &miner).with_store(backend);
-    // Feed events one at a time straight off the reader — the trace is
-    // never materialised, which is the point of the streaming path.
+
+    // Feeds events one at a time straight off the reader — the trace is
+    // never materialised, which is the point of the streaming path. When
+    // resuming from a checkpoint, the first `pushed` events are buffered
+    // as the deterministic warmup prefix the checkpoint already consumed;
+    // everything after flows through `push` as usual.
+    struct Feeder<'m> {
+        stream: Option<dnsnoise::stream::StreamMiner<'m>>,
+        /// Set while collecting the warmup prefix of a resume.
+        pending: Option<(dnsnoise::stream::Checkpoint, Vec<dnsnoise::workload::QueryEvent>)>,
+        die_after: Option<u64>,
+        fed: u64,
+    }
+
+    impl<'m> Feeder<'m> {
+        fn feed(&mut self, event: dnsnoise::workload::QueryEvent) -> Result<(), String> {
+            self.fed += 1;
+            if let Some((ckpt, warmup)) = self.pending.as_mut() {
+                warmup.push(event);
+                if warmup.len() as u64 == ckpt.pushed {
+                    let (ckpt, warmup) = self.pending.take().expect("just matched");
+                    let stream = self.stream.take().expect("present until resume");
+                    self.stream = Some(stream.resume(&ckpt, &warmup).map_err(|e| e.to_string())?);
+                }
+            } else {
+                self.stream.as_mut().expect("present").push(&event);
+            }
+            if self.die_after == Some(self.fed) {
+                // Simulated crash for the recovery smoke: no cleanup, no
+                // flush — exactly what a SIGKILL leaves behind.
+                std::process::abort();
+            }
+            Ok(())
+        }
+    }
+
+    if let Some(dir) = &opts.checkpoint {
+        let dir = std::path::Path::new(dir);
+        stream = stream.with_checkpoint(dir);
+        if let Some(ckpt) = dnsnoise::stream::Checkpoint::load(dir).map_err(|e| e.to_string())? {
+            eprintln!("resuming from checkpoint: day={} events={}", ckpt.day, ckpt.pushed);
+            if ckpt.pushed == 0 {
+                stream = stream.resume(&ckpt, &[]).map_err(|e| e.to_string())?;
+            } else {
+                let warmup = Vec::with_capacity(ckpt.pushed as usize);
+                let mut feeder = Feeder {
+                    stream: Some(stream),
+                    pending: Some((ckpt, warmup)),
+                    die_after: opts.die_after,
+                    fed: 0,
+                };
+                feed_trace(&opts.trace, &mut |e| feeder.feed(e))?;
+                if feeder.pending.is_some() {
+                    return Err("checkpoint covers more events than the trace supplies".into());
+                }
+                return finish_stream(feeder.stream.take().expect("resumed"), report_store);
+            }
+        }
+    }
+    let mut feeder =
+        Feeder { stream: Some(stream), pending: None, die_after: opts.die_after, fed: 0 };
+    feed_trace(&opts.trace, &mut |e| feeder.feed(e))?;
+    finish_stream(feeder.stream.take().expect("never resumes"), report_store)
+}
+
+/// Streams every event of `trace` (or stdin) into `feed`.
+fn feed_trace(
+    trace: &Option<String>,
+    feed: &mut dyn FnMut(dnsnoise::workload::QueryEvent) -> Result<(), String>,
+) -> Result<(), String> {
     let mut push_all = |reader: &mut dyn Iterator<
         Item = Result<dnsnoise::workload::QueryEvent, trace_io::TraceIoError>,
     >|
      -> Result<(), String> {
         for event in reader {
-            stream.push(&event.map_err(|e| e.to_string())?);
+            feed(event.map_err(|e| e.to_string())?)?;
         }
         Ok(())
     };
-    match &opts.trace {
+    match trace {
         Some(path) => {
             let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-            push_all(&mut trace_io::EventReader::new(BufReader::new(file)))?;
+            push_all(&mut trace_io::EventReader::new(BufReader::new(file)))
         }
         None => {
             let stdin = std::io::stdin();
-            push_all(&mut trace_io::EventReader::new(stdin.lock()))?;
+            push_all(&mut trace_io::EventReader::new(stdin.lock()))
         }
     }
+}
+
+/// Closes out a stream run: render, store summary, and every latched
+/// persistence failure surfaced as a non-zero exit.
+fn finish_stream(stream: dnsnoise::stream::StreamMiner, report_store: bool) -> Result<(), String> {
+    let checkpoint_error = stream.checkpoint_error().map(ToString::to_string);
     let (report, _sim) = stream.finish();
     if report_store {
         let s = &report.rpdns_store;
@@ -877,14 +996,34 @@ fn cmd_stream(opts: &StreamOpts) -> Result<(), String> {
     if !report.conserves() {
         return Err(report.conservation_line());
     }
+    if let Some(e) = checkpoint_error {
+        return Err(format!("checkpointing failed: {e}"));
+    }
+    if let Some(e) = &report.rpdns_store_error {
+        return Err(format!("rpdns store degraded to memory-only: {e}"));
+    }
     Ok(())
+}
+
+fn cmd_fsck(opts: &FsckOpts) -> Result<(), String> {
+    let dir = opts.dir.as_deref().expect("validated by the parser");
+    let report =
+        dnsnoise::pdns::fsck(std::path::Path::new(dir), opts.repair).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    // A repair pass reports what it quarantined but exits clean; a plain
+    // check exits non-zero so scripts can gate on store health.
+    if report.is_clean() || opts.repair {
+        Ok(())
+    } else {
+        Err(format!("{dir}: fsck found problems (rerun with --repair to quarantine them)"))
+    }
 }
 
 const COMMON_USAGE: &str = "common flags: --epoch <0..1> --scale <f64> --seed <u64> --day <u64>\n";
 
 fn usage() -> String {
     format!(
-        "usage: dnsnoise <generate|ingest|simulate|mine|stream|train> [flags]\n\
+        "usage: dnsnoise <generate|ingest|simulate|mine|stream|train|fsck> [flags]\n\
          \n\
          {COMMON_USAGE}\
          run `dnsnoise <command> --help` for the per-command flags\n\
@@ -894,7 +1033,8 @@ fn usage() -> String {
          simulate:  replay a day through the resolver cluster\n\
          mine:      mine a day for disposable zones\n\
          stream:    mine a day incrementally with bounded-memory sketches\n\
-         train:     train and persist the classifier\n"
+         train:     train and persist the classifier\n\
+         fsck:      check (and repair) an on-disk pDNS store directory\n"
     )
 }
 
@@ -959,7 +1099,20 @@ fn subcommand_usage(cmd: &str) -> String {
              \x20 --store <kind>       pDNS collector backend: memory or disk (default:\n\
              \x20                      memory; the report is bit-identical either way)\n\
              \x20 --store-path <dir>   mirror the disk backend's sorted runs under this\n\
-             \x20                      directory\n"
+             \x20                      directory\n\
+             \x20 --checkpoint <dir>   write a crash checkpoint at every epoch boundary;\n\
+             \x20                      when <dir> already holds one, resume from it and\n\
+             \x20                      produce the same report an uninterrupted run would\n\
+             \x20 --die-after <n>      abort after n events (crash-testing aid)\n"
+        }
+        "fsck" => {
+            return "usage: dnsnoise fsck <dir> [flags]\n\
+                 \n\
+                 \x20 --repair               quarantine corrupt runs and rewrite the\n\
+                 \x20                        manifest so the store opens clean\n\
+                 \n\
+                 exits non-zero when problems are found and --repair is not given\n"
+                .to_string();
         }
         "train" => {
             "  --out <file>       model destination (default: stdout)\n\
@@ -1017,6 +1170,13 @@ fn main() -> ExitCode {
             ParseOutcome::Parsed(opts) => cmd_train(&opts),
             ParseOutcome::Help => {
                 print!("{}", subcommand_usage("train"));
+                Ok(())
+            }
+        }),
+        "fsck" => parse_fsck(rest).and_then(|o| match o {
+            ParseOutcome::Parsed(opts) => cmd_fsck(&opts),
+            ParseOutcome::Help => {
+                print!("{}", subcommand_usage("fsck"));
                 Ok(())
             }
         }),
@@ -1234,6 +1394,52 @@ mod tests {
             Ok(ParseOutcome::Help) => {}
             _ => panic!("--help must short-circuit"),
         }
+    }
+
+    #[test]
+    fn stream_checkpoint_flags_parse() {
+        let o = stream("--checkpoint /tmp/ck --die-after 500").unwrap();
+        assert_eq!(o.checkpoint.as_deref(), Some("/tmp/ck"));
+        assert_eq!(o.die_after, Some(500));
+        assert_eq!(stream("").unwrap().checkpoint, None);
+        assert_eq!(stream("").unwrap().die_after, None);
+        assert!(stream("--die-after 0").is_err());
+        assert!(stream("--die-after soon").is_err());
+        assert!(stream("--checkpoint").is_err(), "needs a value");
+        // Stream-only: no other subcommand checkpoints.
+        assert!(mine("--checkpoint /tmp/x").is_err());
+        assert!(simulate("--die-after 5").is_err());
+        assert!(subcommand_usage("stream").contains("--checkpoint"));
+        assert!(subcommand_usage("stream").contains("--die-after"));
+    }
+
+    fn fsck_opts(s: &str) -> Result<FsckOpts, String> {
+        match parse_fsck(&args(s))? {
+            ParseOutcome::Parsed(o) => Ok(o),
+            ParseOutcome::Help => Err("help".into()),
+        }
+    }
+
+    #[test]
+    fn fsck_flags_parse() {
+        let o = fsck_opts("/tmp/store").unwrap();
+        assert_eq!(o.dir.as_deref(), Some("/tmp/store"));
+        assert!(!o.repair);
+        // The positional directory can come after flags, like `ingest`.
+        let o = fsck_opts("--repair /tmp/store").unwrap();
+        assert!(o.repair);
+        assert_eq!(o.dir.as_deref(), Some("/tmp/store"));
+
+        assert!(fsck_opts("").is_err(), "needs a directory");
+        assert!(fsck_opts("a b").is_err(), "one directory only");
+        assert!(fsck_opts("/tmp/x --epoch 0.5").is_err(), "no scenario flags");
+        assert!(fsck_opts("/tmp/x --store disk").is_err(), "no foreign flags");
+        match parse_fsck(&args("--help")) {
+            Ok(ParseOutcome::Help) => {}
+            _ => panic!("--help must short-circuit"),
+        }
+        assert!(usage().contains("fsck"));
+        assert!(subcommand_usage("fsck").contains("--repair"));
     }
 
     fn ingest(s: &str) -> Result<IngestOpts, String> {
