@@ -97,7 +97,9 @@ fn btree_scan(map: &BTreeMap<CompositeKey, u64>, zone: &Name) -> Vec<(RrKey, u64
         Some(hi) => Excluded(hi),
         None => Unbounded,
     };
-    map.range((Included(&lo), upper)).map(|(key, &day)| (keys::decode_key(key), day)).collect()
+    map.range((Included(&lo), upper))
+        .map(|(key, &day)| (keys::decode_key(key).expect("bench keys decode"), day))
+        .collect()
 }
 
 fn hashmap_scan(map: &HashMap<RrKey, u64>, zone: &Name) -> Vec<(RrKey, u64)> {
@@ -107,7 +109,9 @@ fn hashmap_scan(map: &HashMap<RrKey, u64>, zone: &Name) -> Vec<(RrKey, u64)> {
         .map(|(key, &day)| (keys::encode_key(&key.name, key.qtype, &key.rdata), day))
         .collect();
     hits.sort_unstable();
-    hits.iter().map(|(key, day)| (keys::decode_key(key), *day)).collect()
+    hits.iter()
+        .map(|(key, day)| (keys::decode_key(key).expect("bench keys decode"), *day))
+        .collect()
 }
 
 fn main() -> ExitCode {

@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::label::Label;
 use crate::message::{Message, Opcode, Question, Rcode};
@@ -225,6 +225,7 @@ impl Compressor {
 /// Returns an error for truncated input, malformed names or pointers,
 /// unsupported types/classes, or section counts other than exactly one
 /// question.
+// lint:certify(no-panic)
 pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
     let mut cur = Cursor { bytes, pos: 0 };
     let id = cur.u16()?;
@@ -247,11 +248,11 @@ pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
 
     let mut answers = Vec::with_capacity(record_capacity_hint(ancount, &cur));
     for _ in 0..ancount {
-        answers.push(cur.record()?);
+        answers.push(cur.read_record()?);
     }
     let mut authority = Vec::with_capacity(record_capacity_hint(nscount, &cur));
     for _ in 0..nscount {
-        authority.push(cur.record()?);
+        authority.push(cur.read_record()?);
     }
 
     Ok(Message {
@@ -292,13 +293,13 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        let mut s = self.slice(2)?;
-        Ok(s.get_u16())
+        let chunk: [u8; 2] = self.slice(2)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u16::from_be_bytes(chunk))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        let mut s = self.slice(4)?;
-        Ok(s.get_u32())
+        let chunk: [u8; 4] = self.slice(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_be_bytes(chunk))
     }
 
     fn slice(&mut self, n: usize) -> Result<&'a [u8], WireError> {
@@ -359,7 +360,7 @@ impl<'a> Cursor<'a> {
         Ok(Name::from_labels(labels))
     }
 
-    fn record(&mut self) -> Result<Record, WireError> {
+    fn read_record(&mut self) -> Result<Record, WireError> {
         let name = self.name()?;
         let type_code = self.u16()?;
         let qtype = QType::from_code(type_code).ok_or(WireError::UnsupportedType(type_code))?;
@@ -378,17 +379,16 @@ impl<'a> Cursor<'a> {
                 if rdlen != 4 {
                     return Err(WireError::BadRdata);
                 }
-                let s = self.slice(4)?;
-                RData::A(Ipv4Addr::new(s[0], s[1], s[2], s[3]))
+                let octets: [u8; 4] = self.slice(4)?.try_into().map_err(|_| WireError::BadRdata)?;
+                RData::A(Ipv4Addr::from(octets))
             }
             QType::Aaaa => {
                 if rdlen != 16 {
                     return Err(WireError::BadRdata);
                 }
-                let s = self.slice(16)?;
-                let mut o = [0u8; 16];
-                o.copy_from_slice(s);
-                RData::Aaaa(Ipv6Addr::from(o))
+                let octets: [u8; 16] =
+                    self.slice(16)?.try_into().map_err(|_| WireError::BadRdata)?;
+                RData::Aaaa(Ipv6Addr::from(octets))
             }
             QType::Cname | QType::Ns | QType::Ptr => {
                 let n = self.name()?;

@@ -52,8 +52,14 @@ impl Layout {
         }
     }
 
+    /// Decodes the first four bytes in the capture's byte order; shorter
+    /// input (a caller contract violation) decodes as zero rather than
+    /// panicking.
     fn u32(&self, bytes: &[u8]) -> u32 {
-        let arr: [u8; 4] = bytes[..4].try_into().expect("caller checked length");
+        let arr: [u8; 4] = match bytes.get(..4).and_then(|b| b.try_into().ok()) {
+            Some(arr) => arr,
+            None => return 0,
+        };
         if self.big_endian {
             u32::from_be_bytes(arr)
         } else {

@@ -43,6 +43,7 @@ pub fn capture(trace: &DayTrace, format: CaptureFormat) -> Vec<u8> {
 
 /// Byte extents `(offset, len)` of every data frame in a clean capture,
 /// recovered by scanning it.
+#[allow(dead_code)] // shared across test targets; not every target stages corruption
 pub fn frame_extents(bytes: &[u8], format: CaptureFormat) -> Vec<(usize, usize)> {
     let mut report = dnsnoise_ingest::IngestReport::default();
     let scanned = match format {
@@ -55,6 +56,7 @@ pub fn frame_extents(bytes: &[u8], format: CaptureFormat) -> Vec<(usize, usize)>
 }
 
 /// Overwrites a frame's header region with 0xFF, destroying its framing.
+#[allow(dead_code)] // shared across test targets; not every target stages corruption
 pub fn smash_frame(bytes: &mut [u8], extent: (usize, usize)) {
     let (offset, len) = extent;
     let smash = len.min(16);

@@ -15,16 +15,32 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// For `no-panic*` rules: the marked root fn whose zone this
+    /// violation breaks.
+    pub zone: Option<String>,
+    /// For `no-panic*` rules: the call chain from the zone root to the
+    /// offending fn (`root -> … -> here`), when the violation is in a
+    /// transitively-required fn.
+    pub chain: Option<String>,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}:{}: {}: {}", self.file, self.line, self.col, self.rule, self.message)
+        write!(f, "{}:{}:{}: {}: {}", self.file, self.line, self.col, self.rule, self.message)?;
+        if let Some(zone) = &self.zone {
+            write!(f, " [zone: {zone}")?;
+            if let Some(chain) = &self.chain {
+                write!(f, "; via {chain}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
     }
 }
 
 /// Renders diagnostics as a JSON document:
-/// `{"count": N, "diagnostics": [{"file", "line", "col", "rule", "message"}]}`.
+/// `{"count": N, "diagnostics": [{"file", "line", "col", "rule", "message"}]}`
+/// plus optional `"zone"` / `"chain"` keys on certification findings.
 pub fn to_json(diags: &[Diagnostic]) -> String {
     let mut out = String::from("{\n  \"count\": ");
     out.push_str(&diags.len().to_string());
@@ -43,7 +59,18 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
         escape_into(d.rule, &mut out);
         out.push_str("\", \"message\": \"");
         escape_into(&d.message, &mut out);
-        out.push_str("\"}");
+        out.push('"');
+        if let Some(zone) = &d.zone {
+            out.push_str(", \"zone\": \"");
+            escape_into(zone, &mut out);
+            out.push('"');
+        }
+        if let Some(chain) = &d.chain {
+            out.push_str(", \"chain\": \"");
+            escape_into(chain, &mut out);
+            out.push('"');
+        }
+        out.push('}');
     }
     if !diags.is_empty() {
         out.push_str("\n  ");
@@ -77,8 +104,28 @@ mod tests {
             col: 9,
             rule: "wall-clock",
             message: "no".into(),
+            zone: None,
+            chain: None,
         };
         assert_eq!(d.to_string(), "crates/x/src/a.rs:3:9: wall-clock: no");
+    }
+
+    #[test]
+    fn display_and_json_carry_zone_and_chain() {
+        let d = Diagnostic {
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 9,
+            rule: "no-panic",
+            message: "raw index".into(),
+            zone: Some("Run::from_bytes".into()),
+            chain: Some("Run::from_bytes -> decode_name".into()),
+        };
+        let text = d.to_string();
+        assert!(text.contains("[zone: Run::from_bytes; via Run::from_bytes -> decode_name]"));
+        let json = to_json(&[d]);
+        assert!(json.contains("\"zone\": \"Run::from_bytes\""));
+        assert!(json.contains("\"chain\": \"Run::from_bytes -> decode_name\""));
     }
 
     #[test]
@@ -89,6 +136,8 @@ mod tests {
             col: 1,
             rule: "export-purity",
             message: "string \"dropped\" leaked".into(),
+            zone: None,
+            chain: None,
         };
         let json = to_json(&[d]);
         assert!(json.contains(r#"\"dropped\""#));

@@ -22,11 +22,14 @@
 
 pub mod diag;
 pub mod lexer;
+pub mod nopanic;
+pub mod parser;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
 
 pub use diag::Diagnostic;
+pub use nopanic::{CertStats, StdAllow, CERTIFIED_STD_FILE};
 
 /// Name of the committed allowlist file at the workspace root.
 pub const ALLOWLIST_FILE: &str = "lint-allowlist.txt";
@@ -43,9 +46,9 @@ pub struct AllowlistEntry {
 
 /// An inline `lint:allow` suppression parsed from a comment.
 #[derive(Debug, Clone)]
-struct InlineAllow {
-    rule: String,
-    line: u32,
+pub(crate) struct InlineAllow {
+    pub(crate) rule: String,
+    pub(crate) line: u32,
 }
 
 /// Parses `lint:allow(rule[, rule…]): justification` comments. Only a
@@ -54,7 +57,7 @@ struct InlineAllow {
 /// suppressions (unknown rule, missing justification) become
 /// `bad-allow` diagnostics — a suppression without a recorded "why" is
 /// itself a violation.
-fn parse_allows(
+pub(crate) fn parse_allows(
     rel_path: &str,
     comments: &[lexer::Comment],
 ) -> (Vec<InlineAllow>, Vec<Diagnostic>) {
@@ -73,6 +76,8 @@ fn parse_allows(
                 col: 1,
                 rule: "bad-allow",
                 message,
+                zone: None,
+                chain: None,
             });
         };
         if !rest.starts_with('(') {
@@ -118,40 +123,9 @@ pub fn lint_source(rel_path: &str, source: &str, allowlist: &[AllowlistEntry]) -
     let (allows, bad_allow) = parse_allows(rel_path, &lexed.comments);
     let mut diags = rules::analyze(rel_path, &lexed);
 
-    // An inline allow on line L covers diagnostics on L itself (comment
-    // at end of the offending line) and the statement starting on the
-    // next line holding code (comment on its own line above the
-    // offending one). A statement may span lines — a multi-line
-    // `let dead: Vec<_> = map.iter()…;` chain is covered through the
-    // `;` that ends it — but coverage stops at a `{` so an allow above
-    // a block header never blankets the block's body.
-    let statement_extent = |line: u32| -> (u32, u32) {
-        let Some(first) = lexed.tokens.iter().position(|t| t.line > line) else {
-            return (line, line);
-        };
-        let start = lexed.tokens[first].line;
-        let mut depth = 0u32;
-        let mut end = start;
-        for t in &lexed.tokens[first..] {
-            end = t.line;
-            if t.kind == lexer::TokenKind::Punct {
-                match t.text.as_str() {
-                    "(" | "[" => depth += 1,
-                    ")" | "]" => depth = depth.saturating_sub(1),
-                    ";" | "{" if depth == 0 => break,
-                    _ => {}
-                }
-            }
-        }
-        (start, end)
-    };
     diags.retain(|d| {
-        let inline = allows.iter().any(|a| {
-            a.rule == d.rule && {
-                let (start, end) = statement_extent(a.line);
-                d.line == a.line || (d.line >= start && d.line <= end)
-            }
-        });
+        let inline =
+            allows.iter().any(|a| a.rule == d.rule && allow_covers(&lexed, a.line, d.line));
         let listed = allowlist
             .iter()
             .any(|e| e.rule == d.rule && rel_path.starts_with(e.path_prefix.as_str()));
@@ -161,6 +135,37 @@ pub fn lint_source(rel_path: &str, source: &str, allowlist: &[AllowlistEntry]) -
     diags.extend(bad_allow);
     diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     diags
+}
+
+/// Whether an inline allow on `allow_line` covers a diagnostic on
+/// `diag_line`: the allow's own line (comment at end of the offending
+/// line) or the statement starting on the next line holding code
+/// (comment on its own line above). A statement may span lines — a
+/// multi-line `let dead: Vec<_> = map.iter()…;` chain is covered through
+/// the `;` that ends it — but coverage stops at a `{` so an allow above
+/// a block header never blankets the block's body.
+pub(crate) fn allow_covers(lexed: &lexer::Lexed, allow_line: u32, diag_line: u32) -> bool {
+    if diag_line == allow_line {
+        return true;
+    }
+    let Some(first) = lexed.tokens.iter().position(|t| t.line > allow_line) else {
+        return false;
+    };
+    let start = lexed.tokens[first].line;
+    let mut depth = 0u32;
+    let mut end = start;
+    for t in &lexed.tokens[first..] {
+        end = t.line;
+        if t.kind == lexer::TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                ";" | "{" if depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    diag_line >= start && diag_line <= end
 }
 
 /// Parses the committed allowlist format: one `rule-id path-prefix` pair
@@ -184,6 +189,8 @@ pub fn parse_allowlist(text: &str) -> (Vec<AllowlistEntry>, Vec<Diagnostic>) {
                 col: 1,
                 rule: "bad-allow",
                 message: format!("malformed allowlist line `{raw}` (want `rule-id path-prefix`)"),
+                zone: None,
+                chain: None,
             });
             continue;
         }
@@ -221,14 +228,11 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lints the whole workspace rooted at `root`: loads the allowlist,
-/// walks every `.rs` file, and returns all surviving diagnostics sorted
-/// by path, line, column.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let (allowlist, mut diags) = match std::fs::read_to_string(root.join(ALLOWLIST_FILE)) {
-        Ok(text) => parse_allowlist(&text),
-        Err(_) => (Vec::new(), Vec::new()),
-    };
+/// Reads every workspace `.rs` file under `root` into
+/// `(workspace-relative path, source)` pairs with `/` separators, in
+/// deterministic order.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
     for path in workspace_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -238,10 +242,83 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
             .collect::<Vec<_>>()
             .join("/");
         let source = std::fs::read_to_string(&path)?;
-        diags.extend(lint_source(&rel, &source, &allowlist));
+        out.push((rel, source));
     }
+    Ok(out)
+}
+
+/// Lints an in-memory file set: the per-file token rules plus the
+/// whole-set `no-panic` certification pass (which needs every file at
+/// once to build the symbol table and call graph). Returns diagnostics
+/// sorted by path, line, column.
+pub fn lint_files(
+    files: &[(String, String)],
+    allowlist: &[AllowlistEntry],
+    std_allow: &StdAllow,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (rel, source) in files {
+        diags.extend(lint_source(rel, source, allowlist));
+    }
+    let (cert_diags, _stats) = nopanic::analyze(files, allowlist, std_allow);
+    diags.extend(cert_diags);
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    diags
+}
+
+/// Loads the committed std allowlist (`lint-certified-std.txt`) at
+/// `root`; a missing file yields an empty allowlist (every std call in a
+/// zone then fails, which is the safe direction).
+pub fn load_std_allow(root: &Path) -> StdAllow {
+    match std::fs::read_to_string(root.join(CERTIFIED_STD_FILE)) {
+        Ok(text) => nopanic::parse_std_allow(&text),
+        Err(_) => StdAllow::default(),
+    }
+}
+
+/// Lints the whole workspace rooted at `root`: loads the allowlist and
+/// std allowlist, walks every `.rs` file, and returns all surviving
+/// diagnostics sorted by path, line, column.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let (allowlist, mut diags) = match std::fs::read_to_string(root.join(ALLOWLIST_FILE)) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => (Vec::new(), Vec::new()),
+    };
+    let files = collect_sources(root)?;
+    diags.extend(lint_files(&files, &allowlist, &load_std_allow(root)));
     diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(diags)
+}
+
+/// Certification-surface summary for the workspace at `root` (zone
+/// roots, transitive certified set, files declaring zones).
+pub fn certification_stats(root: &Path) -> std::io::Result<CertStats> {
+    let files = collect_sources(root)?;
+    let (_diags, stats) = nopanic::analyze(&files, &[], &load_std_allow(root));
+    Ok(stats)
+}
+
+/// Allowlist-drift check: returns the `lint-allowlist.txt` entries that
+/// no longer suppress anything — the raw workspace lint (inline allows
+/// still applied, committed allowlist withheld) produces no diagnostic
+/// the entry would match. Stale suppressions are lies about the
+/// codebase and must be pruned.
+pub fn stale_allowlist_entries(root: &Path) -> std::io::Result<Vec<AllowlistEntry>> {
+    let entries = match std::fs::read_to_string(root.join(ALLOWLIST_FILE)) {
+        Ok(text) => parse_allowlist(&text).0,
+        Err(_) => Vec::new(),
+    };
+    if entries.is_empty() {
+        return Ok(Vec::new());
+    }
+    let files = collect_sources(root)?;
+    let raw = lint_files(&files, &[], &load_std_allow(root));
+    Ok(entries
+        .into_iter()
+        .filter(|e| {
+            !raw.iter().any(|d| d.rule == e.rule && d.file.starts_with(e.path_prefix.as_str()))
+        })
+        .collect())
 }
 
 #[cfg(test)]

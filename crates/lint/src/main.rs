@@ -3,34 +3,40 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dnsnoise_lint::{diag, lint_workspace};
+use dnsnoise_lint::{diag, lint_workspace, stale_allowlist_entries};
 
 const USAGE: &str = "\
 dnsnoise-lint: workspace determinism & invariant linter
 
 USAGE:
-    dnsnoise-lint [--root DIR] [--format text|json]
+    dnsnoise-lint [--root DIR] [--format text|json] [--check-allowlist]
 
 OPTIONS:
-    --root DIR       Workspace root to lint. Defaults to the nearest
-                     ancestor of the current directory with a Cargo.toml
-                     declaring [workspace].
-    --format FORMAT  Output format: text (default, file:line:col:
-                     rule-id: message per violation) or json.
-    -h, --help       Print this help.
+    --root DIR        Workspace root to lint. Defaults to the nearest
+                      ancestor of the current directory with a Cargo.toml
+                      declaring [workspace].
+    --format FORMAT   Output format: text (default, file:line:col:
+                      rule-id: message per violation) or json.
+    --check-allowlist Instead of linting, fail if lint-allowlist.txt
+                      contains stale entries (suppressions that no
+                      longer match any diagnostic).
+    -h, --help        Print this help.
 
 EXIT CODES:
     0  clean
-    1  violations found
+    1  violations found / stale allowlist entries
     2  usage or I/O error
 
 Suppressions: `// lint:allow(rule-id): justification` inline, or
 `rule-id path-prefix` lines in lint-allowlist.txt at the workspace
-root. See DESIGN.md \u{a7}static analysis for the rule catalogue.";
+root. Panic-freedom zones opt in with `// lint:certify(no-panic)`;
+their known-total std names live in lint-certified-std.txt. See
+DESIGN.md \u{a7}static analysis for the rule catalogue.";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = String::from("text");
+    let mut check_allowlist = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,6 +49,7 @@ fn main() -> ExitCode {
                 Some("json") => format = "json".into(),
                 _ => return usage_error("--format must be `text` or `json`"),
             },
+            "--check-allowlist" => check_allowlist = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -58,6 +65,28 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if check_allowlist {
+        let stale = match stale_allowlist_entries(&root) {
+            Ok(stale) => stale,
+            Err(err) => {
+                eprintln!("dnsnoise-lint: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        if stale.is_empty() {
+            eprintln!("dnsnoise-lint: allowlist is live (no stale entries)");
+            return ExitCode::SUCCESS;
+        }
+        for e in &stale {
+            println!("stale allowlist entry: {} {}", e.rule, e.path_prefix);
+        }
+        eprintln!(
+            "dnsnoise-lint: {} stale allowlist entr(y/ies) — prune them from lint-allowlist.txt",
+            stale.len()
+        );
+        return ExitCode::FAILURE;
+    }
 
     let diags = match lint_workspace(&root) {
         Ok(diags) => diags,

@@ -54,6 +54,9 @@ use crate::diag::Diagnostic;
 use crate::lexer::{Comment, Lexed, Token, TokenKind};
 
 /// Every rule id the linter knows (excluding the meta `bad-allow`).
+/// `no-panic` / `no-panic-call` are the certification family implemented
+/// in [`crate::nopanic`]; they are listed here so `lint:allow` and the
+/// committed allowlist validate against them.
 pub const RULES: &[&str] = &[
     "hash-iter",
     "wall-clock",
@@ -62,6 +65,8 @@ pub const RULES: &[&str] = &[
     "export-purity",
     "deprecated-api",
     "fs-direct-write",
+    "no-panic",
+    "no-panic-call",
 ];
 
 const ITER_METHODS: &[&str] = &[
@@ -146,6 +151,8 @@ pub fn analyze(rel_path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
             col: tok.col,
             rule,
             message,
+            zone: None,
+            chain: None,
         });
     };
 
@@ -494,46 +501,7 @@ fn collect_hash_idents(t: &[Token]) -> Vec<String> {
     names
 }
 
-/// Token-index spans `[lo, hi)` of `#[cfg(test)] mod … { … }` bodies.
-fn cfg_test_regions(t: &[Token]) -> Vec<(usize, usize)> {
-    let mut regions = Vec::new();
-    let mut i = 0usize;
-    while i + 6 < t.len() {
-        let is_cfg_test = t[i].is_punct('#')
-            && t[i + 1].is_punct('[')
-            && t[i + 2].is_ident("cfg")
-            && t[i + 3].is_punct('(')
-            && t[i + 4].is_ident("test")
-            && t[i + 5].is_punct(')')
-            && t[i + 6].is_punct(']');
-        if !is_cfg_test {
-            i += 1;
-            continue;
-        }
-        // Find the opening brace of the annotated item and match it.
-        let mut j = i + 7;
-        while j < t.len() && !t[j].is_punct('{') && !t[j].is_punct(';') {
-            j += 1;
-        }
-        if j < t.len() && t[j].is_punct('{') {
-            let mut depth = 1usize;
-            let mut k = j + 1;
-            while k < t.len() && depth > 0 {
-                if t[k].is_punct('{') {
-                    depth += 1;
-                } else if t[k].is_punct('}') {
-                    depth -= 1;
-                }
-                k += 1;
-            }
-            regions.push((i, k));
-            i = k;
-        } else {
-            i = j;
-        }
-    }
-    regions
-}
+use crate::parser::cfg_test_regions;
 
 /// Whether the `if` condition starting after token `if_idx` mentions
 /// `needle` before its body brace.
@@ -554,12 +522,12 @@ fn if_condition_mentions(t: &[Token], if_idx: usize, needle: &str) -> bool {
 
 /// Whether a call's argument list opens at `idx` (allowing a turbofish
 /// between the method name and the parens).
-fn call_opens_at(t: &[Token], idx: usize) -> bool {
+pub(crate) fn call_opens_at(t: &[Token], idx: usize) -> bool {
     skip_turbofish(t, idx).is_some_and(|j| t.get(j).is_some_and(|x| x.is_punct('(')))
 }
 
 /// Skips `::<…>` at `idx` if present, returning the index after it.
-fn skip_turbofish(t: &[Token], idx: usize) -> Option<usize> {
+pub(crate) fn skip_turbofish(t: &[Token], idx: usize) -> Option<usize> {
     if t.get(idx).is_some_and(|x| x.is_punct(':'))
         && t.get(idx + 1).is_some_and(|x| x.is_punct(':'))
         && t.get(idx + 2).is_some_and(|x| x.is_punct('<'))
@@ -751,6 +719,8 @@ fn scan_doc_for_deprecated(rel_path: &str, comment: &Comment, diags: &mut Vec<Di
                          use the `ResolverSim::day(…)` builder",
                         needle
                     ),
+                    zone: None,
+                    chain: None,
                 });
             }
         }

@@ -1,0 +1,13 @@
+//! Fixture: call-resolution failures inside a certified zone — an
+//! unallowlisted macro, an unresolvable method, and an unresolvable
+//! bare call all surface as `no-panic-call` at the call site.
+//!
+//! Never compiled; linted by `lint_tests.rs` under a synthetic
+//! `crates/fake/src/` path against the committed std allowlist.
+
+// lint:certify(no-panic)
+pub fn forward(x: u32, v: &[u32]) -> u32 {
+    log_event!(x); // EXPECT no-panic-call
+    let y = v.mystery_method(); // EXPECT no-panic-call
+    mystery_helper(x, y) // EXPECT no-panic-call
+}

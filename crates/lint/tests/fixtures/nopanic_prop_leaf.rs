@@ -1,0 +1,7 @@
+//! Fixture: the uncertified leaf of the two-hop propagation chain
+//! rooted in `nopanic_prop_root.rs`.
+
+pub fn leaf(bytes: &[u8]) -> u16 {
+    let first = bytes.first().copied().unwrap(); // EXPECT no-panic
+    u16::from(first)
+}

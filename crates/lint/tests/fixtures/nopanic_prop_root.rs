@@ -1,0 +1,12 @@
+//! Fixture: a certified root whose only violation lives two call hops
+//! away in `nopanic_prop_leaf.rs` — exercises cross-file call-graph
+//! propagation and the `zone`/`chain` diagnostic fields.
+
+// lint:certify(no-panic)
+pub fn root(bytes: &[u8]) -> u16 {
+    middle(bytes)
+}
+
+fn middle(bytes: &[u8]) -> u16 {
+    leaf(bytes)
+}

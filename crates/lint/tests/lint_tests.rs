@@ -8,7 +8,10 @@
 
 use std::path::Path;
 
-use dnsnoise_lint::{lint_source, lint_workspace, parse_allowlist, Diagnostic};
+use dnsnoise_lint::{
+    certification_stats, lint_files, lint_source, lint_workspace, load_std_allow, parse_allowlist,
+    stale_allowlist_entries, Diagnostic,
+};
 
 /// Lints a fixture as if it lived at `crates/fake/src/<name>`.
 fn lint_fixture(name: &str, source: &str) -> Vec<Diagnostic> {
@@ -241,6 +244,102 @@ fn binary_rejects_unknown_arguments() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+// --- no-panic certification fixtures --------------------------------------
+
+/// Runs the full pipeline (path rules + certification pass) over
+/// fixtures at synthetic non-test paths, against the committed std
+/// allowlist so fixture expectations track the reviewed entries.
+fn lint_nopanic_fixtures(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files: Vec<(String, String)> = files
+        .iter()
+        .map(|(name, src)| (format!("crates/fake/src/{name}"), src.to_string()))
+        .collect();
+    lint_files(&files, &[], &load_std_allow(&root))
+}
+
+#[test]
+fn nopanic_constructs_fixture_trips_every_class() {
+    let src = include_str!("fixtures/nopanic_constructs.rs");
+    let diags = lint_nopanic_fixtures(&[("nopanic_constructs.rs", src)]);
+    assert_eq!(rules_fired(&diags), ["no-panic"]);
+    check_against_markers(src, "no-panic", &diags);
+    // Direct zone violations carry the zone but no multi-hop chain.
+    assert!(diags.iter().all(|d| d.zone.as_deref() == Some("decode")), "{diags:#?}");
+    assert!(diags.iter().all(|d| d.chain.is_none()), "{diags:#?}");
+}
+
+#[test]
+fn nopanic_calls_fixture_trips_resolution_failures() {
+    let src = include_str!("fixtures/nopanic_calls.rs");
+    let diags = lint_nopanic_fixtures(&[("nopanic_calls.rs", src)]);
+    assert_eq!(rules_fired(&diags), ["no-panic-call"]);
+    check_against_markers(src, "no-panic-call", &diags);
+}
+
+#[test]
+fn no_panic_propagates_across_files_two_hops() {
+    let root_src = include_str!("fixtures/nopanic_prop_root.rs");
+    let leaf_src = include_str!("fixtures/nopanic_prop_leaf.rs");
+    let diags = lint_nopanic_fixtures(&[
+        ("nopanic_prop_root.rs", root_src),
+        ("nopanic_prop_leaf.rs", leaf_src),
+    ]);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, "no-panic");
+    assert_eq!(d.file, "crates/fake/src/nopanic_prop_leaf.rs");
+    assert_eq!(d.zone.as_deref(), Some("root"));
+    assert_eq!(d.chain.as_deref(), Some("root -> middle -> leaf"));
+    // The leaf alone, with no certified root pulling it in, is legal.
+    let alone = lint_nopanic_fixtures(&[("nopanic_prop_leaf.rs", leaf_src)]);
+    assert!(alone.is_empty(), "{alone:#?}");
+    // And the JSON rendering carries the zone and chain for CI triage.
+    let json = dnsnoise_lint::diag::to_json(&diags);
+    assert!(json.contains("\"zone\": \"root\""), "{json}");
+    assert!(json.contains("\"chain\": \"root -> middle -> leaf\""), "{json}");
+}
+
+#[test]
+fn turbofish_in_call_position_resolves_through_the_path_qualifier() {
+    let src = "// lint:certify(no-panic)\n\
+               pub fn alloc(n: usize) -> Vec<u8> {\n    \
+               let buf = Vec::<u8>::with_capacity(n.min(64));\n    buf\n}\n";
+    let diags = lint_nopanic_fixtures(&[("turbofish.rs", src)]);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn multi_line_chain_is_scanned_and_an_allow_covers_the_whole_statement() {
+    let bad = "// lint:certify(no-panic)\n\
+               pub fn pick(v: &[u32]) -> u32 {\n    \
+               v.iter()\n        .copied()\n        .max()\n        .expect(\"nonempty\")\n}\n";
+    let diags = lint_nopanic_fixtures(&[("chain.rs", bad)]);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, "no-panic");
+    assert_eq!(diags[0].line, 6, "{diags:#?}");
+
+    let allowed = "// lint:certify(no-panic)\n\
+                   pub fn pick(v: &[u32]) -> u32 {\n    \
+                   // lint:allow(no-panic): fixture; callers pass nonempty slices\n    \
+                   v.iter()\n        .copied()\n        .max()\n        .expect(\"nonempty\")\n}\n";
+    let diags = lint_nopanic_fixtures(&[("chain_ok.rs", allowed)]);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn bogus_or_dangling_certify_markers_are_flagged() {
+    let bogus = "// lint:certify(no-unwind)\npub fn f() -> u32 {\n    7\n}\n";
+    let diags = lint_nopanic_fixtures(&[("bogus.rs", bogus)]);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert!(diags[0].message.contains("unknown certification"), "{diags:#?}");
+
+    let dangling = "pub fn f() -> u32 {\n    7\n}\n\n// lint:certify(no-panic)\n";
+    let diags = lint_nopanic_fixtures(&[("dangling.rs", dangling)]);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert!(diags[0].message.contains("dangling certify marker"), "{diags:#?}");
+}
+
 // --- the workspace holds itself to its own rules --------------------------
 
 #[test]
@@ -248,4 +347,37 @@ fn live_workspace_lints_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let diags = lint_workspace(&root).unwrap();
     assert!(diags.is_empty(), "workspace must lint clean:\n{diags:#?}");
+}
+
+#[test]
+fn live_workspace_certified_surfaces_are_declared() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let stats = certification_stats(&root).unwrap();
+    assert!(stats.marked_roots >= 8, "{stats:?}");
+    assert!(stats.certified_fns >= stats.marked_roots, "{stats:?}");
+    // The surfaces DESIGN.md §8 names must each declare a zone root; a
+    // dropped marker would silently shrink the certified set.
+    for surface in [
+        "crates/dns/src/wire.rs",
+        "crates/pdns/src/store/crc.rs",
+        "crates/pdns/src/store/io.rs",
+        "crates/pdns/src/store/manifest.rs",
+        "crates/pdns/src/store/run.rs",
+        "crates/pdns/src/store/keys.rs",
+        "crates/pdns/src/store/recovery.rs",
+        "crates/stream/src/checkpoint.rs",
+    ] {
+        assert!(
+            stats.files_with_zones.iter().any(|f| f == surface),
+            "missing certified surface {surface}; zones: {:?}",
+            stats.files_with_zones
+        );
+    }
+}
+
+#[test]
+fn committed_allowlist_has_no_stale_entries() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let stale = stale_allowlist_entries(&root).unwrap();
+    assert!(stale.is_empty(), "stale allowlist entries must be pruned: {stale:?}");
 }

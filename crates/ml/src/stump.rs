@@ -80,13 +80,11 @@ impl RegressionStump {
         }
     }
 
-    /// Evaluates the stump on a feature vector.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `x` is shorter than the split feature index.
+    /// Evaluates the stump on a feature vector. A vector shorter than
+    /// the split feature index reads the missing feature as negative
+    /// infinity and takes the left branch.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        if x[self.feature] <= self.threshold {
+        if x.get(self.feature).copied().unwrap_or(f64::NEG_INFINITY) <= self.threshold {
             self.left
         } else {
             self.right

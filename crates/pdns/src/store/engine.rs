@@ -553,7 +553,12 @@ impl RunStore {
         // sort yields the canonical global order.
         hits.sort_unstable();
         hits.iter()
-            .map(|&(name, qtype, rdata, day)| (keys::decode_key_parts(name, qtype, rdata), day))
+            .map(|&(name, qtype, rdata, day)| {
+                // Scan sources are encoder output (memtable) or
+                // checksum-validated runs; a decode failure here is a
+                // logic bug, not reachable from stored bytes.
+                (keys::decode_key_parts(name, qtype, rdata).expect("validated key decodes"), day)
+            })
             .collect()
     }
 
@@ -608,7 +613,8 @@ impl RunStore {
                         let d = &mut self.per_day[dup_day as usize];
                         d.new_records -= 1;
                         d.repeated_records += 1;
-                        self.storage_bytes -= keys::decode_key(&key).storage_bytes() as u64;
+                        let dup = keys::decode_key(&key).expect("validated key decodes");
+                        self.storage_bytes -= dup.storage_bytes() as u64;
                         merged.push((key, day_a.min(day_b)));
                         continue;
                     }

@@ -88,9 +88,9 @@ impl RunIndex {
             _ => 0,
         };
         let groups = feature_groups(names, lcp);
-        let payoff = PLA_PAYOFF_EPS_MULTIPLE * epsilon.max(1) as usize;
+        let payoff = PLA_PAYOFF_EPS_MULTIPLE.saturating_mul(epsilon.max(1) as usize);
         if let Some(segments) = fit_pla(&groups, epsilon) {
-            if groups.len() >= segments.len() * payoff
+            if groups.len() >= segments.len().saturating_mul(payoff)
                 && validate_pla(&segments, &groups, epsilon, names.len())
             {
                 return RunIndex::Pla { lcp, epsilon, segments };
@@ -107,12 +107,11 @@ impl RunIndex {
         match self {
             RunIndex::Pla { epsilon, segments, .. } => {
                 let i = segments.partition_point(|s| s.x0 <= x);
-                if i == 0 {
-                    // x precedes every fitted group: only the run head
-                    // could hold it.
+                // When i == 0, x precedes every fitted group: only the
+                // run head could hold it.
+                let Some(seg) = i.checked_sub(1).and_then(|i| segments.get(i)) else {
                     return (0, 1.min(n));
-                }
-                let seg = &segments[i - 1];
+                };
                 let seg_end = segments.get(i).map_or(n, |next| next.start as usize);
                 let predicted = predict(seg, x);
                 let eps = *epsilon as usize;
@@ -121,14 +120,13 @@ impl RunIndex {
                 (lo, hi)
             }
             RunIndex::Classic { samples, .. } => {
-                let lo = match samples.partition_point(|&(sx, _)| sx < x) {
-                    0 => 0,
-                    i => samples[i - 1].1 as usize,
-                };
-                let hi = match samples.partition_point(|&(sx, _)| sx <= x) {
-                    i if i == samples.len() => n,
-                    i => samples[i].1 as usize,
-                };
+                let below = samples.partition_point(|&(sx, _)| sx < x);
+                let lo = below
+                    .checked_sub(1)
+                    .and_then(|i| samples.get(i))
+                    .map_or(0, |&(_, p)| p as usize);
+                let at_or_below = samples.partition_point(|&(sx, _)| sx <= x);
+                let hi = samples.get(at_or_below).map_or(n, |&(_, p)| p as usize);
                 (lo, hi)
             }
         }
@@ -151,12 +149,12 @@ impl RunIndex {
 /// zero-padded past the end. Monotone over a sorted run because every
 /// name in it shares the first `lcp` bytes and `0x00` padding is the
 /// minimum byte.
+// lint:certify(no-panic)
 pub fn feature(name: &[u8], lcp: usize) -> u64 {
     let mut window = [0u8; 8];
-    if lcp < name.len() {
-        let tail = &name[lcp..];
-        let take = tail.len().min(8);
-        window[..take].copy_from_slice(&tail[..take]);
+    let tail = name.get(lcp..).unwrap_or(&[]);
+    for (w, b) in window.iter_mut().zip(tail) {
+        *w = *b;
     }
     u64::from_be_bytes(window)
 }
@@ -166,12 +164,16 @@ fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
 }
 
 /// `(feature, first entry index)` of every distinct feature group.
+///
+/// Group starts saturate at `u32::MAX`; unreachable in practice, since
+/// the run format's `u32` column offsets already cap entry counts well
+/// below that.
 fn feature_groups(names: &[&[u8]], lcp: usize) -> Vec<(u64, u32)> {
     let mut groups: Vec<(u64, u32)> = Vec::new();
     for (i, name) in names.iter().enumerate() {
         let x = feature(name, lcp);
         if groups.last().is_none_or(|&(last_x, _)| last_x != x) {
-            groups.push((x, u32::try_from(i).expect("runs hold < 2^32 entries")));
+            groups.push((x, u32::try_from(i).unwrap_or(u32::MAX)));
         }
     }
     groups
@@ -200,7 +202,9 @@ fn fit_pla(groups: &[(u64, u32)], epsilon: u32) -> Option<Vec<PlaSegment>> {
     for &(x, p) in rest {
         let dx = (x - origin.0) as f64;
         let dp = p as f64 - origin.1 as f64;
+        // lint:allow(no-panic): f64 division is total, and dx >= 1 — group features strictly increase
         let point_lo = (dp - eps) / dx;
+        // lint:allow(no-panic): f64 division is total, and dx >= 1 — group features strictly increase
         let point_hi = (dp + eps) / dx;
         if point_lo > hi || point_hi < lo {
             segments.push(close_segment(origin, lo, hi));

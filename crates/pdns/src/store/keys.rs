@@ -38,22 +38,25 @@ pub fn encode_name(name: &Name) -> Vec<u8> {
     out
 }
 
-/// Decodes [`encode_name`] output. Panics on bytes the encoder cannot
-/// produce — run buffers are trusted once their header validates.
-pub fn decode_name(bytes: &[u8]) -> Name {
+/// Decodes [`encode_name`] output. Total: bytes the encoder cannot
+/// produce — a missing trailing separator, non-ASCII label bytes — are
+/// reported as `Err`, never a panic, so a checksum collision or a logic
+/// bug upstream surfaces as corruption instead of an abort.
+// lint:certify(no-panic)
+pub fn decode_name(bytes: &[u8]) -> Result<Name, String> {
     if bytes.is_empty() {
-        return Name::root();
+        return Ok(Name::root());
     }
-    debug_assert_eq!(bytes.last(), Some(&0), "name encoding ends with a separator");
-    let mut labels: Vec<Label> = bytes[..bytes.len() - 1]
-        .split(|&b| b == 0)
-        .map(|seg| {
-            Label::new(std::str::from_utf8(seg).expect("labels are ASCII"))
-                .expect("encoded labels are valid")
-        })
-        .collect();
+    let body = bytes
+        .strip_suffix(b"\x00")
+        .ok_or_else(|| "name encoding missing trailing separator".to_string())?;
+    let mut labels = Vec::new();
+    for seg in body.split(|&b| b == 0) {
+        let text = std::str::from_utf8(seg).map_err(|_| "label is not UTF-8".to_string())?;
+        labels.push(Label::new(text).map_err(|_| format!("invalid label {text:?}"))?);
+    }
     labels.reverse();
-    Name::from_labels(labels)
+    Ok(Name::from_labels(labels))
 }
 
 /// The half-open upper bound of `prefix`'s subtree range: the prefix with
@@ -85,9 +88,15 @@ fn push_prefixed_name(out: &mut Vec<u8>, name: &Name) {
     out.extend_from_slice(&enc);
 }
 
-fn take_prefixed_name(bytes: &[u8]) -> (Name, &[u8]) {
-    let len = usize::from(u16::from_be_bytes([bytes[0], bytes[1]]));
-    (decode_name(&bytes[2..2 + len]), &bytes[2 + len..])
+fn take_prefixed_name(bytes: &[u8]) -> Result<(Name, &[u8]), String> {
+    let (len_bytes, rest) =
+        bytes.split_at_checked(2).ok_or_else(|| "truncated name length".to_string())?;
+    let len_bytes: [u8; 2] =
+        len_bytes.try_into().map_err(|_| "truncated name length".to_string())?;
+    let len = usize::from(u16::from_be_bytes(len_bytes));
+    let (enc, rest) =
+        rest.split_at_checked(len).ok_or_else(|| "truncated name encoding".to_string())?;
+    Ok((decode_name(enc)?, rest))
 }
 
 /// Encodes RDATA as a tag byte plus a deterministic payload.
@@ -139,44 +148,57 @@ pub fn encode_rdata(rdata: &RData) -> Vec<u8> {
     out
 }
 
-/// Decodes [`encode_rdata`] output.
-pub fn decode_rdata(bytes: &[u8]) -> RData {
-    let (tag, rest) = bytes.split_first().expect("rdata encoding is non-empty");
+/// Decodes [`encode_rdata`] output. Total: unknown tags and malformed
+/// payloads are reported as `Err`, never a panic.
+// lint:certify(no-panic)
+pub fn decode_rdata(bytes: &[u8]) -> Result<RData, String> {
+    let (tag, rest) = bytes.split_first().ok_or_else(|| "empty rdata encoding".to_string())?;
     match *tag {
         TAG_A => {
-            let octets: [u8; 4] = rest.try_into().expect("A payload is 4 bytes");
-            RData::A(Ipv4Addr::from(octets))
+            let octets: [u8; 4] =
+                rest.try_into().map_err(|_| "A payload is not 4 bytes".to_string())?;
+            Ok(RData::A(Ipv4Addr::from(octets)))
         }
         TAG_AAAA => {
-            let octets: [u8; 16] = rest.try_into().expect("AAAA payload is 16 bytes");
-            RData::Aaaa(Ipv6Addr::from(octets))
+            let octets: [u8; 16] =
+                rest.try_into().map_err(|_| "AAAA payload is not 16 bytes".to_string())?;
+            Ok(RData::Aaaa(Ipv6Addr::from(octets)))
         }
-        TAG_CNAME => RData::Cname(decode_name(rest)),
-        TAG_NS => RData::Ns(decode_name(rest)),
-        TAG_PTR => RData::Ptr(decode_name(rest)),
-        TAG_TXT => RData::Txt(std::str::from_utf8(rest).expect("TXT is UTF-8").to_string()),
-        TAG_MX => RData::Mx {
-            preference: u16::from_be_bytes([rest[0], rest[1]]),
-            exchange: decode_name(&rest[2..]),
-        },
+        TAG_CNAME => Ok(RData::Cname(decode_name(rest)?)),
+        TAG_NS => Ok(RData::Ns(decode_name(rest)?)),
+        TAG_PTR => Ok(RData::Ptr(decode_name(rest)?)),
+        TAG_TXT => {
+            let text = std::str::from_utf8(rest).map_err(|_| "TXT is not UTF-8".to_string())?;
+            Ok(RData::Txt(text.to_string()))
+        }
+        TAG_MX => {
+            let (pref, rest) =
+                rest.split_at_checked(2).ok_or_else(|| "truncated MX preference".to_string())?;
+            let pref: [u8; 2] =
+                pref.try_into().map_err(|_| "truncated MX preference".to_string())?;
+            Ok(RData::Mx { preference: u16::from_be_bytes(pref), exchange: decode_name(rest)? })
+        }
         TAG_SOA => {
-            let (mname, rest) = take_prefixed_name(rest);
-            let (rname, rest) = take_prefixed_name(rest);
-            let word = |i: usize| {
-                u32::from_be_bytes([rest[4 * i], rest[4 * i + 1], rest[4 * i + 2], rest[4 * i + 3]])
-            };
-            RData::Soa {
+            let (mname, rest) = take_prefixed_name(rest)?;
+            let (rname, rest) = take_prefixed_name(rest)?;
+            if rest.len() != 20 {
+                return Err("SOA counters are not 20 bytes".to_string());
+            }
+            let mut words =
+                rest.chunks_exact(4).map(|c| c.try_into().map(u32::from_be_bytes).unwrap_or(0));
+            let mut next = || words.next().unwrap_or(0);
+            Ok(RData::Soa {
                 mname,
                 rname,
-                serial: word(0),
-                refresh: word(1),
-                retry: word(2),
-                expire: word(3),
-                minimum: word(4),
-            }
+                serial: next(),
+                refresh: next(),
+                retry: next(),
+                expire: next(),
+                minimum: next(),
+            })
         }
-        TAG_OPAQUE => RData::Opaque(rest.to_vec()),
-        other => panic!("unknown rdata tag {other}"),
+        TAG_OPAQUE => Ok(RData::Opaque(rest.to_vec())),
+        other => Err(format!("unknown rdata tag {other}")),
     }
 }
 
@@ -185,19 +207,24 @@ pub fn encode_key(name: &Name, qtype: QType, rdata: &RData) -> CompositeKey {
     (encode_name(name), qtype.code(), encode_rdata(rdata))
 }
 
-/// Decodes a composite key back into an [`RrKey`].
-pub fn decode_key(key: &CompositeKey) -> RrKey {
+/// Decodes a composite key back into an [`RrKey`]. Total — see
+/// [`decode_key_parts`].
+// lint:certify(no-panic)
+pub fn decode_key(key: &CompositeKey) -> Result<RrKey, String> {
     decode_key_parts(&key.0, key.1, &key.2)
 }
 
 /// [`decode_key`] over borrowed columns — scans decode straight out of a
 /// run's byte buffers without materialising an owned composite key.
-pub fn decode_key_parts(name: &[u8], qtype: u16, rdata: &[u8]) -> RrKey {
-    RrKey {
-        name: decode_name(name),
-        qtype: QType::from_code(qtype).expect("stored qtype codes are valid"),
-        rdata: decode_rdata(rdata),
-    }
+/// Total: malformed columns and unknown qtype codes are `Err`, never a
+/// panic.
+// lint:certify(no-panic)
+pub fn decode_key_parts(name: &[u8], qtype: u16, rdata: &[u8]) -> Result<RrKey, String> {
+    Ok(RrKey {
+        name: decode_name(name)?,
+        qtype: QType::from_code(qtype).ok_or_else(|| format!("unknown qtype code {qtype}"))?,
+        rdata: decode_rdata(rdata)?,
+    })
 }
 
 #[cfg(test)]
@@ -212,7 +239,7 @@ mod tests {
     fn name_roundtrip_and_reverse_label_order() {
         for s in ["com", "vendor.com", "a.b.vendor.com", "."] {
             let n = name(s);
-            assert_eq!(decode_name(&encode_name(&n)), n, "{s}");
+            assert_eq!(decode_name(&encode_name(&n)).unwrap(), n, "{s}");
         }
         // Reverse-label order: a zone's children sort inside its range,
         // siblings outside it.
@@ -258,7 +285,7 @@ mod tests {
             RData::Opaque(vec![1, 2, 3, 0, 255]),
         ];
         for rdata in variants {
-            assert_eq!(decode_rdata(&encode_rdata(&rdata)), rdata, "{rdata:?}");
+            assert_eq!(decode_rdata(&encode_rdata(&rdata)).unwrap(), rdata, "{rdata:?}");
         }
     }
 
@@ -270,7 +297,7 @@ mod tests {
             rdata: RData::A(Ipv4Addr::new(203, 0, 113, 9)),
         };
         let enc = encode_key(&key.name, key.qtype, &key.rdata);
-        let back = decode_key(&enc);
+        let back = decode_key(&enc).unwrap();
         assert_eq!(back, key);
         assert_eq!(back.storage_bytes(), key.storage_bytes());
     }

@@ -69,6 +69,7 @@ pub struct Manifest {
 impl Manifest {
     /// Serialises the manifest: magic, fixed fields, per-day counters,
     /// run entries, CRC-32 footer over everything before the footer.
+    // lint:certify(no-panic)
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MANIFEST_MAGIC);
@@ -106,12 +107,19 @@ impl Manifest {
     /// Deserialises a manifest image. Total on arbitrary input: any
     /// truncation, bit flip, or forged length is an error, never a
     /// panic — the footer CRC is checked before any field is trusted.
+    // lint:certify(no-panic)
     pub fn from_bytes(bytes: &[u8]) -> Result<Manifest, String> {
-        if bytes.len() < MANIFEST_MAGIC.len() + 4 {
+        let Some((body, footer)) = bytes
+            .len()
+            .checked_sub(4)
+            .filter(|&split| split >= MANIFEST_MAGIC.len())
+            .and_then(|split| bytes.split_at_checked(split))
+        else {
             return Err("manifest shorter than magic + footer".to_string());
-        }
-        let (body, footer) = bytes.split_at(bytes.len() - 4);
-        let stored = u32::from_be_bytes(footer.try_into().expect("4-byte footer"));
+        };
+        let footer: [u8; 4] =
+            footer.try_into().map_err(|_| "manifest footer is not 4 bytes".to_string())?;
+        let stored = u32::from_be_bytes(footer);
         if crc32(body) != stored {
             return Err("manifest checksum mismatch".to_string());
         }
@@ -146,7 +154,10 @@ impl Manifest {
             runs.push(RunFileMeta { name, len, crc });
         }
         if cur.at != cur.bytes.len() {
-            return Err(format!("{} trailing manifest bytes", cur.bytes.len() - cur.at));
+            return Err(format!(
+                "{} trailing manifest bytes",
+                cur.bytes.len().saturating_sub(cur.at)
+            ));
         }
         Ok(Manifest {
             seq,
@@ -190,26 +201,33 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
+    // lint:certify(no-panic)
     fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
         let end = self.at.checked_add(len).filter(|&e| e <= self.bytes.len());
         let Some(end) = end else {
             return Err("truncated manifest".to_string());
         };
-        let s = &self.bytes[self.at..end];
+        let s = self.bytes.get(self.at..end).ok_or_else(|| "truncated manifest".to_string())?;
         self.at = end;
         Ok(s)
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8-byte chunk")))
+        let chunk: [u8; 8] =
+            self.take(8)?.try_into().map_err(|_| "truncated manifest".to_string())?;
+        Ok(u64::from_be_bytes(chunk))
     }
 
     fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4-byte chunk")))
+        let chunk: [u8; 4] =
+            self.take(4)?.try_into().map_err(|_| "truncated manifest".to_string())?;
+        Ok(u32::from_be_bytes(chunk))
     }
 
     fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2-byte chunk")))
+        let chunk: [u8; 2] =
+            self.take(2)?.try_into().map_err(|_| "truncated manifest".to_string())?;
+        Ok(u16::from_be_bytes(chunk))
     }
 
     /// A count field, sanity-bounded by the bytes actually remaining so
@@ -217,7 +235,7 @@ impl<'a> Cursor<'a> {
     fn len_prefixed_count(&mut self) -> Result<usize, String> {
         let n = self.u64()?;
         let n = usize::try_from(n).map_err(|_| "count out of range".to_string())?;
-        if n > self.bytes.len() - self.at.min(self.bytes.len()) {
+        if n > self.bytes.len().saturating_sub(self.at) {
             return Err("count exceeds remaining bytes".to_string());
         }
         Ok(n)

@@ -71,9 +71,7 @@ impl Run {
             rdata_offsets.push(u32::try_from(rdata_bytes.len()).expect("rdata column < 4 GiB"));
             days.push(day);
         }
-        let names: Vec<&[u8]> = (0..n)
-            .map(|i| &name_bytes[name_offsets[i] as usize..name_offsets[i + 1] as usize])
-            .collect();
+        let names: Vec<&[u8]> = (0..n).map(|i| column_at(&name_bytes, &name_offsets, i)).collect();
         let index = RunIndex::build(&names, epsilon);
         Run { name_offsets, name_bytes, qtypes, rdata_offsets, rdata_bytes, days, index }
     }
@@ -94,24 +92,30 @@ impl Run {
         self.index.is_learned()
     }
 
-    /// The encoded name of entry `i`.
+    /// The encoded name of entry `i` (empty when `i` is out of range —
+    /// offsets are construction-validated, so in-contract callers never
+    /// hit the fallback).
+    // lint:certify(no-panic)
     pub fn name_at(&self, i: usize) -> &[u8] {
-        &self.name_bytes[self.name_offsets[i] as usize..self.name_offsets[i + 1] as usize]
+        column_at(&self.name_bytes, &self.name_offsets, i)
     }
 
-    /// The RR type code of entry `i`.
+    /// The RR type code of entry `i` (0 when `i` is out of range).
+    // lint:certify(no-panic)
     pub fn qtype_at(&self, i: usize) -> u16 {
-        self.qtypes[i]
+        self.qtypes.get(i).copied().unwrap_or(0)
     }
 
-    /// The encoded rdata of entry `i`.
+    /// The encoded rdata of entry `i` (empty when `i` is out of range).
+    // lint:certify(no-panic)
     pub fn rdata_at(&self, i: usize) -> &[u8] {
-        &self.rdata_bytes[self.rdata_offsets[i] as usize..self.rdata_offsets[i + 1] as usize]
+        column_at(&self.rdata_bytes, &self.rdata_offsets, i)
     }
 
-    /// The first-seen day of entry `i`.
+    /// The first-seen day of entry `i` (0 when `i` is out of range).
+    // lint:certify(no-panic)
     pub fn day_at(&self, i: usize) -> u64 {
-        self.days[i]
+        self.days.get(i).copied().unwrap_or(0)
     }
 
     /// Composite-key comparison of entry `i` against a probe key,
@@ -119,7 +123,7 @@ impl Run {
     fn cmp_entry(&self, i: usize, key: &CompositeKey) -> std::cmp::Ordering {
         self.name_at(i)
             .cmp(key.0.as_slice())
-            .then_with(|| self.qtypes[i].cmp(&key.1))
+            .then_with(|| self.qtype_at(i).cmp(&key.1))
             .then_with(|| self.rdata_at(i).cmp(key.2.as_slice()))
     }
 
@@ -128,7 +132,7 @@ impl Run {
     fn cmp_entries(&self, i: usize, j: usize) -> std::cmp::Ordering {
         self.name_at(i)
             .cmp(self.name_at(j))
-            .then_with(|| self.qtypes[i].cmp(&self.qtypes[j]))
+            .then_with(|| self.qtype_at(i).cmp(&self.qtype_at(j)))
             .then_with(|| self.rdata_at(i).cmp(self.rdata_at(j)))
     }
 
@@ -156,7 +160,7 @@ impl Run {
                 self.cmp_entry(win_hi + i, key) == std::cmp::Ordering::Less
             });
         }
-        (pos < n && self.cmp_entry(pos, key) == std::cmp::Ordering::Equal).then(|| self.days[pos])
+        (pos < n && self.cmp_entry(pos, key) == std::cmp::Ordering::Equal).then(|| self.day_at(pos))
     }
 
     /// The contiguous entry range `[lo, hi)` of names starting with
@@ -173,23 +177,28 @@ impl Run {
 
     /// Decodes entry `i` into its owned composite key.
     pub fn key_at(&self, i: usize) -> CompositeKey {
-        (self.name_at(i).to_vec(), self.qtypes[i], self.rdata_at(i).to_vec())
+        (self.name_at(i).to_vec(), self.qtype_at(i), self.rdata_at(i).to_vec())
     }
 
-    /// Decodes entry `i` into an [`RrKey`].
-    pub fn rr_key_at(&self, i: usize) -> RrKey {
+    /// Decodes entry `i` into an [`RrKey`]. `Err` reports a key the
+    /// encoders cannot produce (possible only via a checksum collision
+    /// or an upstream logic bug).
+    // lint:certify(no-panic)
+    pub fn rr_key_at(&self, i: usize) -> Result<RrKey, String> {
         keys::decode_key(&self.key_at(i))
     }
 
     /// Iterates every entry as `(owned composite key, day)` in key order.
     pub fn entries(&self) -> impl Iterator<Item = (CompositeKey, u64)> + '_ {
-        (0..self.len()).map(|i| (self.key_at(i), self.days[i]))
+        (0..self.len()).map(|i| (self.key_at(i), self.day_at(i)))
     }
 
     /// The four section byte-images, in on-disk order: names (offsets +
     /// buffer), qtypes, rdata (offsets + buffer), days.
     fn section_bytes(&self) -> [Vec<u8>; 4] {
-        let mut names = Vec::with_capacity(self.name_offsets.len() * 4 + self.name_bytes.len());
+        let mut names = Vec::with_capacity(
+            self.name_offsets.len().saturating_mul(4).saturating_add(self.name_bytes.len()),
+        );
         for off in &self.name_offsets {
             names.extend_from_slice(&off.to_be_bytes());
         }
@@ -198,7 +207,9 @@ impl Run {
         for qt in &self.qtypes {
             qtypes.extend_from_slice(&qt.to_be_bytes());
         }
-        let mut rdata = Vec::with_capacity(self.rdata_offsets.len() * 4 + self.rdata_bytes.len());
+        let mut rdata = Vec::with_capacity(
+            self.rdata_offsets.len().saturating_mul(4).saturating_add(self.rdata_bytes.len()),
+        );
         for off in &self.rdata_offsets {
             rdata.extend_from_slice(&off.to_be_bytes());
         }
@@ -213,6 +224,7 @@ impl Run {
     /// Serialises the run into its on-disk image (format v2): magic,
     /// `n`/`name_len`/`rdata_len` header, one CRC-32 per section, the
     /// four sections, and a footer CRC-32 over everything before it.
+    // lint:certify(no-panic)
     pub fn to_bytes(&self) -> Vec<u8> {
         let sections = self.section_bytes();
         let mut out = Vec::new();
@@ -246,26 +258,31 @@ impl Run {
     ///
     /// Returns a message when the image is not a byte-exact, internally
     /// consistent v2 run.
+    // lint:certify(no-panic)
     pub fn from_bytes(bytes: &[u8], epsilon: u32) -> Result<Run, String> {
-        if bytes.len() < RUN_MAGIC.len() + 4 {
+        let Some((checked, footer)) = bytes
+            .len()
+            .checked_sub(4)
+            .filter(|&split| split >= RUN_MAGIC.len())
+            .and_then(|split| bytes.split_at_checked(split))
+        else {
             return Err("run image shorter than magic + footer".to_string());
-        }
-        let (checked, footer) = bytes.split_at(bytes.len() - 4);
-        let stored = u32::from_be_bytes(footer.try_into().expect("4-byte footer"));
+        };
+        let footer: [u8; 4] =
+            footer.try_into().map_err(|_| "run footer is not 4 bytes".to_string())?;
+        let stored = u32::from_be_bytes(footer);
         if crc32(checked) != stored {
             return Err("run footer checksum mismatch".to_string());
         }
         let rest = checked.strip_prefix(RUN_MAGIC.as_slice()).ok_or("bad run magic")?;
-        if rest.len() < 24 + 16 {
+        let Some((header, body)) = rest.split_at_checked(24 + 16) else {
             return Err("truncated run header".to_string());
-        }
-        let read_u64 = |chunk: &[u8]| u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
-        let read_u32 = |chunk: &[u8]| u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
-        let n64 = read_u64(&rest[0..8]);
-        let name_len64 = read_u64(&rest[8..16]);
-        let rdata_len64 = read_u64(&rest[16..24]);
-        let section_crcs: Vec<u32> = rest[24..40].chunks_exact(4).map(read_u32).collect();
-        let body = &rest[40..];
+        };
+        let n64 = be_u64(header.get(0..8).unwrap_or(&[]));
+        let name_len64 = be_u64(header.get(8..16).unwrap_or(&[]));
+        let rdata_len64 = be_u64(header.get(16..24).unwrap_or(&[]));
+        let section_crcs: Vec<u32> =
+            header.get(24..40).unwrap_or(&[]).chunks_exact(4).map(be_u32).collect();
         // Checked expected-length arithmetic: a hostile header must not
         // be able to wrap these products and sneak past the length gate.
         let sizes = (|| {
@@ -290,55 +307,84 @@ impl Run {
         let rdata_len = rdata_len64 as usize;
         let mut at = 0usize;
         for (section, size) in section_crcs.iter().zip(section_sizes) {
-            let size = size as usize;
-            if crc32(&body[at..at + size]) != *section {
+            let size = usize::try_from(size).map_err(|_| "run section too large".to_string())?;
+            let chunk = take_slice(body, &mut at, size)?;
+            if crc32(chunk) != *section {
                 return Err("run section checksum mismatch".to_string());
             }
-            at += size;
         }
         let mut at = 0usize;
-        let mut take = |len: usize| {
-            let s = &body[at..at + len];
-            at += len;
-            s
-        };
-        let name_offsets: Vec<u32> = take((n + 1) * 4)
-            .chunks_exact(4)
-            .map(|c| u32::from_be_bytes(c.try_into().expect("4-byte chunk")))
-            .collect();
-        let name_bytes = take(name_len).to_vec();
-        let qtypes: Vec<u16> = take(n * 2)
-            .chunks_exact(2)
-            .map(|c| u16::from_be_bytes(c.try_into().expect("2-byte chunk")))
-            .collect();
-        let rdata_offsets: Vec<u32> = take((n + 1) * 4)
-            .chunks_exact(4)
-            .map(|c| u32::from_be_bytes(c.try_into().expect("4-byte chunk")))
-            .collect();
-        let rdata_bytes = take(rdata_len).to_vec();
-        let days: Vec<u64> = take(n * 8)
-            .chunks_exact(8)
-            .map(|c| u64::from_be_bytes(c.try_into().expect("8-byte chunk")))
-            .collect();
+        let name_offsets: Vec<u32> =
+            take_slice(body, &mut at, (n + 1) * 4)?.chunks_exact(4).map(be_u32).collect();
+        let name_bytes = take_slice(body, &mut at, name_len)?.to_vec();
+        let qtypes: Vec<u16> =
+            take_slice(body, &mut at, n * 2)?.chunks_exact(2).map(be_u16).collect();
+        let rdata_offsets: Vec<u32> =
+            take_slice(body, &mut at, (n + 1) * 4)?.chunks_exact(4).map(be_u32).collect();
+        let rdata_bytes = take_slice(body, &mut at, rdata_len)?.to_vec();
+        let days: Vec<u64> =
+            take_slice(body, &mut at, n * 8)?.chunks_exact(8).map(be_u64).collect();
         if name_offsets.first() != Some(&0)
             || name_offsets.last().copied() != u32::try_from(name_len).ok()
             || rdata_offsets.first() != Some(&0)
             || rdata_offsets.last().copied() != u32::try_from(rdata_len).ok()
-            || name_offsets.windows(2).any(|w| w[0] > w[1])
-            || rdata_offsets.windows(2).any(|w| w[0] > w[1])
+            || !offsets_monotonic(&name_offsets)
+            || !offsets_monotonic(&rdata_offsets)
         {
             return Err("inconsistent run offsets".to_string());
         }
-        let names: Vec<&[u8]> = (0..n)
-            .map(|i| &name_bytes[name_offsets[i] as usize..name_offsets[i + 1] as usize])
-            .collect();
+        let names: Vec<&[u8]> = (0..n).map(|i| column_at(&name_bytes, &name_offsets, i)).collect();
         let index = RunIndex::build(&names, epsilon);
         let run = Run { name_offsets, name_bytes, qtypes, rdata_offsets, rdata_bytes, days, index };
-        if (1..n).any(|i| run.cmp_entries(i - 1, i) != std::cmp::Ordering::Less) {
+        if (0..n.saturating_sub(1)).any(|i| run.cmp_entries(i, i + 1) != std::cmp::Ordering::Less) {
             return Err("run entries out of composite-key order".to_string());
         }
         Ok(run)
     }
+}
+
+/// The `i`th variable-width column entry: `buf[offsets[i]..offsets[i+1]]`,
+/// or the empty slice when `i` or the offsets are out of range (offsets
+/// are construction-validated, so in-contract callers never hit the
+/// fallback).
+// lint:certify(no-panic)
+fn column_at<'b>(buf: &'b [u8], offsets: &[u32], i: usize) -> &'b [u8] {
+    let lo = offsets.get(i).map_or(0, |&o| o as usize);
+    let hi = offsets.get(i.saturating_add(1)).map_or(0, |&o| o as usize);
+    buf.get(lo..hi).unwrap_or(&[])
+}
+
+/// Whether `offsets` never runs backwards (each column stays within the
+/// byte buffer once the final offset is checked against its length).
+fn offsets_monotonic(offsets: &[u32]) -> bool {
+    offsets.iter().zip(offsets.iter().skip(1)).all(|(a, b)| a <= b)
+}
+
+/// The next `len` bytes of `body` from `*at`, advancing the position.
+/// Bounds-checked: a forged length surfaces as `Err`, never a slice
+/// panic.
+// lint:certify(no-panic)
+fn take_slice<'b>(body: &'b [u8], at: &mut usize, len: usize) -> Result<&'b [u8], String> {
+    let end = at.checked_add(len).ok_or_else(|| "run body overrun".to_string())?;
+    let s = body.get(*at..end).ok_or_else(|| "run body overrun".to_string())?;
+    *at = end;
+    Ok(s)
+}
+
+/// Decodes a big-endian `u64` chunk; total — a wrong-width chunk (which
+/// `chunks_exact` never yields) decodes as zero.
+fn be_u64(chunk: &[u8]) -> u64 {
+    chunk.try_into().map(u64::from_be_bytes).unwrap_or(0)
+}
+
+/// Decodes a big-endian `u32` chunk; total, zero on wrong width.
+fn be_u32(chunk: &[u8]) -> u32 {
+    chunk.try_into().map(u32::from_be_bytes).unwrap_or(0)
+}
+
+/// Decodes a big-endian `u16` chunk; total, zero on wrong width.
+fn be_u16(chunk: &[u8]) -> u16 {
+    chunk.try_into().map(u16::from_be_bytes).unwrap_or(0)
 }
 
 /// `partition_point` over `0..n` by index predicate (the columns are not
@@ -420,7 +466,8 @@ mod tests {
         assert!(lo < hi);
         for i in 0..run.len() {
             let inside = lo <= i && i < hi;
-            assert_eq!(run.rr_key_at(i).name.is_subdomain_of(&zone), inside, "entry {i}");
+            let rr_key = run.rr_key_at(i).expect("stored keys decode");
+            assert_eq!(rr_key.name.is_subdomain_of(&zone), inside, "entry {i}");
         }
     }
 

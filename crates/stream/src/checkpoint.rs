@@ -232,8 +232,12 @@ impl Checkpoint {
         .ok_or_else(|| corrupt("name-HLL register count does not match precision".to_string()))?;
         let rpdns = match backend {
             PdnsBackend::Memory(_) => {
-                let records =
-                    self.rpdns_memory.iter().map(|(key, d)| (keys::decode_key(key), *d)).collect();
+                let records = self
+                    .rpdns_memory
+                    .iter()
+                    .map(|(key, d)| keys::decode_key(key).map(|k| (k, *d)))
+                    .collect::<Result<_, _>>()
+                    .map_err(corrupt)?;
                 PdnsBackend::Memory(RpDns::from_parts(
                     records,
                     self.rpdns_per_day.clone(),
@@ -384,12 +388,19 @@ impl Checkpoint {
     /// Deserialises a checkpoint image. Total on arbitrary input: any
     /// truncation, bit flip, or forged length is an error, never a
     /// panic — the footer CRC is checked before any field is trusted.
+    // lint:certify(no-panic)
     pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, String> {
-        if bytes.len() < CHECKPOINT_MAGIC.len() + 4 {
+        let Some((body, footer)) = bytes
+            .len()
+            .checked_sub(4)
+            .filter(|&split| split >= CHECKPOINT_MAGIC.len())
+            .and_then(|split| bytes.split_at_checked(split))
+        else {
             return Err("checkpoint shorter than magic + footer".to_string());
-        }
-        let (body, footer) = bytes.split_at(bytes.len() - 4);
-        let stored = u32::from_be_bytes(footer.try_into().expect("4-byte footer"));
+        };
+        let footer: [u8; 4] =
+            footer.try_into().map_err(|_| "checkpoint footer is not 4 bytes".to_string())?;
+        let stored = u32::from_be_bytes(footer);
         if crc32(body) != stored {
             return Err("checkpoint checksum mismatch".to_string());
         }
@@ -462,8 +473,10 @@ impl Checkpoint {
             }
             cm_rows.push(rows);
         }
-        let cm_misses_rows = cm_rows.pop().expect("two sketches");
-        let cm_queries_rows = cm_rows.pop().expect("two sketches");
+        let (cm_misses_rows, cm_queries_rows) = match (cm_rows.pop(), cm_rows.pop()) {
+            (Some(misses), Some(queries)) => (misses, queries),
+            _ => return Err("sketch row sets missing".to_string()),
+        };
         let cm_queries_total = cur.u64()?;
         let cm_misses_total = cur.u64()?;
         let regs = cur.count()?;
@@ -485,6 +498,7 @@ impl Checkpoint {
                 *slot = cur.u64()?;
             }
         }
+        let [hourly_records, hourly_storage_bytes] = hourly;
         let retained_count = cur.count()?;
         let mut retained = Vec::with_capacity(retained_count);
         for _ in 0..retained_count {
@@ -499,7 +513,7 @@ impl Checkpoint {
             if rdata_bytes.is_empty() {
                 return Err("empty rdata encoding".to_string());
             }
-            let rdata = keys::decode_rdata(rdata_bytes);
+            let rdata = keys::decode_rdata(rdata_bytes)?;
             retained.push(FpDnsRecord { timestamp, client, name, qtype, ttl, rdata });
         }
         let fpdns = FpDnsLogParts {
@@ -513,8 +527,8 @@ impl Checkpoint {
             wire_roundtrips,
             wire_parse_failures,
             next_txid,
-            hourly_records: hourly[0],
-            hourly_storage_bytes: hourly[1],
+            hourly_records,
+            hourly_storage_bytes,
         };
         let day_count = cur.count()?;
         let mut rpdns_per_day = Vec::with_capacity(day_count);
@@ -539,8 +553,10 @@ impl Checkpoint {
             }
             keyed.push(entries);
         }
-        let rpdns_memtable = keyed.pop().expect("two keyed sets");
-        let rpdns_memory = keyed.pop().expect("two keyed sets");
+        let (rpdns_memtable, rpdns_memory) = match (keyed.pop(), keyed.pop()) {
+            (Some(memtable), Some(memory)) => (memtable, memory),
+            _ => return Err("keyed entry sets missing".to_string()),
+        };
         let run_count = cur.count()?;
         let mut rpdns_runs = Vec::with_capacity(run_count);
         for _ in 0..run_count {
@@ -552,7 +568,10 @@ impl Checkpoint {
         let failed = cur.u64()?;
         let shed = cur.u64()?;
         if cur.at != cur.bytes.len() {
-            return Err(format!("{} trailing checkpoint bytes", cur.bytes.len() - cur.at));
+            return Err(format!(
+                "{} trailing checkpoint bytes",
+                cur.bytes.len().saturating_sub(cur.at)
+            ));
         }
         Ok(Checkpoint {
             epoch_secs,
@@ -644,18 +663,16 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
+    // lint:certify(no-panic)
     fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
-        let end = self.at.checked_add(len).filter(|&e| e <= self.bytes.len());
-        let Some(end) = end else {
-            return Err("truncated checkpoint".to_string());
-        };
-        let s = &self.bytes[self.at..end];
+        let end = self.at.checked_add(len).ok_or_else(|| "truncated checkpoint".to_string())?;
+        let s = self.bytes.get(self.at..end).ok_or_else(|| "truncated checkpoint".to_string())?;
         self.at = end;
         Ok(s)
     }
 
     fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or_else(|| "truncated checkpoint".to_string())
     }
 
     fn bool(&mut self) -> Result<bool, String> {
@@ -667,15 +684,21 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2-byte chunk")))
+        let chunk: [u8; 2] =
+            self.take(2)?.try_into().map_err(|_| "truncated checkpoint".to_string())?;
+        Ok(u16::from_be_bytes(chunk))
     }
 
     fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4-byte chunk")))
+        let chunk: [u8; 4] =
+            self.take(4)?.try_into().map_err(|_| "truncated checkpoint".to_string())?;
+        Ok(u32::from_be_bytes(chunk))
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8-byte chunk")))
+        let chunk: [u8; 8] =
+            self.take(8)?.try_into().map_err(|_| "truncated checkpoint".to_string())?;
+        Ok(u64::from_be_bytes(chunk))
     }
 
     fn usize(&mut self) -> Result<usize, String> {
@@ -686,7 +709,7 @@ impl<'a> Cursor<'a> {
     /// a forged count cannot drive a huge up-front allocation.
     fn count(&mut self) -> Result<usize, String> {
         let n = self.usize()?;
-        if n > self.bytes.len() - self.at.min(self.bytes.len()) {
+        if n > self.bytes.len().saturating_sub(self.at) {
             return Err("count exceeds remaining bytes".to_string());
         }
         Ok(n)
@@ -768,7 +791,8 @@ mod tests {
                     ttl: Ttl::from_secs(60),
                     rdata: keys::decode_rdata(&keys::encode_rdata(&dnsnoise_dns::RData::A(
                         std::net::Ipv4Addr::new(192, 0, 2, 1),
-                    ))),
+                    )))
+                    .unwrap(),
                 }],
                 total_records: 9,
                 total_responses: 8,

@@ -8,9 +8,15 @@ cd "$(dirname "$0")/.."
 echo "== dnsnoise-lint (determinism & invariant linter) ==" >&2
 # Replaces the old grep gates (deprecated run_day_* call sites, overload
 # fields in the baseline export) with named, suppressible rules plus
-# determinism checks no grep could express. See DESIGN.md §static
-# analysis.
+# determinism checks no grep could express — including the call-graph
+# no-panic certification pass over the durability and wire-decode
+# surfaces. See DESIGN.md §static analysis.
 cargo run -q --release --offline -p dnsnoise-lint
+
+echo "== dnsnoise-lint --check-allowlist (no stale suppressions) ==" >&2
+cargo run -q --release --offline -p dnsnoise-lint -- --check-allowlist
+grep -q '"bench": "lint"' BENCH_lint.json \
+    || { echo "error: BENCH_lint.json missing or malformed" >&2; exit 1; }
 
 echo "== cargo build --release ==" >&2
 cargo build --release --offline
